@@ -1,0 +1,76 @@
+// Command benchfig regenerates the paper's evaluation figures (§5).
+//
+// Usage:
+//
+//	benchfig -fig 5 [-edge 60] [-steps 5]
+//	benchfig -fig 6 ...
+//	benchfig -fig 7 [-cores 16]
+//	benchfig -fig 8
+//	benchfig -fig 9
+//	benchfig -roofline
+//	benchfig -all
+//
+// Figures 5–7 and the measured half of Fig. 8 run live on this machine;
+// Figs. 8 (model half) and 9 use the calibrated analytic machine models
+// (see DESIGN.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure number to regenerate (5..9)")
+	roofline := flag.Bool("roofline", false, "print the §5.1.1 roofline / in-core analysis")
+	all := flag.Bool("all", false, "regenerate everything")
+	edge := flag.Int("edge", 60, "cubic block edge for single-core benchmarks (paper: 60)")
+	steps := flag.Int("steps", 3, "timed sweeps per measurement")
+	cores := flag.Int("cores", 8, "max worker count for the intranode scaling experiment")
+	flag.Parse()
+
+	w := os.Stdout
+	run := func(err error) {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchfig:", err)
+			os.Exit(1)
+		}
+	}
+
+	did := false
+	if *all || *fig == 5 {
+		run(experiments.Fig5(w, *edge, *steps))
+		fmt.Fprintln(w)
+		did = true
+	}
+	if *all || *fig == 6 {
+		run(experiments.Fig6(w, *edge, *steps))
+		did = true
+	}
+	if *all || *fig == 7 {
+		run(experiments.Fig7(w, *cores, *steps))
+		fmt.Fprintln(w)
+		did = true
+	}
+	if *all || *fig == 8 {
+		run(experiments.Fig8(w, *edge, *steps, *cores))
+		fmt.Fprintln(w)
+		did = true
+	}
+	if *all || *fig == 9 {
+		experiments.Fig9(w)
+		fmt.Fprintln(w)
+		did = true
+	}
+	if *all || *roofline {
+		run(experiments.Roofline(w, *edge, *steps))
+		did = true
+	}
+	if !did {
+		flag.Usage()
+		os.Exit(2)
+	}
+}

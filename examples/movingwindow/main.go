@@ -1,0 +1,59 @@
+// Movingwindow: a long directional run using the moving-window technique
+// (§3.3, Fig. 2): the computational domain tracks only the solidification
+// front — solidified material scrolls out through the bottom, fresh melt
+// enters at the top, and the frozen temperature gradient keeps moving in
+// the lab frame. This is what lets the paper's production runs simulate
+// effectively unbounded growth lengths with a fixed memory footprint. The
+// example also writes periodic interface meshes, exercising the full
+// extract-simplify pipeline on the fly.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro"
+	"repro/internal/mesh"
+)
+
+func main() {
+	cfg := phasefield.DefaultConfig(32, 32, 48)
+	cfg.MovingWindow = true
+	cfg.WindowFraction = 0.18 // shift as soon as the front passes z~9
+	cfg.TempGradient = 0.01   // strong gradient: fast, well-confined growth
+	cfg.IsothermZ0 = 24
+	cfg.Seed = 3
+	sim, err := phasefield.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sim.InitProduction(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("running with the moving window (front held inside the domain)...")
+	const nz = 48
+	for i := 0; i < 8; i++ {
+		sim.Run(100)
+		fmt.Printf("step %5d  front z=%-3d of %d  solid=%.3f  window advanced by %d cells\n",
+			sim.Step(), sim.FrontHeight(), nz, sim.SolidFraction(), sim.WindowShift())
+	}
+
+	// Final interface mesh of the first solid phase, simplified.
+	meshes := sim.ExtractInterfaces()
+	m := meshes[0]
+	before := m.NumTris()
+	if before > 4000 {
+		mesh.Simplify(m, mesh.SimplifyOptions{TargetTris: 4000})
+	}
+	f, err := os.Create("window_interface.stl")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := m.WriteSTL(f); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote window_interface.stl (%d -> %d triangles)\n", before, m.NumTris())
+}

@@ -1,0 +1,210 @@
+// Package analysis provides the microstructure metrics used to validate
+// the physics results (§5.2): per-slice phase fractions, connected-component
+// lamella labeling, detection of lamella splits and merges between growth
+// slices (the 3D phenomena of Fig. 11 that 2D micrographs cannot show),
+// two-point correlation functions (the paper's planned PCA-on-two-point-
+// correlation comparison), and interface-area estimates.
+package analysis
+
+import (
+	"repro/internal/core"
+	"repro/internal/grid"
+)
+
+// DominantPhase returns the index of the largest φ component in a cell.
+func DominantPhase(f *grid.Field, x, y, z int) int {
+	best, bi := f.At(0, x, y, z), 0
+	for a := 1; a < core.NPhases; a++ {
+		if v := f.At(a, x, y, z); v > best {
+			best, bi = v, a
+		}
+	}
+	return bi
+}
+
+// SliceFractions returns the volume fraction of each phase within z-slice z.
+func SliceFractions(f *grid.Field, z int) [core.NPhases]float64 {
+	var out [core.NPhases]float64
+	for y := 0; y < f.NY; y++ {
+		for x := 0; x < f.NX; x++ {
+			for a := 0; a < core.NPhases; a++ {
+				out[a] += f.At(a, x, y, z)
+			}
+		}
+	}
+	inv := 1 / float64(f.NX*f.NY)
+	for a := range out {
+		out[a] *= inv
+	}
+	return out
+}
+
+// LabelSlice labels the connected components of the given phase within
+// z-slice z (4-connectivity, periodic in x and y — the lateral boundary
+// conditions of the solidification domain). A cell belongs to the phase
+// when it is the dominant one. Returns the label map (0 = not this phase)
+// and the number of components.
+func LabelSlice(f *grid.Field, phase, z int) ([]int, int) {
+	nx, ny := f.NX, f.NY
+	labels := make([]int, nx*ny)
+	mask := make([]bool, nx*ny)
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			mask[y*nx+x] = DominantPhase(f, x, y, z) == phase
+		}
+	}
+	next := 0
+	var stack [][2]int
+	for y0 := 0; y0 < ny; y0++ {
+		for x0 := 0; x0 < nx; x0++ {
+			i0 := y0*nx + x0
+			if !mask[i0] || labels[i0] != 0 {
+				continue
+			}
+			next++
+			labels[i0] = next
+			stack = append(stack[:0], [2]int{x0, y0})
+			for len(stack) > 0 {
+				c := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				for _, d := range [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+					nxp := (c[0] + d[0] + nx) % nx
+					nyp := (c[1] + d[1] + ny) % ny
+					ni := nyp*nx + nxp
+					if mask[ni] && labels[ni] == 0 {
+						labels[ni] = next
+						stack = append(stack, [2]int{nxp, nyp})
+					}
+				}
+			}
+		}
+	}
+	return labels, next
+}
+
+// LamellaCounts returns the per-slice number of lamellae (connected
+// components) of the given solid phase along the growth direction.
+func LamellaCounts(f *grid.Field, phase int) []int {
+	out := make([]int, f.NZ)
+	for z := 0; z < f.NZ; z++ {
+		_, n := LabelSlice(f, phase, z)
+		out[z] = n
+	}
+	return out
+}
+
+// Events summarizes the lamella topology changes between two adjacent
+// growth slices.
+type Events struct {
+	Splits int // one lamella at z overlaps ≥2 at z+1
+	Merges int // ≥2 lamellae at z overlap one at z+1
+	Births int // lamella at z+1 with no overlap at z
+	Deaths int // lamella at z with no overlap at z+1
+}
+
+// SliceEvents detects splits and merges of the given phase between slices
+// z and z+1 via overlap analysis of the component labelings — the
+// microstructure evolution mechanism the paper observes in 3D (Fig. 11).
+func SliceEvents(f *grid.Field, phase, z int) Events {
+	la, na := LabelSlice(f, phase, z)
+	lb, nb := LabelSlice(f, phase, z+1)
+	nx, ny := f.NX, f.NY
+
+	// overlap[a][b] counts shared cells between component a of slice z
+	// and component b of slice z+1.
+	forward := make([]map[int]int, na+1)
+	backward := make([]map[int]int, nb+1)
+	for i := 1; i <= na; i++ {
+		forward[i] = map[int]int{}
+	}
+	for i := 1; i <= nb; i++ {
+		backward[i] = map[int]int{}
+	}
+	for i := 0; i < nx*ny; i++ {
+		a, b := la[i], lb[i]
+		if a > 0 && b > 0 {
+			forward[a][b]++
+			backward[b][a]++
+		}
+	}
+
+	var ev Events
+	for a := 1; a <= na; a++ {
+		switch len(forward[a]) {
+		case 0:
+			ev.Deaths++
+		default:
+			if len(forward[a]) >= 2 {
+				ev.Splits++
+			}
+		}
+	}
+	for b := 1; b <= nb; b++ {
+		switch len(backward[b]) {
+		case 0:
+			ev.Births++
+		default:
+			if len(backward[b]) >= 2 {
+				ev.Merges++
+			}
+		}
+	}
+	return ev
+}
+
+// TotalEvents accumulates split/merge statistics along the whole growth
+// direction.
+func TotalEvents(f *grid.Field, phase int) Events {
+	var tot Events
+	for z := 0; z+1 < f.NZ; z++ {
+		e := SliceEvents(f, phase, z)
+		tot.Splits += e.Splits
+		tot.Merges += e.Merges
+		tot.Births += e.Births
+		tot.Deaths += e.Deaths
+	}
+	return tot
+}
+
+// TwoPointCorrelation returns S₂(r) of the phase indicator along x within
+// z-slice z, averaged over y, for r = 0..maxR (periodic in x). S₂(0) is the
+// phase fraction; the decay length measures the lamella spacing.
+func TwoPointCorrelation(f *grid.Field, phase, z, maxR int) []float64 {
+	nx, ny := f.NX, f.NY
+	ind := make([]float64, nx*ny)
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			if DominantPhase(f, x, y, z) == phase {
+				ind[y*nx+x] = 1
+			}
+		}
+	}
+	out := make([]float64, maxR+1)
+	for r := 0; r <= maxR; r++ {
+		s := 0.0
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				s += ind[y*nx+x] * ind[y*nx+(x+r)%nx]
+			}
+		}
+		out[r] = s / float64(nx*ny)
+	}
+	return out
+}
+
+// InterfaceCellCount returns the number of diffuse-interface cells (cells
+// off any simplex vertex by more than tol), a cheap proxy for interface
+// area in units of dx².
+func InterfaceCellCount(f *grid.Field, tol float64) int {
+	n := 0
+	f.Interior(func(x, y, z int) {
+		for a := 0; a < core.NPhases; a++ {
+			v := f.At(a, x, y, z)
+			if v > tol && v < 1-tol {
+				n++
+				return
+			}
+		}
+	})
+	return n
+}

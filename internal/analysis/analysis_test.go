@@ -1,0 +1,195 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/grid"
+)
+
+// buildField creates a φ field where each cell is a pure phase given by
+// pick(x,y,z).
+func buildField(nx, ny, nz int, pick func(x, y, z int) int) *grid.Field {
+	f := grid.NewField(nx, ny, nz, core.NPhases, 1, grid.SoA)
+	f.Interior(func(x, y, z int) {
+		f.Set(pick(x, y, z), x, y, z, 1)
+	})
+	return f
+}
+
+func TestDominantPhase(t *testing.T) {
+	f := grid.NewField(2, 2, 2, core.NPhases, 1, grid.SoA)
+	f.Set(1, 0, 0, 0, 0.6)
+	f.Set(3, 0, 0, 0, 0.4)
+	if DominantPhase(f, 0, 0, 0) != 1 {
+		t.Error("dominant phase wrong")
+	}
+}
+
+func TestSliceFractions(t *testing.T) {
+	f := buildField(4, 4, 2, func(x, y, z int) int {
+		if x < 2 {
+			return 0
+		}
+		return core.Liquid
+	})
+	fr := SliceFractions(f, 0)
+	if math.Abs(fr[0]-0.5) > 1e-12 || math.Abs(fr[core.Liquid]-0.5) > 1e-12 {
+		t.Errorf("fractions %v", fr)
+	}
+}
+
+func TestLabelSliceCountsStripes(t *testing.T) {
+	// Two disjoint stripes of phase 0 (x in [0,2) and [5,7)) in a 10-wide
+	// periodic slice: two components.
+	f := buildField(10, 4, 1, func(x, y, z int) int {
+		if x < 2 || (x >= 5 && x < 7) {
+			return 0
+		}
+		return core.Liquid
+	})
+	_, n := LabelSlice(f, 0, 0)
+	if n != 2 {
+		t.Errorf("components = %d, want 2", n)
+	}
+}
+
+func TestLabelSlicePeriodicWrap(t *testing.T) {
+	// A stripe crossing the periodic x boundary is ONE component.
+	f := buildField(10, 4, 1, func(x, y, z int) int {
+		if x < 2 || x >= 8 {
+			return 0
+		}
+		return core.Liquid
+	})
+	_, n := LabelSlice(f, 0, 0)
+	if n != 1 {
+		t.Errorf("wrapped stripe components = %d, want 1", n)
+	}
+}
+
+func TestSliceEventsSplit(t *testing.T) {
+	// One lamella at z=0 splits into two at z=1.
+	f := buildField(12, 4, 2, func(x, y, z int) int {
+		if z == 0 {
+			if x >= 2 && x < 10 {
+				return 0
+			}
+		} else {
+			if (x >= 2 && x < 5) || (x >= 7 && x < 10) {
+				return 0
+			}
+		}
+		return core.Liquid
+	})
+	ev := SliceEvents(f, 0, 0)
+	if ev.Splits != 1 || ev.Merges != 0 {
+		t.Errorf("events %+v, want 1 split", ev)
+	}
+}
+
+func TestSliceEventsMerge(t *testing.T) {
+	f := buildField(12, 4, 2, func(x, y, z int) int {
+		if z == 1 {
+			if x >= 2 && x < 10 {
+				return 0
+			}
+		} else {
+			if (x >= 2 && x < 5) || (x >= 7 && x < 10) {
+				return 0
+			}
+		}
+		return core.Liquid
+	})
+	ev := SliceEvents(f, 0, 0)
+	if ev.Merges != 1 || ev.Splits != 0 {
+		t.Errorf("events %+v, want 1 merge", ev)
+	}
+}
+
+func TestSliceEventsBirthDeath(t *testing.T) {
+	f := buildField(12, 4, 2, func(x, y, z int) int {
+		if z == 0 && x < 3 {
+			return 0 // dies
+		}
+		if z == 1 && x >= 6 && x < 9 {
+			return 0 // born
+		}
+		return core.Liquid
+	})
+	ev := SliceEvents(f, 0, 0)
+	if ev.Deaths != 1 || ev.Births != 1 {
+		t.Errorf("events %+v, want 1 death + 1 birth", ev)
+	}
+}
+
+func TestTotalEventsAccumulates(t *testing.T) {
+	// Split at z=0->1, merge at z=1->2.
+	f := buildField(12, 4, 3, func(x, y, z int) int {
+		switch z {
+		case 0, 2:
+			if x >= 2 && x < 10 {
+				return 0
+			}
+		case 1:
+			if (x >= 2 && x < 5) || (x >= 7 && x < 10) {
+				return 0
+			}
+		}
+		return core.Liquid
+	})
+	tot := TotalEvents(f, 0)
+	if tot.Splits != 1 || tot.Merges != 1 {
+		t.Errorf("total events %+v", tot)
+	}
+}
+
+func TestLamellaCounts(t *testing.T) {
+	f := buildField(12, 4, 2, func(x, y, z int) int {
+		if z == 0 && x < 3 {
+			return 1
+		}
+		if z == 1 && (x < 3 || (x >= 6 && x < 9)) {
+			return 1
+		}
+		return core.Liquid
+	})
+	c := LamellaCounts(f, 1)
+	if c[0] != 1 || c[1] != 2 {
+		t.Errorf("lamella counts %v", c)
+	}
+}
+
+func TestTwoPointCorrelation(t *testing.T) {
+	// Period-4 stripes of phase 0: S2(0)=0.5, S2(4)=0.5, S2(2)=0.
+	f := buildField(8, 4, 1, func(x, y, z int) int {
+		if x%4 < 2 {
+			return 0
+		}
+		return core.Liquid
+	})
+	s2 := TwoPointCorrelation(f, 0, 0, 4)
+	if math.Abs(s2[0]-0.5) > 1e-12 {
+		t.Errorf("S2(0) = %g, want 0.5 (phase fraction)", s2[0])
+	}
+	if math.Abs(s2[4]-0.5) > 1e-12 {
+		t.Errorf("S2(4) = %g, want 0.5 (periodicity)", s2[4])
+	}
+	if s2[2] > 1e-12 {
+		t.Errorf("S2(2) = %g, want 0 (anti-phase)", s2[2])
+	}
+}
+
+func TestInterfaceCellCount(t *testing.T) {
+	f := grid.NewField(4, 4, 4, core.NPhases, 1, grid.SoA)
+	f.FillComp(core.Liquid, 1)
+	if n := InterfaceCellCount(f, 1e-6); n != 0 {
+		t.Errorf("bulk field has %d interface cells", n)
+	}
+	f.Set(core.Liquid, 1, 1, 1, 0.5)
+	f.Set(0, 1, 1, 1, 0.5)
+	if n := InterfaceCellCount(f, 1e-6); n != 1 {
+		t.Errorf("interface cells = %d, want 1", n)
+	}
+}

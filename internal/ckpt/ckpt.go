@@ -1,0 +1,153 @@
+// Package ckpt implements checkpointing (§3.2): the complete simulation
+// state — four φ values and two µ values per cell — is written to disk in
+// single precision ("checkpoints use only single precision to save disk
+// space and I/O bandwidth" while all computation is double precision), with
+// a versioned header carrying the decomposition and time-stepping state
+// needed for restart.
+package ckpt
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/grid"
+	"repro/internal/kernels"
+)
+
+// Magic identifies checkpoint files; Version the header layout.
+const (
+	Magic   = 0x50464350 // "PFCP"
+	Version = 1
+)
+
+// Header describes a checkpoint.
+type Header struct {
+	Step        int64
+	Time        float64
+	WindowShift int64
+	PX, PY, PZ  int32 // decomposition
+	BX, BY, BZ  int32 // block extents
+}
+
+// Write serializes the header and all ranks' source fields (interior only;
+// ghosts are reconstructed on restart) in single precision.
+func Write(w io.Writer, h Header, fields []*kernels.Fields) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if err := binary.Write(bw, binary.LittleEndian, uint32(Magic)); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(Version)); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, &h); err != nil {
+		return err
+	}
+	if int(h.PX)*int(h.PY)*int(h.PZ) != len(fields) {
+		return fmt.Errorf("ckpt: %d field bundles for a %dx%dx%d decomposition",
+			len(fields), h.PX, h.PY, h.PZ)
+	}
+	for _, f := range fields {
+		if err := writeField(bw, f.PhiSrc); err != nil {
+			return err
+		}
+		if err := writeField(bw, f.MuSrc); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func writeField(w io.Writer, f *grid.Field) error {
+	buf := make([]float32, f.NX*f.NComp)
+	for z := 0; z < f.NZ; z++ {
+		for y := 0; y < f.NY; y++ {
+			i := 0
+			for c := 0; c < f.NComp; c++ {
+				for x := 0; x < f.NX; x++ {
+					buf[i] = float32(f.At(c, x, y, z))
+					i++
+				}
+			}
+			if err := binary.Write(w, binary.LittleEndian, buf); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Read deserializes a checkpoint into freshly allocated field bundles.
+func Read(r io.Reader) (Header, []*kernels.Fields, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var magic, version uint32
+	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
+		return Header{}, nil, err
+	}
+	if magic != Magic {
+		return Header{}, nil, fmt.Errorf("ckpt: bad magic %#x", magic)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return Header{}, nil, err
+	}
+	if version != Version {
+		return Header{}, nil, fmt.Errorf("ckpt: unsupported version %d", version)
+	}
+	var h Header
+	if err := binary.Read(br, binary.LittleEndian, &h); err != nil {
+		return Header{}, nil, err
+	}
+	if h.PX <= 0 || h.PY <= 0 || h.PZ <= 0 || h.BX <= 0 || h.BY <= 0 || h.BZ <= 0 {
+		return Header{}, nil, fmt.Errorf("ckpt: corrupt header %+v", h)
+	}
+	n := int(h.PX) * int(h.PY) * int(h.PZ)
+	fields := make([]*kernels.Fields, n)
+	for i := 0; i < n; i++ {
+		f := kernels.NewFields(int(h.BX), int(h.BY), int(h.BZ))
+		if err := readField(br, f.PhiSrc); err != nil {
+			return h, nil, err
+		}
+		if err := readField(br, f.MuSrc); err != nil {
+			return h, nil, err
+		}
+		f.PhiDst.CopyFrom(f.PhiSrc)
+		f.MuDst.CopyFrom(f.MuSrc)
+		fields[i] = f
+	}
+	return h, fields, nil
+}
+
+func readField(r io.Reader, f *grid.Field) error {
+	buf := make([]float32, f.NX*f.NComp)
+	for z := 0; z < f.NZ; z++ {
+		for y := 0; y < f.NY; y++ {
+			if err := binary.Read(r, binary.LittleEndian, buf); err != nil {
+				return err
+			}
+			i := 0
+			for c := 0; c < f.NComp; c++ {
+				for x := 0; x < f.NX; x++ {
+					f.Set(c, x, y, z, float64(buf[i]))
+					i++
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// SizeBytes returns the on-disk size of a checkpoint for the given
+// decomposition: header plus six single-precision values per cell.
+func SizeBytes(px, py, pz, bx, by, bz int) int64 {
+	cells := int64(px*py*pz) * int64(bx*by*bz)
+	header := int64(8 + 8 + 8 + 8 + 6*4)
+	return header + cells*(kernels.NP+kernels.NR)*4
+}
+
+// MaxRoundTripError returns the worst-case absolute error introduced by the
+// double→single→double round trip for values of magnitude ≤ m.
+func MaxRoundTripError(m float64) float64 {
+	return m * math.Ldexp(1, -24) // half ulp of float32 at magnitude m, conservative
+}

@@ -1,0 +1,122 @@
+package ckpt
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/kernels"
+)
+
+func randomFields(rng *rand.Rand, n, bx, by, bz int) []*kernels.Fields {
+	out := make([]*kernels.Fields, n)
+	for i := range out {
+		f := kernels.NewFields(bx, by, bz)
+		f.PhiSrc.Interior(func(x, y, z int) {
+			for a := 0; a < kernels.NP; a++ {
+				f.PhiSrc.Set(a, x, y, z, rng.Float64())
+			}
+			for k := 0; k < kernels.NR; k++ {
+				f.MuSrc.Set(k, x, y, z, rng.NormFloat64())
+			}
+		})
+		out[i] = f
+	}
+	return out
+}
+
+func TestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	fields := randomFields(rng, 4, 5, 6, 7)
+	h := Header{Step: 42, Time: 3.5, WindowShift: 9, PX: 2, PY: 2, PZ: 1, BX: 5, BY: 6, BZ: 7}
+
+	var buf bytes.Buffer
+	if err := Write(&buf, h, fields); err != nil {
+		t.Fatal(err)
+	}
+	h2, fields2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2 != h {
+		t.Errorf("header round trip: %+v != %+v", h2, h)
+	}
+	if len(fields2) != len(fields) {
+		t.Fatalf("field count %d", len(fields2))
+	}
+	tol := MaxRoundTripError(4)
+	for i := range fields {
+		if ok, maxd := fields[i].PhiSrc.InteriorEqual(fields2[i].PhiSrc, tol); !ok {
+			t.Errorf("rank %d φ round-trip error %g > %g", i, maxd, tol)
+		}
+		if ok, maxd := fields[i].MuSrc.InteriorEqual(fields2[i].MuSrc, tol); !ok {
+			t.Errorf("rank %d µ round-trip error %g > %g", i, maxd, tol)
+		}
+	}
+	// Destination fields restored as copies of source.
+	if ok, _ := fields2[0].PhiDst.InteriorEqual(fields2[0].PhiSrc, 0); !ok {
+		t.Error("PhiDst not initialized from PhiSrc")
+	}
+}
+
+func TestSinglePrecisionOnDisk(t *testing.T) {
+	fields := randomFields(rand.New(rand.NewSource(2)), 1, 4, 4, 4)
+	h := Header{PX: 1, PY: 1, PZ: 1, BX: 4, BY: 4, BZ: 4}
+	var buf bytes.Buffer
+	if err := Write(&buf, h, fields); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := int64(buf.Len()), SizeBytes(1, 1, 1, 4, 4, 4); got != want {
+		t.Errorf("checkpoint size %d, want %d (single precision)", got, want)
+	}
+	// The same data in double precision would be twice the payload.
+	doubleSize := int64(4*4*4*(kernels.NP+kernels.NR)) * 8
+	if int64(buf.Len()) >= doubleSize {
+		t.Errorf("checkpoint not smaller than double-precision payload (%d >= %d)", buf.Len(), doubleSize)
+	}
+}
+
+func TestRejectsGarbage(t *testing.T) {
+	if _, _, err := Read(bytes.NewReader([]byte{1, 2, 3, 4, 5, 6, 7, 8})); err == nil {
+		t.Error("garbage accepted")
+	}
+	// Right magic, wrong version.
+	var buf bytes.Buffer
+	buf.Write([]byte{0x50, 0x43, 0x46, 0x50}) // little-endian Magic
+	buf.Write([]byte{0xFF, 0, 0, 0})
+	if _, _, err := Read(&buf); err == nil {
+		t.Error("bad version accepted")
+	}
+}
+
+func TestWriteValidatesDecomposition(t *testing.T) {
+	fields := randomFields(rand.New(rand.NewSource(3)), 2, 4, 4, 4)
+	h := Header{PX: 3, PY: 1, PZ: 1, BX: 4, BY: 4, BZ: 4}
+	var buf bytes.Buffer
+	if err := Write(&buf, h, fields); err == nil {
+		t.Error("mismatched decomposition accepted")
+	}
+}
+
+func TestTruncatedCheckpoint(t *testing.T) {
+	fields := randomFields(rand.New(rand.NewSource(4)), 1, 4, 4, 4)
+	h := Header{PX: 1, PY: 1, PZ: 1, BX: 4, BY: 4, BZ: 4}
+	var buf bytes.Buffer
+	if err := Write(&buf, h, fields); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, _, err := Read(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated checkpoint accepted")
+	}
+}
+
+func TestMaxRoundTripError(t *testing.T) {
+	if e := MaxRoundTripError(1); e <= 0 || e > 1e-6 {
+		t.Errorf("unexpected float32 error bound %g", e)
+	}
+	if math.Abs(MaxRoundTripError(2)-2*MaxRoundTripError(1)) > 1e-20 {
+		t.Error("error bound should scale linearly with magnitude")
+	}
+}

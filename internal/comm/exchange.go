@@ -1,0 +1,216 @@
+package comm
+
+import (
+	"time"
+
+	"repro/internal/grid"
+)
+
+// haloRegion describes the cell box to pack (on the sender) or unpack (on
+// the receiver) for one face at one exchange stage. Bounds are half-open
+// in field-local coordinates (ghost coordinates allowed).
+type haloRegion struct {
+	x0, x1, y0, y1, z0, z1 int
+}
+
+func (r haloRegion) numCells() int {
+	return (r.x1 - r.x0) * (r.y1 - r.y0) * (r.z1 - r.z0)
+}
+
+// stageRegions returns the pack (send) and unpack (recv) regions for the
+// given face of a field at its axis' stage. The transverse extents widen
+// with the stage so that earlier stages' ghost data propagates into edges
+// and corners: the y-stage includes x-ghosts, the z-stage includes x- and
+// y-ghosts. This staged scheme needs only 6 messages per field per step yet
+// fills the full 26-neighborhood halo required by D3C19.
+func stageRegions(f *grid.Field, face grid.Face) (pack, unpack haloRegion) {
+	g := f.G
+	// Transverse extents per axis stage.
+	var tx0, tx1, ty0, ty1, tz0, tz1 int
+	switch face.Axis() {
+	case 0:
+		tx0, tx1 = 0, 0 // unused for x
+		ty0, ty1 = 0, f.NY
+		tz0, tz1 = 0, f.NZ
+	case 1:
+		tx0, tx1 = -g, f.NX+g
+		ty0, ty1 = 0, 0 // unused for y
+		tz0, tz1 = 0, f.NZ
+	default:
+		tx0, tx1 = -g, f.NX+g
+		ty0, ty1 = -g, f.NY+g
+		tz0, tz1 = 0, 0 // unused for z
+	}
+	n := [3]int{f.NX, f.NY, f.NZ}[face.Axis()]
+	// The sender packs its outermost interior slab of width g; the
+	// receiver unpacks into its ghost slab of width g on the opposite
+	// side.
+	var a0, a1, b0, b1 int // pack / unpack along the face axis
+	if face.IsMin() {
+		a0, a1 = 0, g   // pack low interior slab
+		b0, b1 = n, n+g // receiver's high ghost slab (receiver coords)
+	} else {
+		a0, a1 = n-g, n // pack high interior slab
+		b0, b1 = -g, 0  // receiver's low ghost slab
+	}
+	switch face.Axis() {
+	case 0:
+		pack = haloRegion{a0, a1, ty0, ty1, tz0, tz1}
+		unpack = haloRegion{b0, b1, ty0, ty1, tz0, tz1}
+	case 1:
+		pack = haloRegion{tx0, tx1, a0, a1, tz0, tz1}
+		unpack = haloRegion{tx0, tx1, b0, b1, tz0, tz1}
+	default:
+		pack = haloRegion{tx0, tx1, ty0, ty1, a0, a1}
+		unpack = haloRegion{tx0, tx1, ty0, ty1, b0, b1}
+	}
+	return pack, unpack
+}
+
+// packRegion copies region r of all components of f into buf (allocating if
+// needed) and returns the buffer.
+func packRegion(f *grid.Field, r haloRegion, buf []float64) []float64 {
+	n := r.numCells() * f.NComp
+	if cap(buf) < n {
+		buf = make([]float64, n)
+	}
+	buf = buf[:n]
+	i := 0
+	for c := 0; c < f.NComp; c++ {
+		for z := r.z0; z < r.z1; z++ {
+			for y := r.y0; y < r.y1; y++ {
+				for x := r.x0; x < r.x1; x++ {
+					buf[i] = f.At(c, x, y, z)
+					i++
+				}
+			}
+		}
+	}
+	return buf
+}
+
+// unpackRegion copies buf into region r of all components of f.
+func unpackRegion(f *grid.Field, r haloRegion, buf []float64) {
+	i := 0
+	for c := 0; c < f.NComp; c++ {
+		for z := r.z0; z < r.z1; z++ {
+			for y := r.y0; y < r.y1; y++ {
+				for x := r.x0; x < r.x1; x++ {
+					f.Set(c, x, y, z, buf[i])
+					i++
+				}
+			}
+		}
+	}
+}
+
+// ExchangeGhosts performs the blocking staged halo exchange for rank's
+// field, interleaving physical boundary-condition fills so edge and corner
+// ghosts are consistent. This corresponds to "ghostlayer communication +
+// boundary handling" in Algorithm 1.
+func (w *World) ExchangeGhosts(rank int, f *grid.Field, tag Tag, bcs grid.BoundarySet) {
+	var st Stats
+	for axis := 0; axis < 3; axis++ {
+		w.exchangeAxis(rank, f, tag, bcs, axis, &st)
+	}
+	w.addStats(rank, tag, st)
+}
+
+// exchangeAxis handles one stage: sends both faces of the axis, applies the
+// axis' physical BCs, then receives and unpacks.
+func (w *World) exchangeAxis(rank int, f *grid.Field, tag Tag, bcs grid.BoundarySet, axis int, st *Stats) {
+	faces := [2]grid.Face{grid.Face(2 * axis), grid.Face(2*axis + 1)}
+
+	var recvs []grid.Face
+
+	// Post sends for exchange faces.
+	for _, face := range faces {
+		n, ok := w.BG.Neighbor(rank, face)
+		if !ok || n == rank {
+			continue // physical boundary or local periodic: BC handles it
+		}
+		pack, _ := stageRegions(f, face)
+		t0 := time.Now()
+		buf := packRegion(f, pack, nil)
+		st.Pack += time.Since(t0)
+
+		t0 = time.Now()
+		// Message arrives at the neighbor's opposite face.
+		w.box(n, face.Opposite(), tag) <- buf
+		st.Transfer += time.Since(t0)
+		st.Messages++
+		st.Bytes += len(buf) * 8
+
+		recvs = append(recvs, face)
+	}
+
+	// Physical boundaries of this axis.
+	for _, face := range faces {
+		if n, ok := w.BG.Neighbor(rank, face); ok && n != rank {
+			continue
+		}
+		applyFaceBC(f, face, bcs[face])
+	}
+
+	// Receive and unpack. The unpack region along the axis depends on the
+	// arrival side: a message arriving at our XMin face fills our low
+	// ghost slab.
+	for _, face := range recvs {
+		t0 := time.Now()
+		buf := <-w.box(rank, face, tag)
+		st.Transfer += time.Since(t0)
+
+		t0 = time.Now()
+		unpackRegion(f, arrivalRegion(f, face), buf)
+		st.Unpack += time.Since(t0)
+	}
+}
+
+// arrivalRegion gives the ghost region filled by a message arriving at face.
+func arrivalRegion(f *grid.Field, face grid.Face) haloRegion {
+	// A message arriving at our `face` fills our ghost slab on that side;
+	// this equals the unpack region computed for the opposite face's send.
+	_, unpack := stageRegions(f, face.Opposite())
+	return unpack
+}
+
+// applyFaceBC applies one face's physical boundary condition with the
+// stage-appropriate transverse extent. BCNone is a no-op.
+func applyFaceBC(f *grid.Field, face grid.Face, bc grid.BC) {
+	if bc.Kind == grid.BCNone {
+		return
+	}
+	var bs grid.BoundarySet
+	bs[face] = bc
+	bs.Apply(f)
+}
+
+// Pending represents an in-flight overlapped ghost exchange.
+type Pending struct {
+	done chan struct{}
+	w    *World
+	rank int
+	tag  Tag
+}
+
+// StartExchange begins an overlapped staged halo exchange and returns
+// immediately. The exchange goroutine writes only ghost cells of f, so it
+// may run concurrently with compute kernels that read/write interior cells
+// only. Call Finish to synchronize. This is the mechanism behind
+// Algorithm 2's "communicate ... end communicate" bracket.
+func (w *World) StartExchange(rank int, f *grid.Field, tag Tag, bcs grid.BoundarySet) *Pending {
+	p := &Pending{done: make(chan struct{}), w: w, rank: rank, tag: tag}
+	go func() {
+		w.ExchangeGhosts(rank, f, tag, bcs)
+		close(p.done)
+	}()
+	return p
+}
+
+// Finish blocks until the exchange completes, attributing the blocked time
+// to Stats.Wait.
+func (p *Pending) Finish() {
+	t0 := time.Now()
+	<-p.done
+	p.w.addStats(p.rank, p.tag, Stats{Wait: time.Since(t0)})
+}

@@ -1,0 +1,170 @@
+// Package core defines the thermodynamically consistent grand-potential
+// phase-field model of the paper (§2): the coupled evolution equations for
+// the vector of order parameters φ (four phases) and the vector of chemical
+// potentials µ (two reduced components), the gradient and obstacle energy
+// densities, the Moelans interpolation functions, the driving force derived
+// from parabolic grand potentials, the anti-trapping current, the frozen
+// temperature gradient of directional solidification, and the Gibbs-simplex
+// projection. The numerical kernels in internal/kernels evaluate these
+// definitions cell by cell.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/thermo"
+)
+
+// NPhases is the number of order parameters: three solids plus the liquid.
+const NPhases = thermo.NPhases
+
+// NRed is the number of reduced chemical potentials / concentrations.
+const NRed = thermo.NRed
+
+// Liquid is the phase index of the melt.
+const Liquid = thermo.Liquid
+
+// ObstaclePrefactor is the 16/π² factor of the multi-obstacle potential.
+var ObstaclePrefactor = 16.0 / (math.Pi * math.Pi)
+
+// ATPrefactor is the π/4 factor of the anti-trapping current (Eq. 4).
+var ATPrefactor = math.Pi / 4.0
+
+// Params collects all physical and numerical parameters of one simulation.
+type Params struct {
+	Dx float64 // lattice spacing
+	Dt float64 // time step
+
+	Eps float64 // interface width parameter ε
+	Tau float64 // relaxation constant τ (uniform over phase pairs)
+
+	// Gamma holds the pairwise interfacial energies γ_{αβ} (symmetric,
+	// zero diagonal); GammaTriple is the third-order term suppressing
+	// spurious third phases at two-phase interfaces.
+	Gamma       [NPhases][NPhases]float64
+	GammaTriple float64
+
+	// Sys is the thermodynamic database (grand potentials etc.).
+	Sys *thermo.System
+
+	// D is the per-phase chemical diffusivity (same for both reduced
+	// components); solids diffuse orders of magnitude slower than the
+	// melt.
+	D [NPhases]float64
+
+	// AT scales the anti-trapping current; 1 enables the standard
+	// coefficient, 0 disables the current entirely.
+	AT float64
+
+	// Temperature describes the frozen temperature gradient.
+	Temp Temperature
+}
+
+// Temperature is the frozen-temperature ansatz of directional
+// solidification: an analytic profile T(z,t) = T_E + G·(z·dx − Z0 − V·t)
+// moving with velocity V along z. It is a function of z and t only, the
+// property behind the paper's T(z) per-slice precomputation.
+type Temperature struct {
+	TE float64 // eutectic temperature
+	G  float64 // gradient magnitude (temperature per length)
+	V  float64 // pulling velocity (length per time)
+	Z0 float64 // initial position of the eutectic isotherm (length units)
+}
+
+// At returns T(z,t) for the global cell index z.
+func (tm *Temperature) At(z int, dx, t float64) float64 {
+	return tm.TE + tm.G*(float64(z)*dx-tm.Z0-tm.V*t)
+}
+
+// DTdt returns ∂T/∂t (constant for the frozen gradient).
+func (tm *Temperature) DTdt() float64 { return -tm.G * tm.V }
+
+// DefaultParams returns the nondimensionalized production parameter set for
+// the Ag-Al-Cu system (§2.1 uses the parameters of Hötzer et al.; these are
+// the synthetic equivalents).
+func DefaultParams() *Params {
+	p := &Params{
+		Dx:          1.0,
+		Eps:         4.0,
+		Tau:         1.0,
+		GammaTriple: 10.0,
+		Sys:         thermo.AgAlCu(),
+		AT:          1.0,
+		Temp: Temperature{
+			TE: 1.0,
+			G:  5e-3,
+			V:  0.02,
+			Z0: 8.0,
+		},
+	}
+	for a := 0; a < NPhases; a++ {
+		for b := 0; b < NPhases; b++ {
+			if a != b {
+				p.Gamma[a][b] = 1.0
+			}
+		}
+	}
+	// Liquid diffuses; solids are effectively frozen.
+	p.D = [NPhases]float64{1e-4, 1e-4, 1e-4, 1.0}
+	p.Dt = 0.8 * p.StableDt()
+	return p
+}
+
+// StableDt estimates the explicit-Euler stability limit as the minimum of
+// the diffusion limits of the two equations (each ~ dx²/(6·coefficient)).
+func (p *Params) StableDt() float64 {
+	gmax := 0.0
+	for a := 0; a < NPhases; a++ {
+		for b := 0; b < NPhases; b++ {
+			if p.Gamma[a][b] > gmax {
+				gmax = p.Gamma[a][b]
+			}
+		}
+	}
+	// φ equation: effective diffusivity ≈ 2γT/τ near the front.
+	tMax := p.Temp.TE * 1.2
+	dPhi := 2 * gmax * tMax / p.Tau
+	// µ equation: max D.
+	dMu := 0.0
+	for a := 0; a < NPhases; a++ {
+		if p.D[a] > dMu {
+			dMu = p.D[a]
+		}
+	}
+	lim := math.Min(p.Dx*p.Dx/(6*dPhi), p.Dx*p.Dx/(6*dMu))
+	return lim
+}
+
+// Validate checks the parameter set.
+func (p *Params) Validate() error {
+	if p.Dx <= 0 || p.Dt <= 0 {
+		return fmt.Errorf("core: nonpositive dx/dt")
+	}
+	if p.Eps <= 0 || p.Tau <= 0 {
+		return fmt.Errorf("core: nonpositive eps/tau")
+	}
+	for a := 0; a < NPhases; a++ {
+		if p.Gamma[a][a] != 0 {
+			return fmt.Errorf("core: nonzero diagonal gamma[%d][%d]", a, a)
+		}
+		for b := a + 1; b < NPhases; b++ {
+			if p.Gamma[a][b] != p.Gamma[b][a] {
+				return fmt.Errorf("core: gamma not symmetric at (%d,%d)", a, b)
+			}
+			if p.Gamma[a][b] <= 0 {
+				return fmt.Errorf("core: nonpositive gamma[%d][%d]", a, b)
+			}
+		}
+		if p.D[a] < 0 {
+			return fmt.Errorf("core: negative diffusivity D[%d]", a)
+		}
+	}
+	if p.Sys == nil {
+		return fmt.Errorf("core: nil thermodynamic system")
+	}
+	if p.Dt > p.StableDt() {
+		return fmt.Errorf("core: dt=%g exceeds stability limit %g", p.Dt, p.StableDt())
+	}
+	return p.Sys.Validate()
+}

@@ -1,0 +1,366 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randSimplex(rng *rand.Rand) [NPhases]float64 {
+	var p [NPhases]float64
+	sum := 0.0
+	for a := 0; a < NPhases; a++ {
+		p[a] = rng.Float64()
+		sum += p[a]
+	}
+	for a := 0; a < NPhases; a++ {
+		p[a] /= sum
+	}
+	return p
+}
+
+func TestDefaultParamsValidate(t *testing.T) {
+	p := DefaultParams()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	cases := []func(*Params){
+		func(p *Params) { p.Dt = -1 },
+		func(p *Params) { p.Eps = 0 },
+		func(p *Params) { p.Gamma[0][0] = 1 },
+		func(p *Params) { p.Gamma[0][1] = 2 }, // breaks symmetry
+		func(p *Params) { p.Gamma[1][2], p.Gamma[2][1] = -1, -1 },
+		func(p *Params) { p.D[3] = -1 },
+		func(p *Params) { p.Sys = nil },
+		func(p *Params) { p.Dt = 100 },
+	}
+	for i, mutate := range cases {
+		p := DefaultParams()
+		mutate(p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: invalid params not caught", i)
+		}
+	}
+}
+
+func TestStableDtPositiveAndSmall(t *testing.T) {
+	p := DefaultParams()
+	dt := p.StableDt()
+	if dt <= 0 || dt > 1 {
+		t.Errorf("StableDt = %g", dt)
+	}
+	if p.Dt > dt {
+		t.Error("default dt exceeds stability limit")
+	}
+}
+
+func TestTemperatureProfile(t *testing.T) {
+	tm := Temperature{TE: 1, G: 0.01, V: 0.5, Z0: 10}
+	// At z*dx = Z0 + V*t, T = TE.
+	if got := tm.At(10, 1.0, 0); math.Abs(got-1) > 1e-14 {
+		t.Errorf("T at isotherm = %g", got)
+	}
+	if got := tm.At(30, 1.0, 20); math.Abs(got-(1+0.01*(30-10-10))) > 1e-14 {
+		t.Errorf("T = %g", got)
+	}
+	if tm.DTdt() != -0.005 {
+		t.Errorf("DTdt = %g", tm.DTdt())
+	}
+	// Temperature increases with z (hot liquid above).
+	if tm.At(50, 1, 0) <= tm.At(5, 1, 0) {
+		t.Error("temperature not increasing with z")
+	}
+}
+
+func TestInterpPartitionOfUnity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		phi := randSimplex(rng)
+		var h [NPhases]float64
+		Interp(&phi, &h)
+		sum := 0.0
+		for a := 0; a < NPhases; a++ {
+			if h[a] < 0 || h[a] > 1 {
+				t.Fatalf("h[%d]=%g outside [0,1] for phi=%v", a, h[a], phi)
+			}
+			sum += h[a]
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Fatalf("h sums to %g for phi=%v", sum, phi)
+		}
+	}
+}
+
+func TestInterpBulkStates(t *testing.T) {
+	for a := 0; a < NPhases; a++ {
+		var phi, h [NPhases]float64
+		phi[a] = 1
+		Interp(&phi, &h)
+		for b := 0; b < NPhases; b++ {
+			want := 0.0
+			if b == a {
+				want = 1
+			}
+			if math.Abs(h[b]-want) > 1e-14 {
+				t.Errorf("bulk %d: h[%d]=%g", a, b, h[b])
+			}
+		}
+	}
+}
+
+func TestInterpDerivMatchesFiniteDifference(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	eps := 1e-6
+	for i := 0; i < 50; i++ {
+		phi := randSimplex(rng)
+		// Keep away from simplex corners where w' changes fast.
+		for a := range phi {
+			phi[a] = 0.05 + 0.9*phi[a]
+		}
+		var dH [NPhases][NPhases]float64
+		InterpDeriv(&phi, &dH)
+		for a := 0; a < NPhases; a++ {
+			pp, pm := phi, phi
+			pp[a] += eps
+			pm[a] -= eps
+			var hp, hm [NPhases]float64
+			Interp(&pp, &hp)
+			Interp(&pm, &hm)
+			for b := 0; b < NPhases; b++ {
+				fd := (hp[b] - hm[b]) / (2 * eps)
+				if math.Abs(fd-dH[b][a]) > 1e-5 {
+					t.Fatalf("dH[%d][%d] = %g, FD %g (phi=%v)", b, a, dH[b][a], fd, phi)
+				}
+			}
+		}
+	}
+}
+
+func TestInterpDerivBulkVanishes(t *testing.T) {
+	// In a bulk state w'(0)=w'(1)=0 so the whole Jacobian vanishes: the
+	// driving force cannot shift bulk regions.
+	var phi [NPhases]float64
+	phi[2] = 1
+	var dH [NPhases][NPhases]float64
+	InterpDeriv(&phi, &dH)
+	for b := 0; b < NPhases; b++ {
+		for a := 0; a < NPhases; a++ {
+			if dH[b][a] != 0 {
+				t.Fatalf("dH[%d][%d]=%g in bulk", b, a, dH[b][a])
+			}
+		}
+	}
+}
+
+func TestGradEnergyDerivatives(t *testing.T) {
+	p := DefaultParams()
+	rng := rand.New(rand.NewSource(11))
+	eps := 1e-6
+	for i := 0; i < 30; i++ {
+		phi := randSimplex(rng)
+		var grad [NPhases]Vec3
+		for a := 0; a < NPhases; a++ {
+			for k := 0; k < 3; k++ {
+				grad[a][k] = rng.NormFloat64() * 0.2
+			}
+		}
+		var dPhi [NPhases]float64
+		GradEnergyDPhi(p, &phi, &grad, &dPhi)
+		for a := 0; a < NPhases; a++ {
+			pp, pm := phi, phi
+			pp[a] += eps
+			pm[a] -= eps
+			fd := (GradEnergy(p, &pp, &grad) - GradEnergy(p, &pm, &grad)) / (2 * eps)
+			if math.Abs(fd-dPhi[a]) > 1e-5*(1+math.Abs(fd)) {
+				t.Fatalf("da/dphi[%d] = %g, FD %g", a, dPhi[a], fd)
+			}
+		}
+		var dGrad [NPhases]Vec3
+		GradEnergyDGrad(p, &phi, &grad, &dGrad)
+		for a := 0; a < NPhases; a++ {
+			for k := 0; k < 3; k++ {
+				gp, gm := grad, grad
+				gp[a][k] += eps
+				gm[a][k] -= eps
+				fd := (GradEnergy(p, &phi, &gp) - GradEnergy(p, &phi, &gm)) / (2 * eps)
+				if math.Abs(fd-dGrad[a][k]) > 1e-5*(1+math.Abs(fd)) {
+					t.Fatalf("da/dgrad[%d][%d] = %g, FD %g", a, k, dGrad[a][k], fd)
+				}
+			}
+		}
+	}
+}
+
+func TestGradEnergyZeroInBulk(t *testing.T) {
+	p := DefaultParams()
+	var phi [NPhases]float64
+	phi[0] = 1
+	var grad [NPhases]Vec3
+	if e := GradEnergy(p, &phi, &grad); e != 0 {
+		t.Errorf("bulk gradient energy = %g", e)
+	}
+	var d [NPhases]float64
+	GradEnergyDPhi(p, &phi, &grad, &d)
+	for a := range d {
+		if d[a] != 0 {
+			t.Errorf("bulk da/dphi[%d] = %g", a, d[a])
+		}
+	}
+}
+
+func TestObstacleDerivative(t *testing.T) {
+	p := DefaultParams()
+	rng := rand.New(rand.NewSource(5))
+	eps := 1e-7
+	for i := 0; i < 30; i++ {
+		phi := randSimplex(rng)
+		var d [NPhases]float64
+		ObstacleDPhi(p, &phi, &d)
+		for a := 0; a < NPhases; a++ {
+			pp, pm := phi, phi
+			pp[a] += eps
+			pm[a] -= eps
+			fd := (Obstacle(p, &pp) - Obstacle(p, &pm)) / (2 * eps)
+			if math.Abs(fd-d[a]) > 1e-5*(1+math.Abs(fd)) {
+				t.Fatalf("dω/dφ[%d] = %g, FD %g", a, d[a], fd)
+			}
+		}
+	}
+}
+
+func TestObstacleZeroInBulk(t *testing.T) {
+	p := DefaultParams()
+	var phi [NPhases]float64
+	phi[1] = 1
+	if w := Obstacle(p, &phi); w != 0 {
+		t.Errorf("bulk obstacle = %g", w)
+	}
+}
+
+func TestDrivingForceZeroInBulk(t *testing.T) {
+	var phi [NPhases]float64
+	phi[Liquid] = 1
+	pots := [NPhases]float64{1, -2, 3, 0.5}
+	var out [NPhases]float64
+	DrivingForce(&phi, &pots, &out)
+	for a := range out {
+		if out[a] != 0 {
+			t.Errorf("bulk driving force[%d] = %g", a, out[a])
+		}
+	}
+}
+
+func TestDrivingForceSignFavorsLowerPotential(t *testing.T) {
+	// Two-phase mix: lower grand potential phase must be pushed to grow,
+	// i.e. its driving-force component (which enters the rhs that is
+	// subtracted) must be smaller than the other's.
+	phi := [NPhases]float64{0.5, 0, 0, 0.5}
+	pots := [NPhases]float64{-1, 0, 0, 1} // solid 0 favored
+	var out [NPhases]float64
+	DrivingForce(&phi, &pots, &out)
+	if out[0] >= out[Liquid] {
+		t.Errorf("driving force does not favor low-ω phase: %v", out)
+	}
+}
+
+func TestProjectSimplexProperties(t *testing.T) {
+	f := func(a, b, c, d float64) bool {
+		clamp := func(x float64) float64 {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return 0
+			}
+			return math.Mod(x, 3)
+		}
+		phi := [NPhases]float64{clamp(a), clamp(b), clamp(c), clamp(d)}
+		ProjectSimplex(&phi)
+		if !OnSimplex(&phi, 1e-9) {
+			return false
+		}
+		// Idempotent.
+		snap := phi
+		ProjectSimplex(&phi)
+		for i := range phi {
+			if math.Abs(phi[i]-snap[i]) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProjectSimplexFixesBulkOvershoot(t *testing.T) {
+	// The classic bulk overshoot (1+δ, −δ', 0, 0) must project to a pure
+	// bulk state exactly.
+	phi := [NPhases]float64{1.01, -0.005, -0.003, -0.002}
+	ProjectSimplex(&phi)
+	want := [NPhases]float64{1, 0, 0, 0}
+	for a := range phi {
+		if math.Abs(phi[a]-want[a]) > 1e-12 {
+			t.Errorf("projected = %v", phi)
+			break
+		}
+	}
+}
+
+func TestProjectSimplexPreservesInterior(t *testing.T) {
+	phi := [NPhases]float64{0.25, 0.25, 0.25, 0.25}
+	snap := phi
+	ProjectSimplex(&phi)
+	if phi != snap {
+		t.Errorf("interior point moved: %v", phi)
+	}
+}
+
+func TestProjectSimplexNearest(t *testing.T) {
+	// Projection of (0.5, 0.7, 0, 0) onto the simplex: subtract
+	// theta=(1.2-1)/2=0.1 from positive entries: (0.4, 0.6, 0, 0).
+	phi := [NPhases]float64{0.5, 0.7, 0, 0}
+	ProjectSimplex(&phi)
+	want := [NPhases]float64{0.4, 0.6, 0, 0}
+	for a := range phi {
+		if math.Abs(phi[a]-want[a]) > 1e-12 {
+			t.Fatalf("projected = %v, want %v", phi, want)
+		}
+	}
+}
+
+func TestProjectSimplexAllZero(t *testing.T) {
+	var phi [NPhases]float64
+	ProjectSimplex(&phi)
+	if !OnSimplex(&phi, 1e-12) {
+		t.Errorf("zero vector projected off-simplex: %v", phi)
+	}
+}
+
+func TestGATIdentity(t *testing.T) {
+	if GAT(0.3) != 0.3 {
+		t.Error("GAT should be identity interpolation")
+	}
+}
+
+func TestVec3Algebra(t *testing.T) {
+	v := Vec3{1, 2, 3}
+	w := Vec3{4, 5, 6}
+	if v.Add(w) != (Vec3{5, 7, 9}) {
+		t.Error("Add")
+	}
+	if v.Sub(w) != (Vec3{-3, -3, -3}) {
+		t.Error("Sub")
+	}
+	if v.Scale(2) != (Vec3{2, 4, 6}) {
+		t.Error("Scale")
+	}
+	if v.Dot(w) != 32 {
+		t.Error("Dot")
+	}
+	if v.Norm2() != 14 {
+		t.Error("Norm2")
+	}
+}

@@ -1,0 +1,129 @@
+package core
+
+// Gradient energy density (Eq. 2):
+//
+//	a(φ,∇φ) = Σ_{α<β} γ_{αβ} |q_{αβ}|²,  q_{αβ} = φ_α ∇φ_β − φ_β ∇φ_α,
+//
+// with the generalized antisymmetric gradient vectors q. Its partial
+// derivatives drive the interfacial part of the φ evolution:
+//
+//	∂a/∂φ_α   = Σ_{β≠α}  2 γ_{αβ} (q_{αβ}·∇φ_β)
+//	∂a/∂∇φ_α  = Σ_{β≠α} −2 γ_{αβ} φ_β q_{αβ}   (a vector per phase)
+//
+// The divergence of ∂a/∂∇φ_α is evaluated at staggered face positions by
+// the kernels; this file provides the pointwise algebra.
+
+// Vec3 is a spatial vector.
+type Vec3 [3]float64
+
+// Add returns v + w.
+func (v Vec3) Add(w Vec3) Vec3 { return Vec3{v[0] + w[0], v[1] + w[1], v[2] + w[2]} }
+
+// Sub returns v - w.
+func (v Vec3) Sub(w Vec3) Vec3 { return Vec3{v[0] - w[0], v[1] - w[1], v[2] - w[2]} }
+
+// Scale returns v * s.
+func (v Vec3) Scale(s float64) Vec3 { return Vec3{v[0] * s, v[1] * s, v[2] * s} }
+
+// Dot returns v · w.
+func (v Vec3) Dot(w Vec3) float64 { return v[0]*w[0] + v[1]*w[1] + v[2]*w[2] }
+
+// Norm2 returns |v|².
+func (v Vec3) Norm2() float64 { return v.Dot(v) }
+
+// GradEnergyDPhi computes ∂a/∂φ_α for all α given the phase values and
+// their gradients at a point.
+func GradEnergyDPhi(p *Params, phi *[NPhases]float64, grad *[NPhases]Vec3, out *[NPhases]float64) {
+	for a := 0; a < NPhases; a++ {
+		s := 0.0
+		for b := 0; b < NPhases; b++ {
+			if b == a {
+				continue
+			}
+			q := grad[b].Scale(phi[a]).Sub(grad[a].Scale(phi[b]))
+			s += 2 * p.Gamma[a][b] * q.Dot(grad[b])
+		}
+		out[a] = s
+	}
+}
+
+// GradEnergyDGrad computes the vector ∂a/∂∇φ_α for all α at a point.
+func GradEnergyDGrad(p *Params, phi *[NPhases]float64, grad *[NPhases]Vec3, out *[NPhases]Vec3) {
+	for a := 0; a < NPhases; a++ {
+		var v Vec3
+		for b := 0; b < NPhases; b++ {
+			if b == a {
+				continue
+			}
+			q := grad[b].Scale(phi[a]).Sub(grad[a].Scale(phi[b]))
+			v = v.Sub(q.Scale(2 * p.Gamma[a][b] * phi[b]))
+		}
+		out[a] = v
+	}
+}
+
+// GradEnergy evaluates a(φ,∇φ) itself (used in tests and energy monitors).
+func GradEnergy(p *Params, phi *[NPhases]float64, grad *[NPhases]Vec3) float64 {
+	s := 0.0
+	for a := 0; a < NPhases; a++ {
+		for b := a + 1; b < NPhases; b++ {
+			q := grad[b].Scale(phi[a]).Sub(grad[a].Scale(phi[b]))
+			s += p.Gamma[a][b] * q.Norm2()
+		}
+	}
+	return s
+}
+
+// Obstacle evaluates the multi-obstacle potential
+//
+//	ω(φ) = (16/π²) Σ_{α<β} γ_{αβ} φ_α φ_β + γ_{αβδ} Σ_{α<β<δ} φ_α φ_β φ_δ
+//
+// (infinite outside the simplex; the simplex constraint is enforced by
+// projection).
+func Obstacle(p *Params, phi *[NPhases]float64) float64 {
+	s := 0.0
+	for a := 0; a < NPhases; a++ {
+		for b := a + 1; b < NPhases; b++ {
+			s += ObstaclePrefactor * p.Gamma[a][b] * phi[a] * phi[b]
+			for d := b + 1; d < NPhases; d++ {
+				s += p.GammaTriple * phi[a] * phi[b] * phi[d]
+			}
+		}
+	}
+	return s
+}
+
+// ObstacleDPhi computes ∂ω/∂φ_α for all α.
+func ObstacleDPhi(p *Params, phi *[NPhases]float64, out *[NPhases]float64) {
+	for a := 0; a < NPhases; a++ {
+		s := 0.0
+		for b := 0; b < NPhases; b++ {
+			if b == a {
+				continue
+			}
+			s += ObstaclePrefactor * p.Gamma[a][b] * phi[b]
+			for d := b + 1; d < NPhases; d++ {
+				if d == a {
+					continue
+				}
+				s += p.GammaTriple * phi[b] * phi[d]
+			}
+		}
+		out[a] = s
+	}
+}
+
+// DrivingForce computes ∂ψ/∂φ_α = Σ_β ω_β(µ,T) ∂h_β/∂φ_α for all α, the
+// thermodynamic driving force connecting φ to µ and T. grandPots must hold
+// ω_β(µ,T) for every phase.
+func DrivingForce(phi *[NPhases]float64, grandPots *[NPhases]float64, out *[NPhases]float64) {
+	var dH [NPhases][NPhases]float64
+	InterpDeriv(phi, &dH)
+	for a := 0; a < NPhases; a++ {
+		s := 0.0
+		for b := 0; b < NPhases; b++ {
+			s += grandPots[b] * dH[b][a]
+		}
+		out[a] = s
+	}
+}

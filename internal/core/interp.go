@@ -1,0 +1,81 @@
+package core
+
+// The interpolation functions distribute thermodynamic bulk quantities
+// across the diffuse interface. Following Moelans' thermodynamically
+// consistent construction (paper ref. [23]) we use
+//
+//	h_α(φ) = w(φ_α) / Σ_β w(φ_β),  w(u) = u²(3−2u)
+//
+// which forms a partition of unity for φ on the Gibbs simplex and has
+// vanishing slope in every bulk state, so the driving force never shifts
+// bulk regions.
+
+// wInterp is the unnormalized smoothstep weight.
+func wInterp(u float64) float64 { return u * u * (3 - 2*u) }
+
+// wInterpD is d/du of wInterp.
+func wInterpD(u float64) float64 { return 6 * u * (1 - u) }
+
+// Interp evaluates the normalized interpolation weights h_α(φ) into h.
+// If all weights vanish (possible only off-simplex) it falls back to φ
+// itself.
+func Interp(phi *[NPhases]float64, h *[NPhases]float64) {
+	sum := 0.0
+	for a := 0; a < NPhases; a++ {
+		h[a] = wInterp(phi[a])
+		sum += h[a]
+	}
+	if sum <= 0 {
+		*h = *phi
+		return
+	}
+	inv := 1 / sum
+	for a := 0; a < NPhases; a++ {
+		h[a] *= inv
+	}
+}
+
+// InterpDeriv computes the Jacobian dH[b][a] = ∂h_β/∂φ_α of the normalized
+// interpolation at φ. Writing S = Σ w(φ_γ),
+//
+//	∂h_β/∂φ_α = [δ_{αβ} w'(φ_α) S − w(φ_β) w'(φ_α)] / S²
+//	          = w'(φ_α) (δ_{αβ} − h_β) / S.
+func InterpDeriv(phi *[NPhases]float64, dH *[NPhases][NPhases]float64) {
+	var w [NPhases]float64
+	sum := 0.0
+	for a := 0; a < NPhases; a++ {
+		w[a] = wInterp(phi[a])
+		sum += w[a]
+	}
+	if sum <= 0 {
+		for b := 0; b < NPhases; b++ {
+			for a := 0; a < NPhases; a++ {
+				if a == b {
+					dH[b][a] = 1
+				} else {
+					dH[b][a] = 0
+				}
+			}
+		}
+		return
+	}
+	invS := 1 / sum
+	var h [NPhases]float64
+	for a := 0; a < NPhases; a++ {
+		h[a] = w[a] * invS
+	}
+	for a := 0; a < NPhases; a++ {
+		wd := wInterpD(phi[a]) * invS
+		for b := 0; b < NPhases; b++ {
+			d := 0.0
+			if a == b {
+				d = 1
+			}
+			dH[b][a] = wd * (d - h[b])
+		}
+	}
+}
+
+// GAT is the anti-trapping interpolation g_α(φ); the standard choice is
+// g_α = φ_α.
+func GAT(phiA float64) float64 { return phiA }

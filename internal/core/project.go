@@ -1,0 +1,84 @@
+package core
+
+// ProjectSimplex projects φ onto the Gibbs simplex Δ^{N−1} (componentwise
+// in [0,1], summing to 1) using the Euclidean projection of Michelot /
+// Condat. The obstacle potential makes the unconstrained explicit update
+// leave the simplex in interface cells every step, so this projection is
+// part of the φ-kernel ("a routine that projects the φ values back into the
+// allowed simplex", §5.1.1). The descending sort uses a fixed five-comparator
+// network — this runs once per cell per step, so no allocation or dynamic
+// dispatch is tolerable.
+func ProjectSimplex(phi *[NPhases]float64) {
+	// Fast path: already on the simplex.
+	sum := 0.0
+	inBox := true
+	for a := 0; a < NPhases; a++ {
+		v := phi[a]
+		if v < 0 || v > 1 {
+			inBox = false
+		}
+		sum += v
+	}
+	if inBox && sum > 1-1e-14 && sum < 1+1e-14 {
+		return
+	}
+
+	// Euclidean projection onto {x : x ≥ 0, Σx = 1} via descending sort
+	// (sorting network for four elements).
+	s0, s1, s2, s3 := phi[0], phi[1], phi[2], phi[3]
+	if s0 < s1 {
+		s0, s1 = s1, s0
+	}
+	if s2 < s3 {
+		s2, s3 = s3, s2
+	}
+	if s0 < s2 {
+		s0, s2 = s2, s0
+	}
+	if s1 < s3 {
+		s1, s3 = s3, s1
+	}
+	if s1 < s2 {
+		s1, s2 = s2, s1
+	}
+	s := [NPhases]float64{s0, s1, s2, s3}
+	css := 0.0
+	theta := 0.0
+	for i := 0; i < NPhases; i++ {
+		css += s[i]
+		t := (css - 1) / float64(i+1)
+		if s[i]-t > 0 {
+			theta = t
+		}
+	}
+	for a := 0; a < NPhases; a++ {
+		v := phi[a] - theta
+		if v < 0 {
+			v = 0
+		}
+		phi[a] = v
+	}
+	// Renormalize residual rounding error so the sum is exactly 1 up to
+	// one ulp; the upper bound x ≤ 1 is implied by Σ = 1 and x ≥ 0.
+	total := phi[0] + phi[1] + phi[2] + phi[3]
+	if total > 0 {
+		inv := 1 / total
+		for a := 0; a < NPhases; a++ {
+			phi[a] *= inv
+		}
+	} else {
+		phi[0], phi[1], phi[2], phi[3] = 0.25, 0.25, 0.25, 0.25
+	}
+}
+
+// OnSimplex reports whether φ lies on the Gibbs simplex within tolerance.
+func OnSimplex(phi *[NPhases]float64, tol float64) bool {
+	sum := 0.0
+	for a := 0; a < NPhases; a++ {
+		if phi[a] < -tol || phi[a] > 1+tol {
+			return false
+		}
+		sum += phi[a]
+	}
+	return sum > 1-tol && sum < 1+tol
+}

@@ -1,0 +1,353 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5): the vectorization-strategy comparison (Fig. 5), the
+// optimization ladder (Fig. 6), intranode scaling (Fig. 7), communication
+// hiding (Fig. 8), weak scaling on the three machines (Fig. 9), and the
+// roofline/in-core analysis of §5.1.1. Single-core and intranode numbers
+// are measured live from the Go kernels; extreme-scale curves come from the
+// calibrated analytic models in internal/perfmodel (see DESIGN.md for the
+// substitution rationale).
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/kernels"
+	"repro/internal/perfmodel"
+	"repro/internal/solver"
+)
+
+// Scenarios benchmarked throughout §5.1.
+var Scenarios = []solver.Scenario{solver.ScenarioInterface, solver.ScenarioLiquid, solver.ScenarioSolid}
+
+// benchFields prepares a single-block field set filled with the scenario.
+func benchFields(edge int, sc solver.Scenario) (*kernels.Fields, *kernels.Ctx, grid.BoundarySet, error) {
+	bg, err := grid.NewBlockGrid(1, 1, 1, edge, edge, edge, [3]bool{true, true, false})
+	if err != nil {
+		return nil, nil, grid.BoundarySet{}, err
+	}
+	p := core.DefaultParams()
+	p.Temp.Z0 = float64(edge) / 2 * p.Dx
+	sim, err := solver.New(solver.Config{Params: p, BG: bg, Variant: kernels.VarShortcut})
+	if err != nil {
+		return nil, nil, grid.BoundarySet{}, err
+	}
+	if err := sim.InitScenario(sc); err != nil {
+		return nil, nil, grid.BoundarySet{}, err
+	}
+	f := sim.RankFields(0)
+	ctx := &kernels.Ctx{P: p}
+	bcs := bg.BlockBCs(0, grid.DirectionalSolidification([]float64{1, 0, 0, 0}))
+	return f, ctx, bcs, nil
+}
+
+// MeasurePhiStrategy times the φ-kernel under a Fig. 5 vectorization
+// strategy and returns MLUP/s.
+func MeasurePhiStrategy(strategy kernels.PhiStrategy, sc solver.Scenario, edge, steps int) (float64, error) {
+	f, ctx, bcs, err := benchFields(edge, sc)
+	if err != nil {
+		return 0, err
+	}
+	scch := kernels.NewScratch(edge, edge)
+	// Warm up once (also produces a valid φdst for subsequent sweeps).
+	kernels.PhiSweepStrategy(ctx, f, scch, strategy)
+	bcs.Apply(f.PhiDst)
+	best := 0.0
+	for trial := 0; trial < benchTrials; trial++ {
+		t0 := time.Now()
+		for i := 0; i < steps; i++ {
+			kernels.PhiSweepStrategy(ctx, f, scch, strategy)
+		}
+		if r := mlups(edge, steps, time.Since(t0)); r > best {
+			best = r
+		}
+	}
+	return best, nil
+}
+
+// MeasurePhiVariant times the φ-kernel at one optimization-ladder rung.
+func MeasurePhiVariant(v kernels.Variant, sc solver.Scenario, edge, steps int) (float64, error) {
+	f, ctx, bcs, err := benchFields(edge, sc)
+	if err != nil {
+		return 0, err
+	}
+	scch := kernels.NewScratch(edge, edge)
+	kernels.PhiSweep(ctx, f, scch, v)
+	bcs.Apply(f.PhiDst)
+	best := 0.0
+	for trial := 0; trial < benchTrials; trial++ {
+		t0 := time.Now()
+		for i := 0; i < steps; i++ {
+			kernels.PhiSweep(ctx, f, scch, v)
+		}
+		if r := mlups(edge, steps, time.Since(t0)); r > best {
+			best = r
+		}
+	}
+	return best, nil
+}
+
+// MeasureMuVariant times the µ-kernel at one optimization-ladder rung.
+func MeasureMuVariant(v kernels.Variant, sc solver.Scenario, edge, steps int) (float64, error) {
+	f, ctx, bcs, err := benchFields(edge, sc)
+	if err != nil {
+		return 0, err
+	}
+	scch := kernels.NewScratch(edge, edge)
+	// One φ sweep so that φdst ≠ φsrc at the front (∂φ/∂t ≠ 0).
+	kernels.PhiSweep(ctx, f, scch, kernels.VarShortcut)
+	bcs.Apply(f.PhiDst)
+	kernels.MuSweep(ctx, f, scch, v) // warm-up
+	best := 0.0
+	for trial := 0; trial < benchTrials; trial++ {
+		t0 := time.Now()
+		for i := 0; i < steps; i++ {
+			kernels.MuSweep(ctx, f, scch, v)
+		}
+		if r := mlups(edge, steps, time.Since(t0)); r > best {
+			best = r
+		}
+	}
+	return best, nil
+}
+
+// benchTrials is the best-of-N trial count shielding the single-core
+// measurements from scheduler noise.
+const benchTrials = 3
+
+func mlups(edge, steps int, el time.Duration) float64 {
+	cells := float64(edge * edge * edge)
+	return cells * float64(steps) / el.Seconds() / 1e6
+}
+
+// Fig5 regenerates the vectorization-strategy comparison: MLUP/s of the
+// φ-kernel for cellwise / cellwise-with-shortcuts / four-cell on the three
+// domain compositions (paper: block size 60³ on one SuperMUC core).
+func Fig5(w io.Writer, edge, steps int) error {
+	fmt.Fprintf(w, "Figure 5: phi-kernel vectorization strategies, block %d^3 (MLUP/s)\n", edge)
+	fmt.Fprintf(w, "%-28s %12s %12s %12s\n", "strategy", "interface", "liquid", "solid")
+	strategies := []kernels.PhiStrategy{kernels.StratCellwise, kernels.StratCellwiseShortcut, kernels.StratFourCell}
+	for _, st := range strategies {
+		fmt.Fprintf(w, "%-28s", st)
+		for _, sc := range Scenarios {
+			v, err := MeasurePhiStrategy(st, sc, edge, steps)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, " %12.2f", v)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, "(paper: cellwise-with-shortcuts fastest in all three compositions)")
+	return nil
+}
+
+// Fig6 regenerates the optimization ladder for both kernels across the
+// three compositions, and reports the end-to-end speedup over the emulated
+// general-purpose code.
+func Fig6(w io.Writer, edge, steps int) error {
+	for _, kernel := range []string{"phi", "mu"} {
+		fmt.Fprintf(w, "Figure 6 (%s-kernel): optimization ladder, block %d^3 (MLUP/s)\n", kernel, edge)
+		fmt.Fprintf(w, "%-32s %12s %12s %12s\n", "variant", "interface", "liquid", "solid")
+		var base, best float64
+		for v := kernels.VarGeneral; v < kernels.NumVariants; v++ {
+			fmt.Fprintf(w, "%-32s", v)
+			for i, sc := range Scenarios {
+				var rate float64
+				var err error
+				if kernel == "phi" {
+					rate, err = MeasurePhiVariant(v, sc, edge, steps)
+				} else {
+					rate, err = MeasureMuVariant(v, sc, edge, steps)
+				}
+				if err != nil {
+					return err
+				}
+				if i == 0 {
+					if v == kernels.VarGeneral {
+						base = rate
+					}
+					if v == kernels.VarShortcut {
+						best = rate
+					}
+				}
+				fmt.Fprintf(w, " %12.2f", rate)
+			}
+			fmt.Fprintln(w)
+		}
+		if base > 0 {
+			fmt.Fprintf(w, "speedup over general-purpose code (interface): %.1fx\n\n", best/base)
+		}
+	}
+	return nil
+}
+
+// Fig7 regenerates the intranode µ-kernel scaling: per-core MLUP/s for 1..
+// maxCores worker ranks with one block per rank, for block sizes 40³ and
+// 20³, measured live, next to the SuperMUC analytic model.
+func Fig7(w io.Writer, maxCores, steps int) error {
+	fmt.Fprintln(w, "Figure 7: intranode scaling of the mu-kernel (MLUP/s per core)")
+	for _, edge := range []int{40, 20} {
+		fmt.Fprintf(w, "block %d^3:\n%8s %16s %16s\n", edge, "cores", "measured", "model(SuperMUC)")
+		model := perfmodel.IntranodeScaling(perfmodel.SuperMUC(), edge, maxCores)
+		for c := 1; c <= maxCores; c++ {
+			rate, err := measureIntranode(c, edge, steps)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%8d %16.2f %16.2f\n", c, rate, model[c-1].MLUPsPerCore)
+		}
+	}
+	return nil
+}
+
+func measureIntranode(ranks, edge, steps int) (float64, error) {
+	bg, err := grid.NewBlockGrid(ranks, 1, 1, edge, edge, edge, [3]bool{true, true, false})
+	if err != nil {
+		return 0, err
+	}
+	p := core.DefaultParams()
+	p.Temp.Z0 = float64(edge) / 2 * p.Dx
+	sim, err := solver.New(solver.Config{Params: p, BG: bg, Variant: kernels.VarShortcut})
+	if err != nil {
+		return 0, err
+	}
+	if err := sim.InitScenario(solver.ScenarioInterface); err != nil {
+		return 0, err
+	}
+	m := sim.RunMeasured(steps)
+	return m.MuKernelMLUPs(), nil
+}
+
+// Fig8 regenerates the communication-hiding study: per-timestep time in the
+// φ and µ communication routines with and without overlap. The first block
+// reports live measurements of the in-process communicator; the second the
+// analytic SuperMUC model for 2⁵..2¹² cores (block 60³, Fig. 8's setup).
+func Fig8(w io.Writer, edge, steps, maxRanks int) error {
+	fmt.Fprintln(w, "Figure 8: time spent in communication per timestep")
+	fmt.Fprintf(w, "measured in-process (block %d^3 per rank), ms per step:\n", edge)
+	fmt.Fprintf(w, "%8s %14s %14s %14s %14s\n", "ranks", "phi overlap", "phi blocking", "mu overlap", "mu blocking")
+	for ranks := 2; ranks <= maxRanks; ranks *= 2 {
+		var row [4]float64
+		for i, mode := range []solver.OverlapMode{solver.OverlapBoth, solver.OverlapNone} {
+			phiMS, muMS, err := measureComm(ranks, edge, steps, mode)
+			if err != nil {
+				return err
+			}
+			row[i] = phiMS
+			row[2+i] = muMS
+		}
+		fmt.Fprintf(w, "%8d %14.3f %14.3f %14.3f %14.3f\n", ranks, row[0], row[1], row[2], row[3])
+	}
+
+	m := perfmodel.SuperMUC()
+	fmt.Fprintf(w, "\nSuperMUC model (block 60^3), ms per step:\n")
+	fmt.Fprintf(w, "%8s %14s %14s %14s %14s\n", "cores", "phi overlap", "phi blocking", "mu overlap", "mu blocking")
+	for _, p := range perfmodel.PowersOfTwo(5, 12) {
+		base := perfmodel.CommScenario{Machine: m, BlockEdge: 60, Cores: p}
+		ov := base
+		ov.Overlap = true
+		fmt.Fprintf(w, "%8d %14.3f %14.3f %14.3f %14.3f\n", p,
+			1e3*perfmodel.CommTime(ov, true), 1e3*perfmodel.CommTime(base, true),
+			1e3*perfmodel.CommTime(ov, false), 1e3*perfmodel.CommTime(base, false))
+	}
+	fmt.Fprintln(w, "(paper: overlap reduces both; phi costs more than mu; mu-only overlap is the production choice)")
+	return nil
+}
+
+func measureComm(ranks, edge, steps int, mode solver.OverlapMode) (phiMS, muMS float64, err error) {
+	bg, err := grid.NewBlockGrid(ranks, 1, 1, edge, edge, edge, [3]bool{true, true, false})
+	if err != nil {
+		return 0, 0, err
+	}
+	p := core.DefaultParams()
+	p.Temp.Z0 = float64(edge) / 2 * p.Dx
+	sim, err := solver.New(solver.Config{Params: p, BG: bg, Variant: kernels.VarShortcut, Overlap: mode})
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := sim.InitScenario(solver.ScenarioInterface); err != nil {
+		return 0, 0, err
+	}
+	m := sim.RunMeasured(steps)
+	perStep := 1e3 / float64(steps*ranks)
+	phiMS = m.CommPhi.Total().Seconds() * perStep
+	muMS = m.CommMu.Total().Seconds() * perStep
+	return phiMS, muMS, nil
+}
+
+// Fig9 regenerates the weak-scaling curves of the three machines from the
+// calibrated analytic models (per-core MLUP/s of the full timestep).
+func Fig9(w io.Writer) {
+	fmt.Fprintln(w, "Figure 9: weak scaling, MLUP/s per core (analytic machine models)")
+	cases := []struct {
+		m        *perfmodel.Machine
+		lo, hi   int
+		scenName []string
+		scens    []int
+	}{
+		{perfmodel.SuperMUC(), 0, 15, []string{"interface", "liquid", "solid"},
+			[]int{perfmodel.ScnInterface, perfmodel.ScnLiquid, perfmodel.ScnSolid}},
+		{perfmodel.Hornet(), 5, 13, []string{"interface"}, []int{perfmodel.ScnInterface}},
+		{perfmodel.JUQUEEN(), 9, 18, []string{"interface"}, []int{perfmodel.ScnInterface}},
+	}
+	for _, c := range cases {
+		fmt.Fprintf(w, "%s (cores %d..%d):\n", c.m.Name, 1<<uint(c.lo), 1<<uint(c.hi))
+		fmt.Fprintf(w, "%10s", "cores")
+		for _, n := range c.scenName {
+			fmt.Fprintf(w, " %12s", n)
+		}
+		fmt.Fprintln(w)
+		cores := perfmodel.PowersOfTwo(c.lo, c.hi)
+		curves := make([][]perfmodel.WeakScalingPoint, len(c.scens))
+		for i, s := range c.scens {
+			curves[i] = perfmodel.WeakScaling(c.m, s, 60, cores)
+		}
+		for pi, p := range cores {
+			fmt.Fprintf(w, "%10d", p)
+			for i := range c.scens {
+				fmt.Fprintf(w, " %12.3f", curves[i][pi].MLUPsPerCore)
+			}
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintf(w, "parallel efficiency (interface): %.1f%%\n\n", 100*perfmodel.Efficiency(curves[0]))
+	}
+	fmt.Fprintln(w, "(paper: near-flat curves; SuperMUC/Hornet ~2-3.5, JUQUEEN ~0.2 per core)")
+}
+
+// Roofline reports the §5.1.1 analysis: the paper's published constants
+// next to the model's derived quantities and the live single-core rates.
+func Roofline(w io.Writer, edge, steps int) error {
+	m := perfmodel.SuperMUC()
+	r := perfmodel.NewRoofline(m.StreamBWNode, m.PeakFLOPsNode())
+	muFlops := float64(perfmodel.MuKernelOps.Total())
+
+	fmt.Fprintln(w, "Section 5.1.1 roofline / in-core analysis (SuperMUC node)")
+	fmt.Fprintf(w, "  STREAM bandwidth:            %.1f GiB/s\n", m.StreamBWNode/(1<<30))
+	fmt.Fprintf(w, "  bytes per mu-update:         %d B (half-reuse cache assumption)\n", perfmodel.MuBytesPerLUP)
+	fmt.Fprintf(w, "  FLOPs per mu-update:         %.0f (paper: 1384)\n", muFlops)
+	fmt.Fprintf(w, "  arithmetic intensity:        %.2f FLOP/B (paper: ~2)\n",
+		perfmodel.ArithmeticIntensity(muFlops, perfmodel.MuBytesPerLUP))
+	fmt.Fprintf(w, "  memory-bound ceiling:        %.1f MLUP/s (paper: 126.3)\n",
+		r.MemoryBoundMLUPs(perfmodel.MuBytesPerLUP))
+	fmt.Fprintf(w, "  measured (paper, per core):  4.2 MLUP/s = %.1f GFLOP/s = %.0f%% core peak (paper: 27%%)\n",
+		perfmodel.AchievedGFLOPs(4.2, muFlops),
+		100*perfmodel.FractionOfPeak(4.2, muFlops, m.PeakFLOPsCore()))
+	fmt.Fprintf(w, "  IACA-style in-core bound:    %.0f%% peak (paper: <=43%%, add/mul imbalance + div latency)\n",
+		100*perfmodel.SandyBridge.PeakFraction(perfmodel.MuKernelOps))
+
+	phiRate, err := MeasurePhiVariant(kernels.VarStag, solver.ScenarioInterface, edge, steps)
+	if err != nil {
+		return err
+	}
+	muRate, err := MeasureMuVariant(kernels.VarStag, solver.ScenarioInterface, edge, steps)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  this machine (Go, %d^3):      phi %.2f MLUP/s, mu %.2f MLUP/s (no shortcuts)\n",
+		edge, phiRate, muRate)
+	return nil
+}

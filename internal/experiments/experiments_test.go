@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/kernels"
+	"repro/internal/solver"
+)
+
+// Small-block smoke and shape tests; the cmd/benchfig tool runs the
+// paper-sized versions.
+
+func TestFig5Runs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig5(&buf, 16, 2); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"cellwise", "four cells", "interface", "liquid", "solid"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig5 output missing %q", want)
+		}
+	}
+}
+
+func TestFig6Runs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig6(&buf, 12, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"general purpose code", "with shortcuts", "speedup over general-purpose code"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig6 output missing %q", want)
+		}
+	}
+}
+
+func TestFig7Runs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig7(&buf, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "block 40^3") || !strings.Contains(buf.String(), "block 20^3") {
+		t.Error("Fig7 output missing block sizes")
+	}
+}
+
+func TestFig8Runs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig8(&buf, 12, 2, 4); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "SuperMUC model") {
+		t.Error("Fig8 output missing model block")
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	var buf bytes.Buffer
+	Fig9(&buf)
+	out := buf.String()
+	for _, want := range []string{"SuperMUC", "Hornet", "JUQUEEN", "parallel efficiency"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig9 output missing %q", want)
+		}
+	}
+}
+
+func TestRooflineRuns(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Roofline(&buf, 12, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"126.3", "1384", "27%", "43%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("roofline output missing %q", want)
+		}
+	}
+}
+
+// The optimization ladder must be broadly monotone: the fully optimized
+// kernels beat the general-purpose emulation by a solid factor.
+func TestLadderSpeedupDirection(t *testing.T) {
+	const edge, steps = 16, 2
+	gen, err := MeasureMuVariant(kernels.VarGeneral, solver.ScenarioInterface, edge, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := MeasureMuVariant(kernels.VarShortcut, solver.ScenarioInterface, edge, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best <= gen {
+		t.Errorf("optimized mu-kernel (%.2f) not faster than general code (%.2f)", best, gen)
+	}
+
+	genP, err := MeasurePhiVariant(kernels.VarGeneral, solver.ScenarioInterface, edge, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bestP, err := MeasurePhiVariant(kernels.VarShortcut, solver.ScenarioInterface, edge, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bestP <= genP {
+		t.Errorf("optimized phi-kernel (%.2f) not faster than general code (%.2f)", bestP, genP)
+	}
+}
+
+// Shortcut kernels must be faster in bulk-dominated compositions than at
+// the interface (the Fig. 6 scenario spread).
+func TestShortcutScenarioSpread(t *testing.T) {
+	const edge, steps = 16, 3
+	iface, err := MeasurePhiVariant(kernels.VarShortcut, solver.ScenarioInterface, edge, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	liquid, err := MeasurePhiVariant(kernels.VarShortcut, solver.ScenarioLiquid, edge, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if liquid <= iface {
+		t.Errorf("phi shortcuts: liquid (%.2f) should beat interface (%.2f)", liquid, iface)
+	}
+}

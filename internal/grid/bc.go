@@ -1,0 +1,244 @@
+package grid
+
+import "fmt"
+
+// Face identifies one of the six block faces.
+type Face int
+
+const (
+	XMin Face = iota
+	XMax
+	YMin
+	YMax
+	ZMin
+	ZMax
+	NumFaces
+)
+
+func (f Face) String() string {
+	switch f {
+	case XMin:
+		return "x-"
+	case XMax:
+		return "x+"
+	case YMin:
+		return "y-"
+	case YMax:
+		return "y+"
+	case ZMin:
+		return "z-"
+	case ZMax:
+		return "z+"
+	}
+	return fmt.Sprintf("Face(%d)", int(f))
+}
+
+// Opposite returns the opposing face.
+func (f Face) Opposite() Face {
+	switch f {
+	case XMin:
+		return XMax
+	case XMax:
+		return XMin
+	case YMin:
+		return YMax
+	case YMax:
+		return YMin
+	case ZMin:
+		return ZMax
+	default:
+		return ZMin
+	}
+}
+
+// Axis returns 0, 1 or 2 for x, y or z faces.
+func (f Face) Axis() int { return int(f) / 2 }
+
+// IsMin reports whether this is the low face of its axis.
+func (f Face) IsMin() bool { return int(f)%2 == 0 }
+
+// BCKind enumerates boundary condition types. The paper's setup (Fig. 2)
+// uses periodic boundaries laterally, a Neumann (no-flux) condition at the
+// top and a Dirichlet condition at the bottom.
+type BCKind int
+
+const (
+	// BCNone leaves the ghost layer untouched (an interior face handled
+	// by communication).
+	BCNone BCKind = iota
+	// BCPeriodic wraps the ghost layer around to the opposite side of
+	// the same field. Only valid when the block spans the whole domain
+	// along that axis; in multi-block runs periodicity is realized by
+	// the communication layer instead.
+	BCPeriodic
+	// BCNeumann implements a zero-gradient condition by mirroring the
+	// outermost interior slice into the ghost layer.
+	BCNeumann
+	// BCDirichlet fixes the ghost layer directly to per-component
+	// values. Phase-field ghosts must stay on the Gibbs simplex, so the
+	// prescribed vector itself is written (no linear extrapolation).
+	BCDirichlet
+)
+
+func (k BCKind) String() string {
+	switch k {
+	case BCNone:
+		return "none"
+	case BCPeriodic:
+		return "periodic"
+	case BCNeumann:
+		return "neumann"
+	case BCDirichlet:
+		return "dirichlet"
+	}
+	return fmt.Sprintf("BCKind(%d)", int(k))
+}
+
+// BC describes the boundary condition on one face.
+type BC struct {
+	Kind   BCKind
+	Values []float64 // Dirichlet face values per component (nil otherwise)
+}
+
+// BoundarySet holds one BC per face.
+type BoundarySet [NumFaces]BC
+
+// AllPeriodic returns a boundary set with periodic conditions on all faces.
+func AllPeriodic() BoundarySet {
+	var b BoundarySet
+	for i := range b {
+		b[i] = BC{Kind: BCPeriodic}
+	}
+	return b
+}
+
+// AllNeumann returns a boundary set with zero-gradient conditions on all faces.
+func AllNeumann() BoundarySet {
+	var b BoundarySet
+	for i := range b {
+		b[i] = BC{Kind: BCNeumann}
+	}
+	return b
+}
+
+// DirectionalSolidification returns the paper's production boundary set
+// (Fig. 2): periodic in x and y, Dirichlet at the bottom (solid feed,
+// per-component values botVals) and Neumann at the top (liquid).
+func DirectionalSolidification(botVals []float64) BoundarySet {
+	var b BoundarySet
+	b[XMin] = BC{Kind: BCPeriodic}
+	b[XMax] = BC{Kind: BCPeriodic}
+	b[YMin] = BC{Kind: BCPeriodic}
+	b[YMax] = BC{Kind: BCPeriodic}
+	b[ZMin] = BC{Kind: BCDirichlet, Values: botVals}
+	b[ZMax] = BC{Kind: BCNeumann}
+	return b
+}
+
+// Apply applies every non-BCNone face condition to f's ghost layers.
+// It fills the full ghost shell for the given axis extents including edge
+// and corner regions by sweeping the axes in order x, y, z with progressively
+// extended transverse ranges, mirroring the staged halo fill used by the
+// communication layer.
+func (b *BoundarySet) Apply(f *Field) {
+	for face := Face(0); face < NumFaces; face++ {
+		bc := b[face]
+		if bc.Kind == BCNone {
+			continue
+		}
+		applyFace(f, face, bc)
+	}
+}
+
+// faceRange gives, for a face sweep on the given axis, the transverse loop
+// ranges extended into already-filled ghost regions (x first, then y
+// including x-ghosts, then z including x- and y-ghosts).
+func transverseRange(f *Field, axis int) (x0, x1, y0, y1, z0, z1 int) {
+	g := f.G
+	switch axis {
+	case 0: // x faces: transverse y,z interior only
+		return 0, 0, 0, f.NY, 0, f.NZ
+	case 1: // y faces: include x ghosts
+		return -g, f.NX + g, 0, 0, 0, f.NZ
+	default: // z faces: include x and y ghosts
+		return -g, f.NX + g, -g, f.NY + g, 0, 0
+	}
+}
+
+func applyFace(f *Field, face Face, bc BC) {
+	g := f.G
+	axis := face.Axis()
+	n := [3]int{f.NX, f.NY, f.NZ}[axis]
+	x0, x1, y0, y1, z0, z1 := transverseRange(f, axis)
+
+	// For each ghost depth layer d = 1..g.
+	for d := 1; d <= g; d++ {
+		var ghost, src int
+		switch bc.Kind {
+		case BCPeriodic:
+			if face.IsMin() {
+				ghost, src = -d, n-d
+			} else {
+				ghost, src = n-1+d, d-1
+			}
+		case BCNeumann:
+			if face.IsMin() {
+				ghost, src = -d, d-1
+			} else {
+				ghost, src = n-1+d, n-d
+			}
+		case BCDirichlet:
+			if face.IsMin() {
+				ghost, src = -d, d-1
+			} else {
+				ghost, src = n-1+d, n-d
+			}
+		}
+		forFacePlane(f, axis, x0, x1, y0, y1, z0, z1, func(x, y, z int) {
+			gx, gy, gz := x, y, z
+			sx, sy, sz := x, y, z
+			switch axis {
+			case 0:
+				gx, sx = ghost, src
+			case 1:
+				gy, sy = ghost, src
+			default:
+				gz, sz = ghost, src
+			}
+			for c := 0; c < f.NComp; c++ {
+				switch bc.Kind {
+				case BCDirichlet:
+					f.Set(c, gx, gy, gz, bc.Values[c])
+				default:
+					f.Set(c, gx, gy, gz, f.At(c, sx, sy, sz))
+				}
+			}
+		})
+	}
+}
+
+// forFacePlane iterates the transverse plane of a face sweep. The axis'
+// own coordinate is supplied by the caller through the closure; the unused
+// range (x0==x1 etc. for the swept axis) is collapsed to a single iteration.
+func forFacePlane(f *Field, axis int, x0, x1, y0, y1, z0, z1 int, fn func(x, y, z int)) {
+	switch axis {
+	case 0:
+		for z := z0; z < z1; z++ {
+			for y := y0; y < y1; y++ {
+				fn(0, y, z)
+			}
+		}
+	case 1:
+		for z := z0; z < z1; z++ {
+			for x := x0; x < x1; x++ {
+				fn(x, 0, z)
+			}
+		}
+	default:
+		for y := y0; y < y1; y++ {
+			for x := x0; x < x1; x++ {
+				fn(x, y, 0)
+			}
+		}
+	}
+}

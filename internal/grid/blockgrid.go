@@ -1,0 +1,102 @@
+package grid
+
+import "fmt"
+
+// BlockGrid describes a static domain decomposition into a regular
+// PX×PY×PZ arrangement of equally sized blocks, each BX×BY×BZ cells. This
+// mirrors waLBerla's block structure: the decomposition is computed once at
+// startup and each process then only knows about its own and neighboring
+// blocks.
+type BlockGrid struct {
+	PX, PY, PZ int     // blocks per axis
+	BX, BY, BZ int     // cells per block per axis
+	Periodic   [3]bool // domain periodicity per axis
+}
+
+// NewBlockGrid validates and returns a block grid.
+func NewBlockGrid(px, py, pz, bx, by, bz int, periodic [3]bool) (*BlockGrid, error) {
+	if px <= 0 || py <= 0 || pz <= 0 {
+		return nil, fmt.Errorf("grid: nonpositive block counts %dx%dx%d", px, py, pz)
+	}
+	if bx <= 0 || by <= 0 || bz <= 0 {
+		return nil, fmt.Errorf("grid: nonpositive block sizes %dx%dx%d", bx, by, bz)
+	}
+	return &BlockGrid{PX: px, PY: py, PZ: pz, BX: bx, BY: by, BZ: bz, Periodic: periodic}, nil
+}
+
+// NumBlocks returns the total number of blocks (= ranks).
+func (bg *BlockGrid) NumBlocks() int { return bg.PX * bg.PY * bg.PZ }
+
+// GlobalCells returns the global domain extents in cells.
+func (bg *BlockGrid) GlobalCells() (nx, ny, nz int) {
+	return bg.PX * bg.BX, bg.PY * bg.BY, bg.PZ * bg.BZ
+}
+
+// Coords returns the block coordinates of rank r (x fastest).
+func (bg *BlockGrid) Coords(r int) (bx, by, bz int) {
+	bx = r % bg.PX
+	by = (r / bg.PX) % bg.PY
+	bz = r / (bg.PX * bg.PY)
+	return
+}
+
+// Rank returns the rank owning block (bx,by,bz).
+func (bg *BlockGrid) Rank(bx, by, bz int) int {
+	return (bz*bg.PY+by)*bg.PX + bx
+}
+
+// Origin returns the global cell coordinates of rank r's first interior cell.
+func (bg *BlockGrid) Origin(r int) (ox, oy, oz int) {
+	bx, by, bz := bg.Coords(r)
+	return bx * bg.BX, by * bg.BY, bz * bg.BZ
+}
+
+// Neighbor returns the rank adjacent to r across face, and whether such a
+// neighbor exists. Across periodic axes the neighbor wraps; across
+// non-periodic axes boundary faces have no neighbor (boundary conditions
+// apply there instead).
+func (bg *BlockGrid) Neighbor(r int, face Face) (int, bool) {
+	bx, by, bz := bg.Coords(r)
+	p := [3]int{bg.PX, bg.PY, bg.PZ}
+	c := [3]int{bx, by, bz}
+	ax := face.Axis()
+	if face.IsMin() {
+		c[ax]--
+	} else {
+		c[ax]++
+	}
+	if c[ax] < 0 || c[ax] >= p[ax] {
+		if !bg.Periodic[ax] {
+			return -1, false
+		}
+		c[ax] = (c[ax] + p[ax]) % p[ax]
+	}
+	n := bg.Rank(c[0], c[1], c[2])
+	if n == r && p[ax] == 1 {
+		// Self-neighbor on a periodic axis with a single block: the
+		// local periodic boundary condition handles it without
+		// messages.
+		return r, true
+	}
+	return n, true
+}
+
+// BlockBCs derives the per-face boundary set for rank r from the domain
+// boundary set: faces with a communication neighbor get BCNone (their ghost
+// layers are filled by halo exchange), except single-block periodic axes
+// which keep the local periodic condition.
+func (bg *BlockGrid) BlockBCs(r int, domain BoundarySet) BoundarySet {
+	var out BoundarySet
+	for f := Face(0); f < NumFaces; f++ {
+		n, ok := bg.Neighbor(r, f)
+		switch {
+		case !ok:
+			out[f] = domain[f] // physical boundary
+		case n == r:
+			out[f] = BC{Kind: BCPeriodic} // single-block periodic axis
+		default:
+			out[f] = BC{Kind: BCNone} // interior: halo exchange
+		}
+	}
+	return out
+}

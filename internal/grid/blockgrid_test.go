@@ -1,0 +1,152 @@
+package grid
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBlockGridBasics(t *testing.T) {
+	bg, err := NewBlockGrid(2, 3, 4, 10, 20, 30, [3]bool{true, true, false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bg.NumBlocks() != 24 {
+		t.Errorf("NumBlocks = %d", bg.NumBlocks())
+	}
+	nx, ny, nz := bg.GlobalCells()
+	if nx != 20 || ny != 60 || nz != 120 {
+		t.Errorf("GlobalCells = %d,%d,%d", nx, ny, nz)
+	}
+}
+
+func TestBlockGridInvalid(t *testing.T) {
+	if _, err := NewBlockGrid(0, 1, 1, 1, 1, 1, [3]bool{}); err == nil {
+		t.Error("expected error for zero block count")
+	}
+	if _, err := NewBlockGrid(1, 1, 1, 1, 0, 1, [3]bool{}); err == nil {
+		t.Error("expected error for zero block size")
+	}
+}
+
+func TestCoordsRankRoundTrip(t *testing.T) {
+	bg, _ := NewBlockGrid(3, 4, 5, 1, 1, 1, [3]bool{})
+	for r := 0; r < bg.NumBlocks(); r++ {
+		x, y, z := bg.Coords(r)
+		if bg.Rank(x, y, z) != r {
+			t.Fatalf("round trip failed for rank %d", r)
+		}
+	}
+}
+
+func TestOrigin(t *testing.T) {
+	bg, _ := NewBlockGrid(2, 2, 2, 8, 9, 10, [3]bool{})
+	ox, oy, oz := bg.Origin(bg.Rank(1, 1, 1))
+	if ox != 8 || oy != 9 || oz != 10 {
+		t.Errorf("Origin = %d,%d,%d", ox, oy, oz)
+	}
+}
+
+func TestNeighborInterior(t *testing.T) {
+	bg, _ := NewBlockGrid(3, 3, 3, 4, 4, 4, [3]bool{})
+	center := bg.Rank(1, 1, 1)
+	for f := Face(0); f < NumFaces; f++ {
+		n, ok := bg.Neighbor(center, f)
+		if !ok {
+			t.Fatalf("center should have neighbor across %v", f)
+		}
+		// The neighbor's neighbor across the opposite face is center.
+		back, ok := bg.Neighbor(n, f.Opposite())
+		if !ok || back != center {
+			t.Fatalf("neighbor reciprocity broken across %v", f)
+		}
+	}
+}
+
+func TestNeighborBoundaryNonPeriodic(t *testing.T) {
+	bg, _ := NewBlockGrid(2, 2, 2, 4, 4, 4, [3]bool{})
+	if _, ok := bg.Neighbor(bg.Rank(0, 0, 0), XMin); ok {
+		t.Error("x- of corner block should have no neighbor")
+	}
+	if _, ok := bg.Neighbor(bg.Rank(1, 1, 1), ZMax); ok {
+		t.Error("z+ of corner block should have no neighbor")
+	}
+}
+
+func TestNeighborPeriodicWrap(t *testing.T) {
+	bg, _ := NewBlockGrid(4, 1, 1, 4, 4, 4, [3]bool{true, false, false})
+	n, ok := bg.Neighbor(bg.Rank(0, 0, 0), XMin)
+	if !ok || n != bg.Rank(3, 0, 0) {
+		t.Errorf("periodic wrap failed: %d %v", n, ok)
+	}
+}
+
+func TestNeighborSelfPeriodicSingleBlock(t *testing.T) {
+	bg, _ := NewBlockGrid(1, 1, 1, 4, 4, 4, [3]bool{true, true, true})
+	n, ok := bg.Neighbor(0, XMin)
+	if !ok || n != 0 {
+		t.Errorf("single periodic block should self-neighbor, got %d %v", n, ok)
+	}
+}
+
+func TestBlockBCs(t *testing.T) {
+	bg, _ := NewBlockGrid(2, 2, 2, 4, 4, 4, [3]bool{true, true, false})
+	domain := DirectionalSolidification([]float64{1})
+	// Bottom block keeps the Dirichlet bottom; its top face is interior.
+	b := bg.BlockBCs(bg.Rank(0, 0, 0), domain)
+	if b[ZMin].Kind != BCDirichlet {
+		t.Errorf("bottom block z- = %v, want dirichlet", b[ZMin].Kind)
+	}
+	if b[ZMax].Kind != BCNone {
+		t.Errorf("bottom block z+ = %v, want none", b[ZMax].Kind)
+	}
+	// Lateral faces are interior communication (2 blocks per periodic axis).
+	if b[XMin].Kind != BCNone {
+		t.Errorf("x- = %v, want none (exchange)", b[XMin].Kind)
+	}
+	// Top block keeps Neumann top.
+	bTop := bg.BlockBCs(bg.Rank(0, 0, 1), domain)
+	if bTop[ZMax].Kind != BCNeumann {
+		t.Errorf("top block z+ = %v, want neumann", bTop[ZMax].Kind)
+	}
+}
+
+func TestBlockBCsSinglePeriodicAxis(t *testing.T) {
+	bg, _ := NewBlockGrid(1, 2, 1, 4, 4, 4, [3]bool{true, true, true})
+	b := bg.BlockBCs(0, AllPeriodic())
+	if b[XMin].Kind != BCPeriodic {
+		t.Errorf("single-block periodic axis should use local periodic BC, got %v", b[XMin].Kind)
+	}
+	if b[YMin].Kind != BCNone {
+		t.Errorf("two-block periodic axis should use exchange, got %v", b[YMin].Kind)
+	}
+}
+
+// Property: every interior neighbor relation is reciprocal.
+func TestNeighborReciprocityProperty(t *testing.T) {
+	f := func(px, py, pz uint8, perx, pery, perz bool) bool {
+		p := [3]int{int(px%3) + 1, int(py%3) + 1, int(pz%3) + 1}
+		bg, err := NewBlockGrid(p[0], p[1], p[2], 2, 2, 2, [3]bool{perx, pery, perz})
+		if err != nil {
+			return false
+		}
+		for r := 0; r < bg.NumBlocks(); r++ {
+			for f := Face(0); f < NumFaces; f++ {
+				n, ok := bg.Neighbor(r, f)
+				if !ok {
+					continue
+				}
+				if n == r {
+					continue // self periodic
+				}
+				back, ok2 := bg.Neighbor(n, f.Opposite())
+				if !ok2 || back != r {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

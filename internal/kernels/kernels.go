@@ -1,0 +1,74 @@
+package kernels
+
+// kernels.go is the public dispatch surface: one entry point per kernel,
+// selecting the optimization-ladder variant, plus the Fig. 5 vectorization
+// strategies and the Algorithm-2 split sweeps.
+
+// PhiSweep updates f.PhiDst from f.PhiSrc/f.MuSrc with the selected variant.
+func PhiSweep(ctx *Ctx, f *Fields, sc *Scratch, v Variant) {
+	switch v {
+	case VarGeneral:
+		phiSweepGeneral(ctx, f)
+	case VarBasic:
+		phiSweepScalar(ctx, f, sc, phiOpts{})
+	case VarSIMD:
+		phiSweepVec(ctx, f, sc, phiOpts{})
+	case VarTz:
+		phiSweepVec(ctx, f, sc, phiOpts{tz: true})
+	case VarStag:
+		phiSweepVec(ctx, f, sc, phiOpts{tz: true, stag: true})
+	default: // VarShortcut
+		phiSweepVec(ctx, f, sc, phiOpts{tz: true, stag: true, shortcut: true})
+	}
+}
+
+// PhiSweepStrategy updates the φ-field with one of the Fig. 5 vectorization
+// strategies, all at the full remaining optimization level.
+func PhiSweepStrategy(ctx *Ctx, f *Fields, sc *Scratch, s PhiStrategy) {
+	switch s {
+	case StratCellwise:
+		phiSweepVec(ctx, f, sc, phiOpts{tz: true, stag: true})
+	case StratCellwiseShortcut:
+		phiSweepVec(ctx, f, sc, phiOpts{tz: true, stag: true, shortcut: true})
+	default: // StratFourCell
+		phiSweepFourCell(ctx, f, sc, true)
+	}
+}
+
+// MuSweep updates f.MuDst (the fused Algorithm-1 µ-kernel, including the
+// anti-trapping current) with the selected variant.
+func MuSweep(ctx *Ctx, f *Fields, sc *Scratch, v Variant) {
+	switch v {
+	case VarGeneral:
+		muSweepGeneral(ctx, f)
+	case VarBasic:
+		muSweepScalar(ctx, f, sc, muOpts{withJat: true})
+	case VarSIMD:
+		muSweepFourCell(ctx, f, sc, muOpts{withJat: true, simdCSE: true})
+	case VarTz:
+		muSweepFourCell(ctx, f, sc, muOpts{withJat: true, simdCSE: true, tz: true})
+	case VarStag:
+		muSweepFourCell(ctx, f, sc, muOpts{withJat: true, simdCSE: true, tz: true, stag: true})
+	default: // VarShortcut
+		muSweepFourCell(ctx, f, sc, muOpts{withJat: true, simdCSE: true, tz: true, stag: true, shortcut: true})
+	}
+}
+
+// MuSweepLocal computes the µ update without the anti-trapping current
+// (Algorithm 2, line 6): it depends on φ(t+Δt) only locally, so the φ ghost
+// exchange can overlap it.
+func MuSweepLocal(ctx *Ctx, f *Fields, sc *Scratch, v Variant) {
+	o := muOpts{withJat: false, simdCSE: v >= VarSIMD, tz: v >= VarTz, stag: v >= VarStag, shortcut: v >= VarShortcut}
+	if v >= VarSIMD {
+		muSweepFourCell(ctx, f, sc, o)
+		return
+	}
+	muSweepScalar(ctx, f, sc, o)
+}
+
+// MuSweepNeighbor adds the −∇·J_at correction to f.MuDst (Algorithm 2,
+// line 8); it requires the φ(t+Δt) ghost layers.
+func MuSweepNeighbor(ctx *Ctx, f *Fields, sc *Scratch, v Variant) {
+	o := muOpts{jatOnly: true, simdCSE: v >= VarSIMD, tz: v >= VarTz, stag: v >= VarStag, shortcut: v >= VarShortcut}
+	muSweepScalar(ctx, f, sc, o)
+}

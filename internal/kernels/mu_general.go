@@ -1,0 +1,175 @@
+package kernels
+
+import (
+	"math"
+
+	"repro/internal/core"
+)
+
+// mu_general.go emulates the general-purpose code's µ-kernel: per-cell
+// indirect dispatch over term objects, redundant recomputation of
+// interpolation weights and thermodynamic quantities, divisions and exact
+// square roots instead of reciprocal tricks. Results agree with the
+// optimized kernels within roundoff.
+
+type muTerm interface {
+	accumulate(st *muGenState, rhs *[NR]float64)
+}
+
+type muGenState struct {
+	ctx     *Ctx
+	f       *Fields
+	x, y, z int
+	T       float64
+}
+
+// muGenSource is the −Σ c_α ∂h_α/∂t − (∂c/∂T)(∂T/∂t) source term.
+type muGenSource struct{}
+
+func (muGenSource) accumulate(st *muGenState, rhs *[NR]float64) {
+	p := st.ctx.P
+	var phiC, phiDC, hS, hD [NP]float64
+	loadPhi(st.f.PhiSrc, st.x, st.y, st.z, &phiC)
+	loadPhi(st.f.PhiDst, st.x, st.y, st.z, &phiDC)
+	core.Interp(&phiC, &hS)
+	core.Interp(&phiDC, &hD)
+	var muC [NR]float64
+	loadMu(st.f.MuSrc, st.x, st.y, st.z, &muC)
+	dT := st.T - p.Sys.TE
+	for a := 0; a < NP; a++ {
+		dh := (hD[a] - hS[a]) / p.Dt
+		ca := p.Sys.Phases[a].Conc(muC, dT)
+		for k := 0; k < NR; k++ {
+			rhs[k] -= ca[k] * dh
+		}
+	}
+	for k := 0; k < NR; k++ {
+		s := 0.0
+		for a := 0; a < NP; a++ {
+			s += hS[a] * p.Sys.Phases[a].DC0dT[k]
+		}
+		rhs[k] -= s * p.Temp.DTdt()
+	}
+}
+
+// muGenFlux is the ∇·(M∇µ − J_at) term, recomputing all six faces.
+type muGenFlux struct{}
+
+func (muGenFlux) accumulate(st *muGenState, rhs *[NR]float64) {
+	p := st.ctx.P
+	for axis := 0; axis < 3; axis++ {
+		var hi, lo [NR]float64
+		muGenFaceFlux(st, st.x, st.y, st.z, axis, &hi)
+		lx, ly, lz := st.x, st.y, st.z
+		switch axis {
+		case 0:
+			lx--
+		case 1:
+			ly--
+		default:
+			lz--
+		}
+		muGenFaceFlux(st, lx, ly, lz, axis, &lo)
+		for k := 0; k < NR; k++ {
+			rhs[k] += (hi[k] - lo[k]) / p.Dx
+		}
+	}
+}
+
+// muGenFaceFlux evaluates (M∇µ − J_at)·n at the face between (x,y,z) and
+// its +axis neighbor in the general code's style.
+func muGenFaceFlux(st *muGenState, x, y, z, axis int, out *[NR]float64) {
+	p := st.ctx.P
+	phiS, phiD := st.f.PhiSrc, st.f.PhiDst
+	muS := st.f.MuSrc
+	ox, oy, oz := axisOffsets(axis)
+	// The face is evaluated at the low cell's slice temperature, matching
+	// the staggered-buffer convention of the optimized kernels.
+	dT := p.Temp.At(st.ctx.ZOff+z, p.Dx, st.ctx.Time) - p.Sys.TE
+
+	var phiF, hf [NP]float64
+	for a := 0; a < NP; a++ {
+		phiF[a] = (phiS.At(a, x, y, z) + phiS.At(a, x+ox, y+oy, z+oz)) / 2
+	}
+	core.Interp(&phiF, &hf)
+
+	for k := 0; k < NR; k++ {
+		m := 0.0
+		for a := 0; a < NP; a++ {
+			m += hf[a] * p.D[a] / (2 * p.Sys.Phases[a].A[k])
+		}
+		out[k] = m * (muS.At(k, x+ox, y+oy, z+oz) - muS.At(k, x, y, z)) / p.Dx
+	}
+
+	if p.AT == 0 || phiF[LQ] <= tolPhiProd || hf[LQ] <= 0 {
+		return
+	}
+	var fg [NP][3]float64
+	faceGradPhi(phiS, x, y, z, axis, 1/p.Dx, &fg)
+	gl := fg[LQ]
+	n2l := gl[0]*gl[0] + gl[1]*gl[1] + gl[2]*gl[2]
+	if n2l < tolGrad2 {
+		return
+	}
+	nl := math.Sqrt(n2l)
+
+	var muF [NR]float64
+	for k := 0; k < NR; k++ {
+		muF[k] = (muS.At(k, x, y, z) + muS.At(k, x+ox, y+oy, z+oz)) / 2
+	}
+	cl := p.Sys.Phases[LQ].Conc(muF, dT)
+
+	for a := 0; a < NP-1; a++ {
+		if phiF[a] <= tolPhiProd {
+			continue
+		}
+		ga := fg[a]
+		n2a := ga[0]*ga[0] + ga[1]*ga[1] + ga[2]*ga[2]
+		if n2a < tolGrad2 {
+			continue
+		}
+		na := math.Sqrt(n2a)
+		ndot := (ga[0]*gl[0] + ga[1]*gl[1] + ga[2]*gl[2]) / (na * nl)
+		dphidt := ((phiD.At(a, x, y, z) - phiS.At(a, x, y, z)) +
+			(phiD.At(a, x+ox, y+oy, z+oz) - phiS.At(a, x+ox, y+oy, z+oz))) / (2 * p.Dt)
+		ca := p.Sys.Phases[a].Conc(muF, dT)
+		pref := core.ATPrefactor * p.Eps * p.AT * core.GAT(phiF[a]) * hf[LQ] /
+			math.Sqrt(phiF[a]*phiF[LQ]) * dphidt * ndot
+		for k := 0; k < NR; k++ {
+			out[k] -= pref * (cl[k] - ca[k]) * ga[axis] / na
+		}
+	}
+}
+
+// muSweepGeneral runs the emulated general-purpose µ-kernel.
+func muSweepGeneral(ctx *Ctx, f *Fields) {
+	p := ctx.P
+	muS, muD := f.MuSrc, f.MuDst
+	terms := []muTerm{muGenSource{}, muGenFlux{}}
+
+	var st muGenState
+	st.ctx = ctx
+	st.f = f
+	for z := 0; z < muS.NZ; z++ {
+		for y := 0; y < muS.NY; y++ {
+			for x := 0; x < muS.NX; x++ {
+				st.x, st.y, st.z = x, y, z
+				st.T = p.Temp.At(ctx.ZOff+z, p.Dx, ctx.Time)
+
+				var rhs [NR]float64
+				for _, term := range terms {
+					term.accumulate(&st, &rhs)
+				}
+
+				// χ⁻¹ through the full thermodynamic interface.
+				var phiC, hS [NP]float64
+				loadPhi(f.PhiSrc, x, y, z, &phiC)
+				core.Interp(&phiC, &hS)
+				chi := p.Sys.MixedSusceptibility(&hS)
+				for k := 0; k < NR; k++ {
+					muD.Set(k, x, y, z, muS.At(k, x, y, z)+p.Dt*rhs[k]/chi[k])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,385 @@
+package kernels
+
+import (
+	"repro/internal/core"
+	"repro/internal/simd"
+)
+
+// mu_scalar.go implements the µ-kernel (Eq. 3): the evolution of the two
+// reduced chemical potentials with gradient flux M∇µ, anti-trapping current
+// J_at (Eq. 4) and the φ- and T-coupling source terms. The kernel is a
+// D3C19 stencil on φ (face-transverse gradients touch the planar diagonal
+// neighbors) and needs both φ(t) and φ(t+Δt), matching Fig. 1(b).
+
+// Guard tolerances for the anti-trapping term.
+const (
+	tolPhiProd = 1e-9  // minimum φ_α·φ_ℓ at a face
+	tolGrad2   = 1e-12 // minimum squared gradient norm
+)
+
+// muOpts selects the µ-kernel's optimizations and its Algorithm-2 split.
+type muOpts struct {
+	tz       bool // per-slice temperature tables
+	stag     bool // staggered flux buffering
+	shortcut bool // solid-region anti-trapping skip
+	simdCSE  bool // precomputed mobility/susceptibility products (SIMD rung)
+
+	// Algorithm 2 split: withJat=false computes the local part only
+	// (µ-sweep-local); jatOnly adds the −∇·J_at correction afterwards
+	// (µ-sweep-neighbor). The default (withJat=true, jatOnly=false) is
+	// the fused Algorithm-1 kernel.
+	withJat bool
+	jatOnly bool
+}
+
+// interpWeights computes the normalized interpolation weights of a phase
+// vector (shared helper; the general kernel recomputes them redundantly).
+func interpWeights(phi *[NP]float64, h *[NP]float64) {
+	core.Interp(phi, h)
+}
+
+// muFaceState carries everything the face-flux evaluation needs.
+type muFaceState struct {
+	ctx    *Ctx
+	f      *Fields
+	ts     *TempSlice // tables for the current slice zSlice
+	tsPrev *TempSlice // tables for slice zSlice−1 (z-face evaluations)
+	zSlice int
+	o      muOpts
+	invDx  float64
+	invDt  float64
+	// dInvTwoA[k][a] = D_a/(2A_k,a), the mobility product precomputed by
+	// the SIMD/CSE rung.
+	dInvTwoA [NR][NP]float64
+}
+
+// faceTables returns the temperature tables for a face whose low cell sits
+// at local z. A z-face between slices z−1 and z is always evaluated with the
+// lower slice's tables so that buffered and freshly computed staggered
+// values agree bitwise.
+func (st *muFaceState) faceTables(z int) *TempSlice {
+	if z < st.zSlice {
+		return st.tsPrev
+	}
+	return st.ts
+}
+
+// diffFlux computes the diffusive flux M(φ,T)∇µ·n at the face between cell
+// (x,y,z) and its +axis neighbor.
+func (st *muFaceState) diffFlux(x, y, z, axis int, out *[NR]float64) {
+	phiS := st.f.PhiSrc
+	muS := st.f.MuSrc
+	ox, oy, oz := axisOffsets(axis)
+
+	var phiF, hf [NP]float64
+	for a := 0; a < NP; a++ {
+		phiF[a] = 0.5 * (phiS.At(a, x, y, z) + phiS.At(a, x+ox, y+oy, z+oz))
+	}
+	interpWeights(&phiF, &hf)
+
+	p := st.ctx.P
+	for k := 0; k < NR; k++ {
+		m := 0.0
+		if st.o.simdCSE {
+			for a := 0; a < NP; a++ {
+				m += hf[a] * st.dInvTwoA[k][a]
+			}
+		} else {
+			for a := 0; a < NP; a++ {
+				m += hf[a] * p.D[a] / (2 * p.Sys.Phases[a].A[k])
+			}
+		}
+		dmu := (muS.At(k, x+ox, y+oy, z+oz) - muS.At(k, x, y, z)) * st.invDx
+		out[k] = m * dmu
+	}
+}
+
+// jatFlux computes the anti-trapping flux J_at·n at the face between cell
+// (x,y,z) and its +axis neighbor (Eq. 4). The early-exit guards on φ_ℓ and
+// ∇φ_ℓ are the checks §3.3 describes.
+func (st *muFaceState) jatFlux(x, y, z, axis int, out *[NR]float64) {
+	out[0], out[1] = 0, 0
+	p := st.ctx.P
+	if p.AT == 0 {
+		return
+	}
+	phiS, phiD := st.f.PhiSrc, st.f.PhiDst
+	muS := st.f.MuSrc
+	ox, oy, oz := axisOffsets(axis)
+
+	var phiF, hf [NP]float64
+	for a := 0; a < NP; a++ {
+		phiF[a] = 0.5 * (phiS.At(a, x, y, z) + phiS.At(a, x+ox, y+oy, z+oz))
+	}
+	// First check: no liquid at the face ⇒ h_ℓ = 0 ⇒ J_at = 0.
+	if phiF[LQ] <= tolPhiProd {
+		return
+	}
+	interpWeights(&phiF, &hf)
+	if hf[LQ] <= 0 {
+		return
+	}
+
+	// Face gradients: the CSE rung evaluates them lazily per phase (only
+	// the liquid and the solids actually present at the face); the basic
+	// rung computes all four up front.
+	var fg [NP][3]float64
+	lazy := st.o.simdCSE
+	if lazy {
+		faceGradPhiOne(phiS, x, y, z, axis, LQ, st.invDx, &fg[LQ])
+	} else {
+		faceGradPhi(phiS, x, y, z, axis, st.invDx, &fg)
+	}
+	gl := fg[LQ]
+	n2l := gl[0]*gl[0] + gl[1]*gl[1] + gl[2]*gl[2]
+	// Second check: vanishing liquid gradient ⇒ skip.
+	if n2l < tolGrad2 {
+		return
+	}
+	invNl := simd.FastRSqrt2(n2l)
+
+	var muF [NR]float64
+	for k := 0; k < NR; k++ {
+		muF[k] = 0.5 * (muS.At(k, x, y, z) + muS.At(k, x+ox, y+oy, z+oz))
+	}
+	ft := st.faceTables(z)
+	var cl [NR]float64
+	if st.o.tz {
+		cl = ft.Conc(LQ, &muF)
+	} else {
+		cl = p.Sys.Phases[LQ].Conc(muF, ft.DT)
+	}
+
+	pref0 := core.ATPrefactor * p.Eps * p.AT * hf[LQ]
+	for a := 0; a < NP-1; a++ {
+		if phiF[a] <= tolPhiProd {
+			continue
+		}
+		if lazy {
+			faceGradPhiOne(phiS, x, y, z, axis, a, st.invDx, &fg[a])
+		}
+		ga := fg[a]
+		n2a := ga[0]*ga[0] + ga[1]*ga[1] + ga[2]*ga[2]
+		if n2a < tolGrad2 {
+			continue
+		}
+		invNa := simd.FastRSqrt2(n2a)
+		ndot := (ga[0]*gl[0] + ga[1]*gl[1] + ga[2]*gl[2]) * invNa * invNl
+
+		dphidt := 0.5 * ((phiD.At(a, x, y, z) - phiS.At(a, x, y, z)) +
+			(phiD.At(a, x+ox, y+oy, z+oz) - phiS.At(a, x+ox, y+oy, z+oz))) * st.invDt
+
+		var ca [NR]float64
+		if st.o.tz {
+			ca = ft.Conc(a, &muF)
+		} else {
+			ca = p.Sys.Phases[a].Conc(muF, ft.DT)
+		}
+
+		pref := pref0 * core.GAT(phiF[a]) * simd.FastRSqrt2(phiF[a]*phiF[LQ]) * dphidt * ndot
+		nAxis := ga[axis] * invNa
+		for k := 0; k < NR; k++ {
+			out[k] += pref * (cl[k] - ca[k]) * nAxis
+		}
+	}
+}
+
+// totalFaceFlux combines diffusive and anti-trapping contributions per the
+// split options: G = M∇µ − J_at (full), M∇µ (local), or −J_at (neighbor).
+func (st *muFaceState) totalFaceFlux(x, y, z, axis int, skipJat bool, out *[NR]float64) {
+	if st.o.jatOnly {
+		var j [NR]float64
+		if !skipJat {
+			st.jatFlux(x, y, z, axis, &j)
+		}
+		out[0], out[1] = -j[0], -j[1]
+		return
+	}
+	st.diffFlux(x, y, z, axis, out)
+	if st.o.withJat && !skipJat {
+		var j [NR]float64
+		st.jatFlux(x, y, z, axis, &j)
+		for k := 0; k < NR; k++ {
+			out[k] -= j[k]
+		}
+	}
+}
+
+// muSweepScalar runs the scalar µ-kernel over the block interior. In
+// jatOnly mode it adds the anti-trapping correction to an already computed
+// µdst; otherwise it writes µdst from scratch.
+func muSweepScalar(ctx *Ctx, f *Fields, sc *Scratch, o muOpts) {
+	p := ctx.P
+	nx, ny, nz := f.MuSrc.NX, f.MuSrc.NY, f.MuSrc.NZ
+	sc.ensure(nx, ny)
+
+	st := muFaceState{
+		ctx: ctx, f: f, o: o,
+		invDx: 1 / p.Dx,
+		invDt: 1 / p.Dt,
+	}
+	if o.simdCSE {
+		for a := 0; a < NP; a++ {
+			for k := 0; k < NR; k++ {
+				st.dInvTwoA[k][a] = p.D[a] / (2 * p.Sys.Phases[a].A[k])
+			}
+		}
+	}
+
+	dTdt := p.Temp.DTdt()
+	var ts, tsPrev TempSlice
+	st.ts = &ts
+	st.tsPrev = &tsPrev
+
+	sc.zValidMu = false
+	for z := 0; z < nz; z++ {
+		ts.Fill(p, ctx.ZOff+z, ctx.Time)
+		tsPrev.Fill(p, ctx.ZOff+z-1, ctx.Time)
+		st.zSlice = z
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				muCellUpdate(&st, sc, x, y, z, dTdt, o, o.stag)
+			}
+		}
+		sc.zValidMu = true
+	}
+}
+
+// muCellUpdate performs the full per-cell µ update. useXBuf controls
+// whether the x staggered buffer may be consulted (the four-cell kernel's
+// remainder cells must not, since groups do not maintain it).
+func muCellUpdate(st *muFaceState, sc *Scratch, x, y, z int, dTdt float64, o muOpts, useXBuf bool) {
+	p := st.ctx.P
+	phiS, phiD := st.f.PhiSrc, st.f.PhiDst
+	muS, muD := st.f.MuSrc, st.f.MuDst
+	ts := st.ts
+
+	var phiC, phiDC, hSrc, hDst [NP]float64
+	var muC, flux, fluxLo [NR]float64
+
+	skipJat := o.shortcut && !regionHasLiquid(phiS, x, y, z)
+
+	// Flux divergence over the six staggered faces.
+	var div [NR]float64
+	for axis := 0; axis < 3; axis++ {
+		st.totalFaceFlux(x, y, z, axis, skipJat, &flux)
+		gotLow := false
+		if o.stag && (axis != 0 || useXBuf) {
+			gotLow = loadMuBuffer(sc, axis, x, y, &fluxLo)
+		}
+		if !gotLow {
+			lx, ly, lz := x, y, z
+			switch axis {
+			case 0:
+				lx--
+			case 1:
+				ly--
+			default:
+				lz--
+			}
+			st.totalFaceFlux(lx, ly, lz, axis, skipJat, &fluxLo)
+		}
+		for k := 0; k < NR; k++ {
+			div[k] += (flux[k] - fluxLo[k]) * st.invDx
+		}
+		if o.stag {
+			storeMuBuffer(sc, axis, x, y, &flux)
+		}
+	}
+
+	loadPhi(phiS, x, y, z, &phiC)
+	interpWeights(&phiC, &hSrc)
+	loadMu(muS, x, y, z, &muC)
+
+	// Susceptibility χ = Σ_α h_α/(2A_α).
+	var chi [NR]float64
+	for k := 0; k < NR; k++ {
+		s := 0.0
+		if o.tz || o.simdCSE {
+			for a := 0; a < NP; a++ {
+				s += hSrc[a] * ts.InvTwoA[k][a]
+			}
+		} else {
+			for a := 0; a < NP; a++ {
+				s += hSrc[a] / (2 * p.Sys.Phases[a].A[k])
+			}
+		}
+		chi[k] = s
+	}
+
+	if o.jatOnly {
+		// Algorithm 2 neighbor pass: add the anti-trapping
+		// correction only.
+		for k := 0; k < NR; k++ {
+			muD.Add(k, x, y, z, p.Dt*div[k]/chi[k])
+		}
+		return
+	}
+
+	// Source terms: −Σ_α c_α ∂h_α/∂t − (∂c/∂T)(∂T/∂t).
+	loadPhi(phiD, x, y, z, &phiDC)
+	interpWeights(&phiDC, &hDst)
+	var src [NR]float64
+	for a := 0; a < NP; a++ {
+		dh := (hDst[a] - hSrc[a]) * st.invDt
+		if dh == 0 {
+			continue
+		}
+		var ca [NR]float64
+		if o.tz {
+			ca = ts.Conc(a, &muC)
+		} else {
+			ca = p.Sys.Phases[a].Conc(muC, ts.DT)
+		}
+		for k := 0; k < NR; k++ {
+			src[k] -= ca[k] * dh
+		}
+	}
+	for k := 0; k < NR; k++ {
+		dcdT := 0.0
+		for a := 0; a < NP; a++ {
+			dcdT += hSrc[a] * ts.DC0dT[k][a]
+		}
+		src[k] -= dcdT * dTdt
+	}
+
+	for k := 0; k < NR; k++ {
+		muD.Set(k, x, y, z, muC[k]+p.Dt*(src[k]+div[k])/chi[k])
+	}
+}
+
+// Staggered buffer plumbing for the µ-kernel.
+
+func loadMuBuffer(sc *Scratch, axis, x, y int, out *[NR]float64) bool {
+	switch axis {
+	case 0:
+		if x == 0 {
+			return false
+		}
+		copy(out[:], sc.muX[:NR])
+	case 1:
+		if y == 0 {
+			return false
+		}
+		copy(out[:], sc.muY[x*NR:x*NR+NR])
+	default:
+		if !sc.zValidMu {
+			return false
+		}
+		base := (y*sc.nx + x) * NR
+		copy(out[:], sc.muZ[base:base+NR])
+	}
+	return true
+}
+
+func storeMuBuffer(sc *Scratch, axis, x, y int, flux *[NR]float64) {
+	switch axis {
+	case 0:
+		copy(sc.muX[:NR], flux[:])
+	case 1:
+		copy(sc.muY[x*NR:x*NR+NR], flux[:])
+	default:
+		base := (y*sc.nx + x) * NR
+		copy(sc.muZ[base:base+NR], flux[:])
+	}
+}

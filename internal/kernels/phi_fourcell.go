@@ -1,0 +1,235 @@
+package kernels
+
+import (
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/simd"
+)
+
+// phi_fourcell.go implements the alternative vectorization strategy of
+// Fig. 5: four consecutive cells in x are processed per iteration, with one
+// SIMD lane per cell. This avoids the cellwise version's horizontal
+// permutes but keeps [NP] live vector registers per quantity (register
+// pressure / spills) and can only take shortcuts when the branch condition
+// holds for all four cells at once — exactly the trade-off the paper
+// measures.
+
+// phiQuad is a per-phase set of cell-lane vectors.
+type phiQuad [NP]simd.Vec4
+
+func loadPhiQuad(f *grid.Field, x, y, z int) phiQuad {
+	var q phiQuad
+	for a := 0; a < NP; a++ {
+		q[a] = simd.Set(f.At(a, x, y, z), f.At(a, x+1, y, z), f.At(a, x+2, y, z), f.At(a, x+3, y, z))
+	}
+	return q
+}
+
+// phiSweepFourCell runs the four-cell-vectorized φ-kernel at the full
+// optimization level (T(z) precomputation always on; shortcuts optional and
+// only effective when all four cells of a group are bulk). Blocks narrower
+// than four cells fall back to the cellwise kernel.
+func phiSweepFourCell(ctx *Ctx, f *Fields, sc *Scratch, shortcuts bool) {
+	p := ctx.P
+	src, dst, mu := f.PhiSrc, f.PhiDst, f.MuSrc
+	nx, ny, nz := src.NX, src.NY, src.NZ
+	if nx < 4 {
+		phiSweepVec(ctx, f, sc, phiOpts{tz: true, stag: true, shortcut: shortcuts})
+		return
+	}
+	sc.ensure(nx, ny)
+
+	invDx := 1 / p.Dx
+	halfInvDx := 0.5 * invDx
+	invEps := 1 / p.Eps
+	dtFac := p.Dt / (p.Tau * p.Eps)
+	obstPref := core.ObstaclePrefactor
+	gT := p.GammaTriple
+
+	var ts TempSlice
+	var tv tempVecs
+
+	for z := 0; z < nz; z++ {
+		ts.Fill(p, ctx.ZOff+z, ctx.Time)
+		tv.fill(&ts)
+		for y := 0; y < ny; y++ {
+			for x0 := 0; x0 < nx; x0 += 4 {
+				x := x0
+				if x+4 > nx {
+					// Overlapping tail group: recomputes a few
+					// cells with identical results.
+					x = nx - 4
+				}
+				phiFourCellGroup(ctx, f, &ts, &tv, x, y, z,
+					invDx, halfInvDx, invEps, dtFac, obstPref, gT, shortcuts)
+				_ = mu
+			}
+		}
+	}
+	_ = dst
+}
+
+// phiFourCellGroup updates the four cells (x..x+3, y, z).
+func phiFourCellGroup(ctx *Ctx, f *Fields, ts *TempSlice, tv *tempVecs,
+	x, y, z int, invDx, halfInvDx, invEps, dtFac, obstPref, gT float64, shortcuts bool) {
+
+	p := ctx.P
+	src, dst, mu := f.PhiSrc, f.PhiDst, f.MuSrc
+
+	if shortcuts {
+		all := true
+		for i := 0; i < 4; i++ {
+			if !isBulkCell(src, x+i, y, z) {
+				all = false
+				break
+			}
+		}
+		if all {
+			for i := 0; i < 4; i++ {
+				for a := 0; a < NP; a++ {
+					dst.Set(a, x+i, y, z, src.At(a, x+i, y, z))
+				}
+			}
+			return
+		}
+	}
+
+	phiC := loadPhiQuad(src, x, y, z)
+	nbE := loadPhiQuad(src, x+1, y, z)
+	nbW := loadPhiQuad(src, x-1, y, z)
+	nbN := loadPhiQuad(src, x, y+1, z)
+	nbS := loadPhiQuad(src, x, y-1, z)
+	nbT := loadPhiQuad(src, x, y, z+1)
+	nbB := loadPhiQuad(src, x, y, z-1)
+
+	var gX, gY, gZ phiQuad
+	for a := 0; a < NP; a++ {
+		gX[a] = nbE[a].Sub(nbW[a]).Scale(halfInvDx)
+		gY[a] = nbN[a].Sub(nbS[a]).Scale(halfInvDx)
+		gZ[a] = nbT[a].Sub(nbB[a]).Scale(halfInvDx)
+	}
+
+	// ∂a/∂φ_α = Σ_d Σ_β 2γ (φ_α ∂φ_β − φ_β ∂φ_α) ∂φ_β, lanewise over cells.
+	var dadphi phiQuad
+	for a := 0; a < NP; a++ {
+		var acc simd.Vec4
+		for b := 0; b < NP; b++ {
+			if b == a {
+				continue
+			}
+			gab := 2 * p.Gamma[a][b]
+			for _, g := range [3]*phiQuad{&gX, &gY, &gZ} {
+				q := phiC[a].Mul(g[b]).Sub(phiC[b].Mul(g[a]))
+				acc = acc.Add(q.Mul(g[b]).Scale(gab))
+			}
+		}
+		dadphi[a] = acc
+	}
+
+	// Staggered flux divergence per axis; lanewise face fluxes.
+	var div phiQuad
+	lows := [3]*phiQuad{&nbW, &nbS, &nbB}
+	highs := [3]*phiQuad{&nbE, &nbN, &nbT}
+	for axis := 0; axis < 3; axis++ {
+		hi := phiFaceFluxQuad(p, &phiC, highs[axis], invDx)
+		lo := phiFaceFluxQuad(p, lows[axis], &phiC, invDx)
+		for a := 0; a < NP; a++ {
+			div[a] = div[a].Add(hi[a].Sub(lo[a]).Scale(invDx))
+		}
+	}
+
+	// Obstacle derivative, lanewise.
+	var s1, s2 simd.Vec4
+	for a := 0; a < NP; a++ {
+		s1 = s1.Add(phiC[a])
+		s2 = s2.Add(phiC[a].Mul(phiC[a]))
+	}
+	var obst phiQuad
+	for a := 0; a < NP; a++ {
+		var gphi simd.Vec4
+		for b := 0; b < NP; b++ {
+			gphi = gphi.Add(phiC[b].Scale(p.Gamma[a][b]))
+		}
+		r := s1.Sub(phiC[a])
+		tri := r.Mul(r).Sub(s2.Sub(phiC[a].Mul(phiC[a]))).Scale(0.5 * gT)
+		obst[a] = gphi.Scale(obstPref).Add(tri)
+	}
+
+	// Driving force, lanewise: w'(φ_α)/S (ω_α − ω·h).
+	mu0 := simd.Set(mu.At(0, x, y, z), mu.At(0, x+1, y, z), mu.At(0, x+2, y, z), mu.At(0, x+3, y, z))
+	mu1 := simd.Set(mu.At(1, x, y, z), mu.At(1, x+1, y, z), mu.At(1, x+2, y, z), mu.At(1, x+3, y, z))
+	var pots phiQuad
+	for a := 0; a < NP; a++ {
+		w := simd.Splat(ts.B[a])
+		w = w.Sub(mu0.Mul(mu0).Scale(ts.Inv4A[0][a])).Sub(mu0.Scale(ts.C0T[0][a]))
+		w = w.Sub(mu1.Mul(mu1).Scale(ts.Inv4A[1][a])).Sub(mu1.Scale(ts.C0T[1][a]))
+		pots[a] = w
+	}
+	var wv phiQuad
+	var S simd.Vec4
+	three := simd.Splat(3)
+	for a := 0; a < NP; a++ {
+		wv[a] = phiC[a].Mul(phiC[a]).Mul(three.Sub(phiC[a].Scale(2)))
+		S = S.Add(wv[a])
+	}
+	var invS simd.Vec4
+	for l := 0; l < 4; l++ {
+		if S[l] > 0 {
+			invS[l] = 1 / S[l]
+		}
+	}
+	var wDot simd.Vec4
+	for a := 0; a < NP; a++ {
+		wDot = wDot.Add(pots[a].Mul(wv[a]).Mul(invS))
+	}
+	var df phiQuad
+	one := simd.Splat(1)
+	for a := 0; a < NP; a++ {
+		wd := phiC[a].Mul(one.Sub(phiC[a])).Scale(6)
+		df[a] = wd.Mul(invS).Mul(pots[a].Sub(wDot))
+	}
+
+	// Assemble rhs and update.
+	T := ts.T
+	var rhs phiQuad
+	var mean simd.Vec4
+	for a := 0; a < NP; a++ {
+		rhs[a] = dadphi[a].Sub(div[a]).Scale(T * p.Eps).
+			Add(obst[a].Scale(T * invEps)).
+			Add(df[a])
+		mean = mean.Add(rhs[a])
+	}
+	mean = mean.Scale(1.0 / NP)
+	for i := 0; i < 4; i++ {
+		var out [NP]float64
+		for a := 0; a < NP; a++ {
+			out[a] = phiC[a][i] - dtFac*(rhs[a][i]-mean[i])
+		}
+		core.ProjectSimplex(&out)
+		storePhi(dst, x+i, y, z, &out)
+	}
+	_ = tv
+}
+
+// phiFaceFluxQuad computes the staggered face fluxes for four cells at once
+// (lanes = cells).
+func phiFaceFluxQuad(p *core.Params, lo, hi *phiQuad, invDx float64) phiQuad {
+	var pf, g phiQuad
+	for b := 0; b < NP; b++ {
+		pf[b] = lo[b].Add(hi[b]).Scale(0.5)
+		g[b] = hi[b].Sub(lo[b]).Scale(invDx)
+	}
+	var out phiQuad
+	for a := 0; a < NP; a++ {
+		var acc simd.Vec4
+		for b := 0; b < NP; b++ {
+			if b == a {
+				continue
+			}
+			q := pf[a].Mul(g[b]).Sub(pf[b].Mul(g[a]))
+			acc = acc.Sub(pf[b].Mul(q).Scale(2 * p.Gamma[a][b]))
+		}
+		out[a] = acc
+	}
+	return out
+}

@@ -1,0 +1,200 @@
+package kernels
+
+import (
+	"repro/internal/core"
+)
+
+// phiOpts selects the optional optimizations of the scalar and vectorized
+// φ-kernels.
+type phiOpts struct {
+	tz       bool // per-slice temperature precomputation
+	stag     bool // staggered-value buffering
+	shortcut bool // bulk-cell early exit
+}
+
+// phiFaceFlux computes, for all phases, the normal component of the
+// gradient-energy flux ∂a/∂∇φ_α at the staggered face between the lo and hi
+// cells along one axis. For the isotropic gradient energy
+// a = Σ γ_{αβ}|q_{αβ}|², the normal component needs only the normal
+// derivative — the reason the φ-kernel is a D3C7 stencil.
+func phiFaceFlux(gamma *[NP][NP]float64, lo, hi *[NP]float64, invDx float64, out *[NP]float64) {
+	var pf, g [NP]float64
+	for b := 0; b < NP; b++ {
+		pf[b] = 0.5 * (lo[b] + hi[b])
+		g[b] = (hi[b] - lo[b]) * invDx
+	}
+	for a := 0; a < NP; a++ {
+		s := 0.0
+		for b := 0; b < NP; b++ {
+			if b == a {
+				continue
+			}
+			q := pf[a]*g[b] - pf[b]*g[a]
+			s -= 2 * gamma[a][b] * pf[b] * q
+		}
+		out[a] = s
+	}
+}
+
+// phiSweepScalar is the specialized scalar φ-kernel ("basic waLBerla
+// implementation" when all options are off). It updates f.PhiDst from
+// f.PhiSrc and f.MuSrc over the block interior.
+func phiSweepScalar(ctx *Ctx, f *Fields, sc *Scratch, o phiOpts) {
+	p := ctx.P
+	src, dst, mu := f.PhiSrc, f.PhiDst, f.MuSrc
+	nx, ny, nz := src.NX, src.NY, src.NZ
+	sc.ensure(nx, ny)
+
+	invDx := 1 / p.Dx
+	halfInvDx := 0.5 * invDx
+	invEps := 1 / p.Eps
+	dtFac := p.Dt / (p.Tau * p.Eps)
+
+	var ts TempSlice
+
+	var phiC, nbE, nbW, nbN, nbS, nbT, nbB [NP]float64
+	var grad [NP][3]float64
+	var gradV [NP]core.Vec3
+	var dadphi, obst, df, rhs [NP]float64
+	var pots [NP]float64
+	var muC [NR]float64
+	var fluxHi, fluxLo [NP]float64
+
+	sc.zValidPhi = false
+	for z := 0; z < nz; z++ {
+		if o.tz {
+			ts.Fill(p, ctx.ZOff+z, ctx.Time)
+		}
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				if o.shortcut && isBulkCell(src, x, y, z) {
+					// Bulk region B_α: ∂φ/∂t = 0 and every
+					// staggered flux vanishes.
+					for a := 0; a < NP; a++ {
+						dst.Set(a, x, y, z, src.At(a, x, y, z))
+					}
+					if o.stag {
+						zeroPhiBuffers(sc, x, y)
+					}
+					continue
+				}
+
+				loadPhi(src, x, y, z, &phiC)
+				loadPhi(src, x+1, y, z, &nbE)
+				loadPhi(src, x-1, y, z, &nbW)
+				loadPhi(src, x, y+1, z, &nbN)
+				loadPhi(src, x, y-1, z, &nbS)
+				loadPhi(src, x, y, z+1, &nbT)
+				loadPhi(src, x, y, z-1, &nbB)
+
+				for a := 0; a < NP; a++ {
+					grad[a][0] = (nbE[a] - nbW[a]) * halfInvDx
+					grad[a][1] = (nbN[a] - nbS[a]) * halfInvDx
+					grad[a][2] = (nbT[a] - nbB[a]) * halfInvDx
+					gradV[a] = core.Vec3{grad[a][0], grad[a][1], grad[a][2]}
+				}
+
+				core.GradEnergyDPhi(p, &phiC, &gradV, &dadphi)
+
+				// Divergence of ∂a/∂∇φ from the six staggered
+				// faces; with buffering the three low faces are
+				// reused from previously computed high faces.
+				var div [NP]float64
+				lows := [3]*[NP]float64{&nbW, &nbS, &nbB}
+				highs := [3]*[NP]float64{&nbE, &nbN, &nbT}
+				for axis := 0; axis < 3; axis++ {
+					phiFaceFlux(&p.Gamma, &phiC, highs[axis], invDx, &fluxHi)
+					gotLow := false
+					if o.stag {
+						gotLow = loadPhiBuffer(sc, axis, x, y, &fluxLo)
+					}
+					if !gotLow {
+						phiFaceFlux(&p.Gamma, lows[axis], &phiC, invDx, &fluxLo)
+					}
+					for a := 0; a < NP; a++ {
+						div[a] += (fluxHi[a] - fluxLo[a]) * invDx
+					}
+					if o.stag {
+						storePhiBuffer(sc, axis, x, y, &fluxHi)
+					}
+				}
+
+				core.ObstacleDPhi(p, &phiC, &obst)
+
+				loadMu(mu, x, y, z, &muC)
+				var T float64
+				if o.tz {
+					T = ts.T
+					ts.GrandPots(&muC, &pots)
+				} else {
+					T = p.Temp.At(ctx.ZOff+z, p.Dx, ctx.Time)
+					grandPotsDirect(p.Sys, &muC, T-p.Sys.TE, &pots)
+				}
+				core.DrivingForce(&phiC, &pots, &df)
+
+				mean := 0.0
+				for a := 0; a < NP; a++ {
+					rhs[a] = T*(p.Eps*(dadphi[a]-div[a])+invEps*obst[a]) + df[a]
+					mean += rhs[a]
+				}
+				mean /= NP
+
+				var out [NP]float64
+				for a := 0; a < NP; a++ {
+					out[a] = phiC[a] - dtFac*(rhs[a]-mean)
+				}
+				core.ProjectSimplex(&out)
+				storePhi(dst, x, y, z, &out)
+			}
+		}
+		sc.zValidPhi = true
+	}
+}
+
+// Staggered-buffer plumbing shared by the scalar and vector φ-kernels.
+
+func zeroPhiBuffers(sc *Scratch, x, y int) {
+	for a := 0; a < NP; a++ {
+		sc.phX[a] = 0
+		sc.phY[x*NP+a] = 0
+		sc.phZ[(y*sc.nx+x)*NP+a] = 0
+	}
+}
+
+// loadPhiBuffer fetches the buffered low-face flux for the given axis; it
+// reports false at block-boundary cells where no buffered value exists and
+// the face must be computed explicitly.
+func loadPhiBuffer(sc *Scratch, axis, x, y int, out *[NP]float64) bool {
+	switch axis {
+	case 0:
+		if x == 0 {
+			return false
+		}
+		copy(out[:], sc.phX[:NP])
+	case 1:
+		if y == 0 {
+			return false
+		}
+		copy(out[:], sc.phY[x*NP:x*NP+NP])
+	default:
+		// The z slab buffer is valid from the second slice onward.
+		if !sc.zValidPhi {
+			return false
+		}
+		base := (y*sc.nx + x) * NP
+		copy(out[:], sc.phZ[base:base+NP])
+	}
+	return true
+}
+
+func storePhiBuffer(sc *Scratch, axis, x, y int, flux *[NP]float64) {
+	switch axis {
+	case 0:
+		copy(sc.phX[:NP], flux[:])
+	case 1:
+		copy(sc.phY[x*NP:x*NP+NP], flux[:])
+	default:
+		base := (y*sc.nx + x) * NP
+		copy(sc.phZ[base:base+NP], flux[:])
+	}
+}

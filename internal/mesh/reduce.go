@@ -1,0 +1,148 @@
+package mesh
+
+import "math"
+
+// Hierarchical reduction (§3.2): per-block meshes are stitched pairwise and
+// re-coarsened in the stitched region; each round halves the number of
+// participants, so the full reduction takes log₂(P) steps. The reduction
+// stops early if the aggregate exceeds a configurable memory budget,
+// mirroring the paper's "resumed on a machine with more memory" escape
+// hatch.
+
+// StitchTol is the vertex-merge distance for stitching block meshes; block
+// meshes share exact ghost-layer geometry, so a small tolerance suffices.
+const StitchTol = 1e-6
+
+// Stitch merges two meshes, welding vertices that coincide within tol.
+// Boundary flags are retained (a welded vertex stays boundary only if it is
+// still on the hull of the union — conservatively, if both inputs flag it).
+func Stitch(a, b *Mesh, tol float64) *Mesh {
+	out := &Mesh{}
+	key := func(v Vec3) [3]int64 {
+		return [3]int64{
+			int64(math.Round(v[0] / tol)),
+			int64(math.Round(v[1] / tol)),
+			int64(math.Round(v[2] / tol)),
+		}
+	}
+	lookup := make(map[[3]int64]int32)
+	hasBoundary := a.Boundary != nil || b.Boundary != nil
+	if hasBoundary {
+		out.Boundary = []bool{}
+	}
+	addVert := func(v Vec3, bnd bool) int32 {
+		k := key(v)
+		if idx, ok := lookup[k]; ok {
+			if hasBoundary {
+				// A welded seam vertex is interior now unless
+				// both copies claim boundary.
+				out.Boundary[idx] = out.Boundary[idx] && bnd
+			}
+			return idx
+		}
+		idx := int32(len(out.Verts))
+		out.Verts = append(out.Verts, v)
+		if hasBoundary {
+			out.Boundary = append(out.Boundary, bnd)
+		}
+		lookup[k] = idx
+		return idx
+	}
+	appendMesh := func(m *Mesh) {
+		for _, t := range m.Tris {
+			var nt [3]int32
+			for e := 0; e < 3; e++ {
+				bnd := false
+				if m.Boundary != nil {
+					bnd = m.Boundary[t[e]]
+				}
+				nt[e] = addVert(m.Verts[t[e]], bnd)
+			}
+			if nt[0] != nt[1] && nt[1] != nt[2] && nt[0] != nt[2] {
+				out.Tris = append(out.Tris, nt)
+			}
+		}
+	}
+	appendMesh(a)
+	appendMesh(b)
+	// Drop exact duplicate triangles arising from the shared ghost
+	// overlap between adjacent block extractions.
+	seen := make(map[[3]int32]bool, len(out.Tris))
+	var uniq [][3]int32
+	for _, t := range out.Tris {
+		k := t
+		// Canonical rotation (orientation preserved).
+		for (k[0] > k[1] || k[0] > k[2]) && !(k[0] == k[1] || k[1] == k[2]) {
+			k[0], k[1], k[2] = k[1], k[2], k[0]
+		}
+		if k[0] > k[1] && k[0] > k[2] {
+			k[0], k[1], k[2] = k[1], k[2], k[0]
+		}
+		if k[0] > k[1] && k[0] > k[2] {
+			k[0], k[1], k[2] = k[1], k[2], k[0]
+		}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		uniq = append(uniq, t)
+	}
+	out.Tris = uniq
+	out.Compact()
+	return out
+}
+
+// ReduceOptions controls the hierarchical reduction.
+type ReduceOptions struct {
+	// TargetTris is the per-round coarsening target applied after each
+	// stitch (0 keeps everything).
+	TargetTris int
+	// MaxError bounds per-collapse error (0: unbounded).
+	MaxError float64
+	// MaxTris aborts further coarsening rounds when an aggregate exceeds
+	// it (the "does not fit in one node's memory" condition); the
+	// partially reduced meshes are returned for offline postprocessing.
+	MaxTris int
+}
+
+// Reduce runs the log₂(P) pairwise gather-stitch-coarsen reduction over the
+// per-block meshes. It returns the reduced mesh list: length 1 when the
+// reduction completed, more when MaxTris stopped it early. rounds reports
+// how many pairwise rounds ran.
+func Reduce(meshes []*Mesh, opt ReduceOptions) (out []*Mesh, rounds int) {
+	cur := make([]*Mesh, len(meshes))
+	copy(cur, meshes)
+	// Round 0: local coarsening on every block, boundary-protected.
+	if opt.TargetTris > 0 {
+		for _, m := range cur {
+			if m.NumTris() > opt.TargetTris {
+				Simplify(m, SimplifyOptions{TargetTris: opt.TargetTris, MaxError: opt.MaxError})
+			}
+		}
+	}
+	for len(cur) > 1 {
+		if opt.MaxTris > 0 {
+			total := 0
+			for _, m := range cur {
+				total += m.NumTris()
+			}
+			if total > opt.MaxTris {
+				return cur, rounds
+			}
+		}
+		var next []*Mesh
+		for i := 0; i+1 < len(cur); i += 2 {
+			s := Stitch(cur[i], cur[i+1], StitchTol)
+			if opt.TargetTris > 0 && s.NumTris() > opt.TargetTris {
+				Simplify(s, SimplifyOptions{TargetTris: opt.TargetTris, MaxError: opt.MaxError})
+			}
+			next = append(next, s)
+		}
+		if len(cur)%2 == 1 {
+			next = append(next, cur[len(cur)-1])
+		}
+		cur = next
+		rounds++
+	}
+	return cur, rounds
+}

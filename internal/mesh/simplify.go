@@ -1,0 +1,281 @@
+package mesh
+
+import "container/heap"
+
+// Quadric-error-metric edge-collapse simplification after Garland &
+// Heckbert (paper ref. [12]; the paper links the VCG library's
+// implementation — this is a from-scratch equivalent). Block-boundary
+// vertices receive a high additional point quadric so the boundary is
+// preserved for the later stitching step (§3.2).
+
+// Quadric is a symmetric 4x4 error quadric stored as its 10 unique
+// coefficients: [a² ab ac ad; · b² bc bd; · · c² cd; · · · d²].
+type Quadric [10]float64
+
+// AddPlane accumulates the quadric of plane (n, d) with |n| = 1:
+// error(v) = (n·v + d)².
+func (q *Quadric) AddPlane(n Vec3, d float64, w float64) {
+	q[0] += w * n[0] * n[0]
+	q[1] += w * n[0] * n[1]
+	q[2] += w * n[0] * n[2]
+	q[3] += w * n[0] * d
+	q[4] += w * n[1] * n[1]
+	q[5] += w * n[1] * n[2]
+	q[6] += w * n[1] * d
+	q[7] += w * n[2] * n[2]
+	q[8] += w * n[2] * d
+	q[9] += w * d * d
+}
+
+// AddPoint accumulates w·|v − p|², anchoring the quadric at point p.
+func (q *Quadric) AddPoint(p Vec3, w float64) {
+	// (x−p)² expands to x² − 2px + p² per axis: diag w, off-diag 0.
+	q[0] += w
+	q[4] += w
+	q[7] += w
+	q[3] += -w * p[0]
+	q[6] += -w * p[1]
+	q[8] += -w * p[2]
+	q[9] += w * p.Dot(p)
+}
+
+// Add accumulates another quadric.
+func (q *Quadric) Add(o *Quadric) {
+	for i := range q {
+		q[i] += o[i]
+	}
+}
+
+// Eval returns the quadric error at v (always ≥ 0 for sums of plane/point
+// quadrics, up to roundoff).
+func (q *Quadric) Eval(v Vec3) float64 {
+	x, y, z := v[0], v[1], v[2]
+	return q[0]*x*x + 2*q[1]*x*y + 2*q[2]*x*z + 2*q[3]*x +
+		q[4]*y*y + 2*q[5]*y*z + 2*q[6]*y +
+		q[7]*z*z + 2*q[8]*z +
+		q[9]
+}
+
+// SimplifyOptions tunes the edge-collapse pass.
+type SimplifyOptions struct {
+	// TargetTris stops collapsing when the face count reaches this.
+	TargetTris int
+	// MaxError rejects collapses whose quadric error exceeds this
+	// (0 disables the limit).
+	MaxError float64
+	// BoundaryWeight is the point-quadric weight protecting vertices
+	// marked as block-boundary (default 1e4).
+	BoundaryWeight float64
+}
+
+type collapseEdge struct {
+	u, v    int32
+	cost    float64
+	target  Vec3
+	version int64
+	index   int // heap bookkeeping
+}
+
+type edgeHeap []*collapseEdge
+
+func (h edgeHeap) Len() int            { return len(h) }
+func (h edgeHeap) Less(i, j int) bool  { return h[i].cost < h[j].cost }
+func (h edgeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i]; h[i].index = i; h[j].index = j }
+func (h *edgeHeap) Push(x interface{}) { e := x.(*collapseEdge); e.index = len(*h); *h = append(*h, e) }
+func (h *edgeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Simplify coarsens the mesh in place using quadric-error edge collapses.
+// It returns the number of collapses performed.
+func Simplify(m *Mesh, opt SimplifyOptions) int {
+	if opt.BoundaryWeight == 0 {
+		opt.BoundaryWeight = 1e4
+	}
+	if opt.TargetTris <= 0 {
+		opt.TargetTris = 1
+	}
+	nv := len(m.Verts)
+
+	// Per-vertex quadrics from incident face planes.
+	quadrics := make([]Quadric, nv)
+	for _, t := range m.Tris {
+		a, b, c := m.Verts[t[0]], m.Verts[t[1]], m.Verts[t[2]]
+		n := b.Sub(a).Cross(c.Sub(a))
+		l := n.Norm()
+		if l == 0 {
+			continue
+		}
+		n = n.Scale(1 / l)
+		d := -n.Dot(a)
+		for e := 0; e < 3; e++ {
+			quadrics[t[e]].AddPlane(n, d, l/2) // area-weighted
+		}
+	}
+	if m.Boundary != nil {
+		for i, b := range m.Boundary {
+			if b {
+				quadrics[i].AddPoint(m.Verts[i], opt.BoundaryWeight)
+			}
+		}
+	}
+
+	// Union-find over collapsed vertices.
+	parent := make([]int32, nv)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+
+	version := make([]int64, nv)
+
+	// Adjacency: faces per vertex (indices into m.Tris), updated lazily.
+	facesOf := make([][]int32, nv)
+	for fi, t := range m.Tris {
+		for e := 0; e < 3; e++ {
+			facesOf[t[e]] = append(facesOf[t[e]], int32(fi))
+		}
+	}
+	alive := make([]bool, len(m.Tris))
+	liveTris := 0
+	for fi, t := range m.Tris {
+		if t[0] != t[1] && t[1] != t[2] && t[0] != t[2] {
+			alive[fi] = true
+			liveTris++
+		}
+	}
+
+	cost := func(u, v int32) (float64, Vec3) {
+		var q Quadric
+		q.Add(&quadrics[u])
+		q.Add(&quadrics[v])
+		// Candidate positions: midpoint and both endpoints (the exact
+		// minimizer needs a 3x3 solve; endpoint/midpoint selection is
+		// the standard robust fallback and is what matters here).
+		mid := m.Verts[u].Add(m.Verts[v]).Scale(0.5)
+		best, bc := mid, q.Eval(mid)
+		if c := q.Eval(m.Verts[u]); c < bc {
+			best, bc = m.Verts[u], c
+		}
+		if c := q.Eval(m.Verts[v]); c < bc {
+			best, bc = m.Verts[v], c
+		}
+		return bc, best
+	}
+
+	h := &edgeHeap{}
+	pushEdge := func(u, v int32) {
+		if u == v {
+			return
+		}
+		if u > v {
+			u, v = v, u
+		}
+		c, tgt := cost(u, v)
+		heap.Push(h, &collapseEdge{u: u, v: v, cost: c, target: tgt,
+			version: version[u] + version[v]})
+	}
+	seen := make(map[[2]int32]bool)
+	for _, t := range m.Tris {
+		for e := 0; e < 3; e++ {
+			a, b := t[e], t[(e+1)%3]
+			if a > b {
+				a, b = b, a
+			}
+			if a != b && !seen[[2]int32{a, b}] {
+				seen[[2]int32{a, b}] = true
+				pushEdge(a, b)
+			}
+		}
+	}
+
+	collapses := 0
+	for h.Len() > 0 && liveTris > opt.TargetTris {
+		e := heap.Pop(h).(*collapseEdge)
+		u, v := find(e.u), find(e.v)
+		if u == v {
+			continue
+		}
+		if e.version != version[find(e.u)]+version[find(e.v)] {
+			continue // stale entry; a fresh one was pushed
+		}
+		if u != e.u || v != e.v {
+			// Endpoints were merged elsewhere; re-push the live pair.
+			pushEdge(u, v)
+			continue
+		}
+		if opt.MaxError > 0 && e.cost > opt.MaxError {
+			break
+		}
+
+		// Collapse v into u at the target position.
+		parent[v] = u
+		m.Verts[u] = e.target
+		quadrics[u].Add(&quadrics[v])
+		if m.Boundary != nil {
+			m.Boundary[u] = m.Boundary[u] || m.Boundary[v]
+		}
+		version[u]++
+
+		// Remap v's faces onto u; kill degenerates; collect the new
+		// neighbor set.
+		neighbors := make(map[int32]bool)
+		merged := append(facesOf[u], facesOf[v]...)
+		var kept []int32
+		for _, fi := range merged {
+			if !alive[fi] {
+				continue
+			}
+			t := &m.Tris[fi]
+			for e2 := 0; e2 < 3; e2++ {
+				t[e2] = find(t[e2])
+			}
+			if t[0] == t[1] || t[1] == t[2] || t[0] == t[2] {
+				alive[fi] = false
+				liveTris--
+				continue
+			}
+			kept = append(kept, fi)
+			for e2 := 0; e2 < 3; e2++ {
+				if t[e2] != u {
+					neighbors[t[e2]] = true
+				}
+			}
+		}
+		facesOf[u] = kept
+		facesOf[v] = nil
+		for nb := range neighbors {
+			pushEdge(u, nb)
+		}
+		collapses++
+	}
+
+	// Rebuild the triangle list from live faces with final vertex ids.
+	var tris [][3]int32
+	for fi, ok := range alive {
+		if !ok {
+			continue
+		}
+		t := m.Tris[fi]
+		for e := 0; e < 3; e++ {
+			t[e] = find(t[e])
+		}
+		if t[0] != t[1] && t[1] != t[2] && t[0] != t[2] {
+			tris = append(tris, t)
+		}
+	}
+	m.Tris = tris
+	m.Compact()
+	return collapses
+}

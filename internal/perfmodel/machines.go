@@ -1,0 +1,130 @@
+package perfmodel
+
+// Machine describes one of the paper's three HPC systems (§4) plus the
+// calibrated per-core kernel rates used by the analytic scaling models.
+// Rates are anchored to the paper's measurements (e.g. 4.2 MLUP/s per
+// SuperMUC core for the µ-kernel without shortcuts); scenario ratios follow
+// the shortcut behaviour of the real kernels in this repository.
+type Machine struct {
+	Name          string
+	CoresPerNode  int
+	TotalCores    int
+	ClockHz       float64
+	FLOPsPerCycle float64 // per core, double precision
+	StreamBWNode  float64 // bytes/s per node
+
+	// Network model.
+	Topology       string
+	LatencySec     float64
+	LinkBW         float64 // bytes/s per process pair, effective
+	IslandCores    int     // non-blocking island size (tree topologies)
+	PrunedFactor   float64 // bandwidth reduction beyond an island
+	ContentionLog  float64 // per-doubling contention growth factor
+	PackBW         float64 // bytes/s memcpy rate for pack/unpack
+	SkewPerStepSec float64 // synchronization skew per timestep
+
+	// Calibrated per-core kernel rates (MLUP/s) per scenario
+	// {interface, solid, liquid}, full-optimization kernels.
+	PhiRate [3]float64
+	MuRate  [3]float64
+	// Extra per-step overhead fraction (boundary handling, swap, ...).
+	OverheadFrac float64
+}
+
+// Scenario indices for the rate tables.
+const (
+	ScnInterface = 0
+	ScnSolid     = 1
+	ScnLiquid    = 2
+)
+
+// PeakFLOPsCore returns the per-core peak FLOP rate.
+func (m *Machine) PeakFLOPsCore() float64 { return m.ClockHz * m.FLOPsPerCycle }
+
+// PeakFLOPsNode returns the per-node peak FLOP rate.
+func (m *Machine) PeakFLOPsNode() float64 {
+	return m.PeakFLOPsCore() * float64(m.CoresPerNode)
+}
+
+// SuperMUC is the LRZ petascale system: 2× 8-core Sandy Bridge E5-2680 per
+// node at 2.7 GHz (AVX: 8 DP FLOP/cycle), 80 GiB/s STREAM per node, islands
+// of 512 nodes with a non-blocking tree inside and a 4:1 pruned tree
+// between islands.
+func SuperMUC() *Machine {
+	return &Machine{
+		Name:           "SuperMUC",
+		CoresPerNode:   16,
+		TotalCores:     147456,
+		ClockHz:        2.7e9,
+		FLOPsPerCycle:  8,
+		StreamBWNode:   80 * (1 << 30),
+		Topology:       "pruned tree (4:1)",
+		LatencySec:     2.2e-6,
+		LinkBW:         1.2e9,
+		IslandCores:    512 * 16,
+		PrunedFactor:   4,
+		ContentionLog:  0.06,
+		PackBW:         3.0e9,
+		SkewPerStepSec: 0.25e-3,
+		PhiRate:        [3]float64{11.0, 12.5, 13.5},
+		MuRate:         [3]float64{4.5, 6.5, 5.2},
+		OverheadFrac:   0.12,
+	}
+}
+
+// Hornet is the HLRS Cray XC40: 2× 12-core Haswell E5-2680v3 per node at
+// 2.5 GHz (AVX2+FMA: 16 DP FLOP/cycle), Aries dragonfly interconnect.
+func Hornet() *Machine {
+	return &Machine{
+		Name:           "Hornet",
+		CoresPerNode:   24,
+		TotalCores:     94656,
+		ClockHz:        2.5e9,
+		FLOPsPerCycle:  16,
+		StreamBWNode:   110 * (1 << 30),
+		Topology:       "dragonfly (Aries)",
+		LatencySec:     1.5e-6,
+		LinkBW:         2.0e9,
+		IslandCores:    0, // dragonfly: no island pruning
+		PrunedFactor:   1,
+		ContentionLog:  0.04,
+		PackBW:         3.5e9,
+		SkewPerStepSec: 0.2e-3,
+		PhiRate:        [3]float64{12.5, 14.5, 15.5},
+		MuRate:         [3]float64{5.4, 7.6, 6.2},
+		OverheadFrac:   0.12,
+	}
+}
+
+// JUQUEEN is the JSC 28-rack Blue Gene/Q: 16 PowerPC A2 cores per node at
+// 1.6 GHz (QPX: 8 DP FLOP/cycle, in-order, 4-way SMT required), 5D torus
+// at up to 40 GB/s with sub-microsecond latency.
+func JUQUEEN() *Machine {
+	return &Machine{
+		Name:           "JUQUEEN",
+		CoresPerNode:   16,
+		TotalCores:     458752,
+		ClockHz:        1.6e9,
+		FLOPsPerCycle:  8,
+		StreamBWNode:   28 * (1 << 30),
+		Topology:       "5D torus",
+		LatencySec:     0.7e-6,
+		LinkBW:         1.8e9,
+		IslandCores:    0,
+		PrunedFactor:   1,
+		ContentionLog:  0.015,
+		PackBW:         1.2e9,
+		SkewPerStepSec: 0.35e-3,
+		// In-order A2 cores run roughly an order of magnitude slower
+		// per core; the paper's Fig. 9 shows ~0.2 MLUP/s per core for
+		// the full timestep.
+		PhiRate:      [3]float64{0.80, 0.92, 0.99},
+		MuRate:       [3]float64{0.33, 0.47, 0.38},
+		OverheadFrac: 0.15,
+	}
+}
+
+// Machines returns the three systems of §4.
+func Machines() []*Machine {
+	return []*Machine{SuperMUC(), Hornet(), JUQUEEN()}
+}

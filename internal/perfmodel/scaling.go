@@ -1,0 +1,123 @@
+package perfmodel
+
+import "math"
+
+// Analytic communication and weak-scaling models. Block sizes follow the
+// paper's benchmarks (60³ cells per core). Message volumes derive from the
+// real field layouts: the φ exchange carries 4 components per face cell,
+// the µ exchange 2, one ghost layer deep, three staged axis messages per
+// field per step in each direction.
+
+// CommScenario describes one communication-time evaluation point.
+type CommScenario struct {
+	Machine   *Machine
+	BlockEdge int  // cubic block edge length per process
+	Cores     int  // total processes
+	Overlap   bool // communication hiding enabled
+}
+
+// fieldBytes returns the per-step ghost message volume of one field with
+// ncomp components on a cubic block (6 faces, 1 ghost layer, 8 B values).
+func fieldBytes(edge, ncomp int) float64 {
+	face := float64(edge * edge)
+	return 6 * face * float64(ncomp) * 8
+}
+
+// contention returns the effective bandwidth divisor at scale p.
+func contention(m *Machine, p int) float64 {
+	c := 1.0
+	if m.IslandCores > 0 && p > m.IslandCores {
+		c *= m.PrunedFactor
+	}
+	if p > m.CoresPerNode {
+		doublings := math.Log2(float64(p) / float64(m.CoresPerNode))
+		c *= 1 + m.ContentionLog*doublings
+	}
+	return c
+}
+
+// CommTime returns the modeled per-timestep communication time in seconds
+// for one field exchange (phi=true selects the φ field). With overlap
+// enabled only the pack/unpack portion and a small synchronization residue
+// remain visible — transfers hide behind computation (§5.1.2, Fig. 8).
+func CommTime(cs CommScenario, phi bool) float64 {
+	ncomp := 2
+	if phi {
+		ncomp = 4
+	}
+	bytes := fieldBytes(cs.BlockEdge, ncomp)
+	m := cs.Machine
+
+	packUnpack := 2 * bytes / m.PackBW
+	transfer := 6*m.LatencySec + bytes/m.LinkBW*contention(m, cs.Cores)
+	skew := m.SkewPerStepSec * math.Log2(math.Max(2, float64(cs.Cores))) / 12
+
+	if cs.Overlap {
+		// Transfers hidden; pack/unpack and a fraction of the skew
+		// remain. Overlapping the φ exchange additionally costs the
+		// split-kernel overhead, charged to compute, not comm.
+		return packUnpack + 0.3*skew
+	}
+	return packUnpack + transfer + skew
+}
+
+// WeakScalingPoint is one sample of the Fig. 9 curves.
+type WeakScalingPoint struct {
+	Cores        int
+	MLUPsPerCore float64
+}
+
+// WeakScaling models MLUP/s per core for the full timestep (both kernels,
+// boundary handling, µ-overlap communication hiding) at increasing core
+// counts with a fixed block per core — the weak-scaling experiment of
+// Fig. 9.
+func WeakScaling(m *Machine, scenario int, blockEdge int, cores []int) []WeakScalingPoint {
+	cells := float64(blockEdge * blockEdge * blockEdge)
+	out := make([]WeakScalingPoint, 0, len(cores))
+	for _, p := range cores {
+		tPhi := cells / (m.PhiRate[scenario] * 1e6)
+		tMu := cells / (m.MuRate[scenario] * 1e6)
+		tComp := (tPhi + tMu) * (1 + m.OverheadFrac)
+
+		// Production communication: µ hidden, φ blocking.
+		tComm := CommTime(CommScenario{Machine: m, BlockEdge: blockEdge, Cores: p, Overlap: true}, false) +
+			CommTime(CommScenario{Machine: m, BlockEdge: blockEdge, Cores: p, Overlap: false}, true)
+
+		t := tComp + tComm
+		out = append(out, WeakScalingPoint{Cores: p, MLUPsPerCore: cells / t / 1e6})
+	}
+	return out
+}
+
+// IntranodeScaling models the µ-kernel-only intranode scaling of Fig. 7:
+// with one process per core the kernel is compute bound, so scaling is
+// nearly linear until the shared memory bandwidth saturates.
+func IntranodeScaling(m *Machine, blockEdge int, maxCores int) []WeakScalingPoint {
+	out := make([]WeakScalingPoint, 0, maxCores)
+	for c := 1; c <= maxCores; c++ {
+		rate := m.MuRate[ScnInterface] // MLUP/s per core, compute bound
+		// Bandwidth ceiling shared across active cores.
+		bwCeil := (m.StreamBWNode / MuBytesPerLUP / 1e6) / float64(c)
+		eff := math.Min(rate, bwCeil)
+		out = append(out, WeakScalingPoint{Cores: c, MLUPsPerCore: eff})
+	}
+	return out
+}
+
+// Efficiency returns the weak-scaling parallel efficiency of a curve
+// relative to its first point.
+func Efficiency(points []WeakScalingPoint) float64 {
+	if len(points) == 0 || points[0].MLUPsPerCore == 0 {
+		return 0
+	}
+	return points[len(points)-1].MLUPsPerCore / points[0].MLUPsPerCore
+}
+
+// PowersOfTwo returns {2^lo .. 2^hi}.
+func PowersOfTwo(lo, hi int) []int {
+	var out []int
+	for e := lo; e <= hi; e++ {
+		out = append(out, 1<<uint(e))
+	}
+	return out
+}

@@ -1,0 +1,298 @@
+package simd
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	d := math.Abs(a - b)
+	if d <= tol {
+		return true
+	}
+	m := math.Max(math.Abs(a), math.Abs(b))
+	return d <= tol*m
+}
+
+func TestSetAndStore(t *testing.T) {
+	v := Set(1, 2, 3, 4)
+	buf := make([]float64, 4)
+	v.Store(buf)
+	for i, want := range []float64{1, 2, 3, 4} {
+		if buf[i] != want {
+			t.Errorf("lane %d = %v, want %v", i, buf[i], want)
+		}
+	}
+}
+
+func TestLoadRoundTrip(t *testing.T) {
+	s := []float64{-1.5, 0, 2.25, 1e9}
+	v := Load(s)
+	out := make([]float64, 4)
+	v.Store(out)
+	for i := range s {
+		if out[i] != s[i] {
+			t.Errorf("lane %d = %v, want %v", i, out[i], s[i])
+		}
+	}
+}
+
+func TestSplat(t *testing.T) {
+	v := Splat(7.5)
+	for i := 0; i < Width; i++ {
+		if v[i] != 7.5 {
+			t.Errorf("lane %d = %v", i, v[i])
+		}
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	a := Set(1, 2, 3, 4)
+	b := Set(5, 6, 7, 8)
+	if got := a.Add(b); got != (Vec4{6, 8, 10, 12}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != (Vec4{-4, -4, -4, -4}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Mul(b); got != (Vec4{5, 12, 21, 32}) {
+		t.Errorf("Mul = %v", got)
+	}
+	if got := b.Div(a); got != (Vec4{5, 3, 7.0 / 3.0, 2}) {
+		t.Errorf("Div = %v", got)
+	}
+	if got := a.Neg(); got != (Vec4{-1, -2, -3, -4}) {
+		t.Errorf("Neg = %v", got)
+	}
+	if got := a.Scale(2); got != (Vec4{2, 4, 6, 8}) {
+		t.Errorf("Scale = %v", got)
+	}
+}
+
+func TestFMA(t *testing.T) {
+	a := Set(1, 2, 3, 4)
+	b := Set(2, 2, 2, 2)
+	c := Set(10, 10, 10, 10)
+	if got := a.FMA(b, c); got != (Vec4{12, 14, 16, 18}) {
+		t.Errorf("FMA = %v", got)
+	}
+	if got := a.FMS(b, c); got != (Vec4{-8, -6, -4, -2}) {
+		t.Errorf("FMS = %v", got)
+	}
+}
+
+func TestMinMaxAbs(t *testing.T) {
+	a := Set(-1, 5, -3, 7)
+	b := Set(2, 4, -6, 8)
+	if got := a.Min(b); got != (Vec4{-1, 4, -6, 7}) {
+		t.Errorf("Min = %v", got)
+	}
+	if got := a.Max(b); got != (Vec4{2, 5, -3, 8}) {
+		t.Errorf("Max = %v", got)
+	}
+	if got := a.Abs(); got != (Vec4{1, 5, 3, 7}) {
+		t.Errorf("Abs = %v", got)
+	}
+}
+
+func TestHorizontalOps(t *testing.T) {
+	v := Set(1, 2, 3, 4)
+	if got := v.HSum(); got != 10 {
+		t.Errorf("HSum = %v", got)
+	}
+	if got := v.HMax(); got != 4 {
+		t.Errorf("HMax = %v", got)
+	}
+	w := Set(4, 3, 2, 1)
+	if got := v.Dot(w); got != 20 {
+		t.Errorf("Dot = %v", got)
+	}
+}
+
+func TestRotate(t *testing.T) {
+	v := Set(1, 2, 3, 4)
+	if got := v.RotateL(); got != (Vec4{2, 3, 4, 1}) {
+		t.Errorf("RotateL = %v", got)
+	}
+	if got := v.RotateR(); got != (Vec4{4, 1, 2, 3}) {
+		t.Errorf("RotateR = %v", got)
+	}
+	// Four rotations return to identity.
+	r := v
+	for i := 0; i < 4; i++ {
+		r = r.RotateL()
+	}
+	if r != v {
+		t.Errorf("4x RotateL = %v, want %v", r, v)
+	}
+}
+
+func TestRotateInverse(t *testing.T) {
+	f := func(a, b, c, d float64) bool {
+		v := Set(a, b, c, d)
+		return v.RotateL().RotateR() == v && v.RotateR().RotateL() == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBlend(t *testing.T) {
+	a := Set(1, 2, 3, 4)
+	b := Set(10, 20, 30, 40)
+	mask := Set(1, 0, 1, 0)
+	if got := a.Blend(b, mask); got != (Vec4{1, 20, 3, 40}) {
+		t.Errorf("Blend = %v", got)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	a := Set(1, 5, 3, 3)
+	b := Set(2, 4, 3, 1)
+	if got := a.CmpGT(b); got != (Vec4{0, 1, 0, 1}) {
+		t.Errorf("CmpGT = %v", got)
+	}
+	if got := a.CmpGE(b); got != (Vec4{0, 1, 1, 1}) {
+		t.Errorf("CmpGE = %v", got)
+	}
+}
+
+func TestAnyGTAllZero(t *testing.T) {
+	if !Set(0, 0, 0, 0.1).AnyGT(0) {
+		t.Error("AnyGT(0) should be true")
+	}
+	if Set(0, 0, 0, 0).AnyGT(0) {
+		t.Error("AnyGT(0) should be false for zero vector")
+	}
+	if !Zero().AllZero() {
+		t.Error("Zero().AllZero() should be true")
+	}
+	if Set(0, 0, 1e-300, 0).AllZero() {
+		t.Error("AllZero should be false")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	v := Set(-0.5, 0.5, 1.5, 0)
+	if got := v.Clamp(0, 1); got != (Vec4{0, 0.5, 1, 0}) {
+		t.Errorf("Clamp = %v", got)
+	}
+}
+
+func TestSqrt(t *testing.T) {
+	v := Set(4, 9, 16, 25)
+	if got := v.Sqrt(); got != (Vec4{2, 3, 4, 5}) {
+		t.Errorf("Sqrt = %v", got)
+	}
+}
+
+func TestFastRSqrtAccuracy(t *testing.T) {
+	for _, x := range []float64{1e-8, 1e-4, 0.01, 0.5, 1, 2, 100, 1e6, 1e12} {
+		exact := 1 / math.Sqrt(x)
+		got1 := FastRSqrt(x)
+		got2 := FastRSqrt2(x)
+		if rel := math.Abs(got1-exact) / exact; rel > 5e-3 {
+			t.Errorf("FastRSqrt(%g): rel error %g > 5e-3", x, rel)
+		}
+		if rel := math.Abs(got2-exact) / exact; rel > 1e-5 {
+			t.Errorf("FastRSqrt2(%g): rel error %g > 1e-5", x, rel)
+		}
+	}
+}
+
+func TestFastRSqrtProperty(t *testing.T) {
+	f := func(x float64) bool {
+		x = math.Abs(x)
+		if x < 1e-30 || x > 1e30 || math.IsNaN(x) || math.IsInf(x, 0) {
+			return true // out of supported range
+		}
+		exact := 1 / math.Sqrt(x)
+		return almostEq(FastRSqrt2(x), exact, 1e-4)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Algebraic laws on Vec4, checked with property-based tests.
+
+func TestAddCommutative(t *testing.T) {
+	f := func(a, b, c, d, e, g, h, i float64) bool {
+		v, w := Set(a, b, c, d), Set(e, g, h, i)
+		return v.Add(w) == w.Add(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulCommutative(t *testing.T) {
+	f := func(a, b, c, d, e, g, h, i float64) bool {
+		v, w := Set(a, b, c, d), Set(e, g, h, i)
+		return v.Mul(w) == w.Mul(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddNegIsZero(t *testing.T) {
+	f := func(a, b, c, d float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsNaN(c) || math.IsNaN(d) {
+			return true
+		}
+		v := Set(a, b, c, d)
+		s := v.Add(v.Neg())
+		return s.AllZero() || (s[0] == 0 && s[1] == 0 && s[2] == 0 && s[3] == 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBlendMaskIdentities(t *testing.T) {
+	f := func(a, b, c, d, e, g, h, i float64) bool {
+		v, w := Set(a, b, c, d), Set(e, g, h, i)
+		ones := Splat(1)
+		zeros := Zero()
+		return v.Blend(w, ones) == v && v.Blend(w, zeros) == w
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkVec4FMA(b *testing.B) {
+	v := Set(1.0001, 2.0002, 3.0003, 4.0004)
+	w := Splat(0.999999)
+	acc := Zero()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		acc = v.FMA(w, acc)
+	}
+	if acc.HSum() == math.Inf(1) {
+		b.Fatal("overflow")
+	}
+}
+
+func BenchmarkFastRSqrt(b *testing.B) {
+	x := 1.2345
+	var s float64
+	for i := 0; i < b.N; i++ {
+		s += FastRSqrt(x)
+	}
+	_ = s
+}
+
+func BenchmarkMathSqrtInverse(b *testing.B) {
+	x := 1.2345
+	var s float64
+	for i := 0; i < b.N; i++ {
+		s += 1 / math.Sqrt(x)
+	}
+	_ = s
+}

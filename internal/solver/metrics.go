@@ -1,0 +1,176 @@
+package solver
+
+import (
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/kernels"
+)
+
+// Metrics aggregates performance and physics measurements of a run. MLUP/s
+// ("million lattice cell updates per second") is the paper's unit
+// throughout §5.
+type Metrics struct {
+	Steps         int
+	Cells         int
+	PhiKernelTime time.Duration // summed over ranks
+	MuKernelTime  time.Duration
+	CommPhi       comm.Stats
+	CommMu        comm.Stats
+	WallTime      time.Duration
+}
+
+// MLUPs returns million lattice updates per second based on wall time.
+func (m *Metrics) MLUPs() float64 {
+	if m.WallTime <= 0 {
+		return 0
+	}
+	return float64(m.Cells) * float64(m.Steps) / m.WallTime.Seconds() / 1e6
+}
+
+// PhiKernelMLUPs returns the φ-kernel-only rate (per-rank times are summed,
+// so this is a per-core rate multiplied by rank count when ranks run truly
+// in parallel).
+func (m *Metrics) PhiKernelMLUPs() float64 {
+	if m.PhiKernelTime <= 0 {
+		return 0
+	}
+	return float64(m.Cells) * float64(m.Steps) / m.PhiKernelTime.Seconds() / 1e6
+}
+
+// MuKernelMLUPs returns the µ-kernel-only rate.
+func (m *Metrics) MuKernelMLUPs() float64 {
+	if m.MuKernelTime <= 0 {
+		return 0
+	}
+	return float64(m.Cells) * float64(m.Steps) / m.MuKernelTime.Seconds() / 1e6
+}
+
+// RunMeasured advances n steps and returns timing metrics for exactly those
+// steps.
+func (s *Sim) RunMeasured(n int) Metrics {
+	s.ResetMetrics()
+	t0 := time.Now()
+	s.Run(n)
+	wall := time.Since(t0)
+
+	m := Metrics{Steps: n, Cells: s.GlobalCells(), WallTime: wall}
+	for _, r := range s.ranks {
+		m.PhiKernelTime += r.phiKernelTime
+		m.MuKernelTime += r.muKernelTime
+	}
+	for r := 0; r < s.World.NumRanks(); r++ {
+		m.CommPhi.Add(s.World.RankTagStats(r, comm.TagPhi))
+		m.CommMu.Add(s.World.RankTagStats(r, comm.TagMu))
+	}
+	return m
+}
+
+// ResetMetrics clears all accumulated timing state.
+func (s *Sim) ResetMetrics() {
+	for _, r := range s.ranks {
+		r.phiKernelTime = 0
+		r.muKernelTime = 0
+	}
+	s.World.ResetStats()
+}
+
+// SolidFraction returns the global solid volume fraction.
+func (s *Sim) SolidFraction() float64 {
+	sums := make([]float64, len(s.ranks))
+	s.forAllRanks(func(r *rank) {
+		f := r.fields.PhiSrc
+		t := 0.0
+		f.Interior(func(x, y, z int) {
+			for a := 0; a < core.NPhases-1; a++ {
+				t += f.At(a, x, y, z)
+			}
+		})
+		sums[r.id] = t
+	})
+	total := 0.0
+	for _, v := range sums {
+		total += v
+	}
+	return total / float64(s.GlobalCells())
+}
+
+// PhaseFractions returns the global volume fraction of every phase.
+func (s *Sim) PhaseFractions() [core.NPhases]float64 {
+	perRank := make([][core.NPhases]float64, len(s.ranks))
+	s.forAllRanks(func(r *rank) {
+		f := r.fields.PhiSrc
+		var acc [core.NPhases]float64
+		f.Interior(func(x, y, z int) {
+			for a := 0; a < core.NPhases; a++ {
+				acc[a] += f.At(a, x, y, z)
+			}
+		})
+		perRank[r.id] = acc
+	})
+	var out [core.NPhases]float64
+	inv := 1 / float64(s.GlobalCells())
+	for _, acc := range perRank {
+		for a := 0; a < core.NPhases; a++ {
+			out[a] += acc[a] * inv
+		}
+	}
+	return out
+}
+
+// HasNaN reports whether any rank's source fields contain NaN/Inf.
+func (s *Sim) HasNaN() bool {
+	bad := make([]bool, len(s.ranks))
+	s.forAllRanks(func(r *rank) {
+		bad[r.id] = r.fields.PhiSrc.HasNaN() || r.fields.MuSrc.HasNaN()
+	})
+	for _, b := range bad {
+		if b {
+			return true
+		}
+	}
+	return false
+}
+
+// GatherGlobalPhi assembles the global φ field on a single Field (for
+// output, analysis and mesh extraction). Intended for post-processing, not
+// the hot loop.
+func (s *Sim) GatherGlobalPhi() *grid.Field {
+	nx, ny, nz := s.Cfg.BG.GlobalCells()
+	out := grid.NewField(nx, ny, nz, core.NPhases, 1, grid.SoA)
+	for _, r := range s.ranks {
+		ox, oy, oz := s.Cfg.BG.Origin(r.id)
+		f := r.fields.PhiSrc
+		f.Interior(func(x, y, z int) {
+			for a := 0; a < core.NPhases; a++ {
+				out.Set(a, ox+x, oy+y, oz+z, f.At(a, x, y, z))
+			}
+		})
+	}
+	return out
+}
+
+// GatherGlobalMu assembles the global µ field.
+func (s *Sim) GatherGlobalMu() *grid.Field {
+	nx, ny, nz := s.Cfg.BG.GlobalCells()
+	out := grid.NewField(nx, ny, nz, core.NRed, 1, grid.SoA)
+	for _, r := range s.ranks {
+		ox, oy, oz := s.Cfg.BG.Origin(r.id)
+		f := r.fields.MuSrc
+		f.Interior(func(x, y, z int) {
+			for k := 0; k < core.NRed; k++ {
+				out.Set(k, ox+x, oy+y, oz+z, f.At(k, x, y, z))
+			}
+		})
+	}
+	return out
+}
+
+// RankFields exposes a rank's field bundle (used by checkpointing and the
+// benchmark harness).
+func (s *Sim) RankFields(r int) *kernels.Fields { return s.ranks[r].fields }
+
+// NumRanks returns the number of block owners.
+func (s *Sim) NumRanks() int { return len(s.ranks) }

@@ -1,0 +1,409 @@
+// Package solver composes the kernels, the block grid and the
+// communication layer into the full time-stepping loops of the paper:
+// Algorithm 1 (blocking communication) and Algorithm 2 (communication
+// hiding with the split µ-kernel), the three benchmark scenarios
+// (interface / solid / liquid), the production Voronoi setup and the
+// moving-window technique of directional solidification.
+package solver
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/kernels"
+	"repro/internal/voronoi"
+)
+
+// OverlapMode selects which ghost exchanges are hidden behind computation
+// (the four combinations measured in Fig. 8).
+type OverlapMode int
+
+const (
+	// OverlapNone is Algorithm 1: both exchanges blocking.
+	OverlapNone OverlapMode = iota
+	// OverlapMu hides the µ exchange behind the φ-sweep (the paper's
+	// production choice: best overall performance).
+	OverlapMu
+	// OverlapPhi hides the φ exchange behind the split µ-sweep.
+	OverlapPhi
+	// OverlapBoth hides both exchanges (Algorithm 2 as printed).
+	OverlapBoth
+)
+
+func (m OverlapMode) String() string {
+	switch m {
+	case OverlapNone:
+		return "no overlap"
+	case OverlapMu:
+		return "mu overlap"
+	case OverlapPhi:
+		return "phi overlap"
+	case OverlapBoth:
+		return "mu+phi overlap"
+	}
+	return fmt.Sprintf("OverlapMode(%d)", int(m))
+}
+
+// Scenario selects the domain composition of the §5.1 benchmarks or the
+// production setup.
+type Scenario int
+
+const (
+	// ScenarioInterface fills the block with the solidification front
+	// (the middle third of a production domain) — the slowest, and
+	// therefore production-representative, composition.
+	ScenarioInterface Scenario = iota
+	// ScenarioSolid is fully solidified lamellae (the lower third).
+	ScenarioSolid
+	// ScenarioLiquid is pure melt (the upper third).
+	ScenarioLiquid
+	// ScenarioProduction is the full directional-solidification setup:
+	// Voronoi solid nuclei at the bottom, melt above (Fig. 2).
+	ScenarioProduction
+)
+
+func (s Scenario) String() string {
+	switch s {
+	case ScenarioInterface:
+		return "interface"
+	case ScenarioSolid:
+		return "solid"
+	case ScenarioLiquid:
+		return "liquid"
+	case ScenarioProduction:
+		return "production"
+	}
+	return fmt.Sprintf("Scenario(%d)", int(s))
+}
+
+// Config assembles a simulation.
+type Config struct {
+	Params  *core.Params
+	BG      *grid.BlockGrid
+	Variant kernels.Variant
+	Overlap OverlapMode
+
+	// DomainBCs are the physical boundary conditions; zero value selects
+	// the directional-solidification set (periodic laterally, Dirichlet
+	// bottom, Neumann top).
+	DomainBCs *grid.BoundarySet
+
+	// MovingWindow enables the frozen-front window shift; requires a
+	// z-undecomposed block grid (PZ == 1).
+	MovingWindow bool
+	// WindowFrontFraction is the relative front height that triggers a
+	// shift (default 0.6).
+	WindowFrontFraction float64
+
+	Seed int64 // RNG seed for the Voronoi setup
+}
+
+// rank is the per-block state owned by one worker goroutine.
+type rank struct {
+	id     int
+	fields *kernels.Fields
+	sc     *kernels.Scratch
+	phiBCs grid.BoundarySet
+	muBCs  grid.BoundarySet
+	zOff   int // global z of local z=0 (excluding window offset)
+
+	phiKernelTime time.Duration
+	muKernelTime  time.Duration
+}
+
+// Sim is a running simulation over all blocks of the decomposition.
+type Sim struct {
+	Cfg   Config
+	World *comm.World
+	ranks []*rank
+
+	step         int
+	time         float64
+	windowShift  int // total cells scrolled out of the window
+	domainPhiBCs grid.BoundarySet
+	domainMuBCs  grid.BoundarySet
+}
+
+// New builds a simulation; fields are liquid-initialized (use InitScenario).
+func New(cfg Config) (*Sim, error) {
+	if cfg.Params == nil || cfg.BG == nil {
+		return nil, fmt.Errorf("solver: nil params or block grid")
+	}
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.MovingWindow && cfg.BG.PZ != 1 {
+		return nil, fmt.Errorf("solver: moving window requires PZ=1 (got %d)", cfg.BG.PZ)
+	}
+	if cfg.WindowFrontFraction == 0 {
+		cfg.WindowFrontFraction = 0.6
+	}
+
+	s := &Sim{Cfg: cfg, World: comm.NewWorld(cfg.BG)}
+
+	// Physical boundary sets: φ bottom feeds solid phase 0 nominally (the
+	// Dirichlet slab is immediately below already-solid material, so the
+	// precise vector matters little); µ bottom pins the eutectic value.
+	if cfg.DomainBCs != nil {
+		s.domainPhiBCs = *cfg.DomainBCs
+		s.domainMuBCs = *cfg.DomainBCs
+		if s.domainPhiBCs[grid.ZMin].Kind == grid.BCDirichlet {
+			s.domainPhiBCs[grid.ZMin].Values = []float64{1, 0, 0, 0}
+			s.domainMuBCs[grid.ZMin].Values = []float64{0, 0}
+		}
+	} else {
+		s.domainPhiBCs = grid.DirectionalSolidification([]float64{1, 0, 0, 0})
+		s.domainMuBCs = grid.DirectionalSolidification([]float64{0, 0})
+	}
+
+	for r := 0; r < cfg.BG.NumBlocks(); r++ {
+		_, _, oz := cfg.BG.Origin(r)
+		rk := &rank{
+			id:     r,
+			fields: kernels.NewFields(cfg.BG.BX, cfg.BG.BY, cfg.BG.BZ),
+			sc:     kernels.NewScratch(cfg.BG.BX, cfg.BG.BY),
+			phiBCs: cfg.BG.BlockBCs(r, s.domainPhiBCs),
+			muBCs:  cfg.BG.BlockBCs(r, s.domainMuBCs),
+			zOff:   oz,
+		}
+		rk.fields.PhiSrc.FillComp(core.Liquid, 1)
+		s.ranks = append(s.ranks, rk)
+	}
+	return s, nil
+}
+
+// Step returns the current step count; Time the simulated time.
+func (s *Sim) StepCount() int   { return s.step }
+func (s *Sim) Time() float64    { return s.time }
+func (s *Sim) WindowShift() int { return s.windowShift }
+
+// GlobalCells returns the total interior cell count.
+func (s *Sim) GlobalCells() int {
+	nx, ny, nz := s.Cfg.BG.GlobalCells()
+	return nx * ny * nz
+}
+
+// forAllRanks runs fn concurrently on every rank and waits.
+func (s *Sim) forAllRanks(fn func(r *rank)) {
+	var wg sync.WaitGroup
+	for _, r := range s.ranks {
+		wg.Add(1)
+		go func(r *rank) {
+			defer wg.Done()
+			fn(r)
+		}(r)
+	}
+	wg.Wait()
+}
+
+// InitScenario fills the domain with the selected composition and
+// establishes consistent ghost layers.
+func (s *Sim) InitScenario(sc Scenario) error {
+	nxg, nyg, nzg := s.Cfg.BG.GlobalCells()
+	p := s.Cfg.Params
+
+	var tess *voronoi.Tessellation
+	var nucleusHeight int
+	if sc == ScenarioProduction {
+		fracs, err := p.Sys.EutecticFractions()
+		if err != nil {
+			return err
+		}
+		nucleusHeight = int(2 * p.Eps)
+		if nucleusHeight < 2 {
+			nucleusHeight = 2
+		}
+		if nucleusHeight > nzg {
+			nucleusHeight = nzg
+		}
+		nSeeds := nxg * nyg / 64
+		if nSeeds < 3 {
+			nSeeds = 3
+		}
+		rng := rand.New(rand.NewSource(s.Cfg.Seed + 1))
+		tess, err = voronoi.New(nxg, nyg, nucleusHeight, nSeeds, fracs[:], rng)
+		if err != nil {
+			return err
+		}
+	}
+
+	stripe := nxg / 6
+	if stripe < 1 {
+		stripe = 1
+	}
+	front := float64(nzg) / 2
+
+	s.forAllRanks(func(r *rank) {
+		ox, oy, _ := s.Cfg.BG.Origin(r.id)
+		f := r.fields
+		f.PhiSrc.Interior(func(x, y, z int) {
+			gx, gy, gz := ox+x, oy+y, r.zOff+z
+			var phi [kernels.NP]float64
+			switch sc {
+			case ScenarioLiquid:
+				phi[core.Liquid] = 1
+			case ScenarioSolid:
+				phi[(gx/stripe)%3] = 1
+			case ScenarioInterface:
+				l := 0.5 * (1 + math.Tanh((float64(gz)-front)/(0.25*p.Eps)))
+				solid := (gx / stripe) % 3
+				phi[core.Liquid] = l
+				phi[solid] = 1 - l
+			case ScenarioProduction:
+				if gz < nucleusHeight {
+					phi[tess.At(gx, gy, gz)] = 1
+				} else {
+					phi[core.Liquid] = 1
+				}
+			}
+			core.ProjectSimplex(&phi)
+			for a := 0; a < kernels.NP; a++ {
+				f.PhiSrc.Set(a, x, y, z, phi[a])
+			}
+			f.MuSrc.Set(0, x, y, z, 0)
+			f.MuSrc.Set(1, x, y, z, 0)
+		})
+	})
+	s.refreshGhosts()
+	s.forAllRanks(func(r *rank) {
+		r.fields.PhiDst.CopyFrom(r.fields.PhiSrc)
+		r.fields.MuDst.CopyFrom(r.fields.MuSrc)
+	})
+	return nil
+}
+
+// refreshGhosts re-establishes all ghost layers of the source fields.
+func (s *Sim) refreshGhosts() {
+	s.forAllRanks(func(r *rank) {
+		s.World.ExchangeGhosts(r.id, r.fields.PhiSrc, comm.TagPhi, r.phiBCs)
+		s.World.ExchangeGhosts(r.id, r.fields.MuSrc, comm.TagMu, r.muBCs)
+	})
+}
+
+// Run advances the simulation n timesteps.
+func (s *Sim) Run(n int) {
+	for i := 0; i < n; i++ {
+		s.forAllRanks(func(r *rank) { s.timestep(r) })
+		s.step++
+		s.time += s.Cfg.Params.Dt
+		if s.Cfg.MovingWindow {
+			s.maybeShiftWindow()
+		}
+	}
+}
+
+// timestep executes one step on one rank with the configured overlap mode.
+func (s *Sim) timestep(r *rank) {
+	v := s.Cfg.Variant
+	f := r.fields
+	ctx := &kernels.Ctx{P: s.Cfg.Params, ZOff: r.zOff + s.windowShift, Time: s.time}
+
+	switch s.Cfg.Overlap {
+	case OverlapNone:
+		// Algorithm 1. The µ ghosts were synchronized at the end of
+		// the previous step.
+		t0 := time.Now()
+		kernels.PhiSweep(ctx, f, r.sc, v)
+		r.phiKernelTime += time.Since(t0)
+		s.World.ExchangeGhosts(r.id, f.PhiDst, comm.TagPhi, r.phiBCs)
+		t0 = time.Now()
+		kernels.MuSweep(ctx, f, r.sc, v)
+		r.muKernelTime += time.Since(t0)
+		s.World.ExchangeGhosts(r.id, f.MuDst, comm.TagMu, r.muBCs)
+
+	case OverlapMu:
+		// µ exchange hidden behind the φ-sweep; φ exchange blocking;
+		// fused µ-kernel. The paper's best-performing combination.
+		pMu := s.World.StartExchange(r.id, f.MuSrc, comm.TagMu, r.muBCs)
+		t0 := time.Now()
+		kernels.PhiSweep(ctx, f, r.sc, v)
+		r.phiKernelTime += time.Since(t0)
+		pMu.Finish()
+		s.World.ExchangeGhosts(r.id, f.PhiDst, comm.TagPhi, r.phiBCs)
+		t0 = time.Now()
+		kernels.MuSweep(ctx, f, r.sc, v)
+		r.muKernelTime += time.Since(t0)
+
+	case OverlapPhi:
+		// φ exchange hidden behind the split µ-kernel; µ blocking.
+		t0 := time.Now()
+		kernels.PhiSweep(ctx, f, r.sc, v)
+		r.phiKernelTime += time.Since(t0)
+		pPhi := s.World.StartExchange(r.id, f.PhiDst, comm.TagPhi, r.phiBCs)
+		t0 = time.Now()
+		kernels.MuSweepLocal(ctx, f, r.sc, v)
+		r.muKernelTime += time.Since(t0)
+		pPhi.Finish()
+		t0 = time.Now()
+		kernels.MuSweepNeighbor(ctx, f, r.sc, v)
+		r.muKernelTime += time.Since(t0)
+		s.World.ExchangeGhosts(r.id, f.MuDst, comm.TagMu, r.muBCs)
+
+	case OverlapBoth:
+		// Algorithm 2 as printed.
+		pMu := s.World.StartExchange(r.id, f.MuSrc, comm.TagMu, r.muBCs)
+		t0 := time.Now()
+		kernels.PhiSweep(ctx, f, r.sc, v)
+		r.phiKernelTime += time.Since(t0)
+		pMu.Finish()
+		pPhi := s.World.StartExchange(r.id, f.PhiDst, comm.TagPhi, r.phiBCs)
+		t0 = time.Now()
+		kernels.MuSweepLocal(ctx, f, r.sc, v)
+		r.muKernelTime += time.Since(t0)
+		pPhi.Finish()
+		t0 = time.Now()
+		kernels.MuSweepNeighbor(ctx, f, r.sc, v)
+		r.muKernelTime += time.Since(t0)
+	}
+
+	f.Swap()
+
+	// Modes that defer the µ exchange to the next step's overlap window
+	// must still synchronize before a mode/variant change or data export;
+	// Sim.Sync() provides that. For OverlapNone/OverlapPhi, µ ghosts of
+	// the (new) source field are already valid here because the exchange
+	// ran on µdst before the swap.
+	if s.Cfg.Overlap == OverlapMu || s.Cfg.Overlap == OverlapBoth {
+		// φsrc ghosts are valid (exchanged pre-swap); µsrc ghosts are
+		// exchanged at the start of the next step.
+		return
+	}
+}
+
+// RestoreState installs checkpointed fields and time-stepping state. The
+// field bundle count must match the decomposition; ghost layers are
+// reconstructed by a full exchange.
+func (s *Sim) RestoreState(step int, t float64, windowShift int, fields []*kernels.Fields) error {
+	if len(fields) != len(s.ranks) {
+		return fmt.Errorf("solver: restore with %d field bundles for %d ranks", len(fields), len(s.ranks))
+	}
+	for i, r := range s.ranks {
+		if fields[i].PhiSrc.NX != r.fields.PhiSrc.NX ||
+			fields[i].PhiSrc.NY != r.fields.PhiSrc.NY ||
+			fields[i].PhiSrc.NZ != r.fields.PhiSrc.NZ {
+			return fmt.Errorf("solver: restore block shape mismatch at rank %d", i)
+		}
+		r.fields = fields[i]
+	}
+	s.step = step
+	s.time = t
+	s.windowShift = windowShift
+	s.refreshGhosts()
+	return nil
+}
+
+// Sync makes all source-field ghost layers consistent (needed before
+// output or mode changes for the deferred-exchange overlap modes).
+func (s *Sim) Sync() {
+	if s.Cfg.Overlap == OverlapMu || s.Cfg.Overlap == OverlapBoth {
+		s.forAllRanks(func(r *rank) {
+			s.World.ExchangeGhosts(r.id, r.fields.MuSrc, comm.TagMu, r.muBCs)
+		})
+	}
+}

@@ -1,0 +1,92 @@
+package solver
+
+import (
+	"repro/internal/comm"
+	"repro/internal/core"
+)
+
+// The moving-window technique (§3.3, Fig. 2): since the evolution in the
+// solid is orders of magnitude slower than in the liquid, the domain only
+// needs to track the solidification front. When the front climbs past a
+// trigger height, all fields are scrolled down in z — solidified material
+// leaves through the bottom, fresh melt enters at the top — and the window
+// offset is added to the analytic temperature's z coordinate so the frozen
+// gradient keeps moving with the lab frame.
+
+// FrontHeight returns the highest global z index (within the window) whose
+// slice still contains solid, or -1 for an all-liquid domain.
+func (s *Sim) FrontHeight() int {
+	heights := make([]float64, len(s.ranks))
+	s.forAllRanks(func(r *rank) {
+		top := -1
+		f := r.fields.PhiSrc
+		for z := f.NZ - 1; z >= 0 && top < 0; z-- {
+			for y := 0; y < f.NY && top < 0; y++ {
+				for x := 0; x < f.NX; x++ {
+					solid := 0.0
+					for a := 0; a < core.NPhases-1; a++ {
+						solid += f.At(a, x, y, z)
+					}
+					if solid > 0.5 {
+						top = z
+						break
+					}
+				}
+			}
+		}
+		if top >= 0 {
+			heights[r.id] = float64(r.zOff + top)
+		} else {
+			heights[r.id] = -1
+		}
+	})
+	best := -1.0
+	for _, h := range heights {
+		if h > best {
+			best = h
+		}
+	}
+	return int(best)
+}
+
+// maybeShiftWindow checks the front position and scrolls the window when it
+// exceeds the trigger fraction of the domain height.
+func (s *Sim) maybeShiftWindow() {
+	_, _, nz := s.Cfg.BG.GlobalCells()
+	trigger := int(s.Cfg.WindowFrontFraction * float64(nz))
+	front := s.FrontHeight()
+	if front < trigger {
+		return
+	}
+	shift := front - trigger + 1
+	s.ShiftWindow(shift)
+}
+
+// ShiftWindow scrolls all fields down by `cells` in z, filling the top with
+// fresh melt at the eutectic chemical potential, and advances the window
+// offset so the temperature field stays in the lab frame.
+func (s *Sim) ShiftWindow(cells int) {
+	if cells <= 0 {
+		return
+	}
+	liquidFill := make([]float64, core.NPhases)
+	liquidFill[core.Liquid] = 1
+	muFill := []float64{0, 0}
+
+	s.forAllRanks(func(r *rank) {
+		r.fields.PhiSrc.ShiftZDown(cells, liquidFill)
+		r.fields.MuSrc.ShiftZDown(cells, muFill)
+		// Destination fields are overwritten each sweep; only ∂φ/∂t
+		// consumers need consistent φdst, which the next φ-sweep
+		// rewrites before the µ-sweep reads it.
+		r.fields.PhiDst.ShiftZDown(cells, liquidFill)
+		r.fields.MuDst.ShiftZDown(cells, muFill)
+	})
+	s.windowShift += cells
+
+	// Ghost layers are stale after the shift.
+	s.forAllRanks(func(r *rank) {
+		s.World.ExchangeGhosts(r.id, r.fields.PhiSrc, comm.TagPhi, r.phiBCs)
+		s.World.ExchangeGhosts(r.id, r.fields.MuSrc, comm.TagMu, r.muBCs)
+	})
+}

@@ -1,0 +1,62 @@
+package thermo
+
+// AgAlCu returns the synthetic Ag-Al-Cu database used throughout the
+// reproduction. The paper derives parabolic Gibbs-energy fits around the
+// ternary eutectic point from the Calphad assessments of Witusiewicz et al.
+// (J. Alloys Compd. 2004/2005); those fits are proprietary-database-derived
+// numbers we do not have, so this substitute keeps every structural
+// property the solver depends on:
+//
+//   - four phases: fcc-Al (α), Ag₂Al (ζ), Al₂Cu (θ) and the liquid;
+//   - reduced concentrations are (c_Ag, c_Cu) with c_Al = 1 − c_Ag − c_Cu;
+//   - a ternary eutectic point at T_E (normalized to 1) where all four
+//     grand potentials coincide at µ_E = 0;
+//   - below T_E the three solids are favored (DBdT > 0 for solids);
+//   - temperature-dependent equilibrium concentrations (DC0dT ≠ 0), the
+//     property that makes the µ-equation couple to T and drives the
+//     paper's "temperature dependent diffusive concentration" cost;
+//   - solid compositions spanning a triangle that contains the eutectic
+//     liquid composition, giving phase fractions ≈ (α 0.45, ζ 0.30,
+//     θ 0.25), close to the experimentally observed similar fractions.
+//
+// Units are nondimensionalized: energies scale with the driving-force
+// scale, temperatures with T_E.
+func AgAlCu() *System {
+	s := &System{
+		TE: 1.0,
+		CE: [NRed]float64{0.184, 0.092}, // eutectic melt: 18.4% Ag, 9.2% Cu
+	}
+	s.Phases[0] = Phase{
+		Name:  "Al",                        // fcc aluminium solid solution
+		A:     [NRed]float64{8, 8},         // stiff parabola: little solubility range
+		C0:    [NRed]float64{0.030, 0.020}, // dilute Ag and Cu in fcc-Al
+		DC0dT: [NRed]float64{0.010, 0.008},
+		B0:    0,
+		DBdT:  1.0, // entropy difference vs liquid drives solidification
+	}
+	s.Phases[1] = Phase{
+		Name:  "Ag2Al", // ζ intermetallic, Ag-rich
+		A:     [NRed]float64{10, 10},
+		C0:    [NRed]float64{0.560, 0.010},
+		DC0dT: [NRed]float64{-0.012, 0.004},
+		B0:    0,
+		DBdT:  1.1,
+	}
+	s.Phases[2] = Phase{
+		Name:  "Al2Cu", // θ intermetallic, Cu-rich
+		A:     [NRed]float64{10, 10},
+		C0:    [NRed]float64{0.010, 0.320},
+		DC0dT: [NRed]float64{0.005, -0.010},
+		B0:    0,
+		DBdT:  1.05,
+	}
+	s.Phases[3] = Phase{
+		Name:  "Liquid",
+		A:     [NRed]float64{3, 3}, // shallow parabola: wide liquid range
+		C0:    s.CE,                // centered on the eutectic composition
+		DC0dT: [NRed]float64{0.020, 0.015},
+		B0:    0,
+		DBdT:  0, // reference phase
+	}
+	return s
+}

@@ -1,0 +1,90 @@
+// Package thermo implements the grand-potential thermodynamics the
+// phase-field model couples to: parabolically fitted Gibbs free energies
+// per phase (the paper derives these from the Calphad database of
+// Witusiewicz et al.; here the coefficients are a synthetic but
+// thermodynamically consistent substitute, see agalcu.go), the resulting
+// closed-form concentrations c_α(µ,T), grand potentials ω_α(µ,T),
+// susceptibilities (∂c/∂µ) and the eutectic lever rule.
+//
+// A ternary system has K=3 components; mass conservation removes one, so
+// all fields work with K-1=2 reduced components (chemical potentials µ₁,µ₂
+// and concentrations c₁,c₂).
+package thermo
+
+// NComps is the number of chemical species (Ag, Al, Cu).
+const NComps = 3
+
+// NRed is the number of independent (reduced) concentrations/potentials.
+const NRed = NComps - 1
+
+// NPhases is the number of thermodynamic phases: three solids and the liquid.
+const NPhases = 4
+
+// Phase holds the parabolic free-energy fit of one phase:
+//
+//	f_α(c,T) = Σ_i A_i (c_i − c⁰_i(T))² + B(T)
+//	c⁰_i(T)  = C0_i + DC0dT_i·(T−T_E)
+//	B(T)     = B0 + DBdT·(T−T_E)
+//
+// which yields closed forms for everything the kernels need:
+//
+//	µ_i(c,T)   = 2 A_i (c_i − c⁰_i(T))
+//	c_i(µ,T)   = µ_i/(2A_i) + c⁰_i(T)
+//	ω(µ,T)     = −Σ_i [ µ_i²/(4A_i) + µ_i c⁰_i(T) ] + B(T)
+//	∂c_i/∂µ_i  = 1/(2A_i)            (diagonal susceptibility)
+//	∂c_i/∂T    = DC0dT_i
+type Phase struct {
+	Name  string
+	A     [NRed]float64 // parabola curvatures (must be > 0)
+	C0    [NRed]float64 // equilibrium reduced concentrations at T_E
+	DC0dT [NRed]float64 // slope of c⁰ with temperature
+	B0    float64       // grand-potential offset at T_E
+	DBdT  float64       // entropy-like slope of the offset
+}
+
+// CEq returns the equilibrium concentration c⁰(T) relative to T_E offset dT = T − T_E.
+func (p *Phase) CEq(dT float64) [NRed]float64 {
+	return [NRed]float64{
+		p.C0[0] + p.DC0dT[0]*dT,
+		p.C0[1] + p.DC0dT[1]*dT,
+	}
+}
+
+// Conc returns c(µ,T−T_E), the concentration of this phase at the given
+// chemical potential.
+func (p *Phase) Conc(mu [NRed]float64, dT float64) [NRed]float64 {
+	return [NRed]float64{
+		mu[0]/(2*p.A[0]) + p.C0[0] + p.DC0dT[0]*dT,
+		mu[1]/(2*p.A[1]) + p.C0[1] + p.DC0dT[1]*dT,
+	}
+}
+
+// Mu returns µ(c,T−T_E), the chemical potential at the given concentration.
+func (p *Phase) Mu(c [NRed]float64, dT float64) [NRed]float64 {
+	return [NRed]float64{
+		2 * p.A[0] * (c[0] - p.C0[0] - p.DC0dT[0]*dT),
+		2 * p.A[1] * (c[1] - p.C0[1] - p.DC0dT[1]*dT),
+	}
+}
+
+// FreeEnergy returns f(c,T−T_E).
+func (p *Phase) FreeEnergy(c [NRed]float64, dT float64) float64 {
+	d0 := c[0] - p.C0[0] - p.DC0dT[0]*dT
+	d1 := c[1] - p.C0[1] - p.DC0dT[1]*dT
+	return p.A[0]*d0*d0 + p.A[1]*d1*d1 + p.B0 + p.DBdT*dT
+}
+
+// GrandPot returns ω(µ,T−T_E) = f − µ·c, the grand potential density that
+// enters the driving force ψ.
+func (p *Phase) GrandPot(mu [NRed]float64, dT float64) float64 {
+	c0 := p.C0[0] + p.DC0dT[0]*dT
+	c1 := p.C0[1] + p.DC0dT[1]*dT
+	return -(mu[0]*mu[0]/(4*p.A[0]) + mu[0]*c0) -
+		(mu[1]*mu[1]/(4*p.A[1]) + mu[1]*c1) +
+		p.B0 + p.DBdT*dT
+}
+
+// Susceptibility returns the diagonal of ∂c/∂µ for this phase.
+func (p *Phase) Susceptibility() [NRed]float64 {
+	return [NRed]float64{1 / (2 * p.A[0]), 1 / (2 * p.A[1])}
+}

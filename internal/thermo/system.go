@@ -1,0 +1,148 @@
+package thermo
+
+import (
+	"fmt"
+	"math"
+)
+
+// System bundles the four phases of the ternary eutectic with the eutectic
+// point data. Phase index conventions match the solver: the liquid is the
+// last phase.
+type System struct {
+	Phases [NPhases]Phase
+	TE     float64       // ternary eutectic temperature
+	CE     [NRed]float64 // eutectic liquid composition
+}
+
+// Liquid is the phase index of the melt.
+const Liquid = NPhases - 1
+
+// NumSolids is the number of solid phases.
+const NumSolids = NPhases - 1
+
+// Validate checks internal consistency: positive curvatures, concentrations
+// within the Gibbs simplex at T_E, and a common-tangent (equal grand
+// potential) construction at the eutectic point with µ = µ_E.
+func (s *System) Validate() error {
+	for i := range s.Phases {
+		p := &s.Phases[i]
+		for k := 0; k < NRed; k++ {
+			if p.A[k] <= 0 {
+				return fmt.Errorf("thermo: phase %s has nonpositive curvature A[%d]=%g", p.Name, k, p.A[k])
+			}
+			if p.C0[k] < 0 || p.C0[k] > 1 {
+				return fmt.Errorf("thermo: phase %s C0[%d]=%g outside [0,1]", p.Name, k, p.C0[k])
+			}
+		}
+		if p.C0[0]+p.C0[1] > 1 {
+			return fmt.Errorf("thermo: phase %s composition outside simplex", p.Name)
+		}
+	}
+	// At the eutectic point all phases must have equal grand potential at
+	// µ_E (taken as 0 by construction of the fits).
+	mu := [NRed]float64{}
+	w0 := s.Phases[0].GrandPot(mu, 0)
+	for i := 1; i < NPhases; i++ {
+		if d := math.Abs(s.Phases[i].GrandPot(mu, 0) - w0); d > 1e-9 {
+			return fmt.Errorf("thermo: grand potentials differ at eutectic point by %g (phase %s)", d, s.Phases[i].Name)
+		}
+	}
+	// Below T_E every solid must be favored over the liquid at µ_E
+	// (negative driving force for the melt).
+	dT := -0.1 * s.TE
+	wl := s.Phases[Liquid].GrandPot(mu, dT)
+	for i := 0; i < NumSolids; i++ {
+		if s.Phases[i].GrandPot(mu, dT) >= wl {
+			return fmt.Errorf("thermo: phase %s not favored below T_E", s.Phases[i].Name)
+		}
+	}
+	return nil
+}
+
+// MixedConc returns the locally interpolated concentration
+// c = Σ_α h_α c_α(µ,T) for interpolation weights h.
+func (s *System) MixedConc(h *[NPhases]float64, mu [NRed]float64, dT float64) [NRed]float64 {
+	var c [NRed]float64
+	for a := 0; a < NPhases; a++ {
+		ca := s.Phases[a].Conc(mu, dT)
+		c[0] += h[a] * ca[0]
+		c[1] += h[a] * ca[1]
+	}
+	return c
+}
+
+// MixedSusceptibility returns the diagonal of χ = ∂c/∂µ = Σ_α h_α/(2A_α).
+func (s *System) MixedSusceptibility(h *[NPhases]float64) [NRed]float64 {
+	var x [NRed]float64
+	for a := 0; a < NPhases; a++ {
+		sa := s.Phases[a].Susceptibility()
+		x[0] += h[a] * sa[0]
+		x[1] += h[a] * sa[1]
+	}
+	return x
+}
+
+// MixedDCdT returns (∂c/∂T)_{µ,φ} = Σ_α h_α dc⁰_α/dT.
+func (s *System) MixedDCdT(h *[NPhases]float64) [NRed]float64 {
+	var x [NRed]float64
+	for a := 0; a < NPhases; a++ {
+		x[0] += h[a] * s.Phases[a].DC0dT[0]
+		x[1] += h[a] * s.Phases[a].DC0dT[1]
+	}
+	return x
+}
+
+// EutecticFractions solves the lever rule at the eutectic point: the volume
+// fractions f of the three solid phases that together consume liquid of
+// composition CE, i.e. Σ f_α c_α = CE with Σ f_α = 1. Returns an error if
+// the solid triangle is degenerate or CE lies outside it.
+func (s *System) EutecticFractions() ([NumSolids]float64, error) {
+	var frac [NumSolids]float64
+	// 3x3 linear system:
+	// [ c0_0  c1_0  c2_0 ] [f0]   [CE_0]
+	// [ c0_1  c1_1  c2_1 ] [f1] = [CE_1]
+	// [ 1     1     1    ] [f2]   [1   ]
+	var m [3][4]float64
+	for a := 0; a < NumSolids; a++ {
+		m[0][a] = s.Phases[a].C0[0]
+		m[1][a] = s.Phases[a].C0[1]
+		m[2][a] = 1
+	}
+	m[0][3] = s.CE[0]
+	m[1][3] = s.CE[1]
+	m[2][3] = 1
+
+	// Gaussian elimination with partial pivoting.
+	for col := 0; col < 3; col++ {
+		piv := col
+		for r := col + 1; r < 3; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(m[piv][col]) < 1e-14 {
+			return frac, fmt.Errorf("thermo: degenerate solid composition triangle")
+		}
+		m[col], m[piv] = m[piv], m[col]
+		inv := 1 / m[col][col]
+		for k := col; k < 4; k++ {
+			m[col][k] *= inv
+		}
+		for r := 0; r < 3; r++ {
+			if r == col {
+				continue
+			}
+			f := m[r][col]
+			for k := col; k < 4; k++ {
+				m[r][k] -= f * m[col][k]
+			}
+		}
+	}
+	for a := 0; a < NumSolids; a++ {
+		frac[a] = m[a][3]
+		if frac[a] < -1e-9 || frac[a] > 1+1e-9 {
+			return frac, fmt.Errorf("thermo: eutectic composition outside solid triangle (f[%d]=%g)", a, frac[a])
+		}
+	}
+	return frac, nil
+}

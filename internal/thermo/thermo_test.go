@@ -1,0 +1,237 @@
+package thermo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAgAlCuValidates(t *testing.T) {
+	if err := AgAlCu().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcMuInverse(t *testing.T) {
+	s := AgAlCu()
+	f := func(m0, m1, dT float64) bool {
+		m0 = math.Mod(m0, 2)
+		m1 = math.Mod(m1, 2)
+		dT = math.Mod(dT, 0.2)
+		if math.IsNaN(m0) || math.IsNaN(m1) || math.IsNaN(dT) {
+			return true
+		}
+		mu := [NRed]float64{m0, m1}
+		for i := range s.Phases {
+			c := s.Phases[i].Conc(mu, dT)
+			back := s.Phases[i].Mu(c, dT)
+			if math.Abs(back[0]-mu[0]) > 1e-12 || math.Abs(back[1]-mu[1]) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The grand potential must satisfy ω = f(c(µ)) − µ·c(µ).
+func TestGrandPotLegendre(t *testing.T) {
+	s := AgAlCu()
+	for i := range s.Phases {
+		p := &s.Phases[i]
+		for _, mu := range [][NRed]float64{{0, 0}, {0.3, -0.2}, {-1, 0.5}} {
+			for _, dT := range []float64{0, -0.05, 0.08} {
+				c := p.Conc(mu, dT)
+				want := p.FreeEnergy(c, dT) - mu[0]*c[0] - mu[1]*c[1]
+				got := p.GrandPot(mu, dT)
+				if math.Abs(got-want) > 1e-12 {
+					t.Errorf("phase %s µ=%v dT=%g: ω=%g want %g", p.Name, mu, dT, got, want)
+				}
+			}
+		}
+	}
+}
+
+// ∂ω/∂µ_i = −c_i (a property the driving force derivation relies on),
+// checked by central differences.
+func TestGrandPotDerivative(t *testing.T) {
+	s := AgAlCu()
+	h := 1e-6
+	for i := range s.Phases {
+		p := &s.Phases[i]
+		mu := [NRed]float64{0.2, -0.1}
+		dT := -0.03
+		c := p.Conc(mu, dT)
+		for k := 0; k < NRed; k++ {
+			mp, mm := mu, mu
+			mp[k] += h
+			mm[k] -= h
+			d := (p.GrandPot(mp, dT) - p.GrandPot(mm, dT)) / (2 * h)
+			if math.Abs(d+c[k]) > 1e-6 {
+				t.Errorf("phase %s: ∂ω/∂µ_%d = %g, want %g", p.Name, k, d, -c[k])
+			}
+		}
+	}
+}
+
+func TestEqualGrandPotentialsAtEutectic(t *testing.T) {
+	s := AgAlCu()
+	mu := [NRed]float64{}
+	w0 := s.Phases[0].GrandPot(mu, 0)
+	for i := 1; i < NPhases; i++ {
+		if math.Abs(s.Phases[i].GrandPot(mu, 0)-w0) > 1e-12 {
+			t.Errorf("phase %d grand potential %g != %g at eutectic", i, s.Phases[i].GrandPot(mu, 0), w0)
+		}
+	}
+}
+
+func TestSolidsFavoredBelowTE(t *testing.T) {
+	s := AgAlCu()
+	mu := [NRed]float64{}
+	for _, dT := range []float64{-0.01, -0.05, -0.2} {
+		wl := s.Phases[Liquid].GrandPot(mu, dT)
+		for a := 0; a < NumSolids; a++ {
+			if ws := s.Phases[a].GrandPot(mu, dT); ws >= wl {
+				t.Errorf("dT=%g: solid %s ω=%g not below liquid ω=%g", dT, s.Phases[a].Name, ws, wl)
+			}
+		}
+	}
+	// And above T_E the liquid must win.
+	for _, dT := range []float64{0.01, 0.1} {
+		wl := s.Phases[Liquid].GrandPot(mu, dT)
+		for a := 0; a < NumSolids; a++ {
+			if ws := s.Phases[a].GrandPot(mu, dT); ws <= wl {
+				t.Errorf("dT=%g: solid %s ω=%g not above liquid ω=%g", dT, s.Phases[a].Name, ws, wl)
+			}
+		}
+	}
+}
+
+func TestSusceptibilityPositive(t *testing.T) {
+	s := AgAlCu()
+	for i := range s.Phases {
+		x := s.Phases[i].Susceptibility()
+		if x[0] <= 0 || x[1] <= 0 {
+			t.Errorf("phase %s susceptibility not positive: %v", s.Phases[i].Name, x)
+		}
+	}
+}
+
+func TestMixedQuantitiesAreConvexCombinations(t *testing.T) {
+	s := AgAlCu()
+	h := [NPhases]float64{0.25, 0.25, 0.25, 0.25}
+	mu := [NRed]float64{0.1, 0.05}
+	c := s.MixedConc(&h, mu, 0)
+	// Mixed concentration must lie within the hull of the phase concentrations.
+	lo, hi := [NRed]float64{1, 1}, [NRed]float64{0, 0}
+	for a := 0; a < NPhases; a++ {
+		ca := s.Phases[a].Conc(mu, 0)
+		for k := 0; k < NRed; k++ {
+			lo[k] = math.Min(lo[k], ca[k])
+			hi[k] = math.Max(hi[k], ca[k])
+		}
+	}
+	for k := 0; k < NRed; k++ {
+		if c[k] < lo[k]-1e-12 || c[k] > hi[k]+1e-12 {
+			t.Errorf("mixed conc comp %d = %g outside hull [%g,%g]", k, c[k], lo[k], hi[k])
+		}
+	}
+	x := s.MixedSusceptibility(&h)
+	if x[0] <= 0 || x[1] <= 0 {
+		t.Error("mixed susceptibility not positive")
+	}
+}
+
+func TestMixedSingleProjection(t *testing.T) {
+	// With all weight on one phase, mixed quantities equal that phase's.
+	s := AgAlCu()
+	mu := [NRed]float64{-0.2, 0.3}
+	for a := 0; a < NPhases; a++ {
+		var h [NPhases]float64
+		h[a] = 1
+		c := s.MixedConc(&h, mu, -0.02)
+		want := s.Phases[a].Conc(mu, -0.02)
+		if c != want {
+			t.Errorf("phase %d: mixed %v != %v", a, c, want)
+		}
+		dcdt := s.MixedDCdT(&h)
+		if dcdt != s.Phases[a].DC0dT {
+			t.Errorf("phase %d: dcdT %v != %v", a, dcdt, s.Phases[a].DC0dT)
+		}
+	}
+}
+
+func TestEutecticFractions(t *testing.T) {
+	s := AgAlCu()
+	frac, err := s.EutecticFractions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for a, f := range frac {
+		if f <= 0 || f >= 1 {
+			t.Errorf("fraction %d = %g outside (0,1)", a, f)
+		}
+		sum += f
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("fractions sum to %g", sum)
+	}
+	// Lever rule consistency: Σ f_α c_α = CE.
+	for k := 0; k < NRed; k++ {
+		mix := 0.0
+		for a := 0; a < NumSolids; a++ {
+			mix += frac[a] * s.Phases[a].C0[k]
+		}
+		if math.Abs(mix-s.CE[k]) > 1e-9 {
+			t.Errorf("lever rule comp %d: %g != %g", k, mix, s.CE[k])
+		}
+	}
+	// Calibrated to approximately (Al 0.45, Ag2Al 0.30, Al2Cu 0.25).
+	want := [NumSolids]float64{0.45, 0.30, 0.25}
+	for a := range want {
+		if math.Abs(frac[a]-want[a]) > 0.02 {
+			t.Errorf("fraction %d = %g, want ~%g", a, frac[a], want[a])
+		}
+	}
+}
+
+func TestValidateCatchesBrokenSystems(t *testing.T) {
+	s := AgAlCu()
+	s.Phases[0].A[0] = -1
+	if err := s.Validate(); err == nil {
+		t.Error("negative curvature not caught")
+	}
+	s = AgAlCu()
+	s.Phases[1].B0 = 0.5
+	if err := s.Validate(); err == nil {
+		t.Error("unequal grand potentials not caught")
+	}
+	s = AgAlCu()
+	s.Phases[2].C0 = [NRed]float64{0.9, 0.9}
+	if err := s.Validate(); err == nil {
+		t.Error("composition outside simplex not caught")
+	}
+	s = AgAlCu()
+	s.Phases[0].DBdT = -1
+	if err := s.Validate(); err == nil {
+		t.Error("solid not favored below TE not caught")
+	}
+}
+
+func TestEutecticFractionsDegenerate(t *testing.T) {
+	s := AgAlCu()
+	// Collapse two solids onto the same composition: degenerate triangle.
+	s.Phases[1].C0 = s.Phases[0].C0
+	if _, err := s.EutecticFractions(); err == nil {
+		t.Error("degenerate triangle not caught")
+	}
+	// Move CE outside the triangle.
+	s = AgAlCu()
+	s.CE = [NRed]float64{0.9, 0.05}
+	if _, err := s.EutecticFractions(); err == nil {
+		t.Error("CE outside triangle not caught")
+	}
+}

@@ -1,0 +1,144 @@
+// Package voronoi generates the initial solid nuclei of the directional
+// solidification setup: "solid nuclei are created by a Voronoi tessellation
+// with respect to the given volume fractions of the phases" (§2.1). Seeds
+// are scattered in the bottom slab of the domain; each cell takes the solid
+// phase of its nearest seed under the laterally periodic metric, and seed
+// counts are apportioned so the realized volume fractions approach the
+// thermodynamic eutectic fractions.
+package voronoi
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Seed is one nucleus with a position and a solid phase label.
+type Seed struct {
+	X, Y, Z float64
+	Phase   int
+}
+
+// Tessellation labels a nx×ny×nz slab of cells with solid phase indices.
+type Tessellation struct {
+	NX, NY, NZ int
+	Labels     []uint8 // phase per cell, x fastest
+	Seeds      []Seed
+}
+
+// At returns the phase label of cell (x,y,z).
+func (t *Tessellation) At(x, y, z int) int {
+	return int(t.Labels[(z*t.NY+y)*t.NX+x])
+}
+
+// Fractions returns the realized volume fraction per phase.
+func (t *Tessellation) Fractions(nPhases int) []float64 {
+	f := make([]float64, nPhases)
+	for _, l := range t.Labels {
+		f[l]++
+	}
+	inv := 1 / float64(len(t.Labels))
+	for i := range f {
+		f[i] *= inv
+	}
+	return f
+}
+
+// New builds a Voronoi tessellation of a nx×ny×nz slab with nSeeds nuclei
+// whose phase labels follow the target fractions (which must sum to ~1).
+// The metric is periodic in x and y (the lateral directions of the
+// solidification domain) and open in z.
+func New(nx, ny, nz, nSeeds int, fractions []float64, rng *rand.Rand) (*Tessellation, error) {
+	if nx <= 0 || ny <= 0 || nz <= 0 {
+		return nil, fmt.Errorf("voronoi: nonpositive extent %dx%dx%d", nx, ny, nz)
+	}
+	if nSeeds <= 0 {
+		return nil, fmt.Errorf("voronoi: need at least one seed")
+	}
+	sum := 0.0
+	for _, f := range fractions {
+		if f < 0 {
+			return nil, fmt.Errorf("voronoi: negative fraction")
+		}
+		sum += f
+	}
+	if sum < 0.99 || sum > 1.01 {
+		return nil, fmt.Errorf("voronoi: fractions sum to %g", sum)
+	}
+
+	t := &Tessellation{NX: nx, NY: ny, NZ: nz, Labels: make([]uint8, nx*ny*nz)}
+
+	// Apportion seeds to phases by largest remainder so counts match the
+	// target fractions as closely as possible.
+	counts := make([]int, len(fractions))
+	type rem struct {
+		idx int
+		r   float64
+	}
+	assigned := 0
+	rems := make([]rem, len(fractions))
+	for i, f := range fractions {
+		exact := f * float64(nSeeds) / sum
+		counts[i] = int(exact)
+		assigned += counts[i]
+		rems[i] = rem{i, exact - float64(counts[i])}
+	}
+	for assigned < nSeeds {
+		best := 0
+		for i := 1; i < len(rems); i++ {
+			if rems[i].r > rems[best].r {
+				best = i
+			}
+		}
+		counts[rems[best].idx]++
+		rems[best].r = -1
+		assigned++
+	}
+
+	for phase, n := range counts {
+		for i := 0; i < n; i++ {
+			t.Seeds = append(t.Seeds, Seed{
+				X:     rng.Float64() * float64(nx),
+				Y:     rng.Float64() * float64(ny),
+				Z:     rng.Float64() * float64(nz),
+				Phase: phase,
+			})
+		}
+	}
+
+	// Label every cell with its nearest seed's phase (periodic in x,y).
+	fx, fy := float64(nx), float64(ny)
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				cx, cy, cz := float64(x)+0.5, float64(y)+0.5, float64(z)+0.5
+				best := -1
+				bestD := 0.0
+				for i := range t.Seeds {
+					s := &t.Seeds[i]
+					dx := periodicDist(cx, s.X, fx)
+					dy := periodicDist(cy, s.Y, fy)
+					dz := cz - s.Z
+					d := dx*dx + dy*dy + dz*dz
+					if best < 0 || d < bestD {
+						best, bestD = i, d
+					}
+				}
+				t.Labels[(z*ny+y)*nx+x] = uint8(t.Seeds[best].Phase)
+			}
+		}
+	}
+	return t, nil
+}
+
+// periodicDist returns the minimal wrapped distance between a and b on a
+// ring of circumference l.
+func periodicDist(a, b, l float64) float64 {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if d > l/2 {
+		d = l - d
+	}
+	return d
+}

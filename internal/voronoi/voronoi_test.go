@@ -1,0 +1,110 @@
+package voronoi
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := New(0, 4, 4, 3, []float64{1}, rng); err == nil {
+		t.Error("zero extent not rejected")
+	}
+	if _, err := New(4, 4, 4, 0, []float64{1}, rng); err == nil {
+		t.Error("zero seeds not rejected")
+	}
+	if _, err := New(4, 4, 4, 3, []float64{0.2, 0.2}, rng); err == nil {
+		t.Error("bad fraction sum not rejected")
+	}
+	if _, err := New(4, 4, 4, 3, []float64{-0.5, 1.5}, rng); err == nil {
+		t.Error("negative fraction not rejected")
+	}
+}
+
+func TestLabelsCoverAllCells(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tess, err := New(16, 12, 4, 9, []float64{0.45, 0.30, 0.25}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tess.Labels) != 16*12*4 {
+		t.Fatalf("label count %d", len(tess.Labels))
+	}
+	for _, l := range tess.Labels {
+		if int(l) > 2 {
+			t.Fatalf("label %d out of range", l)
+		}
+	}
+}
+
+func TestSeedApportionment(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tess, err := New(8, 8, 2, 20, []float64{0.45, 0.30, 0.25}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := [3]int{}
+	for _, s := range tess.Seeds {
+		counts[s.Phase]++
+	}
+	if counts[0]+counts[1]+counts[2] != 20 {
+		t.Fatalf("seed count %v", counts)
+	}
+	if counts[0] != 9 || counts[1] != 6 || counts[2] != 5 {
+		t.Errorf("apportionment %v, want [9 6 5]", counts)
+	}
+}
+
+func TestFractionsApproachTargets(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	target := []float64{0.45, 0.30, 0.25}
+	tess, err := New(48, 48, 6, 60, target, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := tess.Fractions(3)
+	for i := range target {
+		if math.Abs(got[i]-target[i]) > 0.15 {
+			t.Errorf("phase %d fraction %g, target %g", i, got[i], target[i])
+		}
+	}
+}
+
+func TestAtMatchesLabels(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tess, _ := New(6, 5, 3, 4, []float64{0.5, 0.5}, rng)
+	for z := 0; z < 3; z++ {
+		for y := 0; y < 5; y++ {
+			for x := 0; x < 6; x++ {
+				if tess.At(x, y, z) != int(tess.Labels[(z*5+y)*6+x]) {
+					t.Fatal("At/Labels mismatch")
+				}
+			}
+		}
+	}
+}
+
+func TestPeriodicDistProperty(t *testing.T) {
+	f := func(a, b float64) bool {
+		l := 10.0
+		a = math.Mod(math.Abs(a), l)
+		b = math.Mod(math.Abs(b), l)
+		d := periodicDist(a, b, l)
+		return d >= 0 && d <= l/2+1e-12 && math.Abs(periodicDist(b, a, l)-d) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	a, _ := New(10, 10, 3, 6, []float64{0.4, 0.3, 0.3}, rand.New(rand.NewSource(7)))
+	b, _ := New(10, 10, 3, 6, []float64{0.4, 0.3, 0.3}, rand.New(rand.NewSource(7)))
+	for i := range a.Labels {
+		if a.Labels[i] != b.Labels[i] {
+			t.Fatal("tessellation not deterministic for equal seeds")
+		}
+	}
+}

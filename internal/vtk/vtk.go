@@ -1,0 +1,51 @@
+// Package vtk writes fields in the legacy VTK structured-points format for
+// visualization (ParaView / VisIt), complementing the mesh-based output
+// path of §3.2 for the rare occasions the full volume is needed. Data is
+// written in single precision, consistent with the checkpointing policy.
+package vtk
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/grid"
+)
+
+// WriteField writes all components of f's interior as a legacy VTK
+// STRUCTURED_POINTS dataset with one scalar array per component. names must
+// supply one array name per component.
+func WriteField(w io.Writer, f *grid.Field, spacing float64, names []string) error {
+	if len(names) != f.NComp {
+		return fmt.Errorf("vtk: %d names for %d components", len(names), f.NComp)
+	}
+	bw := bufio.NewWriterSize(w, 1<<20)
+	fmt.Fprintf(bw, "# vtk DataFile Version 3.0\n")
+	fmt.Fprintf(bw, "phasefield output\n")
+	fmt.Fprintf(bw, "BINARY\n")
+	fmt.Fprintf(bw, "DATASET STRUCTURED_POINTS\n")
+	fmt.Fprintf(bw, "DIMENSIONS %d %d %d\n", f.NX, f.NY, f.NZ)
+	fmt.Fprintf(bw, "ORIGIN 0 0 0\n")
+	fmt.Fprintf(bw, "SPACING %g %g %g\n", spacing, spacing, spacing)
+	fmt.Fprintf(bw, "POINT_DATA %d\n", f.NumInterior())
+
+	buf := make([]float32, f.NX)
+	for c := 0; c < f.NComp; c++ {
+		fmt.Fprintf(bw, "SCALARS %s float 1\n", names[c])
+		fmt.Fprintf(bw, "LOOKUP_TABLE default\n")
+		for z := 0; z < f.NZ; z++ {
+			for y := 0; y < f.NY; y++ {
+				for x := 0; x < f.NX; x++ {
+					buf[x] = float32(f.At(c, x, y, z))
+				}
+				// Legacy VTK binary payloads are big-endian.
+				if err := binary.Write(bw, binary.BigEndian, buf); err != nil {
+					return err
+				}
+			}
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,60 @@
+package vtk
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/grid"
+)
+
+func TestWriteFieldHeaderAndSize(t *testing.T) {
+	f := grid.NewField(4, 3, 2, 2, 1, grid.SoA)
+	f.Interior(func(x, y, z int) {
+		f.Set(0, x, y, z, float64(x))
+		f.Set(1, x, y, z, float64(z))
+	})
+	var buf bytes.Buffer
+	if err := WriteField(&buf, f, 1.0, []string{"phi0", "phi1"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# vtk DataFile Version 3.0",
+		"DIMENSIONS 4 3 2",
+		"POINT_DATA 24",
+		"SCALARS phi0 float 1",
+		"SCALARS phi1 float 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+	// Two components × 24 cells × 4 bytes of payload must be present.
+	if buf.Len() < 2*24*4 {
+		t.Errorf("output too small: %d bytes", buf.Len())
+	}
+}
+
+func TestWriteFieldNameMismatch(t *testing.T) {
+	f := grid.NewField(2, 2, 2, 2, 1, grid.SoA)
+	if err := WriteField(&bytes.Buffer{}, f, 1, []string{"only-one"}); err == nil {
+		t.Error("name/component mismatch accepted")
+	}
+}
+
+func TestBigEndianPayload(t *testing.T) {
+	f := grid.NewField(1, 1, 1, 1, 1, grid.SoA)
+	f.Set(0, 0, 0, 0, 1.0)
+	var buf bytes.Buffer
+	if err := WriteField(&buf, f, 1, []string{"v"}); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	idx := bytes.Index(b, []byte("LOOKUP_TABLE default\n"))
+	payload := b[idx+len("LOOKUP_TABLE default\n"):]
+	// float32(1.0) big-endian = 3F 80 00 00.
+	if payload[0] != 0x3F || payload[1] != 0x80 {
+		t.Errorf("payload not big-endian: % x", payload[:4])
+	}
+}

@@ -1,0 +1,299 @@
+// Package phasefield is a Go reproduction of "Massively Parallel
+// Phase-Field Simulations for Ternary Eutectic Directional Solidification"
+// (Bauer, Hötzer et al., SC 2015): a thermodynamically consistent
+// grand-potential phase-field solver for the four-phase, three-component
+// Ag-Al-Cu eutectic system, with the paper's full optimization ladder
+// (explicit vectorization, T(z) precomputation, staggered-value buffers,
+// region shortcuts), block-structured domain decomposition with
+// communication hiding, the moving-window technique, and the hierarchical
+// mesh-based I/O reduction pipeline.
+//
+// Quick start:
+//
+//	cfg := phasefield.DefaultConfig(64, 64, 128)
+//	sim, err := phasefield.New(cfg)
+//	if err != nil { ... }
+//	if err := sim.InitProduction(); err != nil { ... }
+//	sim.Run(1000)
+//	meshes := sim.ExtractInterfaces()
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-figure reproduction results.
+package phasefield
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/ckpt"
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/kernels"
+	"repro/internal/mesh"
+	"repro/internal/solver"
+	"repro/internal/thermo"
+	"repro/internal/vtk"
+)
+
+// NumPhases is the number of order parameters (three solids + liquid).
+const NumPhases = core.NPhases
+
+// LiquidPhase is the phase index of the melt.
+const LiquidPhase = core.Liquid
+
+// PhaseNames returns the names of the four phases of the Ag-Al-Cu system.
+func PhaseNames() [NumPhases]string {
+	sys := thermo.AgAlCu()
+	var out [NumPhases]string
+	for i := range sys.Phases {
+		out[i] = sys.Phases[i].Name
+	}
+	return out
+}
+
+// Config assembles a simulation. Zero values select the production
+// defaults of the paper's setup.
+type Config struct {
+	// Global domain size in cells.
+	NX, NY, NZ int
+	// Blocks per axis (defaults to 1×1×1; the product is the number of
+	// worker goroutines, the in-process analogue of MPI ranks).
+	PX, PY, PZ int
+	// Physical and numerical parameters (defaults to the calibrated
+	// Ag-Al-Cu set).
+	Params *core.Params
+	// Kernel optimization level (defaults to the fastest, "with
+	// shortcuts"). See internal/kernels for the full ladder.
+	Variant kernels.Variant
+	// Overlap selects communication hiding (defaults to the paper's
+	// production choice, µ-overlap).
+	Overlap solver.OverlapMode
+	// MovingWindow enables the frozen-front window (requires PZ == 1).
+	MovingWindow bool
+	// WindowFraction is the relative front height that triggers a window
+	// shift (0 selects the default 0.6).
+	WindowFraction float64
+	// Seed for the Voronoi nuclei.
+	Seed int64
+
+	// Optional physical overrides applied to the default parameter set
+	// (ignored when Params is supplied explicitly; zero keeps defaults).
+	TempGradient float64 // G, temperature per length
+	PullVelocity float64 // V, isotherm velocity
+	IsothermZ0   float64 // initial eutectic isotherm height (cells·dx)
+}
+
+// DefaultConfig returns a production configuration for an nx×ny×nz domain.
+func DefaultConfig(nx, ny, nz int) Config {
+	return Config{
+		NX: nx, NY: ny, NZ: nz,
+		PX: 1, PY: 1, PZ: 1,
+		Variant: kernels.VarShortcut,
+		Overlap: solver.OverlapMu,
+	}
+}
+
+// Simulation is a running directional-solidification simulation.
+type Simulation struct {
+	sim *solver.Sim
+	cfg Config
+}
+
+// New validates the configuration and allocates the simulation.
+func New(cfg Config) (*Simulation, error) {
+	if cfg.PX == 0 {
+		cfg.PX = 1
+	}
+	if cfg.PY == 0 {
+		cfg.PY = 1
+	}
+	if cfg.PZ == 0 {
+		cfg.PZ = 1
+	}
+	if cfg.NX <= 0 || cfg.NY <= 0 || cfg.NZ <= 0 {
+		return nil, fmt.Errorf("phasefield: domain %dx%dx%d invalid", cfg.NX, cfg.NY, cfg.NZ)
+	}
+	if cfg.NX%cfg.PX != 0 || cfg.NY%cfg.PY != 0 || cfg.NZ%cfg.PZ != 0 {
+		return nil, fmt.Errorf("phasefield: domain %dx%dx%d not divisible by blocks %dx%dx%d",
+			cfg.NX, cfg.NY, cfg.NZ, cfg.PX, cfg.PY, cfg.PZ)
+	}
+	if cfg.Params == nil {
+		cfg.Params = core.DefaultParams()
+		// Put the eutectic isotherm at mid-height by default.
+		cfg.Params.Temp.Z0 = float64(cfg.NZ) / 2 * cfg.Params.Dx
+		if cfg.TempGradient != 0 {
+			cfg.Params.Temp.G = cfg.TempGradient
+		}
+		if cfg.PullVelocity != 0 {
+			cfg.Params.Temp.V = cfg.PullVelocity
+		}
+		if cfg.IsothermZ0 != 0 {
+			cfg.Params.Temp.Z0 = cfg.IsothermZ0
+		}
+		cfg.Params.Dt = 0.8 * cfg.Params.StableDt()
+	}
+	bg, err := grid.NewBlockGrid(cfg.PX, cfg.PY, cfg.PZ,
+		cfg.NX/cfg.PX, cfg.NY/cfg.PY, cfg.NZ/cfg.PZ, [3]bool{true, true, false})
+	if err != nil {
+		return nil, err
+	}
+	s, err := solver.New(solver.Config{
+		Params:              cfg.Params,
+		BG:                  bg,
+		Variant:             cfg.Variant,
+		Overlap:             cfg.Overlap,
+		MovingWindow:        cfg.MovingWindow,
+		WindowFrontFraction: cfg.WindowFraction,
+		Seed:                cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Simulation{sim: s, cfg: cfg}, nil
+}
+
+// Params exposes the active parameter set.
+func (s *Simulation) Params() *core.Params { return s.cfg.Params }
+
+// InitProduction fills the domain with Voronoi solid nuclei at the bottom
+// and melt above (the paper's Fig. 2 setup).
+func (s *Simulation) InitProduction() error {
+	return s.sim.InitScenario(solver.ScenarioProduction)
+}
+
+// InitFront fills the domain with a planar lamellar solidification front at
+// mid-height (the "interface" benchmark composition).
+func (s *Simulation) InitFront() error {
+	return s.sim.InitScenario(solver.ScenarioInterface)
+}
+
+// Run advances n timesteps.
+func (s *Simulation) Run(n int) { s.sim.Run(n) }
+
+// RunMeasured advances n timesteps and returns performance metrics.
+func (s *Simulation) RunMeasured(n int) solver.Metrics { return s.sim.RunMeasured(n) }
+
+// Step returns the completed step count; Time the simulated time.
+func (s *Simulation) Step() int     { return s.sim.StepCount() }
+func (s *Simulation) Time() float64 { return s.sim.Time() }
+
+// SolidFraction returns the global solid volume fraction.
+func (s *Simulation) SolidFraction() float64 { return s.sim.SolidFraction() }
+
+// PhaseFractions returns the volume fraction of every phase.
+func (s *Simulation) PhaseFractions() [NumPhases]float64 { return s.sim.PhaseFractions() }
+
+// FrontHeight returns the global z index of the solidification front.
+func (s *Simulation) FrontHeight() int { return s.sim.FrontHeight() }
+
+// WindowShift returns how many cells the moving window has scrolled.
+func (s *Simulation) WindowShift() int { return s.sim.WindowShift() }
+
+// GlobalPhi gathers the φ field into one grid (post-processing only).
+func (s *Simulation) GlobalPhi() *grid.Field {
+	s.sim.Sync()
+	return s.sim.GatherGlobalPhi()
+}
+
+// ExtractInterfaces extracts one triangle mesh per solid phase describing
+// the interface between that phase and all others, via the per-block
+// marching pipeline of §3.2, already hierarchically reduced.
+func (s *Simulation) ExtractInterfaces() []*mesh.Mesh {
+	phi := s.GlobalPhi()
+	bs := grid.AllNeumann()
+	bs.Apply(phi)
+	out := make([]*mesh.Mesh, core.NPhases-1)
+	for a := 0; a < core.NPhases-1; a++ {
+		out[a] = mesh.ExtractPhase(phi, a, mesh.Vec3{}, false)
+	}
+	return out
+}
+
+// WriteInterfaceSTL writes the phase-a interface mesh (simplified to
+// targetTris if > 0) to w.
+func (s *Simulation) WriteInterfaceSTL(w io.Writer, phase, targetTris int) error {
+	if phase < 0 || phase >= core.NPhases-1 {
+		return fmt.Errorf("phasefield: phase %d out of range", phase)
+	}
+	m := s.ExtractInterfaces()[phase]
+	if targetTris > 0 && m.NumTris() > targetTris {
+		mesh.Simplify(m, mesh.SimplifyOptions{TargetTris: targetTris})
+	}
+	return m.WriteSTL(w)
+}
+
+// Checkpoint writes the full simulation state in single precision.
+func (s *Simulation) Checkpoint(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	s.sim.Sync()
+	n := s.sim.NumRanks()
+	fields := make([]*kernels.Fields, n)
+	for r := 0; r < n; r++ {
+		fields[r] = s.sim.RankFields(r)
+	}
+	h := ckpt.Header{
+		Step:        int64(s.sim.StepCount()),
+		Time:        s.sim.Time(),
+		WindowShift: int64(s.sim.WindowShift()),
+		PX:          int32(s.cfg.PX), PY: int32(s.cfg.PY), PZ: int32(s.cfg.PZ),
+		BX: int32(s.cfg.NX / s.cfg.PX), BY: int32(s.cfg.NY / s.cfg.PY), BZ: int32(s.cfg.NZ / s.cfg.PZ),
+	}
+	if err := ckpt.Write(f, h, fields); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Restore loads a checkpoint written by Checkpoint into a new Simulation
+// with the stored decomposition. Optional overrides (variant, overlap,
+// moving window) come from cfg; its domain and decomposition fields are
+// taken from the checkpoint header.
+func Restore(path string, cfg Config) (*Simulation, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	h, fields, err := ckpt.Read(f)
+	if err != nil {
+		return nil, err
+	}
+	cfg.PX, cfg.PY, cfg.PZ = int(h.PX), int(h.PY), int(h.PZ)
+	cfg.NX = int(h.PX) * int(h.BX)
+	cfg.NY = int(h.PY) * int(h.BY)
+	cfg.NZ = int(h.PZ) * int(h.BZ)
+	sim, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := sim.sim.RestoreState(int(h.Step), h.Time, int(h.WindowShift), fields); err != nil {
+		return nil, err
+	}
+	return sim, nil
+}
+
+// WriteVTK writes the gathered φ field as a legacy VTK volume for
+// visualization.
+func (s *Simulation) WriteVTK(w io.Writer) error {
+	phi := s.GlobalPhi()
+	names := PhaseNames()
+	return vtk.WriteField(w, phi, s.cfg.Params.Dx, names[:])
+}
+
+// LamellaEvents counts lamella splits and merges of one solid phase along
+// the growth direction (the 3D microstructure phenomena of Fig. 11).
+func (s *Simulation) LamellaEvents(phase int) analysis.Events {
+	return analysis.TotalEvents(s.GlobalPhi(), phase)
+}
+
+// TwoPointCorrelation returns S₂(r) of a phase in z-slice z (the basis of
+// the paper's planned quantitative comparison with tomography).
+func (s *Simulation) TwoPointCorrelation(phase, z, maxR int) []float64 {
+	return analysis.TwoPointCorrelation(s.GlobalPhi(), phase, z, maxR)
+}
