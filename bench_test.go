@@ -138,6 +138,44 @@ func BenchmarkFig7Intranode(b *testing.B) {
 	}
 }
 
+// --- Intra-block parallel sweep scaling -----------------------------------
+
+// BenchmarkParallelScaling measures whole-timestep MLUP/s of a single 40³
+// interface-scenario block at 1/2/4/8 sweep workers. Speedup beyond worker
+// count 1 requires GOMAXPROCS >= workers (run with GOMAXPROCS unset on a
+// multi-core machine); on fewer cores the numbers degenerate to serial rate
+// minus scheduling overhead.
+func BenchmarkParallelScaling(b *testing.B) {
+	const edge = 40
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			bg, err := grid.NewBlockGrid(1, 1, 1, edge, edge, edge, [3]bool{true, true, false})
+			if err != nil {
+				b.Fatal(err)
+			}
+			p := core.DefaultParams()
+			p.Temp.Z0 = float64(edge) / 2 * p.Dx
+			sim, err := solver.New(solver.Config{
+				Params: p, BG: bg, Variant: kernels.VarShortcut,
+				Overlap: solver.OverlapMu, Parallelism: workers,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer sim.Close()
+			if err := sim.InitScenario(solver.ScenarioInterface); err != nil {
+				b.Fatal(err)
+			}
+			sim.Run(1) // warm-up: spin up workers, populate comm buffers
+			b.ResetTimer()
+			sim.Run(b.N)
+			b.StopTimer()
+			cells := float64(edge * edge * edge)
+			b.ReportMetric(cells*float64(b.N)/b.Elapsed().Seconds()/1e6, "MLUP/s")
+		})
+	}
+}
+
 // --- Figure 8: communication hiding --------------------------------------
 
 func BenchmarkFig8Comm(b *testing.B) {

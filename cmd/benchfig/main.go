@@ -4,9 +4,10 @@
 //
 //	benchfig -fig 5 [-edge 60] [-steps 5]
 //	benchfig -fig 6 ...
-//	benchfig -fig 7 [-cores 16]
+//	benchfig -fig 7 [-cores 16] [-par 1]
 //	benchfig -fig 8
 //	benchfig -fig 9
+//	benchfig -parscale [-edge 60] [-par 8]
 //	benchfig -roofline
 //	benchfig -all
 //
@@ -19,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/experiments"
 )
@@ -26,10 +28,12 @@ import (
 func main() {
 	fig := flag.Int("fig", 0, "figure number to regenerate (5..9)")
 	roofline := flag.Bool("roofline", false, "print the §5.1.1 roofline / in-core analysis")
+	parscale := flag.Bool("parscale", false, "measure intra-block parallel sweep scaling on one block")
 	all := flag.Bool("all", false, "regenerate everything")
 	edge := flag.Int("edge", 60, "cubic block edge for single-core benchmarks (paper: 60)")
 	steps := flag.Int("steps", 3, "timed sweeps per measurement")
 	cores := flag.Int("cores", 8, "max worker count for the intranode scaling experiment")
+	par := flag.Int("par", 1, "intra-block sweep workers per solver (0 = GOMAXPROCS); -parscale sweeps powers of two up to par, then par itself (par <= 1: the default 1/2/4/8 ladder)")
 	flag.Parse()
 
 	w := os.Stdout
@@ -51,12 +55,29 @@ func main() {
 		did = true
 	}
 	if *all || *fig == 7 {
-		run(experiments.Fig7(w, *cores, *steps))
+		run(experiments.Fig7(w, *cores, *steps, *par))
 		fmt.Fprintln(w)
 		did = true
 	}
 	if *all || *fig == 8 {
-		run(experiments.Fig8(w, *edge, *steps, *cores))
+		run(experiments.Fig8(w, *edge, *steps, *cores, *par))
+		fmt.Fprintln(w)
+		did = true
+	}
+	if *all || *parscale {
+		pmax := *par
+		if pmax == 0 {
+			pmax = runtime.GOMAXPROCS(0)
+		}
+		workers := []int{1, 2, 4, 8}
+		if pmax > 1 {
+			workers = workers[:0]
+			for nw := 1; nw < pmax; nw *= 2 {
+				workers = append(workers, nw)
+			}
+			workers = append(workers, pmax)
+		}
+		run(experiments.ParallelScaling(w, *edge, *steps, workers))
 		fmt.Fprintln(w)
 		did = true
 	}

@@ -33,12 +33,14 @@ func main() {
 	outDir := flag.String("out", ".", "output directory")
 	ckptPath := flag.String("ckpt", "", "write a final checkpoint to this path")
 	window := flag.Bool("window", true, "enable the moving window")
+	par := flag.Int("par", 0, "total sweep workers for intra-block parallelism (0 = GOMAXPROCS)")
 	seed := flag.Int64("seed", 1, "Voronoi seed")
 	flag.Parse()
 
 	cfg := phasefield.DefaultConfig(*nx, *ny, *nz)
 	cfg.PX, cfg.PY = *px, *py
 	cfg.MovingWindow = *window
+	cfg.Parallelism = *par
 	cfg.Seed = *seed
 	sim, err := phasefield.New(cfg)
 	if err != nil {

@@ -1,0 +1,138 @@
+package comm
+
+import (
+	"testing"
+
+	"repro/internal/grid"
+)
+
+// alloc_test.go guards the zero-allocation property of the halo-exchange
+// pack/unpack path: after the first exchange has populated the per-rank
+// persistent buffers, further exchanges must not allocate.
+
+func allocTestWorld(t *testing.T) (*World, *grid.Field, *grid.Field, grid.BoundarySet) {
+	t.Helper()
+	bg, err := grid.NewBlockGrid(2, 1, 1, 8, 6, 10, [3]bool{true, true, false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWorld(bg)
+	f0 := grid.NewField(8, 6, 10, 4, 1, grid.SoA)
+	f1 := grid.NewField(8, 6, 10, 4, 1, grid.SoA)
+	for i := range f0.Data {
+		f0.Data[i] = float64(i)
+		f1.Data[i] = float64(2 * i)
+	}
+	bcs := bg.BlockBCs(0, grid.DirectionalSolidification([]float64{1, 0, 0, 0}))
+	return w, f0, f1, bcs
+}
+
+func TestExchangePackPathAllocFree(t *testing.T) {
+	w, f0, f1, bcs := allocTestWorld(t)
+
+	// A persistent partner goroutine runs rank 1's side of each exchange,
+	// so the measured closure performs one full two-rank halo exchange.
+	req := make(chan struct{})
+	ack := make(chan struct{})
+	defer close(req)
+	go func() {
+		for range req {
+			w.ExchangeGhosts(1, f1, TagPhi, bcs)
+			ack <- struct{}{}
+		}
+	}()
+	pair := func() {
+		req <- struct{}{}
+		w.ExchangeGhosts(0, f0, TagPhi, bcs)
+		<-ack
+	}
+
+	for i := 0; i < 4; i++ {
+		pair() // warm-up: populate the persistent buffer set
+	}
+	before := w.PackAllocs()
+	avg := testing.AllocsPerRun(20, pair)
+	if avg != 0 {
+		t.Errorf("steady-state halo exchange allocates %.1f objects/run, want 0", avg)
+	}
+	if got := w.PackAllocs(); got != before {
+		t.Errorf("pack buffers allocated in steady state: %d fresh buffers", got-before)
+	}
+}
+
+func TestPackRegionSoAFastPathMatchesGeneric(t *testing.T) {
+	// The contiguous-row SoA fast path must produce the same buffer layout
+	// as the generic element-wise path (which AoS fields still use), and
+	// unpack must restore exactly what pack read.
+	nx, ny, nz := 7, 5, 6
+	soa := grid.NewField(nx, ny, nz, 3, 1, grid.SoA)
+	aos := grid.NewField(nx, ny, nz, 3, 1, grid.AoS)
+	i := 0
+	for c := 0; c < 3; c++ {
+		for z := -1; z <= nz; z++ {
+			for y := -1; y <= ny; y++ {
+				for x := -1; x <= nx; x++ {
+					soa.Set(c, x, y, z, float64(i))
+					aos.Set(c, x, y, z, float64(i))
+					i++
+				}
+			}
+		}
+	}
+	for face := grid.Face(0); face < grid.NumFaces; face++ {
+		pack, unpack := stageRegions(soa, face)
+		bufS := packRegion(soa, pack, nil)
+		bufA := packRegion(aos, pack, nil)
+		if len(bufS) != len(bufA) {
+			t.Fatalf("face %v: buffer length %d vs %d", face, len(bufS), len(bufA))
+		}
+		for j := range bufS {
+			if bufS[j] != bufA[j] {
+				t.Fatalf("face %v: SoA fast path differs from generic at %d: %g vs %g", face, j, bufS[j], bufA[j])
+			}
+		}
+
+		// Round-trip: unpack into a cleared clone and compare the region.
+		dst := grid.NewField(nx, ny, nz, 3, 1, grid.SoA)
+		unpackRegion(dst, unpack, packRegion(soa, pack, nil))
+		ref := grid.NewField(nx, ny, nz, 3, 1, grid.AoS)
+		unpackRegion(ref, unpack, bufA)
+		for c := 0; c < 3; c++ {
+			for z := unpack.z0; z < unpack.z1; z++ {
+				for y := unpack.y0; y < unpack.y1; y++ {
+					for x := unpack.x0; x < unpack.x1; x++ {
+						if dst.At(c, x, y, z) != ref.At(c, x, y, z) {
+							t.Fatalf("face %v: unpack mismatch at (%d,%d,%d,%d)", face, c, x, y, z)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPackBufferRecycling(t *testing.T) {
+	// Repeated exchanges circulate a bounded buffer set: the allocation
+	// count must stop growing after the first few steps.
+	w, f0, f1, bcs := allocTestWorld(t)
+	step := func() {
+		done := make(chan struct{})
+		go func() {
+			w.ExchangeGhosts(1, f1, TagPhi, bcs)
+			w.ExchangeGhosts(1, f1.Clone(), TagMu, bcs)
+			close(done)
+		}()
+		w.ExchangeGhosts(0, f0, TagPhi, bcs)
+		w.ExchangeGhosts(0, f0.Clone(), TagMu, bcs)
+		<-done
+	}
+	step()
+	step()
+	after2 := w.PackAllocs()
+	for i := 0; i < 10; i++ {
+		step()
+	}
+	if got := w.PackAllocs(); got != after2 {
+		t.Errorf("pack allocations kept growing: %d after warm-up, %d after 10 more steps", after2, got)
+	}
+}

@@ -68,13 +68,30 @@ func stageRegions(f *grid.Field, face grid.Face) (pack, unpack haloRegion) {
 }
 
 // packRegion copies region r of all components of f into buf (allocating if
-// needed) and returns the buffer.
+// needed) and returns the buffer. For SoA fields each x-run of a row is
+// contiguous in memory, so whole rows move with copy instead of per-element
+// At calls — this is the fast path the x-axis stage (which packs full
+// y×z slabs row by row) lives on.
 func packRegion(f *grid.Field, r haloRegion, buf []float64) []float64 {
 	n := r.numCells() * f.NComp
 	if cap(buf) < n {
 		buf = make([]float64, n)
 	}
 	buf = buf[:n]
+	if f.Lay == grid.SoA {
+		w := r.x1 - r.x0
+		i := 0
+		for c := 0; c < f.NComp; c++ {
+			for z := r.z0; z < r.z1; z++ {
+				for y := r.y0; y < r.y1; y++ {
+					base := f.Idx(c, r.x0, y, z)
+					copy(buf[i:i+w], f.Data[base:base+w])
+					i += w
+				}
+			}
+		}
+		return buf
+	}
 	i := 0
 	for c := 0; c < f.NComp; c++ {
 		for z := r.z0; z < r.z1; z++ {
@@ -89,8 +106,23 @@ func packRegion(f *grid.Field, r haloRegion, buf []float64) []float64 {
 	return buf
 }
 
-// unpackRegion copies buf into region r of all components of f.
+// unpackRegion copies buf into region r of all components of f, with the
+// same contiguous-row fast path as packRegion for SoA fields.
 func unpackRegion(f *grid.Field, r haloRegion, buf []float64) {
+	if f.Lay == grid.SoA {
+		w := r.x1 - r.x0
+		i := 0
+		for c := 0; c < f.NComp; c++ {
+			for z := r.z0; z < r.z1; z++ {
+				for y := r.y0; y < r.y1; y++ {
+					base := f.Idx(c, r.x0, y, z)
+					copy(f.Data[base:base+w], buf[i:i+w])
+					i += w
+				}
+			}
+		}
+		return
+	}
 	i := 0
 	for c := 0; c < f.NComp; c++ {
 		for z := r.z0; z < r.z1; z++ {
@@ -121,9 +153,12 @@ func (w *World) ExchangeGhosts(rank int, f *grid.Field, tag Tag, bcs grid.Bounda
 func (w *World) exchangeAxis(rank int, f *grid.Field, tag Tag, bcs grid.BoundarySet, axis int, st *Stats) {
 	faces := [2]grid.Face{grid.Face(2 * axis), grid.Face(2*axis + 1)}
 
-	var recvs []grid.Face
+	var recvs [2]grid.Face
+	nrecv := 0
 
-	// Post sends for exchange faces.
+	// Post sends for exchange faces. Pack buffers are persistent: taken
+	// from this rank's per-(face,tag) free list and returned there by the
+	// receiver after unpacking, so steady-state exchanges allocate nothing.
 	for _, face := range faces {
 		n, ok := w.BG.Neighbor(rank, face)
 		if !ok || n == rank {
@@ -131,7 +166,7 @@ func (w *World) exchangeAxis(rank int, f *grid.Field, tag Tag, bcs grid.Boundary
 		}
 		pack, _ := stageRegions(f, face)
 		t0 := time.Now()
-		buf := packRegion(f, pack, nil)
+		buf := packRegion(f, pack, w.takeBuf(rank, face, tag, pack.numCells()*f.NComp))
 		st.Pack += time.Since(t0)
 
 		t0 = time.Now()
@@ -141,7 +176,8 @@ func (w *World) exchangeAxis(rank int, f *grid.Field, tag Tag, bcs grid.Boundary
 		st.Messages++
 		st.Bytes += len(buf) * 8
 
-		recvs = append(recvs, face)
+		recvs[nrecv] = face
+		nrecv++
 	}
 
 	// Physical boundaries of this axis.
@@ -154,8 +190,9 @@ func (w *World) exchangeAxis(rank int, f *grid.Field, tag Tag, bcs grid.Boundary
 
 	// Receive and unpack. The unpack region along the axis depends on the
 	// arrival side: a message arriving at our XMin face fills our low
-	// ghost slab.
-	for _, face := range recvs {
+	// ghost slab. The drained buffer goes back to its sender — the
+	// neighbor on the arrival face, which sent through its opposite face.
+	for _, face := range recvs[:nrecv] {
 		t0 := time.Now()
 		buf := <-w.box(rank, face, tag)
 		st.Transfer += time.Since(t0)
@@ -163,6 +200,10 @@ func (w *World) exchangeAxis(rank int, f *grid.Field, tag Tag, bcs grid.Boundary
 		t0 = time.Now()
 		unpackRegion(f, arrivalRegion(f, face), buf)
 		st.Unpack += time.Since(t0)
+
+		if sender, ok := w.BG.Neighbor(rank, face); ok {
+			w.putBuf(sender, face.Opposite(), tag, buf)
+		}
 	}
 }
 

@@ -17,6 +17,7 @@ package comm
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/grid"
@@ -80,6 +81,16 @@ type World struct {
 	// whose ghost region is on side `face` of `to`'s block.
 	mailboxes [][]chan []float64
 
+	// freeBufs[from][face][tag] recycles pack buffers back to their
+	// sending rank: after unpacking, the receiver returns the buffer to
+	// the sender's free list for that (face, tag) stream, so the steady
+	// state circulates a fixed set of buffers and packs allocate nothing.
+	freeBufs [][]chan []float64
+
+	// packAllocs counts fresh pack-buffer allocations (warm-up only in
+	// steady state; the allocation-guard tests assert it stays flat).
+	packAllocs atomic.Int64
+
 	stats [][]Stats // per-rank, per-tag accumulated stats
 	mu    []sync.Mutex
 
@@ -95,6 +106,7 @@ func NewWorld(bg *grid.BlockGrid) *World {
 	w := &World{
 		BG:        bg,
 		mailboxes: make([][]chan []float64, n),
+		freeBufs:  make([][]chan []float64, n),
 		stats:     make([][]Stats, n),
 		mu:        make([]sync.Mutex, n),
 		barrier:   newBarrier(n),
@@ -102,10 +114,14 @@ func NewWorld(bg *grid.BlockGrid) *World {
 	for r := 0; r < n; r++ {
 		w.stats[r] = make([]Stats, numTags)
 		w.mailboxes[r] = make([]chan []float64, int(grid.NumFaces)*int(numTags))
+		w.freeBufs[r] = make([]chan []float64, int(grid.NumFaces)*int(numTags))
 		for i := range w.mailboxes[r] {
 			// Capacity 2 tolerates one full timestep of skew
 			// between neighbors.
 			w.mailboxes[r][i] = make(chan []float64, 2)
+			// One extra free slot so a buffer returned while the
+			// mailbox is full is never dropped.
+			w.freeBufs[r][i] = make(chan []float64, 3)
 		}
 	}
 	return w
@@ -117,6 +133,38 @@ func (w *World) NumRanks() int { return w.BG.NumBlocks() }
 func (w *World) box(to int, face grid.Face, tag Tag) chan []float64 {
 	return w.mailboxes[to][int(face)*int(numTags)+int(tag)]
 }
+
+// takeBuf fetches rank's persistent pack buffer for the (face, tag) send
+// stream, allocating only when the free list is empty (first steps) or the
+// requested size grew (window/geometry change).
+func (w *World) takeBuf(rank int, face grid.Face, tag Tag, n int) []float64 {
+	free := w.freeBufs[rank][int(face)*int(numTags)+int(tag)]
+	select {
+	case b := <-free:
+		if cap(b) >= n {
+			return b[:n]
+		}
+	default:
+	}
+	w.packAllocs.Add(1)
+	return make([]float64, n)
+}
+
+// putBuf returns a consumed message buffer to its sender's free list. A full
+// free list (impossible in the steady protocol, but cheap to tolerate) drops
+// the buffer to the garbage collector.
+func (w *World) putBuf(rank int, face grid.Face, tag Tag, b []float64) {
+	free := w.freeBufs[rank][int(face)*int(numTags)+int(tag)]
+	select {
+	case free <- b:
+	default:
+	}
+}
+
+// PackAllocs returns how many pack buffers have been freshly allocated so
+// far. In a steady-state run the count stops growing after the first
+// timestep — the allocation-guard tests assert exactly that.
+func (w *World) PackAllocs() int64 { return w.packAllocs.Load() }
 
 // RankStats returns the accumulated stats for rank r summed over all tags.
 func (w *World) RankStats(r int) Stats {

@@ -187,14 +187,16 @@ func Fig6(w io.Writer, edge, steps int) error {
 
 // Fig7 regenerates the intranode µ-kernel scaling: per-core MLUP/s for 1..
 // maxCores worker ranks with one block per rank, for block sizes 40³ and
-// 20³, measured live, next to the SuperMUC analytic model.
-func Fig7(w io.Writer, maxCores, steps int) error {
+// 20³, measured live, next to the SuperMUC analytic model. par is the
+// intra-block sweep parallelism per solver (1 reproduces the paper's
+// one-rank-per-core setup; 0 selects GOMAXPROCS).
+func Fig7(w io.Writer, maxCores, steps, par int) error {
 	fmt.Fprintln(w, "Figure 7: intranode scaling of the mu-kernel (MLUP/s per core)")
 	for _, edge := range []int{40, 20} {
 		fmt.Fprintf(w, "block %d^3:\n%8s %16s %16s\n", edge, "cores", "measured", "model(SuperMUC)")
 		model := perfmodel.IntranodeScaling(perfmodel.SuperMUC(), edge, maxCores)
 		for c := 1; c <= maxCores; c++ {
-			rate, err := measureIntranode(c, edge, steps)
+			rate, err := measureIntranode(c, edge, steps, par)
 			if err != nil {
 				return err
 			}
@@ -204,17 +206,18 @@ func Fig7(w io.Writer, maxCores, steps int) error {
 	return nil
 }
 
-func measureIntranode(ranks, edge, steps int) (float64, error) {
+func measureIntranode(ranks, edge, steps, par int) (float64, error) {
 	bg, err := grid.NewBlockGrid(ranks, 1, 1, edge, edge, edge, [3]bool{true, true, false})
 	if err != nil {
 		return 0, err
 	}
 	p := core.DefaultParams()
 	p.Temp.Z0 = float64(edge) / 2 * p.Dx
-	sim, err := solver.New(solver.Config{Params: p, BG: bg, Variant: kernels.VarShortcut})
+	sim, err := solver.New(solver.Config{Params: p, BG: bg, Variant: kernels.VarShortcut, Parallelism: par})
 	if err != nil {
 		return 0, err
 	}
+	defer sim.Close()
 	if err := sim.InitScenario(solver.ScenarioInterface); err != nil {
 		return 0, err
 	}
@@ -222,18 +225,52 @@ func measureIntranode(ranks, edge, steps int) (float64, error) {
 	return m.MuKernelMLUPs(), nil
 }
 
+// ParallelScaling measures whole-timestep MLUP/s of a single edge³ block at
+// increasing intra-block sweep parallelism — the live counterpart of
+// BenchmarkParallelScaling for the benchfig CLI.
+func ParallelScaling(w io.Writer, edge, steps int, workers []int) error {
+	fmt.Fprintf(w, "Intra-block parallel sweep scaling, one %d^3 block, interface scenario (MLUP/s)\n", edge)
+	fmt.Fprintf(w, "%8s %12s %10s\n", "workers", "MLUP/s", "speedup")
+	base := 0.0
+	for _, nw := range workers {
+		bg, err := grid.NewBlockGrid(1, 1, 1, edge, edge, edge, [3]bool{true, true, false})
+		if err != nil {
+			return err
+		}
+		p := core.DefaultParams()
+		p.Temp.Z0 = float64(edge) / 2 * p.Dx
+		sim, err := solver.New(solver.Config{Params: p, BG: bg, Variant: kernels.VarShortcut, Parallelism: nw})
+		if err != nil {
+			return err
+		}
+		if err := sim.InitScenario(solver.ScenarioInterface); err != nil {
+			sim.Close()
+			return err
+		}
+		sim.Run(1) // warm-up
+		m := sim.RunMeasured(steps)
+		sim.Close()
+		rate := m.MLUPs()
+		if base == 0 {
+			base = rate
+		}
+		fmt.Fprintf(w, "%8d %12.2f %9.2fx\n", nw, rate, rate/base)
+	}
+	return nil
+}
+
 // Fig8 regenerates the communication-hiding study: per-timestep time in the
 // φ and µ communication routines with and without overlap. The first block
 // reports live measurements of the in-process communicator; the second the
 // analytic SuperMUC model for 2⁵..2¹² cores (block 60³, Fig. 8's setup).
-func Fig8(w io.Writer, edge, steps, maxRanks int) error {
+func Fig8(w io.Writer, edge, steps, maxRanks, par int) error {
 	fmt.Fprintln(w, "Figure 8: time spent in communication per timestep")
 	fmt.Fprintf(w, "measured in-process (block %d^3 per rank), ms per step:\n", edge)
 	fmt.Fprintf(w, "%8s %14s %14s %14s %14s\n", "ranks", "phi overlap", "phi blocking", "mu overlap", "mu blocking")
 	for ranks := 2; ranks <= maxRanks; ranks *= 2 {
 		var row [4]float64
 		for i, mode := range []solver.OverlapMode{solver.OverlapBoth, solver.OverlapNone} {
-			phiMS, muMS, err := measureComm(ranks, edge, steps, mode)
+			phiMS, muMS, err := measureComm(ranks, edge, steps, mode, par)
 			if err != nil {
 				return err
 			}
@@ -258,17 +295,18 @@ func Fig8(w io.Writer, edge, steps, maxRanks int) error {
 	return nil
 }
 
-func measureComm(ranks, edge, steps int, mode solver.OverlapMode) (phiMS, muMS float64, err error) {
+func measureComm(ranks, edge, steps int, mode solver.OverlapMode, par int) (phiMS, muMS float64, err error) {
 	bg, err := grid.NewBlockGrid(ranks, 1, 1, edge, edge, edge, [3]bool{true, true, false})
 	if err != nil {
 		return 0, 0, err
 	}
 	p := core.DefaultParams()
 	p.Temp.Z0 = float64(edge) / 2 * p.Dx
-	sim, err := solver.New(solver.Config{Params: p, BG: bg, Variant: kernels.VarShortcut, Overlap: mode})
+	sim, err := solver.New(solver.Config{Params: p, BG: bg, Variant: kernels.VarShortcut, Overlap: mode, Parallelism: par})
 	if err != nil {
 		return 0, 0, err
 	}
+	defer sim.Close()
 	if err := sim.InitScenario(solver.ScenarioInterface); err != nil {
 		return 0, 0, err
 	}

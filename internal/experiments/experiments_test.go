@@ -40,7 +40,7 @@ func TestFig6Runs(t *testing.T) {
 
 func TestFig7Runs(t *testing.T) {
 	var buf bytes.Buffer
-	if err := Fig7(&buf, 2, 1); err != nil {
+	if err := Fig7(&buf, 2, 1, 1); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "block 40^3") || !strings.Contains(buf.String(), "block 20^3") {
@@ -50,11 +50,22 @@ func TestFig7Runs(t *testing.T) {
 
 func TestFig8Runs(t *testing.T) {
 	var buf bytes.Buffer
-	if err := Fig8(&buf, 12, 2, 4); err != nil {
+	if err := Fig8(&buf, 12, 2, 4, 1); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "SuperMUC model") {
 		t.Error("Fig8 output missing model block")
+	}
+}
+
+func TestParallelScalingRuns(t *testing.T) {
+	var buf bytes.Buffer
+	if err := ParallelScaling(&buf, 16, 2, []int{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "workers") || !strings.Contains(out, "speedup") {
+		t.Error("ParallelScaling output missing table header")
 	}
 }
 

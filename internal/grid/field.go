@@ -160,7 +160,21 @@ func (f *Field) Swap(g *Field) {
 // order the paper chooses so temperature-dependent terms can be precomputed
 // per z-slice) and calls fn for each.
 func (f *Field) Interior(fn func(x, y, z int)) {
-	for z := 0; z < f.NZ; z++ {
+	f.InteriorRange(0, f.NZ, fn)
+}
+
+// InteriorRange iterates over the interior cells of the z-slab [z0,z1) in
+// z-outermost order — the slab unit of the parallel sweep engine, so
+// per-slab initialization and analysis can share the kernels' partitioning.
+// Bounds are clamped to [0,NZ).
+func (f *Field) InteriorRange(z0, z1 int, fn func(x, y, z int)) {
+	if z0 < 0 {
+		z0 = 0
+	}
+	if z1 > f.NZ {
+		z1 = f.NZ
+	}
+	for z := z0; z < z1; z++ {
 		for y := 0; y < f.NY; y++ {
 			for x := 0; x < f.NX; x++ {
 				fn(x, y, z)
@@ -213,6 +227,10 @@ func (f *Field) HasNaN() bool {
 // are filled per component from fillVals. This implements the moving-window
 // advance. Ghost layers are left untouched (they are refreshed by the next
 // communication + boundary handling).
+//
+// Rows are moved with contiguous copy: in SoA layout an interior x-row of
+// one component is contiguous, in AoS an x-row of all components is. copy's
+// memmove semantics make the overlapping downward shift safe.
 func (f *Field) ShiftZDown(cells int, fillVals []float64) {
 	if cells <= 0 {
 		return
@@ -220,21 +238,40 @@ func (f *Field) ShiftZDown(cells int, fillVals []float64) {
 	if cells > f.NZ {
 		cells = f.NZ
 	}
-	for z := 0; z < f.NZ-cells; z++ {
-		for y := 0; y < f.NY; y++ {
-			for x := 0; x < f.NX; x++ {
-				for c := 0; c < f.NComp; c++ {
-					f.Set(c, x, y, z, f.At(c, x, y, z+cells))
+	if f.Lay == SoA {
+		for c := 0; c < f.NComp; c++ {
+			for z := 0; z < f.NZ-cells; z++ {
+				for y := 0; y < f.NY; y++ {
+					dst := f.Idx(c, 0, y, z)
+					src := f.Idx(c, 0, y, z+cells)
+					copy(f.Data[dst:dst+f.NX], f.Data[src:src+f.NX])
 				}
 			}
+			v := fillVals[c]
+			for z := f.NZ - cells; z < f.NZ; z++ {
+				for y := 0; y < f.NY; y++ {
+					row := f.Data[f.Idx(c, 0, y, z):]
+					for x := 0; x < f.NX; x++ {
+						row[x] = v
+					}
+				}
+			}
+		}
+		return
+	}
+	rowLen := f.NX * f.NComp
+	for z := 0; z < f.NZ-cells; z++ {
+		for y := 0; y < f.NY; y++ {
+			dst := f.Idx(0, 0, y, z)
+			src := f.Idx(0, 0, y, z+cells)
+			copy(f.Data[dst:dst+rowLen], f.Data[src:src+rowLen])
 		}
 	}
 	for z := f.NZ - cells; z < f.NZ; z++ {
 		for y := 0; y < f.NY; y++ {
+			row := f.Data[f.Idx(0, 0, y, z):]
 			for x := 0; x < f.NX; x++ {
-				for c := 0; c < f.NComp; c++ {
-					f.Set(c, x, y, z, fillVals[c])
-				}
+				copy(row[x*f.NComp:(x+1)*f.NComp], fillVals)
 			}
 		}
 	}

@@ -2,55 +2,100 @@ package kernels
 
 // kernels.go is the public dispatch surface: one entry point per kernel,
 // selecting the optimization-ladder variant, plus the Fig. 5 vectorization
-// strategies and the Algorithm-2 split sweeps.
+// strategies and the Algorithm-2 split sweeps. Every kernel also has a
+// *Range form restricted to the z-slab [z0,z1), the unit of intra-block
+// parallelism: disjoint slabs write disjoint destination slices, so multiple
+// workers (each with its own Scratch) may sweep one block concurrently. At a
+// slab's first slice the staggered z-buffers are invalid, so the stag and
+// shortcut variants recompute that slice's low z-face fluxes instead of
+// reusing a neighbor worker's buffer — bitwise identical to the serial sweep
+// because the buffered value is exactly the recomputed one.
+
+// clampRange clips [z0,z1) to the block's interior [0,nz).
+func clampRange(nz, z0, z1 int) (int, int) {
+	if z0 < 0 {
+		z0 = 0
+	}
+	if z1 > nz {
+		z1 = nz
+	}
+	return z0, z1
+}
 
 // PhiSweep updates f.PhiDst from f.PhiSrc/f.MuSrc with the selected variant.
 func PhiSweep(ctx *Ctx, f *Fields, sc *Scratch, v Variant) {
+	PhiSweepRange(ctx, f, sc, v, 0, f.PhiSrc.NZ)
+}
+
+// PhiSweepRange is PhiSweep restricted to the z-slab [z0,z1).
+func PhiSweepRange(ctx *Ctx, f *Fields, sc *Scratch, v Variant, z0, z1 int) {
+	z0, z1 = clampRange(f.PhiSrc.NZ, z0, z1)
+	if z0 >= z1 {
+		return
+	}
 	switch v {
 	case VarGeneral:
-		phiSweepGeneral(ctx, f)
+		phiSweepGeneral(ctx, f, z0, z1)
 	case VarBasic:
-		phiSweepScalar(ctx, f, sc, phiOpts{})
+		phiSweepScalar(ctx, f, sc, phiOpts{}, z0, z1)
 	case VarSIMD:
-		phiSweepVec(ctx, f, sc, phiOpts{})
+		phiSweepVec(ctx, f, sc, phiOpts{}, z0, z1)
 	case VarTz:
-		phiSweepVec(ctx, f, sc, phiOpts{tz: true})
+		phiSweepVec(ctx, f, sc, phiOpts{tz: true}, z0, z1)
 	case VarStag:
-		phiSweepVec(ctx, f, sc, phiOpts{tz: true, stag: true})
+		phiSweepVec(ctx, f, sc, phiOpts{tz: true, stag: true}, z0, z1)
 	default: // VarShortcut
-		phiSweepVec(ctx, f, sc, phiOpts{tz: true, stag: true, shortcut: true})
+		phiSweepVec(ctx, f, sc, phiOpts{tz: true, stag: true, shortcut: true}, z0, z1)
 	}
 }
 
 // PhiSweepStrategy updates the φ-field with one of the Fig. 5 vectorization
 // strategies, all at the full remaining optimization level.
 func PhiSweepStrategy(ctx *Ctx, f *Fields, sc *Scratch, s PhiStrategy) {
+	PhiSweepStrategyRange(ctx, f, sc, s, 0, f.PhiSrc.NZ)
+}
+
+// PhiSweepStrategyRange is PhiSweepStrategy restricted to the z-slab [z0,z1).
+func PhiSweepStrategyRange(ctx *Ctx, f *Fields, sc *Scratch, s PhiStrategy, z0, z1 int) {
+	z0, z1 = clampRange(f.PhiSrc.NZ, z0, z1)
+	if z0 >= z1 {
+		return
+	}
 	switch s {
 	case StratCellwise:
-		phiSweepVec(ctx, f, sc, phiOpts{tz: true, stag: true})
+		phiSweepVec(ctx, f, sc, phiOpts{tz: true, stag: true}, z0, z1)
 	case StratCellwiseShortcut:
-		phiSweepVec(ctx, f, sc, phiOpts{tz: true, stag: true, shortcut: true})
+		phiSweepVec(ctx, f, sc, phiOpts{tz: true, stag: true, shortcut: true}, z0, z1)
 	default: // StratFourCell
-		phiSweepFourCell(ctx, f, sc, true)
+		phiSweepFourCell(ctx, f, sc, true, z0, z1)
 	}
 }
 
 // MuSweep updates f.MuDst (the fused Algorithm-1 µ-kernel, including the
 // anti-trapping current) with the selected variant.
 func MuSweep(ctx *Ctx, f *Fields, sc *Scratch, v Variant) {
+	MuSweepRange(ctx, f, sc, v, 0, f.MuSrc.NZ)
+}
+
+// MuSweepRange is MuSweep restricted to the z-slab [z0,z1).
+func MuSweepRange(ctx *Ctx, f *Fields, sc *Scratch, v Variant, z0, z1 int) {
+	z0, z1 = clampRange(f.MuSrc.NZ, z0, z1)
+	if z0 >= z1 {
+		return
+	}
 	switch v {
 	case VarGeneral:
-		muSweepGeneral(ctx, f)
+		muSweepGeneral(ctx, f, z0, z1)
 	case VarBasic:
-		muSweepScalar(ctx, f, sc, muOpts{withJat: true})
+		muSweepScalar(ctx, f, sc, muOpts{withJat: true}, z0, z1)
 	case VarSIMD:
-		muSweepFourCell(ctx, f, sc, muOpts{withJat: true, simdCSE: true})
+		muSweepFourCell(ctx, f, sc, muOpts{withJat: true, simdCSE: true}, z0, z1)
 	case VarTz:
-		muSweepFourCell(ctx, f, sc, muOpts{withJat: true, simdCSE: true, tz: true})
+		muSweepFourCell(ctx, f, sc, muOpts{withJat: true, simdCSE: true, tz: true}, z0, z1)
 	case VarStag:
-		muSweepFourCell(ctx, f, sc, muOpts{withJat: true, simdCSE: true, tz: true, stag: true})
+		muSweepFourCell(ctx, f, sc, muOpts{withJat: true, simdCSE: true, tz: true, stag: true}, z0, z1)
 	default: // VarShortcut
-		muSweepFourCell(ctx, f, sc, muOpts{withJat: true, simdCSE: true, tz: true, stag: true, shortcut: true})
+		muSweepFourCell(ctx, f, sc, muOpts{withJat: true, simdCSE: true, tz: true, stag: true, shortcut: true}, z0, z1)
 	}
 }
 
@@ -58,17 +103,35 @@ func MuSweep(ctx *Ctx, f *Fields, sc *Scratch, v Variant) {
 // (Algorithm 2, line 6): it depends on φ(t+Δt) only locally, so the φ ghost
 // exchange can overlap it.
 func MuSweepLocal(ctx *Ctx, f *Fields, sc *Scratch, v Variant) {
-	o := muOpts{withJat: false, simdCSE: v >= VarSIMD, tz: v >= VarTz, stag: v >= VarStag, shortcut: v >= VarShortcut}
-	if v >= VarSIMD {
-		muSweepFourCell(ctx, f, sc, o)
+	MuSweepLocalRange(ctx, f, sc, v, 0, f.MuSrc.NZ)
+}
+
+// MuSweepLocalRange is MuSweepLocal restricted to the z-slab [z0,z1).
+func MuSweepLocalRange(ctx *Ctx, f *Fields, sc *Scratch, v Variant, z0, z1 int) {
+	z0, z1 = clampRange(f.MuSrc.NZ, z0, z1)
+	if z0 >= z1 {
 		return
 	}
-	muSweepScalar(ctx, f, sc, o)
+	o := muOpts{withJat: false, simdCSE: v >= VarSIMD, tz: v >= VarTz, stag: v >= VarStag, shortcut: v >= VarShortcut}
+	if v >= VarSIMD {
+		muSweepFourCell(ctx, f, sc, o, z0, z1)
+		return
+	}
+	muSweepScalar(ctx, f, sc, o, z0, z1)
 }
 
 // MuSweepNeighbor adds the −∇·J_at correction to f.MuDst (Algorithm 2,
 // line 8); it requires the φ(t+Δt) ghost layers.
 func MuSweepNeighbor(ctx *Ctx, f *Fields, sc *Scratch, v Variant) {
+	MuSweepNeighborRange(ctx, f, sc, v, 0, f.MuSrc.NZ)
+}
+
+// MuSweepNeighborRange is MuSweepNeighbor restricted to the z-slab [z0,z1).
+func MuSweepNeighborRange(ctx *Ctx, f *Fields, sc *Scratch, v Variant, z0, z1 int) {
+	z0, z1 = clampRange(f.MuSrc.NZ, z0, z1)
+	if z0 >= z1 {
+		return
+	}
 	o := muOpts{jatOnly: true, simdCSE: v >= VarSIMD, tz: v >= VarTz, stag: v >= VarStag, shortcut: v >= VarShortcut}
-	muSweepScalar(ctx, f, sc, o)
+	muSweepScalar(ctx, f, sc, o, z0, z1)
 }

@@ -15,19 +15,20 @@ import (
 // shared between lanes by a register rotate: the low faces of lanes 1–3 are
 // the high faces of lanes 0–2.
 
-// muSweepFourCell runs the vectorized µ-kernel. jatOnly passes fall back to
-// the scalar kernel (the Algorithm-2 correction sweep is bandwidth-trivial).
-func muSweepFourCell(ctx *Ctx, f *Fields, sc *Scratch, o muOpts) {
+// muSweepFourCell runs the vectorized µ-kernel over the z-slab [z0,z1).
+// jatOnly passes fall back to the scalar kernel (the Algorithm-2 correction
+// sweep is bandwidth-trivial).
+func muSweepFourCell(ctx *Ctx, f *Fields, sc *Scratch, o muOpts, z0, z1 int) {
 	if o.jatOnly {
-		muSweepScalar(ctx, f, sc, o)
+		muSweepScalar(ctx, f, sc, o, z0, z1)
 		return
 	}
 	p := ctx.P
 	phiS, phiD := f.PhiSrc, f.PhiDst
 	muS, muD := f.MuSrc, f.MuDst
-	nx, ny, nz := muS.NX, muS.NY, muS.NZ
+	nx, ny := muS.NX, muS.NY
 	if nx < 4 {
-		muSweepScalar(ctx, f, sc, o)
+		muSweepScalar(ctx, f, sc, o, z0, z1)
 		return
 	}
 	sc.ensure(nx, ny)
@@ -45,7 +46,7 @@ func muSweepFourCell(ctx *Ctx, f *Fields, sc *Scratch, o muOpts) {
 	st.tsPrev = &tsPrev
 
 	sc.zValidMu = false
-	for z := 0; z < nz; z++ {
+	for z := z0; z < z1; z++ {
 		ts.Fill(p, ctx.ZOff+z, ctx.Time)
 		tsPrev.Fill(p, ctx.ZOff+z-1, ctx.Time)
 		st.zSlice = z

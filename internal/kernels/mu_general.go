@@ -141,8 +141,9 @@ func muGenFaceFlux(st *muGenState, x, y, z, axis int, out *[NR]float64) {
 	}
 }
 
-// muSweepGeneral runs the emulated general-purpose µ-kernel.
-func muSweepGeneral(ctx *Ctx, f *Fields) {
+// muSweepGeneral runs the emulated general-purpose µ-kernel over the z-slab
+// [z0,z1).
+func muSweepGeneral(ctx *Ctx, f *Fields, z0, z1 int) {
 	p := ctx.P
 	muS, muD := f.MuSrc, f.MuDst
 	terms := []muTerm{muGenSource{}, muGenFlux{}}
@@ -150,7 +151,7 @@ func muSweepGeneral(ctx *Ctx, f *Fields) {
 	var st muGenState
 	st.ctx = ctx
 	st.f = f
-	for z := 0; z < muS.NZ; z++ {
+	for z := z0; z < z1; z++ {
 		for y := 0; y < muS.NY; y++ {
 			for x := 0; x < muS.NX; x++ {
 				st.x, st.y, st.z = x, y, z

@@ -205,12 +205,12 @@ func (st *muFaceState) totalFaceFlux(x, y, z, axis int, skipJat bool, out *[NR]f
 	}
 }
 
-// muSweepScalar runs the scalar µ-kernel over the block interior. In
-// jatOnly mode it adds the anti-trapping correction to an already computed
-// µdst; otherwise it writes µdst from scratch.
-func muSweepScalar(ctx *Ctx, f *Fields, sc *Scratch, o muOpts) {
+// muSweepScalar runs the scalar µ-kernel over the z-slab [z0,z1) of the
+// block interior. In jatOnly mode it adds the anti-trapping correction to an
+// already computed µdst; otherwise it writes µdst from scratch.
+func muSweepScalar(ctx *Ctx, f *Fields, sc *Scratch, o muOpts, z0, z1 int) {
 	p := ctx.P
-	nx, ny, nz := f.MuSrc.NX, f.MuSrc.NY, f.MuSrc.NZ
+	nx, ny := f.MuSrc.NX, f.MuSrc.NY
 	sc.ensure(nx, ny)
 
 	st := muFaceState{
@@ -232,7 +232,7 @@ func muSweepScalar(ctx *Ctx, f *Fields, sc *Scratch, o muOpts) {
 	st.tsPrev = &tsPrev
 
 	sc.zValidMu = false
-	for z := 0; z < nz; z++ {
+	for z := z0; z < z1; z++ {
 		ts.Fill(p, ctx.ZOff+z, ctx.Time)
 		tsPrev.Fill(p, ctx.ZOff+z-1, ctx.Time)
 		st.zSlice = z

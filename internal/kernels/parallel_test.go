@@ -1,0 +1,197 @@
+package kernels
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// parallel_test.go checks the slab-range entry points behind the parallel
+// sweep engine: for every variant of the optimization ladder, a sweep cut
+// into 2 or 4 z-slabs — each slab with its own Scratch, run both serially
+// and concurrently — must reproduce the serial sweep bit-for-bit. This
+// covers the stag/shortcut seam handling: a slab's first slice must
+// recompute its low z-face fluxes instead of reusing another worker's
+// staggered buffer.
+
+// slabBounds cuts [0,nz) into n even slabs, the same partition runSweep uses.
+func slabBounds(nz, n, i int) (int, int) {
+	return i * nz / n, (i + 1) * nz / n
+}
+
+// sweepSlabs runs fn once per slab with a fresh Scratch, concurrently when
+// parallel is set (exercising the disjoint-slab write guarantee under
+// -race).
+func sweepSlabs(nx, ny, nz, slabs int, parallel bool, fn func(sc *Scratch, z0, z1 int)) {
+	if !parallel {
+		for i := 0; i < slabs; i++ {
+			z0, z1 := slabBounds(nz, slabs, i)
+			fn(NewScratch(nx, ny), z0, z1)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < slabs; i++ {
+		z0, z1 := slabBounds(nz, slabs, i)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fn(NewScratch(nx, ny), z0, z1)
+		}()
+	}
+	wg.Wait()
+}
+
+func TestPhiSweepRangeMatchesSerial(t *testing.T) {
+	const nx, ny, nz = 12, 8, 16
+	p := testParams(nz)
+	ctx := &Ctx{P: p}
+
+	for v := VarGeneral; v < NumVariants; v++ {
+		ref := setupInterface(nx, ny, nz, p)
+		PhiSweep(ctx, ref, NewScratch(nx, ny), v)
+
+		for _, slabs := range []int{2, 4} {
+			for _, parallel := range []bool{false, true} {
+				f := setupInterface(nx, ny, nz, p)
+				sweepSlabs(nx, ny, nz, slabs, parallel, func(sc *Scratch, z0, z1 int) {
+					PhiSweepRange(ctx, f, sc, v, z0, z1)
+				})
+				ok, maxd := f.PhiDst.InteriorEqual(ref.PhiDst, 0)
+				if !ok {
+					t.Errorf("%v, %d slabs (parallel=%v): φ differs from serial by %g", v, slabs, parallel, maxd)
+				}
+			}
+		}
+	}
+}
+
+func TestMuSweepRangeMatchesSerial(t *testing.T) {
+	const nx, ny, nz = 12, 8, 16
+	p := testParams(nz)
+	ctx := &Ctx{P: p}
+
+	mk := func() *Fields {
+		f := setupInterface(nx, ny, nz, p)
+		PhiSweep(ctx, f, NewScratch(nx, ny), VarShortcut)
+		testBCsApply(f.PhiDst)
+		return f
+	}
+
+	for v := VarGeneral; v < NumVariants; v++ {
+		ref := mk()
+		MuSweep(ctx, ref, NewScratch(nx, ny), v)
+
+		for _, slabs := range []int{2, 4} {
+			for _, parallel := range []bool{false, true} {
+				f := mk()
+				sweepSlabs(nx, ny, nz, slabs, parallel, func(sc *Scratch, z0, z1 int) {
+					MuSweepRange(ctx, f, sc, v, z0, z1)
+				})
+				ok, maxd := f.MuDst.InteriorEqual(ref.MuDst, 0)
+				if !ok {
+					t.Errorf("%v, %d slabs (parallel=%v): µ differs from serial by %g", v, slabs, parallel, maxd)
+				}
+			}
+		}
+	}
+}
+
+func TestMuSplitRangeMatchesSerial(t *testing.T) {
+	// The Algorithm-2 split sweeps slab-decompose independently: the local
+	// pass writes µdst, the neighbor pass adds the −∇·J_at correction.
+	const nx, ny, nz = 12, 8, 16
+	p := testParams(nz)
+	ctx := &Ctx{P: p}
+
+	mk := func() *Fields {
+		f := setupInterface(nx, ny, nz, p)
+		PhiSweep(ctx, f, NewScratch(nx, ny), VarShortcut)
+		testBCsApply(f.PhiDst)
+		return f
+	}
+
+	for v := VarBasic; v < NumVariants; v++ {
+		ref := mk()
+		sc := NewScratch(nx, ny)
+		MuSweepLocal(ctx, ref, sc, v)
+		MuSweepNeighbor(ctx, ref, sc, v)
+
+		for _, slabs := range []int{2, 4} {
+			f := mk()
+			sweepSlabs(nx, ny, nz, slabs, true, func(sc *Scratch, z0, z1 int) {
+				MuSweepLocalRange(ctx, f, sc, v, z0, z1)
+			})
+			sweepSlabs(nx, ny, nz, slabs, true, func(sc *Scratch, z0, z1 int) {
+				MuSweepNeighborRange(ctx, f, sc, v, z0, z1)
+			})
+			ok, maxd := f.MuDst.InteriorEqual(ref.MuDst, 0)
+			if !ok {
+				t.Errorf("%v, %d slabs: split µ differs from serial by %g", v, slabs, maxd)
+			}
+		}
+	}
+}
+
+func TestPhiStrategyRangeMatchesSerial(t *testing.T) {
+	const nx, ny, nz = 12, 8, 16
+	p := testParams(nz)
+	ctx := &Ctx{P: p}
+
+	for _, s := range []PhiStrategy{StratCellwise, StratCellwiseShortcut, StratFourCell} {
+		ref := setupInterface(nx, ny, nz, p)
+		PhiSweepStrategy(ctx, ref, NewScratch(nx, ny), s)
+
+		f := setupInterface(nx, ny, nz, p)
+		sweepSlabs(nx, ny, nz, 4, true, func(sc *Scratch, z0, z1 int) {
+			PhiSweepStrategyRange(ctx, f, sc, s, z0, z1)
+		})
+		ok, maxd := f.PhiDst.InteriorEqual(ref.PhiDst, 0)
+		if !ok {
+			t.Errorf("%v: slab sweep differs from serial by %g", s, maxd)
+		}
+	}
+}
+
+func TestSweepRangeClamping(t *testing.T) {
+	// Out-of-bounds and empty ranges are clamped / no-ops.
+	const nx, ny, nz = 8, 6, 10
+	p := testParams(nz)
+	ctx := &Ctx{P: p}
+
+	ref := setupInterface(nx, ny, nz, p)
+	PhiSweep(ctx, ref, NewScratch(nx, ny), VarShortcut)
+
+	f := setupInterface(nx, ny, nz, p)
+	PhiSweepRange(ctx, f, NewScratch(nx, ny), VarShortcut, -3, nz+5)
+	PhiSweepRange(ctx, f, NewScratch(nx, ny), VarShortcut, 4, 4) // empty: no-op
+	ok, maxd := f.PhiDst.InteriorEqual(ref.PhiDst, 0)
+	if !ok {
+		t.Errorf("clamped range differs from full sweep by %g", maxd)
+	}
+}
+
+func TestSweepRangeUnevenSlabs(t *testing.T) {
+	// Slab counts that do not divide nz produce uneven partitions; the
+	// union must still cover every slice exactly once.
+	const nx, ny, nz = 8, 6, 13
+	p := testParams(nz)
+	ctx := &Ctx{P: p}
+
+	for _, slabs := range []int{3, 5} {
+		for v := VarBasic; v < NumVariants; v++ {
+			t.Run(fmt.Sprintf("slabs%d/%v", slabs, v), func(t *testing.T) {
+				ref := setupInterface(nx, ny, nz, p)
+				PhiSweep(ctx, ref, NewScratch(nx, ny), v)
+				f := setupInterface(nx, ny, nz, p)
+				sweepSlabs(nx, ny, nz, slabs, true, func(sc *Scratch, z0, z1 int) {
+					PhiSweepRange(ctx, f, sc, v, z0, z1)
+				})
+				ok, maxd := f.PhiDst.InteriorEqual(ref.PhiDst, 0)
+				if !ok {
+					t.Errorf("φ differs by %g", maxd)
+				}
+			})
+		}
+	}
+}

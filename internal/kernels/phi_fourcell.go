@@ -27,14 +27,14 @@ func loadPhiQuad(f *grid.Field, x, y, z int) phiQuad {
 
 // phiSweepFourCell runs the four-cell-vectorized φ-kernel at the full
 // optimization level (T(z) precomputation always on; shortcuts optional and
-// only effective when all four cells of a group are bulk). Blocks narrower
-// than four cells fall back to the cellwise kernel.
-func phiSweepFourCell(ctx *Ctx, f *Fields, sc *Scratch, shortcuts bool) {
+// only effective when all four cells of a group are bulk) over the z-slab
+// [z0,z1). Blocks narrower than four cells fall back to the cellwise kernel.
+func phiSweepFourCell(ctx *Ctx, f *Fields, sc *Scratch, shortcuts bool, z0, z1 int) {
 	p := ctx.P
 	src, dst, mu := f.PhiSrc, f.PhiDst, f.MuSrc
-	nx, ny, nz := src.NX, src.NY, src.NZ
+	nx, ny := src.NX, src.NY
 	if nx < 4 {
-		phiSweepVec(ctx, f, sc, phiOpts{tz: true, stag: true, shortcut: shortcuts})
+		phiSweepVec(ctx, f, sc, phiOpts{tz: true, stag: true, shortcut: shortcuts}, z0, z1)
 		return
 	}
 	sc.ensure(nx, ny)
@@ -49,7 +49,7 @@ func phiSweepFourCell(ctx *Ctx, f *Fields, sc *Scratch, shortcuts bool) {
 	var ts TempSlice
 	var tv tempVecs
 
-	for z := 0; z < nz; z++ {
+	for z := z0; z < z1; z++ {
 		ts.Fill(p, ctx.ZOff+z, ctx.Time)
 		tv.fill(&ts)
 		for y := 0; y < ny; y++ {

@@ -111,15 +111,16 @@ func (drivingTerm) accumulate(st *phiCellState, rhs *[NP]float64) {
 	}
 }
 
-// phiSweepGeneral runs the emulated general-purpose φ-kernel.
-func phiSweepGeneral(ctx *Ctx, f *Fields) {
+// phiSweepGeneral runs the emulated general-purpose φ-kernel over the
+// z-slab [z0,z1).
+func phiSweepGeneral(ctx *Ctx, f *Fields, z0, z1 int) {
 	p := ctx.P
 	src, dst, mu := f.PhiSrc, f.PhiDst, f.MuSrc
 	terms := []phiTerm{gradientTerm{}, obstacleTerm{}, drivingTerm{}}
 
 	var st phiCellState
 	st.ctx = ctx
-	for z := 0; z < src.NZ; z++ {
+	for z := z0; z < z1; z++ {
 		for y := 0; y < src.NY; y++ {
 			for x := 0; x < src.NX; x++ {
 				loadPhi(src, x, y, z, &st.phi)

@@ -38,11 +38,11 @@ func phiFaceFlux(gamma *[NP][NP]float64, lo, hi *[NP]float64, invDx float64, out
 
 // phiSweepScalar is the specialized scalar φ-kernel ("basic waLBerla
 // implementation" when all options are off). It updates f.PhiDst from
-// f.PhiSrc and f.MuSrc over the block interior.
-func phiSweepScalar(ctx *Ctx, f *Fields, sc *Scratch, o phiOpts) {
+// f.PhiSrc and f.MuSrc over the z-slab [z0,z1) of the block interior.
+func phiSweepScalar(ctx *Ctx, f *Fields, sc *Scratch, o phiOpts, z0, z1 int) {
 	p := ctx.P
 	src, dst, mu := f.PhiSrc, f.PhiDst, f.MuSrc
-	nx, ny, nz := src.NX, src.NY, src.NZ
+	nx, ny := src.NX, src.NY
 	sc.ensure(nx, ny)
 
 	invDx := 1 / p.Dx
@@ -61,7 +61,7 @@ func phiSweepScalar(ctx *Ctx, f *Fields, sc *Scratch, o phiOpts) {
 	var fluxHi, fluxLo [NP]float64
 
 	sc.zValidPhi = false
-	for z := 0; z < nz; z++ {
+	for z := z0; z < z1; z++ {
 		if o.tz {
 			ts.Fill(p, ctx.ZOff+z, ctx.Time)
 		}

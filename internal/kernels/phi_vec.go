@@ -80,11 +80,12 @@ func (tv *tempVecs) grandPotsVec(mu *[NR]float64) simd.Vec4 {
 }
 
 // phiSweepVec is the cellwise-vectorized φ-kernel with optional T(z),
-// staggered-buffer and shortcut optimizations stacked on top.
-func phiSweepVec(ctx *Ctx, f *Fields, sc *Scratch, o phiOpts) {
+// staggered-buffer and shortcut optimizations stacked on top, over the
+// z-slab [z0,z1).
+func phiSweepVec(ctx *Ctx, f *Fields, sc *Scratch, o phiOpts, z0, z1 int) {
 	p := ctx.P
 	src, dst, mu := f.PhiSrc, f.PhiDst, f.MuSrc
-	nx, ny, nz := src.NX, src.NY, src.NZ
+	nx, ny := src.NX, src.NY
 	sc.ensure(nx, ny)
 
 	invDx := 1 / p.Dx
@@ -100,7 +101,7 @@ func phiSweepVec(ctx *Ctx, f *Fields, sc *Scratch, o phiOpts) {
 	var muC [NR]float64
 
 	sc.zValidPhi = false
-	for z := 0; z < nz; z++ {
+	for z := z0; z < z1; z++ {
 		ts.Fill(p, ctx.ZOff+z, ctx.Time)
 		if o.tz {
 			tv.fill(&ts)

@@ -1,0 +1,138 @@
+package solver
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/kernels"
+)
+
+// engine.go implements the intra-block parallel sweep engine: a persistent
+// worker pool owned by Sim that decomposes each block's φ- and µ-sweep into
+// z-slab ranges and runs them concurrently through the kernels' *Range entry
+// points. Disjoint slabs write disjoint destination slices, so workers never
+// conflict; each worker owns a kernels.Scratch, and the stag/shortcut
+// variants recompute the z-face fluxes of a slab's first slice instead of
+// reusing another worker's buffer (bitwise identical to the serial sweep).
+//
+// The pool is shared by all ranks: with B blocks and parallelism P, each
+// rank's sweep is cut into ⌊P/B⌋ slabs (at least one), so a many-block
+// decomposition keeps one slab per rank (the seed's one-goroutine-per-block
+// behavior) and a single-block run fans out across all P workers without
+// oversubscribing.
+
+// minSlabSlices is the smallest z-extent worth its own worker: thinner slabs
+// pay more in seam-slice flux recomputation than they gain in parallelism.
+const minSlabSlices = 4
+
+// sweepOp selects which kernel a sweep task runs.
+type sweepOp int
+
+const (
+	opPhi sweepOp = iota
+	opMu
+	opMuLocal
+	opMuNeighbor
+)
+
+// sweepTask is one z-slab of one rank's sweep. It carries everything the
+// worker needs so dispatch allocates nothing.
+type sweepTask struct {
+	op     sweepOp
+	ctx    *kernels.Ctx
+	f      *kernels.Fields
+	v      kernels.Variant
+	z0, z1 int
+	done   *sync.WaitGroup
+}
+
+func (t *sweepTask) run(sc *kernels.Scratch) {
+	switch t.op {
+	case opPhi:
+		kernels.PhiSweepRange(t.ctx, t.f, sc, t.v, t.z0, t.z1)
+	case opMu:
+		kernels.MuSweepRange(t.ctx, t.f, sc, t.v, t.z0, t.z1)
+	case opMuLocal:
+		kernels.MuSweepLocalRange(t.ctx, t.f, sc, t.v, t.z0, t.z1)
+	default: // opMuNeighbor
+		kernels.MuSweepNeighborRange(t.ctx, t.f, sc, t.v, t.z0, t.z1)
+	}
+}
+
+// sweepEngine is the persistent worker pool. Workers live for the lifetime
+// of the Sim and block on the task channel between sweeps.
+type sweepEngine struct {
+	tasks     chan sweepTask
+	closeOnce sync.Once
+}
+
+// newSweepEngine starts nw workers, each owning a Scratch sized for one
+// block slice.
+func newSweepEngine(nw, bx, by int) *sweepEngine {
+	e := &sweepEngine{tasks: make(chan sweepTask, nw)}
+	for i := 0; i < nw; i++ {
+		sc := kernels.NewScratch(bx, by)
+		go func() {
+			for t := range e.tasks {
+				t.run(sc)
+				t.done.Done()
+			}
+		}()
+	}
+	return e
+}
+
+// close releases the worker goroutines. Safe to call more than once.
+func (e *sweepEngine) close() {
+	e.closeOnce.Do(func() { close(e.tasks) })
+}
+
+// defaultParallelism resolves the Config.Parallelism zero value.
+func defaultParallelism() int { return runtime.GOMAXPROCS(0) }
+
+// slabCount returns how many slabs to cut an nz-slice sweep into for one
+// rank: the per-rank worker share, bounded so no slab is thinner than
+// minSlabSlices.
+func (s *Sim) slabCount(nz int) int {
+	n := s.workersPerRank
+	if lim := nz / minSlabSlices; n > lim {
+		n = lim
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// runSweep executes one kernel sweep for rank r, fanned out over the engine
+// when the scheduler assigns this rank more than one slab. The serial path
+// is byte-for-byte the seed behavior: the rank's own goroutine sweeps the
+// whole block with the rank's scratch.
+func (s *Sim) runSweep(r *rank, op sweepOp) {
+	nz := r.fields.PhiSrc.NZ
+	n := s.slabCount(nz)
+	if n <= 1 || s.engine == nil {
+		t := sweepTask{op: op, ctx: &r.ctx, f: r.fields, v: s.Cfg.Variant, z0: 0, z1: nz}
+		t.run(r.sc)
+		return
+	}
+	r.wg.Add(n)
+	for i := 0; i < n; i++ {
+		s.engine.tasks <- sweepTask{
+			op: op, ctx: &r.ctx, f: r.fields, v: s.Cfg.Variant,
+			z0: i * nz / n, z1: (i + 1) * nz / n,
+			done: &r.wg,
+		}
+	}
+	r.wg.Wait()
+}
+
+// Close releases the sweep engine's worker goroutines. The Sim must not be
+// stepped afterwards. Calling Close is optional — an unclosed engine is
+// also released when the Sim is garbage collected — but deterministic for
+// benchmark harnesses that build many simulations.
+func (s *Sim) Close() {
+	if s.engine != nil {
+		s.engine.close()
+	}
+}

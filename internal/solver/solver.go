@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"sync"
 	"time"
 
@@ -101,6 +102,14 @@ type Config struct {
 	// shift (default 0.6).
 	WindowFrontFraction float64
 
+	// Parallelism is the total worker budget for intra-block sweep
+	// parallelism across all blocks (0 selects runtime.GOMAXPROCS(0)).
+	// When it exceeds the block count, each block's sweeps are decomposed
+	// into z-slabs executed concurrently by the persistent worker pool;
+	// otherwise sweeps run serially on the per-block goroutines exactly as
+	// without the engine.
+	Parallelism int
+
 	Seed int64 // RNG seed for the Voronoi setup
 }
 
@@ -113,6 +122,9 @@ type rank struct {
 	muBCs  grid.BoundarySet
 	zOff   int // global z of local z=0 (excluding window offset)
 
+	ctx kernels.Ctx    // per-step sweep context, reused across steps
+	wg  sync.WaitGroup // joins this rank's in-flight slab tasks
+
 	phiKernelTime time.Duration
 	muKernelTime  time.Duration
 }
@@ -122,6 +134,9 @@ type Sim struct {
 	Cfg   Config
 	World *comm.World
 	ranks []*rank
+
+	engine         *sweepEngine // nil when every rank gets a single slab
+	workersPerRank int
 
 	step         int
 	time         float64
@@ -144,8 +159,25 @@ func New(cfg Config) (*Sim, error) {
 	if cfg.WindowFrontFraction == 0 {
 		cfg.WindowFrontFraction = 0.6
 	}
+	if cfg.Parallelism == 0 {
+		cfg.Parallelism = defaultParallelism()
+	}
+	if cfg.Parallelism < 1 {
+		return nil, fmt.Errorf("solver: parallelism %d invalid", cfg.Parallelism)
+	}
 
 	s := &Sim{Cfg: cfg, World: comm.NewWorld(cfg.BG)}
+	nBlocks := cfg.BG.NumBlocks()
+	s.workersPerRank = cfg.Parallelism / nBlocks
+	if s.workersPerRank < 1 {
+		s.workersPerRank = 1
+	}
+	if s.workersPerRank > 1 {
+		s.engine = newSweepEngine(s.workersPerRank*nBlocks, cfg.BG.BX, cfg.BG.BY)
+		// Release the workers when the Sim becomes unreachable without an
+		// explicit Close (benchmark harnesses build many simulations).
+		runtime.AddCleanup(s, func(e *sweepEngine) { e.close() }, s.engine)
+	}
 
 	// Physical boundary sets: φ bottom feeds solid phase 0 nominally (the
 	// Dirichlet slab is immediately below already-solid material, so the
@@ -242,33 +274,45 @@ func (s *Sim) InitScenario(sc Scenario) error {
 	s.forAllRanks(func(r *rank) {
 		ox, oy, _ := s.Cfg.BG.Origin(r.id)
 		f := r.fields
-		f.PhiSrc.Interior(func(x, y, z int) {
-			gx, gy, gz := ox+x, oy+y, r.zOff+z
-			var phi [kernels.NP]float64
-			switch sc {
-			case ScenarioLiquid:
-				phi[core.Liquid] = 1
-			case ScenarioSolid:
-				phi[(gx/stripe)%3] = 1
-			case ScenarioInterface:
-				l := 0.5 * (1 + math.Tanh((float64(gz)-front)/(0.25*p.Eps)))
-				solid := (gx / stripe) % 3
-				phi[core.Liquid] = l
-				phi[solid] = 1 - l
-			case ScenarioProduction:
-				if gz < nucleusHeight {
-					phi[tess.At(gx, gy, gz)] = 1
-				} else {
-					phi[core.Liquid] = 1
+		phi := f.PhiSrc
+		// Explicit z-outermost loops instead of the per-cell closure: the
+		// slice-constant interface profile (a tanh per cell before) is
+		// hoisted to the z loop, and µ is cleared with contiguous fills.
+		for z := 0; z < phi.NZ; z++ {
+			gz := r.zOff + z
+			liq := 0.0
+			if sc == ScenarioInterface {
+				liq = 0.5 * (1 + math.Tanh((float64(gz)-front)/(0.25*p.Eps)))
+			}
+			for y := 0; y < phi.NY; y++ {
+				gy := oy + y
+				for x := 0; x < phi.NX; x++ {
+					gx := ox + x
+					var pv [kernels.NP]float64
+					switch sc {
+					case ScenarioLiquid:
+						pv[core.Liquid] = 1
+					case ScenarioSolid:
+						pv[(gx/stripe)%3] = 1
+					case ScenarioInterface:
+						pv[core.Liquid] = liq
+						pv[(gx/stripe)%3] = 1 - liq
+					case ScenarioProduction:
+						if gz < nucleusHeight {
+							pv[tess.At(gx, gy, gz)] = 1
+						} else {
+							pv[core.Liquid] = 1
+						}
+					}
+					core.ProjectSimplex(&pv)
+					for a := 0; a < kernels.NP; a++ {
+						phi.Set(a, x, y, z, pv[a])
+					}
 				}
 			}
-			core.ProjectSimplex(&phi)
-			for a := 0; a < kernels.NP; a++ {
-				f.PhiSrc.Set(a, x, y, z, phi[a])
-			}
-			f.MuSrc.Set(0, x, y, z, 0)
-			f.MuSrc.Set(1, x, y, z, 0)
-		})
+		}
+		f.MuSrc.FillComp(0, 0)
+		f.MuSrc.FillComp(1, 0)
 	})
 	s.refreshGhosts()
 	s.forAllRanks(func(r *rank) {
@@ -299,21 +343,22 @@ func (s *Sim) Run(n int) {
 }
 
 // timestep executes one step on one rank with the configured overlap mode.
+// Sweeps go through runSweep, which fans them out over the sweep engine's
+// worker pool when the scheduler assigns this rank more than one z-slab.
 func (s *Sim) timestep(r *rank) {
-	v := s.Cfg.Variant
 	f := r.fields
-	ctx := &kernels.Ctx{P: s.Cfg.Params, ZOff: r.zOff + s.windowShift, Time: s.time}
+	r.ctx = kernels.Ctx{P: s.Cfg.Params, ZOff: r.zOff + s.windowShift, Time: s.time}
 
 	switch s.Cfg.Overlap {
 	case OverlapNone:
 		// Algorithm 1. The µ ghosts were synchronized at the end of
 		// the previous step.
 		t0 := time.Now()
-		kernels.PhiSweep(ctx, f, r.sc, v)
+		s.runSweep(r, opPhi)
 		r.phiKernelTime += time.Since(t0)
 		s.World.ExchangeGhosts(r.id, f.PhiDst, comm.TagPhi, r.phiBCs)
 		t0 = time.Now()
-		kernels.MuSweep(ctx, f, r.sc, v)
+		s.runSweep(r, opMu)
 		r.muKernelTime += time.Since(t0)
 		s.World.ExchangeGhosts(r.id, f.MuDst, comm.TagMu, r.muBCs)
 
@@ -322,26 +367,26 @@ func (s *Sim) timestep(r *rank) {
 		// fused µ-kernel. The paper's best-performing combination.
 		pMu := s.World.StartExchange(r.id, f.MuSrc, comm.TagMu, r.muBCs)
 		t0 := time.Now()
-		kernels.PhiSweep(ctx, f, r.sc, v)
+		s.runSweep(r, opPhi)
 		r.phiKernelTime += time.Since(t0)
 		pMu.Finish()
 		s.World.ExchangeGhosts(r.id, f.PhiDst, comm.TagPhi, r.phiBCs)
 		t0 = time.Now()
-		kernels.MuSweep(ctx, f, r.sc, v)
+		s.runSweep(r, opMu)
 		r.muKernelTime += time.Since(t0)
 
 	case OverlapPhi:
 		// φ exchange hidden behind the split µ-kernel; µ blocking.
 		t0 := time.Now()
-		kernels.PhiSweep(ctx, f, r.sc, v)
+		s.runSweep(r, opPhi)
 		r.phiKernelTime += time.Since(t0)
 		pPhi := s.World.StartExchange(r.id, f.PhiDst, comm.TagPhi, r.phiBCs)
 		t0 = time.Now()
-		kernels.MuSweepLocal(ctx, f, r.sc, v)
+		s.runSweep(r, opMuLocal)
 		r.muKernelTime += time.Since(t0)
 		pPhi.Finish()
 		t0 = time.Now()
-		kernels.MuSweepNeighbor(ctx, f, r.sc, v)
+		s.runSweep(r, opMuNeighbor)
 		r.muKernelTime += time.Since(t0)
 		s.World.ExchangeGhosts(r.id, f.MuDst, comm.TagMu, r.muBCs)
 
@@ -349,16 +394,16 @@ func (s *Sim) timestep(r *rank) {
 		// Algorithm 2 as printed.
 		pMu := s.World.StartExchange(r.id, f.MuSrc, comm.TagMu, r.muBCs)
 		t0 := time.Now()
-		kernels.PhiSweep(ctx, f, r.sc, v)
+		s.runSweep(r, opPhi)
 		r.phiKernelTime += time.Since(t0)
 		pMu.Finish()
 		pPhi := s.World.StartExchange(r.id, f.PhiDst, comm.TagPhi, r.phiBCs)
 		t0 = time.Now()
-		kernels.MuSweepLocal(ctx, f, r.sc, v)
+		s.runSweep(r, opMuLocal)
 		r.muKernelTime += time.Since(t0)
 		pPhi.Finish()
 		t0 = time.Now()
-		kernels.MuSweepNeighbor(ctx, f, r.sc, v)
+		s.runSweep(r, opMuNeighbor)
 		r.muKernelTime += time.Since(t0)
 	}
 

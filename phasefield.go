@@ -75,6 +75,10 @@ type Config struct {
 	// WindowFraction is the relative front height that triggers a window
 	// shift (0 selects the default 0.6).
 	WindowFraction float64
+	// Parallelism is the total worker budget for intra-block sweep
+	// parallelism (0 selects runtime.GOMAXPROCS(0)). Workers beyond the
+	// block count split each block's sweeps into concurrent z-slabs.
+	Parallelism int
 	// Seed for the Voronoi nuclei.
 	Seed int64
 
@@ -146,6 +150,7 @@ func New(cfg Config) (*Simulation, error) {
 		Overlap:             cfg.Overlap,
 		MovingWindow:        cfg.MovingWindow,
 		WindowFrontFraction: cfg.WindowFraction,
+		Parallelism:         cfg.Parallelism,
 		Seed:                cfg.Seed,
 	})
 	if err != nil {
@@ -171,6 +176,11 @@ func (s *Simulation) InitFront() error {
 
 // Run advances n timesteps.
 func (s *Simulation) Run(n int) { s.sim.Run(n) }
+
+// Close releases the sweep engine's worker pool. Optional (workers are also
+// released on garbage collection); the Simulation must not be stepped
+// afterwards.
+func (s *Simulation) Close() { s.sim.Close() }
 
 // RunMeasured advances n timesteps and returns performance metrics.
 func (s *Simulation) RunMeasured(n int) solver.Metrics { return s.sim.RunMeasured(n) }
