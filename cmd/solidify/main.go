@@ -4,10 +4,19 @@
 // frozen temperature gradient pulled upward at constant velocity, the
 // moving-window technique, and periodic interface-mesh output.
 //
+// Production runs are driven by a JSON schedule (-schedule): nucleation
+// bursts, pull-velocity/gradient/Δt ramps, kernel-variant switches and
+// periodic checkpoints, applied between timesteps. A stopped run resumes
+// from its last checkpoint with -restore, continuing the schedule at the
+// checkpointed position (and may switch kernel variants at that boundary
+// via -variant-override).
+//
 // Usage:
 //
 //	solidify -nx 64 -ny 64 -nz 128 -steps 2000 -px 2 -py 2 \
-//	         -out out/ -meshevery 500 -ckpt out/state.pfcp
+//	         -out out/ -meshevery 500 -ckpt out/state.pfcp \
+//	         -schedule castbench.json
+//	solidify -restore out/state_001000.pfcp -schedule castbench.json -steps 1000
 package main
 
 import (
@@ -18,6 +27,7 @@ import (
 
 	"repro"
 	"repro/internal/mesh"
+	"repro/internal/schedule"
 )
 
 func main() {
@@ -35,31 +45,77 @@ func main() {
 	window := flag.Bool("window", true, "enable the moving window")
 	par := flag.Int("par", 0, "total sweep workers for intra-block parallelism (0 = GOMAXPROCS)")
 	seed := flag.Int64("seed", 1, "Voronoi seed")
+	schedPath := flag.String("schedule", "", "JSON production schedule (bursts, ramps, variant switches, checkpoints)")
+	restorePath := flag.String("restore", "", "resume from this checkpoint instead of a fresh init")
+	variantOverride := flag.String("variant-override", "", "on -restore, switch both kernels to this variant (general|basic|simd|tz|stag|shortcut)")
 	flag.Parse()
 
-	cfg := phasefield.DefaultConfig(*nx, *ny, *nz)
-	cfg.PX, cfg.PY = *px, *py
-	cfg.MovingWindow = *window
-	cfg.Parallelism = *par
-	cfg.Seed = *seed
-	sim, err := phasefield.New(cfg)
-	if err != nil {
-		fatal(err)
+	var sched *schedule.Schedule
+	if *schedPath != "" {
+		var err error
+		if sched, err = phasefield.LoadSchedule(*schedPath); err != nil {
+			fatal(err)
+		}
 	}
-	if err := sim.InitProduction(); err != nil {
-		fatal(err)
-	}
-	names := phasefield.PhaseNames()
-	fmt.Printf("solidify: %dx%dx%d cells, %d ranks, dt=%g\n",
-		*nx, *ny, *nz, (*px)*(*py), sim.Params().Dt)
 
+	var sim *phasefield.Simulation
+	var err error
+	if *restorePath != "" {
+		// Start from the production defaults (µ-overlap, shortcut
+		// kernels) — the domain and decomposition come from the
+		// checkpoint header, the kernel selection from the header's
+		// version-2 fields when present.
+		cfg := phasefield.DefaultConfig(0, 0, 0)
+		cfg.MovingWindow = *window
+		cfg.Parallelism = *par
+		if *variantOverride != "" {
+			v, perr := schedule.ParseVariant(*variantOverride)
+			if perr != nil {
+				fatal(perr)
+			}
+			cfg.Variant = v
+			cfg.IgnoreCheckpointKernels = true
+		}
+		if sim, err = phasefield.Restore(*restorePath, cfg); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("solidify: restored %s at step %d (t=%g, window shift %d, schedule pos %d, dt=%g)\n",
+			*restorePath, sim.Step(), sim.Time(), sim.WindowShift(), sim.SchedulePos(), sim.Params().Dt)
+	} else {
+		cfg := phasefield.DefaultConfig(*nx, *ny, *nz)
+		cfg.PX, cfg.PY = *px, *py
+		cfg.MovingWindow = *window
+		cfg.Parallelism = *par
+		cfg.Seed = *seed
+		if sim, err = phasefield.New(cfg); err != nil {
+			fatal(err)
+		}
+		if err := sim.InitProduction(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("solidify: %dx%dx%d cells, %d ranks, dt=%g\n",
+			*nx, *ny, *nz, (*px)*(*py), sim.Params().Dt)
+	}
+
+	names := phasefield.PhaseNames()
+
+	schedOpt := phasefield.ScheduleOptions{
+		CheckpointPath: filepath.Join(*outDir, "state_%06d.pfcp"),
+		Log:            func(msg string) { fmt.Println("  " + msg) },
+	}
+
+	start := sim.Step()
 	for done := 0; done < *steps; {
 		chunk := *report
 		if done+chunk > *steps {
 			chunk = *steps - done
 		}
-		m := sim.RunMeasured(chunk)
-		done += chunk
+		m := sim.ResetAndMeasure(func() {
+			if err := sim.RunSchedule(sched, chunk, schedOpt); err != nil {
+				fatal(err)
+			}
+		})
+		done = sim.Step() - start
 		fr := sim.PhaseFractions()
 		fmt.Printf("step %6d  t=%8.2f  solid=%.3f  front=z%-4d  %.2f MLUP/s  [%s %.2f | %s %.2f | %s %.2f]\n",
 			sim.Step(), sim.Time(), sim.SolidFraction(), sim.FrontHeight(), m.MLUPs(),

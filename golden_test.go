@@ -1,0 +1,221 @@
+package phasefield
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/kernels"
+	"repro/internal/schedule"
+)
+
+// The golden-trajectory regression harness: a small deterministic
+// production schedule — nucleation burst, pull-velocity ramp, moving-window
+// shift, kernel-variant switch, mid-ramp checkpoint — is run for a fixed
+// number of steps and its solid-fraction/µ-norm series compared against a
+// committed fixture. The kernel equivalence tests prove the variants agree
+// with each other; only this harness catches a regression that moves all
+// of them together (a changed coefficient, a broken ramp, a mis-seeded
+// burst, an off-by-one window shift).
+//
+// Regenerate the fixture after an intentional physics change with
+//
+//	go test -run TestGoldenTrajectory -update .
+
+var update = flag.Bool("update", false, "rewrite golden fixtures")
+
+const goldenPath = "testdata/golden_trajectory.json"
+
+type goldenSample struct {
+	Step        int     `json:"step"`
+	Solid       float64 `json:"solid"`
+	MuNorm      float64 `json:"mu_norm"`
+	WindowShift int     `json:"window_shift"`
+}
+
+type goldenFixture struct {
+	Description    string         `json:"description"`
+	Steps          int            `json:"steps"`
+	SampleEvery    int            `json:"sample_every"`
+	CheckpointStep int            `json:"checkpoint_step"`
+	TolSolid       float64        `json:"tol_solid"`
+	TolMu          float64        `json:"tol_mu"`
+	TolRestart     float64        `json:"tol_restart"`
+	Samples        []goldenSample `json:"samples"`
+}
+
+const (
+	goldenSteps    = 40
+	goldenEvery    = 2
+	goldenCkptStep = 20
+)
+
+// goldenConfig is the scenario under test: a production domain small
+// enough for CI, decomposed over two ranks, with the moving window active.
+func goldenConfig() Config {
+	cfg := DefaultConfig(16, 16, 24)
+	cfg.PX = 2
+	cfg.Variant = kernels.VarStag
+	cfg.MovingWindow = true
+	cfg.WindowFraction = 0.5
+	cfg.Seed = 42
+	return cfg
+}
+
+// goldenSchedule drives every event class the engine supports: a velocity
+// ramp spanning the checkpoint step (so the restart resumes mid-ramp), a
+// burst that pushes the front past the window trigger, a variant switch,
+// and the mid-run checkpoint itself.
+func goldenSchedule(t *testing.T, ckptPath string) *schedule.Schedule {
+	t.Helper()
+	s, err := schedule.New(
+		schedule.Ramp{Param: schedule.ParamPullVelocity, Step: 0, Over: 30, From: 0.02, To: 0.05},
+		schedule.NucleationBurst{Step: 10, Count: 3, Phase: -1, Radius: 2.5, ZMin: 10, ZMax: 16, Seed: 7},
+		schedule.SwitchVariant{Step: 26, Phi: kernels.VarShortcut, Mu: kernels.VarShortcut, Strategy: schedule.StrategyKeep},
+		schedule.Checkpoint{Every: goldenCkptStep, Path: ckptPath},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func sampleSim(s *Simulation) goldenSample {
+	return goldenSample{
+		Step:        s.Step(),
+		Solid:       s.SolidFraction(),
+		MuNorm:      s.MuNorm(),
+		WindowShift: s.WindowShift(),
+	}
+}
+
+// runGolden advances sim under the schedule to `until` steps, sampling
+// every goldenEvery steps (including the entry state).
+func runGolden(t *testing.T, sim *Simulation, sched *schedule.Schedule, until int) []goldenSample {
+	t.Helper()
+	samples := []goldenSample{sampleSim(sim)}
+	for sim.Step() < until {
+		n := goldenEvery
+		if sim.Step()+n > until {
+			n = until - sim.Step()
+		}
+		if err := sim.RunSchedule(sched, n, ScheduleOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		samples = append(samples, sampleSim(sim))
+	}
+	return samples
+}
+
+func compareSamples(t *testing.T, label string, got, want []goldenSample, tolSolid, tolMu float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d samples, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		g, w := got[i], want[i]
+		if g.Step != w.Step {
+			t.Fatalf("%s sample %d: step %d, want %d", label, i, g.Step, w.Step)
+		}
+		if d := math.Abs(g.Solid - w.Solid); d > tolSolid {
+			t.Errorf("%s step %d: solid fraction %.12g drifted %.3g from golden %.12g (tol %g)",
+				label, g.Step, g.Solid, d, w.Solid, tolSolid)
+		}
+		if d := math.Abs(g.MuNorm - w.MuNorm); d > tolMu {
+			t.Errorf("%s step %d: µ-norm %.12g drifted %.3g from golden %.12g (tol %g)",
+				label, g.Step, g.MuNorm, d, w.MuNorm, tolMu)
+		}
+		if g.WindowShift != w.WindowShift {
+			t.Errorf("%s step %d: window shift %d, want %d", label, g.Step, g.WindowShift, w.WindowShift)
+		}
+	}
+}
+
+func TestGoldenTrajectory(t *testing.T) {
+	ckptPath := filepath.Join(t.TempDir(), "golden_%06d.pfcp")
+	sched := goldenSchedule(t, ckptPath)
+
+	sim, err := New(goldenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.InitProduction(); err != nil {
+		t.Fatal(err)
+	}
+	samples := runGolden(t, sim, sched, goldenSteps)
+
+	// The schedule must actually have exercised its machinery; a golden
+	// fixture of a trivial run would guard nothing.
+	last := samples[len(samples)-1]
+	if last.WindowShift == 0 {
+		t.Fatal("golden run never shifted the window")
+	}
+	if sim.SchedulePos() != 2 {
+		t.Fatalf("golden run fired %d one-shot events, want 2", sim.SchedulePos())
+	}
+	if phi, _, _, _ := sim.Kernels(); phi != kernels.VarShortcut {
+		t.Fatal("golden run did not switch variants")
+	}
+	midCkpt := fmt.Sprintf(ckptPath, goldenCkptStep)
+	if _, err := os.Stat(midCkpt); err != nil {
+		t.Fatalf("mid-ramp checkpoint not written: %v", err)
+	}
+
+	if *update {
+		fx := goldenFixture{
+			Description: "16x16x24 production run (PX=2, moving window): " +
+				"v ramp 0.02→0.05 over steps 0–30, 3-nucleus burst at step 10, " +
+				"stag→shortcut switch at step 26, checkpoint at step 20",
+			Steps: goldenSteps, SampleEvery: goldenEvery, CheckpointStep: goldenCkptStep,
+			TolSolid: 2e-6, TolMu: 2e-6, TolRestart: 2e-4,
+			Samples: samples,
+		}
+		buf, err := json.MarshalIndent(&fx, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(buf, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s with %d samples", goldenPath, len(samples))
+		return
+	}
+
+	raw, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing fixture (run with -update to generate): %v", err)
+	}
+	var fx goldenFixture
+	if err := json.Unmarshal(raw, &fx); err != nil {
+		t.Fatal(err)
+	}
+	compareSamples(t, "uninterrupted", samples, fx.Samples, fx.TolSolid, fx.TolMu)
+
+	// Restart leg: resume from the mid-ramp checkpoint and require the
+	// continued trajectory to reproduce the same golden tail within the
+	// restart tolerance (the float32 checkpoint seeding is the only
+	// difference).
+	restored, err := Restore(midCkpt, Config{MovingWindow: true, WindowFraction: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Step() != fx.CheckpointStep {
+		t.Fatalf("restored at step %d, want %d", restored.Step(), fx.CheckpointStep)
+	}
+	if phi, _, _, _ := restored.Kernels(); phi != kernels.VarStag {
+		t.Fatalf("restored kernel %v, want pre-switch stag", phi)
+	}
+	restartSamples := runGolden(t, restored, sched, goldenSteps)
+	tail := fx.Samples[fx.CheckpointStep/fx.SampleEvery:]
+	compareSamples(t, "restart", restartSamples, tail, fx.TolRestart, fx.TolRestart)
+	if phi, _, _, _ := restored.Kernels(); phi != kernels.VarShortcut {
+		t.Error("restarted run did not re-fire the variant switch")
+	}
+}

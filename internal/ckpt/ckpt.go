@@ -17,19 +17,69 @@ import (
 	"repro/internal/kernels"
 )
 
-// Magic identifies checkpoint files; Version the header layout.
+// Magic identifies checkpoint files; Version the current header layout.
+// Version 1 files (fixed-parameter runs) remain readable: their headers are
+// upgraded on read with the version-2 extension fields marked unspecified.
 const (
-	Magic   = 0x50464350 // "PFCP"
-	Version = 1
+	Magic    = 0x50464350 // "PFCP"
+	Version1 = 1
+	Version  = 2
 )
 
-// Header describes a checkpoint.
+// VariantUnspecified marks the kernel-state fields of headers read from
+// version-1 files (the restart keeps its configured kernels).
+const VariantUnspecified = -1
+
+// Header describes a checkpoint. The version-2 extension carries the
+// runtime state a fixed configuration cannot reproduce: the schedule
+// position (one-shot events already fired), the active kernel selection
+// (a restart may legally keep it or switch variants at the boundary), and
+// the mutable process parameters (Δt, thermal gradient G, pull velocity V
+// and the compensated isotherm offset Z0) so a run restarted mid-ramp
+// resumes bit-compatibly.
 type Header struct {
 	Step        int64
 	Time        float64
 	WindowShift int64
 	PX, PY, PZ  int32 // decomposition
 	BX, BY, BZ  int32 // block extents
+
+	// Version 2 fields. On version-1 files the variants read as
+	// VariantUnspecified and the parameters as NaN.
+	SchedulePos int64
+	PhiVariant  int32
+	MuVariant   int32
+	PhiStrategy int32 // pinned Fig. 5 φ strategy, VariantUnspecified = none
+	Dt          float64
+	TempG       float64
+	TempV       float64
+	TempZ0      float64
+}
+
+// headerV1 is the wire layout of version-1 headers.
+type headerV1 struct {
+	Step        int64
+	Time        float64
+	WindowShift int64
+	PX, PY, PZ  int32
+	BX, BY, BZ  int32
+}
+
+// upgrade lifts a version-1 header into the current layout.
+func (h1 *headerV1) upgrade() Header {
+	return Header{
+		Step: h1.Step, Time: h1.Time, WindowShift: h1.WindowShift,
+		PX: h1.PX, PY: h1.PY, PZ: h1.PZ,
+		BX: h1.BX, BY: h1.BY, BZ: h1.BZ,
+		SchedulePos: 0,
+		PhiVariant:  VariantUnspecified,
+		MuVariant:   VariantUnspecified,
+		PhiStrategy: VariantUnspecified,
+		Dt:          math.NaN(),
+		TempG:       math.NaN(),
+		TempV:       math.NaN(),
+		TempZ0:      math.NaN(),
+	}
 }
 
 // Write serializes the header and all ranks' source fields (interior only;
@@ -92,12 +142,20 @@ func Read(r io.Reader) (Header, []*kernels.Fields, error) {
 	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
 		return Header{}, nil, err
 	}
-	if version != Version {
-		return Header{}, nil, fmt.Errorf("ckpt: unsupported version %d", version)
-	}
 	var h Header
-	if err := binary.Read(br, binary.LittleEndian, &h); err != nil {
-		return Header{}, nil, err
+	switch version {
+	case Version1:
+		var h1 headerV1
+		if err := binary.Read(br, binary.LittleEndian, &h1); err != nil {
+			return Header{}, nil, err
+		}
+		h = h1.upgrade()
+	case Version:
+		if err := binary.Read(br, binary.LittleEndian, &h); err != nil {
+			return Header{}, nil, err
+		}
+	default:
+		return Header{}, nil, fmt.Errorf("ckpt: unsupported version %d", version)
 	}
 	if h.PX <= 0 || h.PY <= 0 || h.PZ <= 0 || h.BX <= 0 || h.BY <= 0 || h.BZ <= 0 {
 		return Header{}, nil, fmt.Errorf("ckpt: corrupt header %+v", h)
@@ -139,10 +197,11 @@ func readField(r io.Reader, f *grid.Field) error {
 }
 
 // SizeBytes returns the on-disk size of a checkpoint for the given
-// decomposition: header plus six single-precision values per cell.
+// decomposition: magic + version + version-2 header plus six
+// single-precision values per cell.
 func SizeBytes(px, py, pz, bx, by, bz int) int64 {
 	cells := int64(px*py*pz) * int64(bx*by*bz)
-	header := int64(8 + 8 + 8 + 8 + 6*4)
+	header := int64(8 + binary.Size(Header{}))
 	return header + cells*(kernels.NP+kernels.NR)*4
 }
 

@@ -2,6 +2,7 @@ package ckpt
 
 import (
 	"bytes"
+	"encoding/binary"
 	"math"
 	"math/rand"
 	"testing"
@@ -109,6 +110,138 @@ func TestTruncatedCheckpoint(t *testing.T) {
 	trunc := buf.Bytes()[:buf.Len()/2]
 	if _, _, err := Read(bytes.NewReader(trunc)); err == nil {
 		t.Error("truncated checkpoint accepted")
+	}
+}
+
+// writeLegacyV1 serializes a version-1 checkpoint (the pre-schedule layout:
+// no schedule position, kernel state or process parameters) so the reader's
+// upgrade path stays covered after the version bump.
+func writeLegacyV1(w *bytes.Buffer, h Header, fields []*kernels.Fields) error {
+	if err := binary.Write(w, binary.LittleEndian, uint32(Magic)); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(Version1)); err != nil {
+		return err
+	}
+	h1 := headerV1{Step: h.Step, Time: h.Time, WindowShift: h.WindowShift,
+		PX: h.PX, PY: h.PY, PZ: h.PZ, BX: h.BX, BY: h.BY, BZ: h.BZ}
+	if err := binary.Write(w, binary.LittleEndian, &h1); err != nil {
+		return err
+	}
+	for _, f := range fields {
+		if err := writeField(w, f.PhiSrc); err != nil {
+			return err
+		}
+		if err := writeField(w, f.MuSrc); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Property test: for random headers and fields — written in the current
+// layout or as legacy version-1 files — Write→Read must reproduce the
+// header exactly and every field value within the single-precision round
+// trip, and any truncation of the byte stream must error, never yield a
+// silently short state.
+func TestRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 20; trial++ {
+		px, py, pz := 1+rng.Intn(2), 1+rng.Intn(2), 1+rng.Intn(2)
+		bx, by, bz := 1+rng.Intn(6), 1+rng.Intn(6), 1+rng.Intn(6)
+		n := px * py * pz
+		fields := randomFields(rng, n, bx, by, bz)
+		h := Header{
+			Step: rng.Int63n(1 << 40), Time: rng.Float64() * 1e4,
+			WindowShift: rng.Int63n(1 << 20),
+			PX:          int32(px), PY: int32(py), PZ: int32(pz),
+			BX:          int32(bx), BY: int32(by), BZ: int32(bz),
+			SchedulePos: rng.Int63n(64),
+			PhiVariant:  int32(rng.Intn(6)), MuVariant: int32(rng.Intn(6)),
+			PhiStrategy: int32(rng.Intn(3)) - 1,
+			Dt:          rng.Float64(), TempG: rng.Float64(),
+			TempV:       rng.Float64(), TempZ0: rng.Float64() * 100,
+		}
+		legacy := trial%2 == 1
+
+		var buf bytes.Buffer
+		var err error
+		if legacy {
+			err = writeLegacyV1(&buf, h, fields)
+		} else {
+			err = Write(&buf, h, fields)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw := append([]byte(nil), buf.Bytes()...)
+
+		h2, fields2, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("trial %d (legacy=%v): %v", trial, legacy, err)
+		}
+		if legacy {
+			if h2.SchedulePos != 0 || h2.PhiVariant != VariantUnspecified ||
+				h2.MuVariant != VariantUnspecified || h2.PhiStrategy != VariantUnspecified {
+				t.Fatalf("trial %d: V1 upgrade got %+v", trial, h2)
+			}
+			if !math.IsNaN(h2.Dt) || !math.IsNaN(h2.TempG) || !math.IsNaN(h2.TempV) || !math.IsNaN(h2.TempZ0) {
+				t.Fatalf("trial %d: V1 params not NaN: %+v", trial, h2)
+			}
+			// The shared V1 prefix must survive.
+			h2.SchedulePos, h2.PhiVariant, h2.MuVariant, h2.PhiStrategy = h.SchedulePos, h.PhiVariant, h.MuVariant, h.PhiStrategy
+			h2.Dt, h2.TempG, h2.TempV, h2.TempZ0 = h.Dt, h.TempG, h.TempV, h.TempZ0
+		}
+		if h2 != h {
+			t.Fatalf("trial %d: header %+v != %+v", trial, h2, h)
+		}
+		tol := MaxRoundTripError(4)
+		for i := range fields {
+			if ok, maxd := fields[i].PhiSrc.InteriorEqual(fields2[i].PhiSrc, tol); !ok {
+				t.Fatalf("trial %d rank %d: φ error %g", trial, i, maxd)
+			}
+			if ok, maxd := fields[i].MuSrc.InteriorEqual(fields2[i].MuSrc, tol); !ok {
+				t.Fatalf("trial %d rank %d: µ error %g", trial, i, maxd)
+			}
+		}
+
+		// Any strict prefix must fail, never truncate silently.
+		cut := rng.Intn(len(raw))
+		if _, _, err := Read(bytes.NewReader(raw[:cut])); err == nil {
+			t.Fatalf("trial %d: %d-byte prefix of %d accepted", trial, cut, len(raw))
+		}
+	}
+}
+
+func TestCorruptedMagic(t *testing.T) {
+	fields := randomFields(rand.New(rand.NewSource(5)), 1, 3, 3, 3)
+	var buf bytes.Buffer
+	if err := Write(&buf, Header{PX: 1, PY: 1, PZ: 1, BX: 3, BY: 3, BZ: 3}, fields); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[0] ^= 0xFF
+	if _, _, err := Read(bytes.NewReader(raw)); err == nil {
+		t.Error("corrupted magic accepted")
+	}
+	// Empty stream: clean error, not a panic.
+	if _, _, err := Read(bytes.NewReader(nil)); err == nil {
+		t.Error("empty stream accepted")
+	}
+}
+
+func TestCorruptHeaderExtentsRejected(t *testing.T) {
+	fields := randomFields(rand.New(rand.NewSource(6)), 1, 3, 3, 3)
+	var buf bytes.Buffer
+	if err := Write(&buf, Header{PX: 1, PY: 1, PZ: 1, BX: 3, BY: 3, BZ: 3}, fields); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// PX lives right after magic+version+Step+Time+WindowShift.
+	off := 8 + 8 + 8 + 8
+	binary.LittleEndian.PutUint32(raw[off:], 0)
+	if _, _, err := Read(bytes.NewReader(raw)); err == nil {
+		t.Error("zero decomposition accepted")
 	}
 }
 

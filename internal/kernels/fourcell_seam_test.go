@@ -1,0 +1,141 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// Seam-focused equivalence tests for the four-cell φ strategy's staggered
+// buffers and shifted tail group (the ROADMAP "tail-group recompute" fix):
+// the overlap column x = nx-4 .. nx-1 now reuses carried face fluxes and
+// masks its duplicate stores, so the seam cells are the ones a bug would
+// hit first. The cellwise strategy (whose staggered machinery is guarded
+// by its own equivalence suite) is the reference.
+
+// maxAbsDiffColumn returns the largest |a-b| over the cells of column x
+// across all phases and the full y/z extent.
+func maxAbsDiffColumn(a, b *Fields, x int) float64 {
+	maxd := 0.0
+	for z := 0; z < a.PhiDst.NZ; z++ {
+		for y := 0; y < a.PhiDst.NY; y++ {
+			for c := 0; c < NP; c++ {
+				d := math.Abs(a.PhiDst.At(c, x, y, z) - b.PhiDst.At(c, x, y, z))
+				if d > maxd {
+					maxd = d
+				}
+			}
+		}
+	}
+	return maxd
+}
+
+func TestPhiFourCellSeamMatchesCellwise(t *testing.T) {
+	// Every tail remainder (nx mod 4 = 1, 2, 3) plus aligned widths,
+	// with and without shortcuts, checked column by column so a seam
+	// defect is reported at its x position.
+	for _, nx := range []int{5, 6, 7, 8, 9, 10, 13, 16} {
+		const ny, nz = 6, 12
+		p := testParams(nz)
+		ctx := &Ctx{P: p}
+		ref := setupInterface(nx, ny, nz, p)
+		PhiSweepStrategy(ctx, ref, NewScratch(nx, ny), StratCellwise)
+		f := setupInterface(nx, ny, nz, p)
+		PhiSweepStrategy(ctx, f, NewScratch(nx, ny), StratFourCell)
+		for x := 0; x < nx; x++ {
+			if d := maxAbsDiffColumn(f, ref, x); d > 1e-8 {
+				seam := ""
+				if x >= nx-4 && nx%4 != 0 {
+					seam = " (tail-group overlap)"
+				}
+				t.Errorf("nx=%d column x=%d%s: four-cell differs from cellwise by %g",
+					nx, x, seam, d)
+			}
+		}
+	}
+}
+
+// A bulk region ending exactly at the tail seam exercises the interaction
+// between the all-four-bulk shortcut skip (which must zero the staggered
+// buffers it passes over) and the shifted tail group that reuses them.
+func TestPhiFourCellSeamWithBulkShortcuts(t *testing.T) {
+	for _, nx := range []int{9, 10, 11, 13} {
+		const ny, nz = 8, 10
+		p := testParams(nz)
+		ctx := &Ctx{P: p}
+
+		mk := func() *Fields {
+			f := setupInterface(nx, ny, nz, p)
+			// Flatten the lower-left corner to pure bulk phase 0 so
+			// whole four-cell groups (but not the tail) hit the
+			// shortcut skip, with the seam right behind them.
+			f.PhiSrc.Interior(func(x, y, z int) {
+				if x < nx-2 && z < 3 {
+					for a := 0; a < NP; a++ {
+						v := 0.0
+						if a == 0 {
+							v = 1
+						}
+						f.PhiSrc.Set(a, x, y, z, v)
+					}
+				}
+			})
+			bs := testBCs()
+			bs.Apply(f.PhiSrc)
+			f.PhiDst.CopyFrom(f.PhiSrc)
+			return f
+		}
+
+		ref := mk()
+		PhiSweepStrategy(ctx, ref, NewScratch(nx, ny), StratCellwiseShortcut)
+		f := mk()
+		// StratFourCell runs with shortcuts enabled (the Fig. 5
+		// comparison point), so skipped groups must leave valid
+		// zeroed buffers for their seam neighbors.
+		PhiSweepStrategy(ctx, f, NewScratch(nx, ny), StratFourCell)
+
+		ok, maxd := f.PhiDst.InteriorEqual(ref.PhiDst, 1e-8)
+		if !ok {
+			t.Errorf("nx=%d: four-cell with bulk shortcuts differs by %g", nx, maxd)
+		}
+	}
+}
+
+// The tail group must not double-apply anything when the sweep runs twice
+// over disjoint z-slabs (the parallel engine's decomposition): slab
+// boundaries reset the z buffers, and seam columns must still match the
+// full serial sweep bit-for-bit.
+func TestPhiFourCellSeamSlabbed(t *testing.T) {
+	const ny, nz = 6, 12
+	for _, nx := range []int{7, 9, 13} {
+		p := testParams(nz)
+		ctx := &Ctx{P: p}
+		serial := setupInterface(nx, ny, nz, p)
+		PhiSweepStrategy(ctx, serial, NewScratch(nx, ny), StratFourCell)
+
+		slabbed := setupInterface(nx, ny, nz, p)
+		for _, zr := range [][2]int{{0, 5}, {5, 8}, {8, nz}} {
+			PhiSweepStrategyRange(ctx, slabbed, NewScratch(nx, ny), StratFourCell, zr[0], zr[1])
+		}
+		if ok, maxd := slabbed.PhiDst.InteriorEqual(serial.PhiDst, 0); !ok {
+			t.Errorf("nx=%d: slabbed four-cell differs from serial by %g (want bitwise)", nx, maxd)
+		}
+	}
+}
+
+// Liquid bulk (the region above the front) must remain exactly invariant
+// under the four-cell sweep with shortcuts, including the seam cells —
+// the same guarantee TestBulkPhaseFieldUnchanged gives the variants.
+func TestPhiFourCellBulkInvariantAtSeam(t *testing.T) {
+	for _, nx := range []int{6, 7, 9} {
+		const ny, nz = 6, 8
+		p := testParams(nz)
+		ctx := &Ctx{P: p}
+		f := setupBulk(nx, ny, nz, core.Liquid)
+		PhiSweepStrategy(ctx, f, NewScratch(nx, ny), StratFourCell)
+		if ok, maxd := f.PhiDst.InteriorEqual(f.PhiSrc, 0); !ok {
+			t.Errorf("nx=%d: bulk liquid changed by %g under four-cell sweep", nx, maxd)
+		}
+	}
+}

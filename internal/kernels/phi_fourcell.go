@@ -29,9 +29,20 @@ func loadPhiQuad(f *grid.Field, x, y, z int) phiQuad {
 // optimization level (T(z) precomputation always on; shortcuts optional and
 // only effective when all four cells of a group are bulk) over the z-slab
 // [z0,z1). Blocks narrower than four cells fall back to the cellwise kernel.
+//
+// Staggered face fluxes are computed once per face: each group evaluates
+// only its three high-face flux quads and derives the low faces from
+// already-computed values — the x low faces by lane-shifting the group's
+// own high faces with a carry from the previous group, the y/z low faces
+// from the Scratch staggered buffers filled by the previous row/slice. A
+// partial tail group (nx % 4 ≠ 0) is shifted back to nx-4 as before, but
+// its overlapped lanes reuse the carried fluxes and skip the duplicate
+// stores instead of recomputing the previous group's cells. Face fluxes
+// are pure lanewise functions of the two adjacent cells, so the buffered
+// values are bit-identical to recomputation.
 func phiSweepFourCell(ctx *Ctx, f *Fields, sc *Scratch, shortcuts bool, z0, z1 int) {
 	p := ctx.P
-	src, dst, mu := f.PhiSrc, f.PhiDst, f.MuSrc
+	src := f.PhiSrc
 	nx, ny := src.NX, src.NY
 	if nx < 4 {
 		phiSweepVec(ctx, f, sc, phiOpts{tz: true, stag: true, shortcut: shortcuts}, z0, z1)
@@ -49,29 +60,69 @@ func phiSweepFourCell(ctx *Ctx, f *Fields, sc *Scratch, shortcuts bool, z0, z1 i
 	var ts TempSlice
 	var tv tempVecs
 
+	sc.zValidPhi = false
 	for z := z0; z < z1; z++ {
 		ts.Fill(p, ctx.ZOff+z, ctx.Time)
 		tv.fill(&ts)
 		for y := 0; y < ny; y++ {
+			var carry phiQuad // previous group's high-x face fluxes
+			prevX := -1       // x of the group that produced carry
 			for x0 := 0; x0 < nx; x0 += 4 {
-				x := x0
+				x, storeFrom := x0, 0
 				if x+4 > nx {
-					// Overlapping tail group: recomputes a few
-					// cells with identical results.
+					// Tail group, shifted back to stay in
+					// bounds; lanes < storeFrom overlap the
+					// previous group and are not re-stored.
 					x = nx - 4
+					storeFrom = x0 - x
 				}
-				phiFourCellGroup(ctx, f, &ts, &tv, x, y, z,
+				carry = phiFourCellGroup(ctx, f, sc, &ts, &tv, x, y, z, prevX, &carry, storeFrom,
 					invDx, halfInvDx, invEps, dtFac, obstPref, gT, shortcuts)
-				_ = mu
+				prevX = x
 			}
 		}
+		sc.zValidPhi = true
 	}
-	_ = dst
 }
 
-// phiFourCellGroup updates the four cells (x..x+3, y, z).
-func phiFourCellGroup(ctx *Ctx, f *Fields, ts *TempSlice, tv *tempVecs,
-	x, y, z int, invDx, halfInvDx, invEps, dtFac, obstPref, gT float64, shortcuts bool) {
+// storePhiBufferQuad writes a group's high-face flux quads for the y and z
+// axes into the Scratch staggered buffers (lane i belongs to cell x+i).
+func storePhiBufferQuad(sc *Scratch, x, y int, hiY, hiZ *phiQuad) {
+	for i := 0; i < 4; i++ {
+		by := (x + i) * NP
+		bz := (y*sc.nx + x + i) * NP
+		for a := 0; a < NP; a++ {
+			sc.phY[by+a] = hiY[a][i]
+			sc.phZ[bz+a] = hiZ[a][i]
+		}
+	}
+}
+
+// loadPhiBufferQuad assembles a low-face flux quad from the Scratch
+// staggered buffer of the given axis (1 = y, 2 = z).
+func loadPhiBufferQuad(sc *Scratch, axis, x, y int) phiQuad {
+	var out phiQuad
+	for i := 0; i < 4; i++ {
+		base := (x + i) * NP
+		buf := sc.phY
+		if axis == 2 {
+			base = (y*sc.nx + x + i) * NP
+			buf = sc.phZ
+		}
+		for a := 0; a < NP; a++ {
+			out[a][i] = buf[base+a]
+		}
+	}
+	return out
+}
+
+// phiFourCellGroup updates the four cells (x..x+3, y, z) — skipping the
+// first storeFrom lanes of a shifted tail group — and returns the group's
+// high-x face fluxes as the carry for the next group. prevX < 0 marks the
+// first group of a row (no carry available).
+func phiFourCellGroup(ctx *Ctx, f *Fields, sc *Scratch, ts *TempSlice, tv *tempVecs,
+	x, y, z, prevX int, carry *phiQuad, storeFrom int,
+	invDx, halfInvDx, invEps, dtFac, obstPref, gT float64, shortcuts bool) phiQuad {
 
 	p := ctx.P
 	src, dst, mu := f.PhiSrc, f.PhiDst, f.MuSrc
@@ -85,12 +136,17 @@ func phiFourCellGroup(ctx *Ctx, f *Fields, ts *TempSlice, tv *tempVecs,
 			}
 		}
 		if all {
-			for i := 0; i < 4; i++ {
+			for i := storeFrom; i < 4; i++ {
 				for a := 0; a < NP; a++ {
 					dst.Set(a, x+i, y, z, src.At(a, x+i, y, z))
 				}
 			}
-			return
+			// Every face of a bulk cell carries zero flux; the
+			// staggered buffers must record that for the
+			// downstream neighbors (cf. zeroPhiBuffers).
+			var zero phiQuad
+			storePhiBufferQuad(sc, x, y, &zero, &zero)
+			return zero
 		}
 	}
 
@@ -126,13 +182,42 @@ func phiFourCellGroup(ctx *Ctx, f *Fields, ts *TempSlice, tv *tempVecs,
 		dadphi[a] = acc
 	}
 
-	// Staggered flux divergence per axis; lanewise face fluxes.
+	// Staggered flux divergence. High faces are computed; low faces are
+	// reused — x from the lane-shifted high faces with the carry of the
+	// previous group, y/z from the staggered buffers — except at row /
+	// slice starts where no computed value exists yet.
+	hiX := phiFaceFluxQuad(p, &phiC, &nbE, invDx)
+	hiY := phiFaceFluxQuad(p, &phiC, &nbN, invDx)
+	hiZ := phiFaceFluxQuad(p, &phiC, &nbT, invDx)
+
+	var loX phiQuad
+	if prevX < 0 {
+		loX = phiFaceFluxQuad(p, &nbW, &phiC, invDx)
+	} else {
+		c := x - prevX - 1 // carry lane holding the face at x-0.5
+		for a := 0; a < NP; a++ {
+			loX[a] = simd.Set(carry[a][c], hiX[a][0], hiX[a][1], hiX[a][2])
+		}
+	}
+	var loY phiQuad
+	if y == 0 {
+		loY = phiFaceFluxQuad(p, &nbS, &phiC, invDx)
+	} else {
+		loY = loadPhiBufferQuad(sc, 1, x, y)
+	}
+	var loZ phiQuad
+	if !sc.zValidPhi {
+		loZ = phiFaceFluxQuad(p, &nbB, &phiC, invDx)
+	} else {
+		loZ = loadPhiBufferQuad(sc, 2, x, y)
+	}
+	storePhiBufferQuad(sc, x, y, &hiY, &hiZ)
+
 	var div phiQuad
-	lows := [3]*phiQuad{&nbW, &nbS, &nbB}
-	highs := [3]*phiQuad{&nbE, &nbN, &nbT}
+	his := [3]*phiQuad{&hiX, &hiY, &hiZ}
+	los := [3]*phiQuad{&loX, &loY, &loZ}
 	for axis := 0; axis < 3; axis++ {
-		hi := phiFaceFluxQuad(p, &phiC, highs[axis], invDx)
-		lo := phiFaceFluxQuad(p, lows[axis], &phiC, invDx)
+		hi, lo := his[axis], los[axis]
 		for a := 0; a < NP; a++ {
 			div[a] = div[a].Add(hi[a].Sub(lo[a]).Scale(invDx))
 		}
@@ -200,7 +285,7 @@ func phiFourCellGroup(ctx *Ctx, f *Fields, ts *TempSlice, tv *tempVecs,
 		mean = mean.Add(rhs[a])
 	}
 	mean = mean.Scale(1.0 / NP)
-	for i := 0; i < 4; i++ {
+	for i := storeFrom; i < 4; i++ {
 		var out [NP]float64
 		for a := 0; a < NP; a++ {
 			out[a] = phiC[a][i] - dtFac*(rhs[a][i]-mean[i])
@@ -209,6 +294,7 @@ func phiFourCellGroup(ctx *Ctx, f *Fields, ts *TempSlice, tv *tempVecs,
 		storePhi(dst, x+i, y, z, &out)
 	}
 	_ = tv
+	return hiX
 }
 
 // phiFaceFluxQuad computes the staggered face fluxes for four cells at once

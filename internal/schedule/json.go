@@ -1,0 +1,181 @@
+package schedule
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/kernels"
+)
+
+// json.go is the JSON front-end of the schedule subsystem (the format read
+// by cmd/solidify -schedule). A schedule file is an object with an "events"
+// array; each event is discriminated by its "type" field:
+//
+//	{"events": [
+//	  {"type": "burst",  "step": 200, "count": 6, "phase": -1,
+//	   "radius": 2.5, "zmin": 40, "zmax": 56, "seed": 7},
+//	  {"type": "ramp",   "param": "v", "step": 0, "over": 800,
+//	   "from": 0.02, "to": 0.05},
+//	  {"type": "switch", "step": 400, "phi": "shortcut", "mu": "stag",
+//	   "strategy": "fourcell"},
+//	  {"type": "checkpoint", "every": 500, "path": "out/state_%06d.pfcp"}
+//	]}
+//
+// Variant names follow the optimization ladder: general, basic, simd, tz,
+// stag, shortcut. Strategy names follow Fig. 5: cellwise,
+// cellwise-shortcut, fourcell, plus "off" to unpin. Omitted switch fields
+// keep the current kernel.
+
+// variantNames maps JSON names to ladder rungs.
+var variantNames = map[string]kernels.Variant{
+	"general":  kernels.VarGeneral,
+	"basic":    kernels.VarBasic,
+	"simd":     kernels.VarSIMD,
+	"tz":       kernels.VarTz,
+	"stag":     kernels.VarStag,
+	"shortcut": kernels.VarShortcut,
+}
+
+// VariantName returns the JSON name of a ladder rung.
+func VariantName(v kernels.Variant) string {
+	for name, vv := range variantNames {
+		if vv == v {
+			return name
+		}
+	}
+	return fmt.Sprintf("variant(%d)", int(v))
+}
+
+// ParseVariant resolves a JSON variant name ("" = KeepVariant).
+func ParseVariant(name string) (kernels.Variant, error) {
+	if name == "" {
+		return KeepVariant, nil
+	}
+	if v, ok := variantNames[strings.ToLower(name)]; ok {
+		return v, nil
+	}
+	return 0, fmt.Errorf("schedule: unknown variant %q", name)
+}
+
+var strategyNames = map[string]int{
+	"":                  StrategyKeep,
+	"off":               StrategyOff,
+	"cellwise":          int(kernels.StratCellwise),
+	"cellwise-shortcut": int(kernels.StratCellwiseShortcut),
+	"fourcell":          int(kernels.StratFourCell),
+}
+
+// ParseStrategy resolves a JSON strategy name ("" = StrategyKeep).
+func ParseStrategy(name string) (int, error) {
+	if s, ok := strategyNames[strings.ToLower(name)]; ok {
+		return s, nil
+	}
+	return 0, fmt.Errorf("schedule: unknown strategy %q", name)
+}
+
+var paramNames = map[string]Param{
+	"v":        ParamPullVelocity,
+	"velocity": ParamPullVelocity,
+	"g":        ParamGradient,
+	"gradient": ParamGradient,
+	"dt":       ParamDt,
+}
+
+// ParseParam resolves a JSON ramp parameter name.
+func ParseParam(name string) (Param, error) {
+	if p, ok := paramNames[strings.ToLower(name)]; ok {
+		return p, nil
+	}
+	return 0, fmt.Errorf("schedule: unknown ramp param %q", name)
+}
+
+// jsonEvent is the union of all event fields, discriminated by Type.
+type jsonEvent struct {
+	Type string `json:"type"`
+	Step int    `json:"step"`
+
+	// burst
+	Count  int     `json:"count"`
+	Phase  *int    `json:"phase"`
+	Radius float64 `json:"radius"`
+	ZMin   int     `json:"zmin"`
+	ZMax   int     `json:"zmax"`
+	Seed   int64   `json:"seed"`
+
+	// ramp
+	Param string  `json:"param"`
+	Over  int     `json:"over"`
+	From  float64 `json:"from"`
+	To    float64 `json:"to"`
+
+	// switch
+	Phi      string `json:"phi"`
+	Mu       string `json:"mu"`
+	Strategy string `json:"strategy"`
+
+	// checkpoint
+	Every int    `json:"every"`
+	Path  string `json:"path"`
+}
+
+type jsonSchedule struct {
+	Events []jsonEvent `json:"events"`
+}
+
+// FromJSON parses and validates a schedule file.
+func FromJSON(r io.Reader) (*Schedule, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var js jsonSchedule
+	if err := dec.Decode(&js); err != nil {
+		return nil, fmt.Errorf("schedule: %w", err)
+	}
+	events := make([]Event, 0, len(js.Events))
+	for i, je := range js.Events {
+		e, err := je.toEvent()
+		if err != nil {
+			return nil, fmt.Errorf("schedule: event %d: %w", i, err)
+		}
+		events = append(events, e)
+	}
+	return New(events...)
+}
+
+func (je *jsonEvent) toEvent() (Event, error) {
+	switch strings.ToLower(je.Type) {
+	case "burst":
+		phase := -1
+		if je.Phase != nil {
+			phase = *je.Phase
+		}
+		return NucleationBurst{
+			Step: je.Step, Count: je.Count, Phase: phase,
+			Radius: je.Radius, ZMin: je.ZMin, ZMax: je.ZMax, Seed: je.Seed,
+		}, nil
+	case "ramp":
+		p, err := ParseParam(je.Param)
+		if err != nil {
+			return nil, err
+		}
+		return Ramp{Param: p, Step: je.Step, Over: je.Over, From: je.From, To: je.To}, nil
+	case "switch":
+		phi, err := ParseVariant(je.Phi)
+		if err != nil {
+			return nil, err
+		}
+		mu, err := ParseVariant(je.Mu)
+		if err != nil {
+			return nil, err
+		}
+		strat, err := ParseStrategy(je.Strategy)
+		if err != nil {
+			return nil, err
+		}
+		return SwitchVariant{Step: je.Step, Phi: phi, Mu: mu, Strategy: strat}, nil
+	case "checkpoint":
+		return Checkpoint{Step: je.Step, Every: je.Every, Path: je.Path}, nil
+	}
+	return nil, fmt.Errorf("unknown event type %q", je.Type)
+}

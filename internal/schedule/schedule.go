@@ -1,0 +1,330 @@
+// Package schedule models the time-varying process driving the paper's
+// production runs (§5): directional solidification is not a fixed-parameter
+// benchmark — grains nucleate in bursts, the pull velocity and thermal
+// gradient ramp as the furnace program advances, long runs are stopped and
+// restarted from single-precision checkpoints (§3.2), and a restart may
+// legally switch to a different kernel variant (all variants compute the
+// same physics, so the trajectory is preserved within floating-point
+// tolerance).
+//
+// A Schedule is an ordered list of typed events applied between timesteps
+// by solver.Sim.RunSchedule:
+//
+//   - NucleationBurst seeds spherical solid nuclei in a lab-frame z-range
+//     (moving-window aware: coordinates shift with the window offset);
+//   - Ramp linearly drives a process parameter (pull velocity V, thermal
+//     gradient G, or the timestep Δt) from one value to another over a
+//     step range. Ramp values are pure functions of the step index, so a
+//     run restarted mid-ramp from a checkpoint recomputes bit-identical
+//     coefficients;
+//   - SwitchVariant changes the active φ/µ kernel variants (and optionally
+//     pins a Fig. 5 φ vectorization strategy) at a step boundary;
+//   - Checkpoint requests periodic state dumps through a caller-supplied
+//     writer hook.
+//
+// One-shot events (bursts, switches) are consumed in order; the count of
+// consumed events is the "schedule position" carried by version-2
+// checkpoint headers so a restart never re-fires a burst. Ramps and
+// checkpoint cadences are stateless functions of the step index and need
+// no position tracking.
+package schedule
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/kernels"
+)
+
+// Param identifies a rampable process parameter.
+type Param int
+
+const (
+	// ParamPullVelocity ramps the isotherm pull velocity V. The solver
+	// compensates the isotherm offset Z0 so the temperature field stays
+	// continuous across each velocity change.
+	ParamPullVelocity Param = iota
+	// ParamGradient ramps the thermal gradient G (the profile rotates
+	// about the eutectic isotherm, which is continuous by construction).
+	ParamGradient
+	// ParamDt ramps the timestep Δt; the solver rejects values beyond
+	// the explicit-Euler stability limit.
+	ParamDt
+)
+
+func (p Param) String() string {
+	switch p {
+	case ParamPullVelocity:
+		return "v"
+	case ParamGradient:
+		return "G"
+	case ParamDt:
+		return "dt"
+	}
+	return fmt.Sprintf("Param(%d)", int(p))
+}
+
+// KeepVariant in a SwitchVariant field leaves that kernel unchanged.
+const KeepVariant kernels.Variant = -1
+
+// Strategy values of SwitchVariant beyond the kernels.PhiStrategy range.
+const (
+	// StrategyKeep leaves the φ strategy pinning unchanged.
+	StrategyKeep = -1
+	// StrategyOff unpins any Fig. 5 strategy and returns the φ-sweep to
+	// variant dispatch.
+	StrategyOff = -2
+)
+
+// Event is one entry of a Schedule.
+type Event interface {
+	// StartStep is the completed-step count at which the event first
+	// applies: an event with StartStep k acts on the step that advances
+	// the simulation from k to k+1 completed steps.
+	StartStep() int
+	// OneShot reports whether the event is consumed once (bursts,
+	// switches) or evaluated every step (ramps, checkpoints).
+	OneShot() bool
+	validate() error
+}
+
+// NucleationBurst seeds Count spherical nuclei of radius Radius (cells)
+// uniformly in the lab-frame box [0,NX)×[0,NY)×[ZMin,ZMax). Phase pins all
+// nuclei to one solid phase; Phase < 0 apportions them over the solid
+// phases by the eutectic volume fractions (the Voronoi rule of the §2.1
+// initial condition). Only melt-dominated cells are overwritten — nuclei
+// form in the liquid, never inside existing grains.
+type NucleationBurst struct {
+	Step   int
+	Count  int
+	Phase  int // solid phase index, or -1 for eutectic apportionment
+	Radius float64
+	ZMin   int // lab-frame z range (inclusive, exclusive)
+	ZMax   int
+	Seed   int64 // RNG seed for the nucleus positions
+}
+
+func (e NucleationBurst) StartStep() int { return e.Step }
+func (e NucleationBurst) OneShot() bool  { return true }
+
+func (e NucleationBurst) validate() error {
+	if e.Step < 0 {
+		return fmt.Errorf("schedule: burst at negative step %d", e.Step)
+	}
+	if e.Count < 1 {
+		return fmt.Errorf("schedule: burst with count %d", e.Count)
+	}
+	if e.Radius <= 0 {
+		return fmt.Errorf("schedule: burst with radius %g", e.Radius)
+	}
+	if e.ZMin >= e.ZMax {
+		return fmt.Errorf("schedule: burst z range [%d,%d) empty", e.ZMin, e.ZMax)
+	}
+	if e.Phase >= kernels.NP-1 {
+		return fmt.Errorf("schedule: burst phase %d is not a solid phase", e.Phase)
+	}
+	return nil
+}
+
+func (e NucleationBurst) String() string {
+	ph := "eutectic mix"
+	if e.Phase >= 0 {
+		ph = fmt.Sprintf("phase %d", e.Phase)
+	}
+	return fmt.Sprintf("burst of %d nuclei (%s, r=%g) in z∈[%d,%d)", e.Count, ph, e.Radius, e.ZMin, e.ZMax)
+}
+
+// Ramp drives Param linearly From→To over the steps [Step, Step+Over); from
+// Step+Over on the parameter holds at To. Value is a pure function of the
+// step index so restarts recompute identical coefficients.
+type Ramp struct {
+	Param    Param
+	Step     int // first step of the ramp
+	Over     int // ramp length in steps (≥ 1)
+	From, To float64
+}
+
+func (e Ramp) StartStep() int { return e.Step }
+func (e Ramp) OneShot() bool  { return false }
+
+// Value returns the parameter value the ramp prescribes for the step that
+// advances the simulation from `step` completed steps.
+func (e Ramp) Value(step int) float64 {
+	if step <= e.Step {
+		return e.From
+	}
+	if step >= e.Step+e.Over {
+		return e.To
+	}
+	return e.From + (e.To-e.From)*(float64(step-e.Step)/float64(e.Over))
+}
+
+func (e Ramp) validate() error {
+	if e.Step < 0 {
+		return fmt.Errorf("schedule: ramp at negative step %d", e.Step)
+	}
+	if e.Over < 1 {
+		return fmt.Errorf("schedule: ramp over %d steps", e.Over)
+	}
+	if e.Param < ParamPullVelocity || e.Param > ParamDt {
+		return fmt.Errorf("schedule: unknown ramp param %d", int(e.Param))
+	}
+	if e.Param == ParamDt && (e.From <= 0 || e.To <= 0) {
+		return fmt.Errorf("schedule: dt ramp through nonpositive values")
+	}
+	return nil
+}
+
+func (e Ramp) String() string {
+	return fmt.Sprintf("ramp %s %g→%g over steps [%d,%d)", e.Param, e.From, e.To, e.Step, e.Step+e.Over)
+}
+
+// SwitchVariant changes the active kernels at a step boundary. Phi/Mu set
+// the φ-/µ-kernel variants (KeepVariant leaves one unchanged); Strategy
+// pins one of the Fig. 5 φ vectorization strategies (StrategyKeep leaves
+// the pinning unchanged, StrategyOff removes it).
+type SwitchVariant struct {
+	Step     int
+	Phi, Mu  kernels.Variant
+	Strategy int // kernels.PhiStrategy, StrategyKeep, or StrategyOff
+}
+
+func (e SwitchVariant) StartStep() int { return e.Step }
+func (e SwitchVariant) OneShot() bool  { return true }
+
+func (e SwitchVariant) validate() error {
+	if e.Step < 0 {
+		return fmt.Errorf("schedule: switch at negative step %d", e.Step)
+	}
+	for _, v := range []kernels.Variant{e.Phi, e.Mu} {
+		if v != KeepVariant && (v < 0 || v >= kernels.NumVariants) {
+			return fmt.Errorf("schedule: switch to unknown variant %d", int(v))
+		}
+	}
+	if e.Strategy != StrategyKeep && e.Strategy != StrategyOff &&
+		(e.Strategy < int(kernels.StratCellwise) || e.Strategy > int(kernels.StratFourCell)) {
+		return fmt.Errorf("schedule: switch to unknown strategy %d", e.Strategy)
+	}
+	if e.Phi == KeepVariant && e.Mu == KeepVariant && e.Strategy == StrategyKeep {
+		return fmt.Errorf("schedule: switch event changes nothing")
+	}
+	return nil
+}
+
+func (e SwitchVariant) String() string {
+	s := "switch kernels:"
+	if e.Phi != KeepVariant {
+		s += " φ→" + VariantName(e.Phi)
+	}
+	if e.Mu != KeepVariant {
+		s += " µ→" + VariantName(e.Mu)
+	}
+	switch e.Strategy {
+	case StrategyKeep:
+	case StrategyOff:
+		s += " strategy off"
+	default:
+		s += fmt.Sprintf(" strategy→%v", kernels.PhiStrategy(e.Strategy))
+	}
+	return s
+}
+
+// Checkpoint requests a state dump every Every steps counted from Step
+// (i.e. after Step+Every, Step+2·Every, … steps have completed). Path is a
+// template passed to the writer hook with the step count substituted for a
+// %d-style verb (an empty template uses the runner's default).
+type Checkpoint struct {
+	Step  int
+	Every int
+	Path  string
+}
+
+func (e Checkpoint) StartStep() int { return e.Step }
+func (e Checkpoint) OneShot() bool  { return false }
+
+// Due reports whether a dump is due after `step` steps have completed.
+func (e Checkpoint) Due(step int) bool {
+	return step > e.Step && (step-e.Step)%e.Every == 0
+}
+
+func (e Checkpoint) validate() error {
+	if e.Step < 0 {
+		return fmt.Errorf("schedule: checkpoint at negative step %d", e.Step)
+	}
+	if e.Every < 1 {
+		return fmt.Errorf("schedule: checkpoint every %d steps", e.Every)
+	}
+	return nil
+}
+
+// Schedule is an ordered list of events. Build one with New (or FromJSON)
+// so events are validated and sorted by start step.
+type Schedule struct {
+	Events []Event
+}
+
+// New validates the events and returns them as a Schedule sorted stably by
+// start step.
+func New(events ...Event) (*Schedule, error) {
+	for i, e := range events {
+		if err := e.validate(); err != nil {
+			return nil, fmt.Errorf("event %d: %w", i, err)
+		}
+	}
+	s := &Schedule{Events: append([]Event(nil), events...)}
+	sort.SliceStable(s.Events, func(i, j int) bool {
+		return s.Events[i].StartStep() < s.Events[j].StartStep()
+	})
+	return s, nil
+}
+
+// OneShots returns the one-shot events (bursts, switches) in firing order;
+// the index into this slice is the schedule position stored in version-2
+// checkpoint headers.
+func (s *Schedule) OneShots() []Event {
+	var out []Event
+	for _, e := range s.Events {
+		if e.OneShot() {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Ramps returns all ramp events in order.
+func (s *Schedule) Ramps() []Ramp {
+	var out []Ramp
+	for _, e := range s.Events {
+		if r, ok := e.(Ramp); ok {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Checkpoints returns all checkpoint cadences in order.
+func (s *Schedule) Checkpoints() []Checkpoint {
+	var out []Checkpoint
+	for _, e := range s.Events {
+		if c, ok := e.(Checkpoint); ok {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// EndStep returns the last step any event prescribes activity for (the
+// natural run length of the schedule), or 0 for an empty schedule.
+func (s *Schedule) EndStep() int {
+	end := 0
+	for _, e := range s.Events {
+		last := e.StartStep()
+		if r, ok := e.(Ramp); ok {
+			last = r.Step + r.Over
+		}
+		if last > end {
+			end = last
+		}
+	}
+	return end
+}

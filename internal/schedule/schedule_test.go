@@ -1,0 +1,189 @@
+package schedule
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/kernels"
+)
+
+func TestRampValuePureFunctionOfStep(t *testing.T) {
+	r := Ramp{Param: ParamPullVelocity, Step: 100, Over: 50, From: 0.02, To: 0.06}
+	if v := r.Value(0); v != 0.02 {
+		t.Errorf("before start: %g", v)
+	}
+	if v := r.Value(100); v != 0.02 {
+		t.Errorf("at start: %g", v)
+	}
+	if v := r.Value(150); v != 0.06 {
+		t.Errorf("at end: %g", v)
+	}
+	if v := r.Value(1000); v != 0.06 {
+		t.Errorf("after end: %g", v)
+	}
+	mid := r.Value(125)
+	if math.Abs(mid-0.04) > 1e-15 {
+		t.Errorf("midpoint: %g", mid)
+	}
+	// Bit-compatibility across restarts rests on Value being a pure
+	// function of the step index.
+	for _, s := range []int{100, 113, 137, 150} {
+		if r.Value(s) != r.Value(s) {
+			t.Fatalf("Value(%d) not deterministic", s)
+		}
+	}
+}
+
+func TestNewSortsAndValidates(t *testing.T) {
+	s, err := New(
+		SwitchVariant{Step: 50, Phi: kernels.VarStag, Mu: KeepVariant, Strategy: StrategyKeep},
+		NucleationBurst{Step: 10, Count: 2, Phase: -1, Radius: 2, ZMin: 0, ZMax: 8},
+		Ramp{Param: ParamGradient, Step: 0, Over: 20, From: 1, To: 2},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(s.Events); i++ {
+		if s.Events[i].StartStep() < s.Events[i-1].StartStep() {
+			t.Fatal("events not sorted by start step")
+		}
+	}
+	one := s.OneShots()
+	if len(one) != 2 {
+		t.Fatalf("one-shots: %d", len(one))
+	}
+	if _, ok := one[0].(NucleationBurst); !ok {
+		t.Error("burst should fire before switch")
+	}
+	if s.EndStep() != 50 {
+		t.Errorf("end step %d", s.EndStep())
+	}
+}
+
+func TestValidationRejects(t *testing.T) {
+	cases := []Event{
+		NucleationBurst{Step: -1, Count: 1, Phase: 0, Radius: 1, ZMin: 0, ZMax: 1},
+		NucleationBurst{Step: 0, Count: 0, Phase: 0, Radius: 1, ZMin: 0, ZMax: 1},
+		NucleationBurst{Step: 0, Count: 1, Phase: 0, Radius: 0, ZMin: 0, ZMax: 1},
+		NucleationBurst{Step: 0, Count: 1, Phase: 0, Radius: 1, ZMin: 5, ZMax: 5},
+		NucleationBurst{Step: 0, Count: 1, Phase: kernels.NP - 1, Radius: 1, ZMin: 0, ZMax: 1},
+		Ramp{Param: ParamDt, Step: 0, Over: 0, From: 1, To: 2},
+		Ramp{Param: ParamDt, Step: 0, Over: 5, From: 0, To: 2},
+		Ramp{Param: Param(99), Step: 0, Over: 5, From: 1, To: 2},
+		SwitchVariant{Step: 0, Phi: kernels.Variant(77), Mu: KeepVariant, Strategy: StrategyKeep},
+		SwitchVariant{Step: 0, Phi: KeepVariant, Mu: KeepVariant, Strategy: StrategyKeep},
+		SwitchVariant{Step: 0, Phi: KeepVariant, Mu: KeepVariant, Strategy: 99},
+		Checkpoint{Step: 0, Every: 0},
+	}
+	for i, e := range cases {
+		if _, err := New(e); err == nil {
+			t.Errorf("case %d (%#v) accepted", i, e)
+		}
+	}
+}
+
+func TestCheckpointDue(t *testing.T) {
+	c := Checkpoint{Step: 0, Every: 50}
+	for _, step := range []int{50, 100, 150} {
+		if !c.Due(step) {
+			t.Errorf("not due at %d", step)
+		}
+	}
+	for _, step := range []int{0, 49, 51} {
+		if c.Due(step) {
+			t.Errorf("due at %d", step)
+		}
+	}
+	off := Checkpoint{Step: 30, Every: 50}
+	if off.Due(50) || !off.Due(80) {
+		t.Error("offset cadence wrong")
+	}
+}
+
+func TestFromJSON(t *testing.T) {
+	src := `{"events": [
+	  {"type": "ramp", "param": "v", "step": 0, "over": 800, "from": 0.02, "to": 0.05},
+	  {"type": "burst", "step": 200, "count": 6, "phase": -1, "radius": 2.5, "zmin": 40, "zmax": 56, "seed": 7},
+	  {"type": "switch", "step": 400, "phi": "shortcut", "mu": "stag", "strategy": "fourcell"},
+	  {"type": "checkpoint", "every": 500, "path": "out/state_%06d.pfcp"}
+	]}`
+	s, err := FromJSON(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Events) != 4 {
+		t.Fatalf("parsed %d events", len(s.Events))
+	}
+	if len(s.Ramps()) != 1 || s.Ramps()[0].To != 0.05 {
+		t.Error("ramp not parsed")
+	}
+	sw := s.OneShots()[1].(SwitchVariant)
+	if sw.Phi != kernels.VarShortcut || sw.Mu != kernels.VarStag || sw.Strategy != int(kernels.StratFourCell) {
+		t.Errorf("switch parsed as %+v", sw)
+	}
+	b := s.OneShots()[0].(NucleationBurst)
+	if b.Phase != -1 || b.Count != 6 || b.Seed != 7 {
+		t.Errorf("burst parsed as %+v", b)
+	}
+	ck := s.Checkpoints()[0]
+	if ck.Every != 500 || ck.Path != "out/state_%06d.pfcp" {
+		t.Errorf("checkpoint parsed as %+v", ck)
+	}
+}
+
+func TestFromJSONPhaseZeroDistinctFromOmitted(t *testing.T) {
+	s, err := FromJSON(strings.NewReader(
+		`{"events": [{"type": "burst", "step": 0, "count": 1, "phase": 0, "radius": 1, "zmin": 0, "zmax": 4}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b := s.Events[0].(NucleationBurst); b.Phase != 0 {
+		t.Errorf("explicit phase 0 parsed as %d", b.Phase)
+	}
+}
+
+func TestFromJSONRejects(t *testing.T) {
+	bad := []string{
+		`{"events": [{"type": "warp", "step": 1}]}`,
+		`{"events": [{"type": "ramp", "param": "q", "step": 0, "over": 10}]}`,
+		`{"events": [{"type": "switch", "step": 0, "phi": "warpspeed"}]}`,
+		`{"events": [{"type": "switch", "step": 0, "strategy": "diagonal"}]}`,
+		`{"events": [{"type": "burst", "step": 0, "count": 1, "radius": 1, "zmin": 4, "zmax": 4}]}`,
+		`{"events": [{"type": "checkpoint", "unknownfield": 3}]}`,
+		`not json`,
+	}
+	for i, src := range bad {
+		if _, err := FromJSON(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d accepted: %s", i, src)
+		}
+	}
+}
+
+func TestVariantAndStrategyNames(t *testing.T) {
+	for name, v := range variantNames {
+		got, err := ParseVariant(VariantName(v))
+		if err != nil || got != v {
+			t.Errorf("round trip %s: %v %v", name, got, err)
+		}
+	}
+	if v, err := ParseVariant(""); err != nil || v != KeepVariant {
+		t.Error("empty variant should keep")
+	}
+	if s, err := ParseStrategy("off"); err != nil || s != StrategyOff {
+		t.Error("strategy off")
+	}
+}
+
+func TestEventStrings(t *testing.T) {
+	evs := []Event{
+		NucleationBurst{Step: 1, Count: 3, Phase: -1, Radius: 2, ZMin: 0, ZMax: 9},
+		Ramp{Param: ParamPullVelocity, Step: 0, Over: 10, From: 1, To: 2},
+		SwitchVariant{Step: 2, Phi: kernels.VarStag, Mu: KeepVariant, Strategy: StrategyOff},
+	}
+	for _, e := range evs {
+		if s, ok := e.(interface{ String() string }); !ok || s.String() == "" {
+			t.Errorf("%T has no useful String()", e)
+		}
+	}
+}

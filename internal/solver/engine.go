@@ -38,17 +38,23 @@ const (
 // sweepTask is one z-slab of one rank's sweep. It carries everything the
 // worker needs so dispatch allocates nothing.
 type sweepTask struct {
-	op     sweepOp
-	ctx    *kernels.Ctx
-	f      *kernels.Fields
-	v      kernels.Variant
-	z0, z1 int
-	done   *sync.WaitGroup
+	op       sweepOp
+	ctx      *kernels.Ctx
+	f        *kernels.Fields
+	v        kernels.Variant
+	strat    kernels.PhiStrategy
+	useStrat bool // pin the φ-sweep to strat instead of variant dispatch
+	z0, z1   int
+	done     *sync.WaitGroup
 }
 
 func (t *sweepTask) run(sc *kernels.Scratch) {
 	switch t.op {
 	case opPhi:
+		if t.useStrat {
+			kernels.PhiSweepStrategyRange(t.ctx, t.f, sc, t.strat, t.z0, t.z1)
+			return
+		}
 		kernels.PhiSweepRange(t.ctx, t.f, sc, t.v, t.z0, t.z1)
 	case opMu:
 		kernels.MuSweepRange(t.ctx, t.f, sc, t.v, t.z0, t.z1)
@@ -110,16 +116,24 @@ func (s *Sim) slabCount(nz int) int {
 // whole block with the rank's scratch.
 func (s *Sim) runSweep(r *rank, op sweepOp) {
 	nz := r.fields.PhiSrc.NZ
+	v := s.muVariant
+	useStrat := false
+	if op == opPhi {
+		v = s.phiVariant
+		useStrat = s.usePhiStrategy
+	}
 	n := s.slabCount(nz)
 	if n <= 1 || s.engine == nil {
-		t := sweepTask{op: op, ctx: &r.ctx, f: r.fields, v: s.Cfg.Variant, z0: 0, z1: nz}
+		t := sweepTask{op: op, ctx: &r.ctx, f: r.fields, v: v,
+			strat: s.phiStrategy, useStrat: useStrat, z0: 0, z1: nz}
 		t.run(r.sc)
 		return
 	}
 	r.wg.Add(n)
 	for i := 0; i < n; i++ {
 		s.engine.tasks <- sweepTask{
-			op: op, ctx: &r.ctx, f: r.fields, v: s.Cfg.Variant,
+			op: op, ctx: &r.ctx, f: r.fields, v: v,
+			strat: s.phiStrategy, useStrat: useStrat,
 			z0: i * nz / n, z1: (i + 1) * nz / n,
 			done: &r.wg,
 		}

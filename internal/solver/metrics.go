@@ -51,12 +51,20 @@ func (m *Metrics) MuKernelMLUPs() float64 {
 // RunMeasured advances n steps and returns timing metrics for exactly those
 // steps.
 func (s *Sim) RunMeasured(n int) Metrics {
+	return s.Measure(func() { s.Run(n) })
+}
+
+// Measure resets the metrics, runs fn (which should advance the simulation,
+// e.g. through Run or RunSchedule) and returns timing metrics for exactly
+// the steps fn took.
+func (s *Sim) Measure(fn func()) Metrics {
 	s.ResetMetrics()
+	before := s.step
 	t0 := time.Now()
-	s.Run(n)
+	fn()
 	wall := time.Since(t0)
 
-	m := Metrics{Steps: n, Cells: s.GlobalCells(), WallTime: wall}
+	m := Metrics{Steps: s.step - before, Cells: s.GlobalCells(), WallTime: wall}
 	for _, r := range s.ranks {
 		m.PhiKernelTime += r.phiKernelTime
 		m.MuKernelTime += r.muKernelTime

@@ -1,0 +1,282 @@
+package solver
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/kernels"
+	"repro/internal/schedule"
+	"repro/internal/voronoi"
+)
+
+// schedule.go turns the fixed-parameter time-stepping loop into an
+// event-driven production engine: RunSchedule interprets a
+// schedule.Schedule between timesteps — nucleation bursts seed spheres
+// through the Voronoi machinery, ramps rewrite the process coefficients in
+// place, variant switches swap the active kernels, and checkpoint cadences
+// call back into a caller-supplied writer.
+//
+// Mutation safety under the parallel sweep engine: every event is applied
+// on the caller's goroutine at a step boundary, when no sweep task is in
+// flight (runSweep joins all slab tasks before returning and the worker
+// pool blocks on its task channel between sweeps). The per-rank
+// kernels.Ctx is rebuilt from Cfg.Params at the start of each timestep, so
+// in-place parameter rewrites become visible to every worker exactly at
+// the next step.
+
+// ScheduleHooks customizes RunSchedule. All hooks may be nil.
+type ScheduleHooks struct {
+	// WriteCheckpoint is invoked post-step for due Checkpoint events
+	// with the event's path template ("" = caller's default) and the
+	// completed-step count. A returned error aborts the run.
+	WriteCheckpoint func(pathTemplate string, step int) error
+	// OnEvent is invoked after a one-shot event fires (logging/tracing).
+	OnEvent func(ev schedule.Event, step int)
+}
+
+// Kernels returns the active kernel selection: the φ- and µ-sweep variants
+// and, when pinned, the Fig. 5 φ vectorization strategy.
+func (s *Sim) Kernels() (phi, mu kernels.Variant, strat kernels.PhiStrategy, stratPinned bool) {
+	return s.phiVariant, s.muVariant, s.phiStrategy, s.usePhiStrategy
+}
+
+// SetKernels switches the active φ- and µ-sweep variants at a step
+// boundary. Every variant computes the same update, so the trajectory is
+// preserved within floating-point reassociation tolerance.
+func (s *Sim) SetKernels(phi, mu kernels.Variant) error {
+	for _, v := range []kernels.Variant{phi, mu} {
+		if v < 0 || v >= kernels.NumVariants {
+			return fmt.Errorf("solver: unknown variant %d", int(v))
+		}
+	}
+	s.phiVariant, s.muVariant = phi, mu
+	return nil
+}
+
+// SetPhiStrategy pins the φ-sweep to a Fig. 5 vectorization strategy;
+// ClearPhiStrategy returns it to variant dispatch.
+func (s *Sim) SetPhiStrategy(strat kernels.PhiStrategy) {
+	s.phiStrategy, s.usePhiStrategy = strat, true
+}
+
+// ClearPhiStrategy removes a pinned φ strategy.
+func (s *Sim) ClearPhiStrategy() { s.usePhiStrategy = false }
+
+// SchedulePos returns how many one-shot schedule events have fired;
+// SetSchedulePos installs the position recorded in a checkpoint so a
+// restarted run never re-fires a burst or switch.
+func (s *Sim) SchedulePos() int       { return s.schedPos }
+func (s *Sim) SetSchedulePos(pos int) { s.schedPos = pos }
+
+// RunSchedule advances the simulation n timesteps under the given
+// schedule. Events with StartStep k act on the step that advances the
+// simulation from k to k+1 completed steps; due checkpoints are reported
+// post-step. A nil schedule degenerates to Run(n).
+func (s *Sim) RunSchedule(n int, sched *schedule.Schedule, hooks ScheduleHooks) error {
+	if sched == nil {
+		s.Run(n)
+		return nil
+	}
+	oneShots := sched.OneShots()
+	ramps := sched.Ramps()
+	ckpts := sched.Checkpoints()
+
+	for i := 0; i < n; i++ {
+		// Fire due one-shot events in order, resuming at the
+		// checkpointed schedule position.
+		for s.schedPos < len(oneShots) && oneShots[s.schedPos].StartStep() <= s.step {
+			ev := oneShots[s.schedPos]
+			if err := s.applyOneShot(ev); err != nil {
+				return err
+			}
+			s.schedPos++
+			if hooks.OnEvent != nil {
+				hooks.OnEvent(ev, s.step)
+			}
+		}
+		// Ramps are pure functions of the step index; a later ramp on
+		// the same parameter overrides an earlier one.
+		for _, r := range ramps {
+			if r.Step <= s.step {
+				if err := s.applyRamp(r); err != nil {
+					return err
+				}
+			}
+		}
+
+		s.Run(1)
+
+		for _, c := range ckpts {
+			if c.Due(s.step) && hooks.WriteCheckpoint != nil {
+				if err := hooks.WriteCheckpoint(c.Path, s.step); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// applyOneShot dispatches a fired one-shot event.
+func (s *Sim) applyOneShot(ev schedule.Event) error {
+	switch e := ev.(type) {
+	case schedule.NucleationBurst:
+		_, err := s.ApplyBurst(e)
+		return err
+	case schedule.SwitchVariant:
+		phi, mu := s.phiVariant, s.muVariant
+		if e.Phi != schedule.KeepVariant {
+			phi = e.Phi
+		}
+		if e.Mu != schedule.KeepVariant {
+			mu = e.Mu
+		}
+		if err := s.SetKernels(phi, mu); err != nil {
+			return err
+		}
+		switch e.Strategy {
+		case schedule.StrategyKeep:
+		case schedule.StrategyOff:
+			s.ClearPhiStrategy()
+		default:
+			s.SetPhiStrategy(kernels.PhiStrategy(e.Strategy))
+		}
+		return nil
+	}
+	return fmt.Errorf("solver: unknown one-shot event %T", ev)
+}
+
+// applyRamp installs the ramp's value for the current step.
+func (s *Sim) applyRamp(r schedule.Ramp) error {
+	v := r.Value(s.step)
+	p := s.Cfg.Params
+	switch r.Param {
+	case schedule.ParamPullVelocity:
+		// T(z,t) = TE + G(z·dx − Z0 − V·t): changing V at time t
+		// would shift the whole profile by (V−V')·t·G. Compensate Z0
+		// so the temperature field stays continuous and only the
+		// isotherm velocity changes.
+		if v != p.Temp.V {
+			p.Temp.Z0 += (p.Temp.V - v) * s.time
+			p.Temp.V = v
+		}
+	case schedule.ParamGradient:
+		// The profile rotates about the eutectic isotherm, which is
+		// continuous by construction.
+		p.Temp.G = v
+	case schedule.ParamDt:
+		if v > p.StableDt() {
+			return fmt.Errorf("solver: ramped dt=%g exceeds stability limit %g", v, p.StableDt())
+		}
+		p.Dt = v
+	default:
+		return fmt.Errorf("solver: unknown ramp param %v", r.Param)
+	}
+	return nil
+}
+
+// ApplyBurst seeds the burst's nuclei as solid spheres in the melt. Nucleus
+// coordinates are lab-frame; the moving window maps them into the current
+// domain (material that already scrolled out is silently skipped). Only
+// melt-dominated cells are overwritten, so existing grains survive. Returns
+// the number of cells converted.
+func (s *Sim) ApplyBurst(e schedule.NucleationBurst) (int, error) {
+	nxg, nyg, _ := s.Cfg.BG.GlobalCells()
+
+	fracs, err := s.Cfg.Params.Sys.EutecticFractions()
+	if err != nil {
+		return 0, err
+	}
+	rng := rand.New(rand.NewSource(e.Seed + int64(e.Step)<<20))
+	seeds, err := voronoi.BurstSeeds(nxg, nyg, float64(e.ZMin), float64(e.ZMax),
+		e.Count, e.Phase, fracs[:], rng)
+	if err != nil {
+		return 0, err
+	}
+
+	painted := make([]int, len(s.ranks))
+	s.forAllRanks(func(r *rank) {
+		phi := r.fields.PhiSrc
+		ox, oy, _ := s.Cfg.BG.Origin(r.id)
+		for _, sd := range seeds {
+			// Lab frame → window frame → rank-local coordinates.
+			zc := sd.Z - float64(s.windowShift) - float64(r.zOff)
+			zlo := int(math.Floor(zc - e.Radius))
+			zhi := int(math.Ceil(zc + e.Radius))
+			if zhi < 0 || zlo >= phi.NZ {
+				continue
+			}
+			if zlo < 0 {
+				zlo = 0
+			}
+			if zhi > phi.NZ-1 {
+				zhi = phi.NZ - 1
+			}
+			r2 := e.Radius * e.Radius
+			for z := zlo; z <= zhi; z++ {
+				dz := float64(z) + 0.5 - zc
+				for y := 0; y < phi.NY; y++ {
+					dy := voronoi.PeriodicDist(float64(oy+y)+0.5, sd.Y, float64(nyg))
+					if dz*dz+dy*dy > r2 {
+						continue
+					}
+					for x := 0; x < phi.NX; x++ {
+						dx := voronoi.PeriodicDist(float64(ox+x)+0.5, sd.X, float64(nxg))
+						if dz*dz+dy*dy+dx*dx > r2 {
+							continue
+						}
+						if phi.At(core.Liquid, x, y, z) <= 0.5 {
+							continue
+						}
+						for a := 0; a < kernels.NP; a++ {
+							v := 0.0
+							if a == sd.Phase {
+								v = 1
+							}
+							phi.Set(a, x, y, z, v)
+						}
+						painted[r.id]++
+					}
+				}
+			}
+		}
+	})
+
+	// The paint touched source interiors only; re-establish φ ghosts.
+	s.forAllRanks(func(r *rank) {
+		s.World.ExchangeGhosts(r.id, r.fields.PhiSrc, comm.TagPhi, r.phiBCs)
+	})
+
+	total := 0
+	for _, c := range painted {
+		total += c
+	}
+	return total, nil
+}
+
+// MuNorm returns the RMS of the chemical-potential field over the interior
+// (a cheap scalar sensitive to solute-transport regressions, used by the
+// golden-trajectory harness). Per-rank sums are combined in rank order, so
+// the value is deterministic for a fixed decomposition.
+func (s *Sim) MuNorm() float64 {
+	sums := make([]float64, len(s.ranks))
+	s.forAllRanks(func(r *rank) {
+		f := r.fields.MuSrc
+		t := 0.0
+		f.Interior(func(x, y, z int) {
+			for k := 0; k < core.NRed; k++ {
+				v := f.At(k, x, y, z)
+				t += v * v
+			}
+		})
+		sums[r.id] = t
+	})
+	total := 0.0
+	for _, v := range sums {
+		total += v
+	}
+	return math.Sqrt(total / float64(s.GlobalCells()*core.NRed))
+}

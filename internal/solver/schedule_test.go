@@ -1,0 +1,307 @@
+package solver
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/kernels"
+	"repro/internal/schedule"
+)
+
+func mkSched(t *testing.T, events ...schedule.Event) *schedule.Schedule {
+	t.Helper()
+	s, err := schedule.New(events...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestApplyBurstSeedsSolidSpheres(t *testing.T) {
+	s := mkSim(t, 2, 1, 1, 8, 16, 24, kernels.VarShortcut, OverlapNone)
+	if err := s.InitScenario(ScenarioLiquid); err != nil {
+		t.Fatal(err)
+	}
+	burst := schedule.NucleationBurst{Step: 0, Count: 3, Phase: 1, Radius: 2.5, ZMin: 8, ZMax: 16, Seed: 4}
+	n, err := s.ApplyBurst(burst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("burst painted no cells")
+	}
+	fr := s.PhaseFractions()
+	want := float64(n) / float64(s.GlobalCells())
+	if math.Abs(fr[1]-want) > 1e-12 {
+		t.Errorf("phase-1 fraction %g, want %g from %d painted cells", fr[1], want, n)
+	}
+	for _, a := range []int{0, 2} {
+		if fr[a] != 0 {
+			t.Errorf("pinned burst painted phase %d (fraction %g)", a, fr[a])
+		}
+	}
+	// Painting must leave ghosts consistent: a step must not blow up.
+	s.Run(1)
+	if s.HasNaN() {
+		t.Error("NaN after burst + step")
+	}
+}
+
+func TestApplyBurstDeterministicAcrossDecompositions(t *testing.T) {
+	burst := schedule.NucleationBurst{Step: 0, Count: 4, Phase: -1, Radius: 2, ZMin: 4, ZMax: 20, Seed: 9}
+	single := mkSim(t, 1, 1, 1, 16, 16, 24, kernels.VarShortcut, OverlapNone)
+	multi := mkSim(t, 2, 2, 1, 8, 8, 24, kernels.VarShortcut, OverlapNone)
+	for _, s := range []*Sim{single, multi} {
+		if err := s.InitScenario(ScenarioLiquid); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.ApplyBurst(burst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a := single.GatherGlobalPhi()
+	b := multi.GatherGlobalPhi()
+	if ok, maxd := a.InteriorEqual(b, 0); !ok {
+		t.Errorf("burst depends on decomposition (maxd %g)", maxd)
+	}
+}
+
+func TestApplyBurstSparesExistingGrains(t *testing.T) {
+	s := mkSim(t, 1, 1, 1, 12, 12, 16, kernels.VarShortcut, OverlapNone)
+	if err := s.InitScenario(ScenarioSolid); err != nil {
+		t.Fatal(err)
+	}
+	before := s.PhaseFractions()
+	if _, err := s.ApplyBurst(schedule.NucleationBurst{
+		Step: 0, Count: 5, Phase: 1, Radius: 3, ZMin: 0, ZMax: 16, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	after := s.PhaseFractions()
+	if before != after {
+		t.Errorf("burst overwrote solid cells: %v -> %v", before, after)
+	}
+}
+
+func TestApplyBurstWindowAware(t *testing.T) {
+	// After the window scrolls by k cells, a lab-frame burst at height z
+	// must land at window height z-k.
+	burst := schedule.NucleationBurst{Step: 0, Count: 2, Phase: 0, Radius: 2, ZMin: 12, ZMax: 18, Seed: 3}
+
+	ref := mkSim(t, 1, 1, 1, 12, 12, 24, kernels.VarShortcut, OverlapNone)
+	if err := ref.InitScenario(ScenarioLiquid); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.ApplyBurst(burst); err != nil {
+		t.Fatal(err)
+	}
+
+	shifted := mkSim(t, 1, 1, 1, 12, 12, 24, kernels.VarShortcut, OverlapNone)
+	if err := shifted.InitScenario(ScenarioLiquid); err != nil {
+		t.Fatal(err)
+	}
+	shifted.ShiftWindow(4)
+	if _, err := shifted.ApplyBurst(burst); err != nil {
+		t.Fatal(err)
+	}
+
+	a, b := ref.GatherGlobalPhi(), shifted.GatherGlobalPhi()
+	mismatch := 0
+	for z := 0; z < 24-4; z++ {
+		for y := 0; y < 12; y++ {
+			for x := 0; x < 12; x++ {
+				for c := 0; c < core.NPhases; c++ {
+					if a.At(c, x, y, z+4) != b.At(c, x, y, z) {
+						mismatch++
+					}
+				}
+			}
+		}
+	}
+	if mismatch != 0 {
+		t.Errorf("burst not window-aware: %d mismatched cells after 4-cell shift", mismatch)
+	}
+}
+
+func TestRampKeepsTemperatureContinuous(t *testing.T) {
+	s := mkSim(t, 1, 1, 1, 6, 6, 12, kernels.VarShortcut, OverlapNone)
+	if err := s.InitScenario(ScenarioLiquid); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(10)
+	p := s.Cfg.Params
+	// Temperature profile right before the velocity change.
+	before := make([]float64, 12)
+	for z := range before {
+		before[z] = p.Temp.At(z, p.Dx, s.time)
+	}
+	if err := s.applyRamp(schedule.Ramp{
+		Param: schedule.ParamPullVelocity, Step: 0, Over: 1, From: p.Temp.V, To: 5 * p.Temp.V}); err != nil {
+		t.Fatal(err)
+	}
+	for z := range before {
+		after := p.Temp.At(z, p.Dx, s.time)
+		if math.Abs(after-before[z]) > 1e-12 {
+			t.Fatalf("T(z=%d) jumped %g -> %g at velocity change", z, before[z], after)
+		}
+	}
+	// But the isotherm now moves faster: after Δt the profile must have
+	// dropped 5× as fast as before.
+	if math.Abs(p.Temp.DTdt()-(-p.Temp.G*p.Temp.V)) > 1e-15 {
+		t.Error("DTdt inconsistent after ramp")
+	}
+}
+
+func TestRampDtRejectsUnstable(t *testing.T) {
+	s := mkSim(t, 1, 1, 1, 6, 6, 6, kernels.VarShortcut, OverlapNone)
+	bad := schedule.Ramp{Param: schedule.ParamDt, Step: 0, Over: 1,
+		From: 10 * s.Cfg.Params.StableDt(), To: 10 * s.Cfg.Params.StableDt()}
+	if err := s.applyRamp(bad); err == nil {
+		t.Error("unstable dt accepted")
+	}
+}
+
+func TestRunScheduleMatchesManualApplication(t *testing.T) {
+	// A scheduled run must equal the same events applied by hand at the
+	// same step boundaries — RunSchedule adds bookkeeping, not physics.
+	sched := mkSched(t,
+		schedule.Ramp{Param: schedule.ParamPullVelocity, Step: 0, Over: 8, From: 0.02, To: 0.05},
+		schedule.NucleationBurst{Step: 3, Count: 2, Phase: 0, Radius: 2, ZMin: 10, ZMax: 14, Seed: 6},
+		schedule.SwitchVariant{Step: 6, Phi: schedule.KeepVariant, Mu: kernels.VarStag, Strategy: schedule.StrategyKeep},
+	)
+
+	auto := mkSim(t, 1, 1, 1, 10, 10, 16, kernels.VarShortcut, OverlapNone)
+	manual := mkSim(t, 1, 1, 1, 10, 10, 16, kernels.VarShortcut, OverlapNone)
+	for _, s := range []*Sim{auto, manual} {
+		if err := s.InitScenario(ScenarioInterface); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if err := auto.RunSchedule(10, sched, ScheduleHooks{}); err != nil {
+		t.Fatal(err)
+	}
+
+	ramp := sched.Ramps()[0]
+	for step := 0; step < 10; step++ {
+		if step == 3 {
+			if _, err := manual.ApplyBurst(sched.OneShots()[0].(schedule.NucleationBurst)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if step == 6 {
+			if err := manual.SetKernels(kernels.VarShortcut, kernels.VarStag); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := manual.applyRamp(ramp); err != nil {
+			t.Fatal(err)
+		}
+		manual.Run(1)
+	}
+
+	a, b := auto.GatherGlobalPhi(), manual.GatherGlobalPhi()
+	if ok, maxd := a.InteriorEqual(b, 0); !ok {
+		t.Errorf("scheduled φ differs from manual by %g", maxd)
+	}
+	am, bm := auto.GatherGlobalMu(), manual.GatherGlobalMu()
+	if ok, maxd := am.InteriorEqual(bm, 0); !ok {
+		t.Errorf("scheduled µ differs from manual by %g", maxd)
+	}
+	if auto.SchedulePos() != 2 {
+		t.Errorf("schedule position %d after both one-shots", auto.SchedulePos())
+	}
+}
+
+func TestRunScheduleCheckpointCadence(t *testing.T) {
+	s := mkSim(t, 1, 1, 1, 6, 6, 8, kernels.VarShortcut, OverlapNone)
+	if err := s.InitScenario(ScenarioLiquid); err != nil {
+		t.Fatal(err)
+	}
+	sched := mkSched(t, schedule.Checkpoint{Every: 3, Path: "tmpl-%d"})
+	var got []int
+	hooks := ScheduleHooks{WriteCheckpoint: func(tmpl string, step int) error {
+		if tmpl != "tmpl-%d" {
+			t.Errorf("template %q", tmpl)
+		}
+		got = append(got, step)
+		return nil
+	}}
+	if err := s.RunSchedule(10, sched, hooks); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{3, 6, 9}
+	if len(got) != len(want) {
+		t.Fatalf("checkpoints at %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("checkpoints at %v, want %v", got, want)
+		}
+	}
+}
+
+// The cross-variant switching satellite: stepping k steps with variant A
+// and switching to variant B mid-run via the schedule must equal running
+// A for k steps and re-initializing with B from that state — proving
+// restart-time variant switching is sound (the switch itself adds no
+// physics; only kernel reassociation noise distinguishes A and B).
+func TestScheduledSwitchEqualsRestartWithB(t *testing.T) {
+	const k, n = 4, 10
+	varA, varB := kernels.VarTz, kernels.VarShortcut
+
+	switched := mkSim(t, 2, 1, 1, 6, 12, 12, varA, OverlapNone)
+	if err := switched.InitScenario(ScenarioInterface); err != nil {
+		t.Fatal(err)
+	}
+	sched := mkSched(t, schedule.SwitchVariant{Step: k, Phi: varB, Mu: varB, Strategy: schedule.StrategyKeep})
+	if err := switched.RunSchedule(n, sched, ScheduleHooks{}); err != nil {
+		t.Fatal(err)
+	}
+	phiA, muA, _, _ := switched.Kernels()
+	if phiA != varB || muA != varB {
+		t.Fatalf("switch did not take: %v/%v", phiA, muA)
+	}
+
+	// Reference: run A for k steps, transplant the state into a fresh
+	// simulation configured with B (the in-memory analogue of a
+	// checkpoint restart with a variant override), continue n-k steps.
+	pre := mkSim(t, 2, 1, 1, 6, 12, 12, varA, OverlapNone)
+	if err := pre.InitScenario(ScenarioInterface); err != nil {
+		t.Fatal(err)
+	}
+	pre.Run(k)
+	fields := make([]*kernels.Fields, pre.NumRanks())
+	for r := range fields {
+		fields[r] = pre.RankFields(r).Clone()
+	}
+	restart := mkSim(t, 2, 1, 1, 6, 12, 12, varB, OverlapNone)
+	if err := restart.RestoreState(pre.StepCount(), pre.Time(), pre.WindowShift(), fields); err != nil {
+		t.Fatal(err)
+	}
+	restart.Run(n - k)
+
+	a, b := switched.GatherGlobalPhi(), restart.GatherGlobalPhi()
+	if ok, maxd := a.InteriorEqual(b, 0); !ok {
+		t.Errorf("scheduled switch differs from restart-with-B by %g", maxd)
+	}
+	am, bm := switched.GatherGlobalMu(), restart.GatherGlobalMu()
+	if ok, maxd := am.InteriorEqual(bm, 0); !ok {
+		t.Errorf("µ after scheduled switch differs from restart-with-B by %g", maxd)
+	}
+}
+
+func TestMuNormDeterministicAndPositive(t *testing.T) {
+	s := mkSim(t, 2, 1, 1, 6, 12, 12, kernels.VarShortcut, OverlapNone)
+	if err := s.InitScenario(ScenarioInterface); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(3)
+	n1, n2 := s.MuNorm(), s.MuNorm()
+	if n1 != n2 {
+		t.Error("MuNorm not deterministic")
+	}
+	if !(n1 > 0) || math.IsNaN(n1) {
+		t.Errorf("MuNorm = %g", n1)
+	}
+}

@@ -138,6 +138,17 @@ type Sim struct {
 	engine         *sweepEngine // nil when every rank gets a single slab
 	workersPerRank int
 
+	// Active kernel selection. Initialized from Cfg.Variant; scheduled
+	// SwitchVariant events (and checkpoint restarts) may change it at
+	// step boundaries. usePhiStrategy pins the φ-sweep to one of the
+	// Fig. 5 vectorization strategies instead of variant dispatch.
+	phiVariant     kernels.Variant
+	muVariant      kernels.Variant
+	phiStrategy    kernels.PhiStrategy
+	usePhiStrategy bool
+
+	schedPos int // one-shot schedule events already fired
+
 	step         int
 	time         float64
 	windowShift  int // total cells scrolled out of the window
@@ -166,7 +177,8 @@ func New(cfg Config) (*Sim, error) {
 		return nil, fmt.Errorf("solver: parallelism %d invalid", cfg.Parallelism)
 	}
 
-	s := &Sim{Cfg: cfg, World: comm.NewWorld(cfg.BG)}
+	s := &Sim{Cfg: cfg, World: comm.NewWorld(cfg.BG),
+		phiVariant: cfg.Variant, muVariant: cfg.Variant}
 	nBlocks := cfg.BG.NumBlocks()
 	s.workersPerRank = cfg.Parallelism / nBlocks
 	if s.workersPerRank < 1 {

@@ -67,32 +67,7 @@ func New(nx, ny, nz, nSeeds int, fractions []float64, rng *rand.Rand) (*Tessella
 
 	t := &Tessellation{NX: nx, NY: ny, NZ: nz, Labels: make([]uint8, nx*ny*nz)}
 
-	// Apportion seeds to phases by largest remainder so counts match the
-	// target fractions as closely as possible.
-	counts := make([]int, len(fractions))
-	type rem struct {
-		idx int
-		r   float64
-	}
-	assigned := 0
-	rems := make([]rem, len(fractions))
-	for i, f := range fractions {
-		exact := f * float64(nSeeds) / sum
-		counts[i] = int(exact)
-		assigned += counts[i]
-		rems[i] = rem{i, exact - float64(counts[i])}
-	}
-	for assigned < nSeeds {
-		best := 0
-		for i := 1; i < len(rems); i++ {
-			if rems[i].r > rems[best].r {
-				best = i
-			}
-		}
-		counts[rems[best].idx]++
-		rems[best].r = -1
-		assigned++
-	}
+	counts := Apportion(nSeeds, fractions)
 
 	for phase, n := range counts {
 		for i := 0; i < n; i++ {
@@ -128,6 +103,89 @@ func New(nx, ny, nz, nSeeds int, fractions []float64, rng *rand.Rand) (*Tessella
 		}
 	}
 	return t, nil
+}
+
+// Apportion distributes n seeds over phases by largest remainder so the
+// counts match the target fractions as closely as possible (the rule behind
+// both the initial tessellation and scheduled nucleation bursts). The
+// fractions are normalized by their sum.
+func Apportion(n int, fractions []float64) []int {
+	sum := 0.0
+	for _, f := range fractions {
+		sum += f
+	}
+	counts := make([]int, len(fractions))
+	if sum <= 0 || n <= 0 {
+		return counts
+	}
+	type rem struct {
+		idx int
+		r   float64
+	}
+	assigned := 0
+	rems := make([]rem, len(fractions))
+	for i, f := range fractions {
+		exact := f * float64(n) / sum
+		counts[i] = int(exact)
+		assigned += counts[i]
+		rems[i] = rem{i, exact - float64(counts[i])}
+	}
+	for assigned < n {
+		best := 0
+		for i := 1; i < len(rems); i++ {
+			if rems[i].r > rems[best].r {
+				best = i
+			}
+		}
+		counts[rems[best].idx]++
+		rems[best].r = -1
+		assigned++
+	}
+	return counts
+}
+
+// BurstSeeds scatters n nuclei uniformly in the lab-frame box
+// [0,nx)×[0,ny)×[zmin,zmax) for a scheduled nucleation burst. phase >= 0
+// pins every nucleus to that solid phase; phase < 0 apportions the nuclei
+// over the given fractions by the same largest-remainder rule as the
+// initial tessellation. Seeds are emitted in phase order, positions drawn
+// from rng, so a fixed seed yields a fixed burst.
+func BurstSeeds(nx, ny int, zmin, zmax float64, n, phase int, fractions []float64, rng *rand.Rand) ([]Seed, error) {
+	if nx <= 0 || ny <= 0 {
+		return nil, fmt.Errorf("voronoi: nonpositive lateral extent %dx%d", nx, ny)
+	}
+	if zmax <= zmin {
+		return nil, fmt.Errorf("voronoi: empty burst z range [%g,%g)", zmin, zmax)
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("voronoi: need at least one burst seed")
+	}
+	var counts []int
+	if phase >= 0 {
+		counts = make([]int, phase+1)
+		counts[phase] = n
+	} else {
+		counts = Apportion(n, fractions)
+	}
+	seeds := make([]Seed, 0, n)
+	for ph, c := range counts {
+		for i := 0; i < c; i++ {
+			seeds = append(seeds, Seed{
+				X:     rng.Float64() * float64(nx),
+				Y:     rng.Float64() * float64(ny),
+				Z:     zmin + rng.Float64()*(zmax-zmin),
+				Phase: ph,
+			})
+		}
+	}
+	return seeds, nil
+}
+
+// PeriodicDist returns the minimal wrapped distance between a and b on a
+// ring of circumference l (the lateral metric of the solidification
+// domain).
+func PeriodicDist(a, b, l float64) float64 {
+	return periodicDist(a, b, l)
 }
 
 // periodicDist returns the minimal wrapped distance between a and b on a

@@ -108,3 +108,72 @@ func TestDeterministicForSeed(t *testing.T) {
 		}
 	}
 }
+
+func TestApportionLargestRemainder(t *testing.T) {
+	got := Apportion(20, []float64{0.45, 0.30, 0.25})
+	if got[0] != 9 || got[1] != 6 || got[2] != 5 {
+		t.Errorf("Apportion = %v, want [9 6 5]", got)
+	}
+	// Normalizes by the fraction sum and handles degenerate inputs.
+	got = Apportion(10, []float64{2, 2})
+	if got[0]+got[1] != 10 || got[0] != got[1] {
+		t.Errorf("unnormalized fractions: %v", got)
+	}
+	if got := Apportion(0, []float64{1}); got[0] != 0 {
+		t.Errorf("zero seeds: %v", got)
+	}
+}
+
+func TestBurstSeedsBoundsAndPhases(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	seeds, err := BurstSeeds(16, 12, 4, 20, 9, -1, []float64{0.4, 0.3, 0.3}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seeds) != 9 {
+		t.Fatalf("%d seeds", len(seeds))
+	}
+	counts := [3]int{}
+	for _, s := range seeds {
+		if s.X < 0 || s.X >= 16 || s.Y < 0 || s.Y >= 12 || s.Z < 4 || s.Z >= 20 {
+			t.Errorf("seed out of bounds: %+v", s)
+		}
+		counts[s.Phase]++
+	}
+	// Largest remainder over 9 seeds at [0.4 0.3 0.3]: floors 3/2/2,
+	// the two spare seeds go to the .7 remainders → 3/3/3.
+	if counts != [3]int{3, 3, 3} {
+		t.Errorf("phase apportionment %v, want [3 3 3]", counts)
+	}
+
+	// Pinned phase.
+	pinned, err := BurstSeeds(16, 12, 0, 8, 5, 2, nil, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range pinned {
+		if s.Phase != 2 {
+			t.Errorf("pinned seed has phase %d", s.Phase)
+		}
+	}
+
+	// Deterministic for a fixed rng seed.
+	a, _ := BurstSeeds(8, 8, 0, 8, 4, -1, []float64{0.5, 0.5}, rand.New(rand.NewSource(1)))
+	b, _ := BurstSeeds(8, 8, 0, 8, 4, -1, []float64{0.5, 0.5}, rand.New(rand.NewSource(1)))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("BurstSeeds not deterministic")
+		}
+	}
+
+	// Error paths.
+	if _, err := BurstSeeds(0, 8, 0, 8, 1, 0, nil, rng); err == nil {
+		t.Error("zero extent accepted")
+	}
+	if _, err := BurstSeeds(8, 8, 5, 5, 1, 0, nil, rng); err == nil {
+		t.Error("empty z range accepted")
+	}
+	if _, err := BurstSeeds(8, 8, 0, 8, 0, 0, nil, rng); err == nil {
+		t.Error("zero count accepted")
+	}
+}

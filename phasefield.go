@@ -24,7 +24,9 @@ package phasefield
 import (
 	"fmt"
 	"io"
+	"math"
 	"os"
+	"regexp"
 
 	"repro/internal/analysis"
 	"repro/internal/ckpt"
@@ -32,6 +34,7 @@ import (
 	"repro/internal/grid"
 	"repro/internal/kernels"
 	"repro/internal/mesh"
+	"repro/internal/schedule"
 	"repro/internal/solver"
 	"repro/internal/thermo"
 	"repro/internal/vtk"
@@ -81,6 +84,12 @@ type Config struct {
 	Parallelism int
 	// Seed for the Voronoi nuclei.
 	Seed int64
+
+	// IgnoreCheckpointKernels makes Restore keep this Config's kernel
+	// selection instead of the checkpoint's active one — the sanctioned
+	// way to switch variants at a restart boundary (§3.2 production
+	// practice; all variants compute the same physics).
+	IgnoreCheckpointKernels bool
 
 	// Optional physical overrides applied to the default parameter set
 	// (ignored when Params is supplied explicitly; zero keeps defaults).
@@ -185,6 +194,10 @@ func (s *Simulation) Close() { s.sim.Close() }
 // RunMeasured advances n timesteps and returns performance metrics.
 func (s *Simulation) RunMeasured(n int) solver.Metrics { return s.sim.RunMeasured(n) }
 
+// ResetAndMeasure resets the metrics, runs fn (which should advance the
+// simulation, e.g. via RunSchedule) and returns metrics for the steps taken.
+func (s *Simulation) ResetAndMeasure(fn func()) solver.Metrics { return s.sim.Measure(fn) }
+
 // Step returns the completed step count; Time the simulated time.
 func (s *Simulation) Step() int     { return s.sim.StepCount() }
 func (s *Simulation) Time() float64 { return s.sim.Time() }
@@ -247,12 +260,26 @@ func (s *Simulation) Checkpoint(path string) error {
 	for r := 0; r < n; r++ {
 		fields[r] = s.sim.RankFields(r)
 	}
+	phi, mu, strat, pinned := s.sim.Kernels()
+	stratField := int32(ckpt.VariantUnspecified)
+	if pinned {
+		stratField = int32(strat)
+	}
+	p := s.cfg.Params
 	h := ckpt.Header{
 		Step:        int64(s.sim.StepCount()),
 		Time:        s.sim.Time(),
 		WindowShift: int64(s.sim.WindowShift()),
 		PX:          int32(s.cfg.PX), PY: int32(s.cfg.PY), PZ: int32(s.cfg.PZ),
 		BX: int32(s.cfg.NX / s.cfg.PX), BY: int32(s.cfg.NY / s.cfg.PY), BZ: int32(s.cfg.NZ / s.cfg.PZ),
+		SchedulePos: int64(s.sim.SchedulePos()),
+		PhiVariant:  int32(phi),
+		MuVariant:   int32(mu),
+		PhiStrategy: stratField,
+		Dt:          p.Dt,
+		TempG:       p.Temp.G,
+		TempV:       p.Temp.V,
+		TempZ0:      p.Temp.Z0,
 	}
 	if err := ckpt.Write(f, h, fields); err != nil {
 		return err
@@ -261,9 +288,12 @@ func (s *Simulation) Checkpoint(path string) error {
 }
 
 // Restore loads a checkpoint written by Checkpoint into a new Simulation
-// with the stored decomposition. Optional overrides (variant, overlap,
-// moving window) come from cfg; its domain and decomposition fields are
-// taken from the checkpoint header.
+// with the stored decomposition. The domain and decomposition come from
+// the checkpoint header, as do the active kernel selection and mutable
+// process parameters when the file carries them (version 2) — set
+// cfg.IgnoreCheckpointKernels to keep cfg's variant instead (a restart-time
+// variant switch). Everything else (overlap mode, moving window,
+// parallelism; the variant for version-1 files) comes from cfg.
 func Restore(path string, cfg Config) (*Simulation, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -285,8 +315,98 @@ func Restore(path string, cfg Config) (*Simulation, error) {
 	if err := sim.sim.RestoreState(int(h.Step), h.Time, int(h.WindowShift), fields); err != nil {
 		return nil, err
 	}
+	// Version-2 headers carry the runtime state a fixed configuration
+	// cannot reproduce: the mutable process parameters (so a restart
+	// mid-ramp resumes bit-compatibly), the schedule position, and the
+	// active kernel selection.
+	if !math.IsNaN(h.Dt) {
+		p := sim.cfg.Params
+		p.Dt, p.Temp.G, p.Temp.V, p.Temp.Z0 = h.Dt, h.TempG, h.TempV, h.TempZ0
+	}
+	sim.sim.SetSchedulePos(int(h.SchedulePos))
+	if !cfg.IgnoreCheckpointKernels && h.PhiVariant != ckpt.VariantUnspecified {
+		if err := sim.sim.SetKernels(kernels.Variant(h.PhiVariant), kernels.Variant(h.MuVariant)); err != nil {
+			return nil, err
+		}
+		if h.PhiStrategy != ckpt.VariantUnspecified {
+			sim.sim.SetPhiStrategy(kernels.PhiStrategy(h.PhiStrategy))
+		}
+	}
 	return sim, nil
 }
+
+// LoadSchedule parses a production schedule from a JSON file (the format
+// read by cmd/solidify -schedule; see internal/schedule).
+func LoadSchedule(path string) (*schedule.Schedule, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return schedule.FromJSON(f)
+}
+
+// stepVerb matches a %d-style format verb in a checkpoint path template;
+// templates without one (including paths with literal percent signs) are
+// used verbatim.
+var stepVerb = regexp.MustCompile(`%[-+ #0-9]*d`)
+
+// ScheduleOptions customizes RunSchedule.
+type ScheduleOptions struct {
+	// CheckpointPath is the default path template for Checkpoint events
+	// that carry none; a %d-style verb (if present) is replaced by the
+	// step count. Empty means such events are skipped.
+	CheckpointPath string
+	// Log, when non-nil, receives one line per fired event and written
+	// checkpoint.
+	Log func(msg string)
+}
+
+// RunSchedule advances n timesteps under a production schedule: nucleation
+// bursts, process-parameter ramps, kernel-variant switches and periodic
+// checkpoints applied between timesteps (see internal/schedule). Restarted
+// simulations resume at the checkpointed schedule position.
+func (s *Simulation) RunSchedule(sched *schedule.Schedule, n int, opt ScheduleOptions) error {
+	hooks := solver.ScheduleHooks{
+		WriteCheckpoint: func(tmpl string, step int) error {
+			if tmpl == "" {
+				tmpl = opt.CheckpointPath
+			}
+			if tmpl == "" {
+				return nil
+			}
+			path := tmpl
+			if stepVerb.MatchString(tmpl) {
+				path = fmt.Sprintf(tmpl, step)
+			}
+			if err := s.Checkpoint(path); err != nil {
+				return err
+			}
+			if opt.Log != nil {
+				opt.Log(fmt.Sprintf("step %d: checkpoint %s", step, path))
+			}
+			return nil
+		},
+	}
+	if opt.Log != nil {
+		hooks.OnEvent = func(ev schedule.Event, step int) {
+			opt.Log(fmt.Sprintf("step %d: %v", step, ev))
+		}
+	}
+	return s.sim.RunSchedule(n, sched, hooks)
+}
+
+// SchedulePos returns how many one-shot schedule events have fired.
+func (s *Simulation) SchedulePos() int { return s.sim.SchedulePos() }
+
+// Kernels returns the active kernel selection.
+func (s *Simulation) Kernels() (phi, mu kernels.Variant, strat kernels.PhiStrategy, pinned bool) {
+	return s.sim.Kernels()
+}
+
+// MuNorm returns the RMS chemical potential over the interior (the scalar
+// tracked by the golden-trajectory harness).
+func (s *Simulation) MuNorm() float64 { return s.sim.MuNorm() }
 
 // WriteVTK writes the gathered φ field as a legacy VTK volume for
 // visualization.

@@ -2,9 +2,15 @@ package phasefield
 
 import (
 	"bytes"
+	"math"
+	"math/rand"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/ckpt"
+	"repro/internal/kernels"
+	"repro/internal/schedule"
 )
 
 // Checkpoint → Restore must reproduce the simulation state up to the
@@ -52,6 +58,176 @@ func TestCheckpointRestoreContinues(t *testing.T) {
 	b = restored.GlobalPhi()
 	if ok, maxd := a.InteriorEqual(b, 1e-4); !ok {
 		t.Errorf("trajectories diverged beyond float32 seeding: %g", maxd)
+	}
+}
+
+// Property test over randomized configurations: checkpointing and
+// restoring mid-run, then taking one more step, must match the
+// uninterrupted run within the single-precision perturbation the float32
+// round trip injects (one explicit-Euler step amplifies it only by an
+// O(dt) factor).
+func TestCheckpointRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	for trial := 0; trial < 6; trial++ {
+		px := 1 + rng.Intn(2)
+		py := 1 + rng.Intn(2)
+		nx, ny, nz := px*(4+rng.Intn(3)), py*(4+rng.Intn(3)), 8+rng.Intn(6)
+		cfg := DefaultConfig(nx, ny, nz)
+		cfg.PX, cfg.PY = px, py
+		cfg.Variant = kernels.Variant(rng.Intn(int(kernels.NumVariants)))
+		cfg.Seed = rng.Int63()
+		pre := 1 + rng.Intn(4)
+
+		sim, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sim.InitFront(); err != nil {
+			t.Fatal(err)
+		}
+		sim.Run(pre)
+
+		path := filepath.Join(t.TempDir(), "prop.pfcp")
+		if err := sim.Checkpoint(path); err != nil {
+			t.Fatal(err)
+		}
+		restored, err := Restore(path, Config{Overlap: cfg.Overlap})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The V2 header must have carried the active kernels without
+		// an explicit cfg.Variant.
+		phi, mu, _, _ := restored.Kernels()
+		if phi != cfg.Variant || mu != cfg.Variant {
+			t.Fatalf("trial %d: restored kernels %v/%v, want %v", trial, phi, mu, cfg.Variant)
+		}
+
+		sim.Run(1)
+		restored.Run(1)
+		// One step amplifies the float32 seeding by the stencil's
+		// Lipschitz factor (≈dt/dx² · coefficients); 1e-5 keeps the
+		// bound at single-precision scale, far below any physics
+		// regression.
+		tol := math.Max(1e-5, 4*ckpt.MaxRoundTripError(4))
+		if ok, maxd := sim.GlobalPhi().InteriorEqual(restored.GlobalPhi(), tol); !ok {
+			t.Errorf("trial %d (%dx%dx%d px%d py%d variant %v): φ diverged %g after one step",
+				trial, nx, ny, nz, px, py, cfg.Variant, maxd)
+		}
+		if ok, maxd := sim.sim.GatherGlobalMu().InteriorEqual(restored.sim.GatherGlobalMu(), tol); !ok {
+			t.Errorf("trial %d: µ diverged %g after one step", trial, maxd)
+		}
+	}
+}
+
+// A version-2 checkpoint carries the mutable process parameters, so a
+// restart mid-ramp resumes from the ramped values, not the config
+// defaults.
+func TestRestoreCarriesRampedParameters(t *testing.T) {
+	cfg := DefaultConfig(8, 8, 12)
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.InitFront(); err != nil {
+		t.Fatal(err)
+	}
+	sched, err := schedule.New(
+		schedule.Ramp{Param: schedule.ParamPullVelocity, Step: 0, Over: 10,
+			From: sim.Params().Temp.V, To: 4 * sim.Params().Temp.V},
+		schedule.NucleationBurst{Step: 1, Count: 1, Phase: 0, Radius: 1.5, ZMin: 8, ZMax: 11, Seed: 2},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.RunSchedule(sched, 5, ScheduleOptions{}); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "midramp.pfcp")
+	if err := sim.Checkpoint(path); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Restore(path, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, sp := restored.Params(), sim.Params()
+	if rp.Temp.V != sp.Temp.V || rp.Temp.Z0 != sp.Temp.Z0 || rp.Temp.G != sp.Temp.G || rp.Dt != sp.Dt {
+		t.Errorf("restored params %+v, want %+v", rp.Temp, sp.Temp)
+	}
+	if restored.SchedulePos() != sim.SchedulePos() || restored.SchedulePos() != 1 {
+		t.Errorf("schedule position %d, want %d", restored.SchedulePos(), sim.SchedulePos())
+	}
+
+	// Continuing both under the schedule must agree bit-for-bit in the
+	// ramp coefficients: the trajectories may differ only by the
+	// float32 seeding.
+	if err := sim.RunSchedule(sched, 5, ScheduleOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.RunSchedule(sched, 5, ScheduleOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if rp.Temp.V != sp.Temp.V || rp.Temp.Z0 != sp.Temp.Z0 {
+		t.Errorf("post-restart ramp drifted: %+v vs %+v", rp.Temp, sp.Temp)
+	}
+	if ok, maxd := sim.GlobalPhi().InteriorEqual(restored.GlobalPhi(), 1e-4); !ok {
+		t.Errorf("mid-ramp restart diverged %g", maxd)
+	}
+}
+
+// Restart-time variant switching through a real checkpoint file: variant A
+// for k steps, restore with IgnoreCheckpointKernels + variant B, continue —
+// must match the same run switched in memory via a schedule event.
+func TestRestartVariantSwitchMatchesScheduledSwitch(t *testing.T) {
+	const k, n = 3, 8
+	varA, varB := kernels.VarStag, kernels.VarShortcut
+	cfg := DefaultConfig(10, 10, 14)
+	cfg.Variant = varA
+
+	// Path 1: in-memory switch at step k.
+	switched, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := switched.InitFront(); err != nil {
+		t.Fatal(err)
+	}
+	sched, err := schedule.New(schedule.SwitchVariant{
+		Step: k, Phi: varB, Mu: varB, Strategy: schedule.StrategyKeep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := switched.RunSchedule(sched, n, ScheduleOptions{}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Path 2: checkpoint at step k, restore with B, continue.
+	pre, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pre.InitFront(); err != nil {
+		t.Fatal(err)
+	}
+	pre.Run(k)
+	path := filepath.Join(t.TempDir(), "switch.pfcp")
+	if err := pre.Checkpoint(path); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Restore(path, Config{Variant: varB, IgnoreCheckpointKernels: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if phi, mu, _, _ := restored.Kernels(); phi != varB || mu != varB {
+		t.Fatalf("override did not take: %v/%v", phi, mu)
+	}
+	restored.Run(n - k)
+
+	// Identical physics; only the float32 checkpoint seeding separates
+	// the two paths.
+	if ok, maxd := switched.GlobalPhi().InteriorEqual(restored.GlobalPhi(), 1e-5); !ok {
+		t.Errorf("restart-with-B differs from scheduled switch by %g", maxd)
 	}
 }
 
