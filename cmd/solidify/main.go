@@ -5,17 +5,22 @@
 // moving-window technique, and periodic interface-mesh output.
 //
 // Production runs are driven by a JSON schedule (-schedule): nucleation
-// bursts, pull-velocity/gradient/Δt ramps, kernel-variant switches and
-// periodic checkpoints, applied between timesteps. A stopped run resumes
-// from its last checkpoint with -restore, continuing the schedule at the
-// checkpointed position (and may switch kernel variants at that boundary
-// via -variant-override).
+// bursts, pull-velocity/gradient/Δt ramps, time-varying boundary conditions
+// (setbc events: wall kind switches and Dirichlet value ramps), kernel-
+// variant switches and periodic checkpoints, applied between timesteps.
+// Several schedule files compose into one run — pass them comma-separated
+// and they merge deterministically (same-step ties fire in file order;
+// conflicting events are rejected). A stopped run resumes from its last
+// checkpoint with -restore, continuing the schedule at the checkpointed
+// position (and may switch kernel variants at that boundary via
+// -variant-override); version-3 checkpoints carry the active per-face BC
+// state, so a restart mid-BC-ramp resumes with bit-identical wall values.
 //
 // Usage:
 //
 //	solidify -nx 64 -ny 64 -nz 128 -steps 2000 -px 2 -py 2 \
 //	         -out out/ -meshevery 500 -ckpt out/state.pfcp \
-//	         -schedule castbench.json
+//	         -schedule castbench.json,coldwall.json
 //	solidify -restore out/state_001000.pfcp -schedule castbench.json -steps 1000
 package main
 
@@ -24,6 +29,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"repro"
 	"repro/internal/mesh"
@@ -45,15 +51,21 @@ func main() {
 	window := flag.Bool("window", true, "enable the moving window")
 	par := flag.Int("par", 0, "total sweep workers for intra-block parallelism (0 = GOMAXPROCS)")
 	seed := flag.Int64("seed", 1, "Voronoi seed")
-	schedPath := flag.String("schedule", "", "JSON production schedule (bursts, ramps, variant switches, checkpoints)")
+	schedPath := flag.String("schedule", "", "JSON production schedule(s), comma-separated and composed in order (bursts, ramps, BC events, variant switches, checkpoints)")
 	restorePath := flag.String("restore", "", "resume from this checkpoint instead of a fresh init")
 	variantOverride := flag.String("variant-override", "", "on -restore, switch both kernels to this variant (general|basic|simd|tz|stag|shortcut)")
 	flag.Parse()
 
 	var sched *schedule.Schedule
 	if *schedPath != "" {
+		var paths []string
+		for _, p := range strings.Split(*schedPath, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				paths = append(paths, p)
+			}
+		}
 		var err error
-		if sched, err = phasefield.LoadSchedule(*schedPath); err != nil {
+		if sched, err = phasefield.LoadSchedules(paths...); err != nil {
 			fatal(err)
 		}
 	}

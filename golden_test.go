@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"repro/internal/grid"
 	"repro/internal/kernels"
 	"repro/internal/schedule"
 )
@@ -66,18 +67,39 @@ func goldenConfig() Config {
 	return cfg
 }
 
+// goldenBCRamp is the boundary-environment leg of the golden schedule: the
+// bottom µ wall ramps from the eutectic value to a solute-enriched one over
+// steps 12–28, spanning the checkpoint step so the restart resumes
+// mid-BC-ramp with V3 header state.
+var goldenBCRamp = schedule.SetBC{Step: 12, Over: 16, Face: grid.ZMin, Field: schedule.BCMu,
+	Kind: grid.BCDirichlet, From: []float64{0, 0}, To: []float64{0.06, -0.03}}
+
 // goldenSchedule drives every event class the engine supports: a velocity
 // ramp spanning the checkpoint step (so the restart resumes mid-ramp), a
 // burst that pushes the front past the window trigger, a variant switch,
-// and the mid-run checkpoint itself.
+// the mid-run checkpoint itself, and — composed in as a separate
+// boundary-environment schedule, exercising Compose on the production
+// path — a µ-wall Dirichlet ramp plus a φ top-wall switch.
 func goldenSchedule(t *testing.T, ckptPath string) *schedule.Schedule {
 	t.Helper()
-	s, err := schedule.New(
+	base, err := schedule.New(
 		schedule.Ramp{Param: schedule.ParamPullVelocity, Step: 0, Over: 30, From: 0.02, To: 0.05},
 		schedule.NucleationBurst{Step: 10, Count: 3, Phase: -1, Radius: 2.5, ZMin: 10, ZMax: 16, Seed: 7},
 		schedule.SwitchVariant{Step: 26, Phi: kernels.VarShortcut, Mu: kernels.VarShortcut, Strategy: schedule.StrategyKeep},
 		schedule.Checkpoint{Every: goldenCkptStep, Path: ckptPath},
 	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bcLeg, err := schedule.New(
+		goldenBCRamp,
+		schedule.SetBC{Step: 32, Face: grid.ZMax, Field: schedule.BCPhi,
+			Kind: grid.BCDirichlet, To: []float64{0, 0, 0, 1}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := schedule.Compose(base, bcLeg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,12 +186,23 @@ func TestGoldenTrajectory(t *testing.T) {
 	if _, err := os.Stat(midCkpt); err != nil {
 		t.Fatalf("mid-ramp checkpoint not written: %v", err)
 	}
+	// The composed BC leg must have reached its settled wall state.
+	phiBCs, muBCs := sim.DomainBCs()
+	if muBCs[grid.ZMin].Kind != grid.BCDirichlet ||
+		muBCs[grid.ZMin].Values[0] != 0.06 || muBCs[grid.ZMin].Values[1] != -0.03 {
+		t.Fatalf("golden run's µ wall did not settle: %+v", muBCs[grid.ZMin])
+	}
+	if phiBCs[grid.ZMax].Kind != grid.BCDirichlet {
+		t.Fatalf("golden run's φ top wall did not switch: %+v", phiBCs[grid.ZMax])
+	}
 
 	if *update {
 		fx := goldenFixture{
 			Description: "16x16x24 production run (PX=2, moving window): " +
 				"v ramp 0.02→0.05 over steps 0–30, 3-nucleus burst at step 10, " +
-				"stag→shortcut switch at step 26, checkpoint at step 20",
+				"stag→shortcut switch at step 26, checkpoint at step 20, " +
+				"composed BC leg (µ bottom wall ramp over steps 12–28, " +
+				"φ top wall → dirichlet at step 32)",
 			Steps: goldenSteps, SampleEvery: goldenEvery, CheckpointStep: goldenCkptStep,
 			TolSolid: 2e-6, TolMu: 2e-6, TolRestart: 2e-4,
 			Samples: samples,
@@ -211,6 +244,21 @@ func TestGoldenTrajectory(t *testing.T) {
 	}
 	if phi, _, _, _ := restored.Kernels(); phi != kernels.VarStag {
 		t.Fatalf("restored kernel %v, want pre-switch stag", phi)
+	}
+	// The V3 header must have carried the mid-ramp wall state bit-exactly:
+	// the last BC application before the checkpointed step ran at step
+	// index CheckpointStep-1.
+	var bcBuf [4]float64
+	wantWall := goldenBCRamp.ValuesAt(fx.CheckpointStep-1, bcBuf[:])
+	_, restoredMu := restored.DomainBCs()
+	if restoredMu[grid.ZMin].Kind != grid.BCDirichlet {
+		t.Fatalf("restored µ wall kind %v", restoredMu[grid.ZMin].Kind)
+	}
+	for i := range wantWall {
+		if restoredMu[grid.ZMin].Values[i] != wantWall[i] {
+			t.Fatalf("restored µ wall value %d: %g, want %g (bit-exact)",
+				i, restoredMu[grid.ZMin].Values[i], wantWall[i])
+		}
 	}
 	restartSamples := runGolden(t, restored, sched, goldenSteps)
 	tail := fx.Samples[fx.CheckpointStep/fx.SampleEvery:]

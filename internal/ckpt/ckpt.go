@@ -18,17 +18,36 @@ import (
 )
 
 // Magic identifies checkpoint files; Version the current header layout.
-// Version 1 files (fixed-parameter runs) remain readable: their headers are
-// upgraded on read with the version-2 extension fields marked unspecified.
+// Older files remain readable: version-1 (fixed-parameter runs) and
+// version-2 (schedule state, no BC state) headers are upgraded on read with
+// the missing extension fields marked unspecified.
 const (
 	Magic    = 0x50464350 // "PFCP"
 	Version1 = 1
-	Version  = 2
+	Version2 = 2
+	Version  = 3
 )
 
 // VariantUnspecified marks the kernel-state fields of headers read from
 // version-1 files (the restart keeps its configured kernels).
 const VariantUnspecified = -1
+
+// BCUnspecified marks the per-face BC entries of headers read from version-1
+// and version-2 files (the restart keeps its configured boundary set).
+const BCUnspecified = -1
+
+// MaxBCComps is the widest per-face Dirichlet payload the fixed-width BC
+// entries can carry: the φ field prescribes one wall value per phase.
+const MaxBCComps = kernels.NP
+
+// FaceBC is the fixed-width wire form of one face's boundary condition.
+// Kind is a grid.BCKind (or BCUnspecified on upgraded older headers); the
+// first NVals entries of Vals are the Dirichlet wall values.
+type FaceBC struct {
+	Kind  int32
+	NVals int32
+	Vals  [MaxBCComps]float64
+}
 
 // Header describes a checkpoint. The version-2 extension carries the
 // runtime state a fixed configuration cannot reproduce: the schedule
@@ -36,7 +55,9 @@ const VariantUnspecified = -1
 // (a restart may legally keep it or switch variants at the boundary), and
 // the mutable process parameters (Δt, thermal gradient G, pull velocity V
 // and the compensated isotherm offset Z0) so a run restarted mid-ramp
-// resumes bit-compatibly.
+// resumes bit-compatibly. The version-3 extension adds the active per-face
+// boundary conditions of both fields, so a run restarted mid-BC-ramp (a
+// scheduled SetBC event) resumes with bit-identical wall state.
 type Header struct {
 	Step        int64
 	Time        float64
@@ -54,6 +75,12 @@ type Header struct {
 	TempG       float64
 	TempV       float64
 	TempZ0      float64
+
+	// Version 3 fields: the live boundary condition of every block face
+	// for the φ and µ fields. On older files every Kind reads as
+	// BCUnspecified.
+	PhiBC [grid.NumFaces]FaceBC
+	MuBC  [grid.NumFaces]FaceBC
 }
 
 // headerV1 is the wire layout of version-1 headers.
@@ -65,9 +92,54 @@ type headerV1 struct {
 	BX, BY, BZ  int32
 }
 
+// headerV2 is the wire layout of version-2 headers (schedule state and
+// mutable process parameters, no BC state).
+type headerV2 struct {
+	Step        int64
+	Time        float64
+	WindowShift int64
+	PX, PY, PZ  int32
+	BX, BY, BZ  int32
+	SchedulePos int64
+	PhiVariant  int32
+	MuVariant   int32
+	PhiStrategy int32
+	Dt          float64
+	TempG       float64
+	TempV       float64
+	TempZ0      float64
+}
+
+// unspecifiedBCs fills both BC arrays with BCUnspecified entries.
+func unspecifiedBCs(h *Header) {
+	for f := range h.PhiBC {
+		h.PhiBC[f].Kind = BCUnspecified
+		h.MuBC[f].Kind = BCUnspecified
+	}
+}
+
+// upgrade lifts a version-2 header into the current layout.
+func (h2 *headerV2) upgrade() Header {
+	h := Header{
+		Step: h2.Step, Time: h2.Time, WindowShift: h2.WindowShift,
+		PX: h2.PX, PY: h2.PY, PZ: h2.PZ,
+		BX: h2.BX, BY: h2.BY, BZ: h2.BZ,
+		SchedulePos: h2.SchedulePos,
+		PhiVariant:  h2.PhiVariant,
+		MuVariant:   h2.MuVariant,
+		PhiStrategy: h2.PhiStrategy,
+		Dt:          h2.Dt,
+		TempG:       h2.TempG,
+		TempV:       h2.TempV,
+		TempZ0:      h2.TempZ0,
+	}
+	unspecifiedBCs(&h)
+	return h
+}
+
 // upgrade lifts a version-1 header into the current layout.
 func (h1 *headerV1) upgrade() Header {
-	return Header{
+	h2 := headerV2{
 		Step: h1.Step, Time: h1.Time, WindowShift: h1.WindowShift,
 		PX: h1.PX, PY: h1.PY, PZ: h1.PZ,
 		BX: h1.BX, BY: h1.BY, BZ: h1.BZ,
@@ -80,6 +152,38 @@ func (h1 *headerV1) upgrade() Header {
 		TempV:       math.NaN(),
 		TempZ0:      math.NaN(),
 	}
+	return h2.upgrade()
+}
+
+// EncodeBCs packs a boundary set into the header's fixed-width form.
+func EncodeBCs(b grid.BoundarySet) [grid.NumFaces]FaceBC {
+	var out [grid.NumFaces]FaceBC
+	for f := grid.Face(0); f < grid.NumFaces; f++ {
+		out[f].Kind = int32(b[f].Kind)
+		out[f].NVals = int32(len(b[f].Values))
+		copy(out[f].Vals[:], b[f].Values)
+	}
+	return out
+}
+
+// DecodeBCs unpacks header BC entries into a boundary set. ok is false when
+// the entries are unspecified (file older than version 3) or malformed; the
+// caller then keeps its configured boundary set.
+func DecodeBCs(e [grid.NumFaces]FaceBC) (grid.BoundarySet, bool) {
+	var out grid.BoundarySet
+	for f := grid.Face(0); f < grid.NumFaces; f++ {
+		if e[f].Kind < int32(grid.BCNone) || e[f].Kind > int32(grid.BCDirichlet) {
+			return grid.BoundarySet{}, false
+		}
+		if e[f].NVals < 0 || e[f].NVals > MaxBCComps {
+			return grid.BoundarySet{}, false
+		}
+		out[f].Kind = grid.BCKind(e[f].Kind)
+		if e[f].NVals > 0 {
+			out[f].Values = append([]float64(nil), e[f].Vals[:e[f].NVals]...)
+		}
+	}
+	return out, true
 }
 
 // Write serializes the header and all ranks' source fields (interior only;
@@ -150,9 +254,26 @@ func Read(r io.Reader) (Header, []*kernels.Fields, error) {
 			return Header{}, nil, err
 		}
 		h = h1.upgrade()
+	case Version2:
+		var h2 headerV2
+		if err := binary.Read(br, binary.LittleEndian, &h2); err != nil {
+			return Header{}, nil, err
+		}
+		h = h2.upgrade()
 	case Version:
 		if err := binary.Read(br, binary.LittleEndian, &h); err != nil {
 			return Header{}, nil, err
+		}
+		// A version-3 writer always emits well-formed BC entries; a
+		// malformed one is corruption, not an older layout — failing
+		// here keeps the unspecified-BC fallback exclusive to genuine
+		// v1/v2 upgrades (a restart silently dropping checkpointed wall
+		// state would diverge the trajectory).
+		if _, ok := DecodeBCs(h.PhiBC); !ok {
+			return Header{}, nil, fmt.Errorf("ckpt: corrupt φ boundary-condition state")
+		}
+		if _, ok := DecodeBCs(h.MuBC); !ok {
+			return Header{}, nil, fmt.Errorf("ckpt: corrupt µ boundary-condition state")
 		}
 	default:
 		return Header{}, nil, fmt.Errorf("ckpt: unsupported version %d", version)

@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/grid"
 	"repro/internal/kernels"
 )
 
@@ -139,18 +140,68 @@ func writeLegacyV1(w *bytes.Buffer, h Header, fields []*kernels.Fields) error {
 	return nil
 }
 
+// writeLegacyV2 serializes a version-2 checkpoint (schedule state, no BC
+// state) so the reader's upgrade path stays covered after the version bump.
+func writeLegacyV2(w *bytes.Buffer, h Header, fields []*kernels.Fields) error {
+	if err := binary.Write(w, binary.LittleEndian, uint32(Magic)); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(Version2)); err != nil {
+		return err
+	}
+	h2 := headerV2{Step: h.Step, Time: h.Time, WindowShift: h.WindowShift,
+		PX: h.PX, PY: h.PY, PZ: h.PZ, BX: h.BX, BY: h.BY, BZ: h.BZ,
+		SchedulePos: h.SchedulePos, PhiVariant: h.PhiVariant, MuVariant: h.MuVariant,
+		PhiStrategy: h.PhiStrategy, Dt: h.Dt, TempG: h.TempG, TempV: h.TempV, TempZ0: h.TempZ0}
+	if err := binary.Write(w, binary.LittleEndian, &h2); err != nil {
+		return err
+	}
+	for _, f := range fields {
+		if err := writeField(w, f.PhiSrc); err != nil {
+			return err
+		}
+		if err := writeField(w, f.MuSrc); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// randomBCs draws a random physical boundary set of the given Dirichlet
+// arity.
+func randomBCs(rng *rand.Rand, ncomp int) grid.BoundarySet {
+	var b grid.BoundarySet
+	for f := range b {
+		switch rng.Intn(3) {
+		case 0:
+			b[f].Kind = grid.BCPeriodic
+		case 1:
+			b[f].Kind = grid.BCNeumann
+		default:
+			b[f].Kind = grid.BCDirichlet
+			b[f].Values = make([]float64, ncomp)
+			for i := range b[f].Values {
+				b[f].Values[i] = rng.NormFloat64()
+			}
+		}
+	}
+	return b
+}
+
 // Property test: for random headers and fields — written in the current
-// layout or as legacy version-1 files — Write→Read must reproduce the
-// header exactly and every field value within the single-precision round
-// trip, and any truncation of the byte stream must error, never yield a
-// silently short state.
+// layout or as legacy version-1/version-2 files — Write→Read must reproduce
+// the header exactly and every field value within the single-precision
+// round trip, and any truncation of the byte stream must error, never yield
+// a silently short state.
 func TestRoundTripProperty(t *testing.T) {
 	rng := rand.New(rand.NewSource(99))
-	for trial := 0; trial < 20; trial++ {
+	for trial := 0; trial < 24; trial++ {
 		px, py, pz := 1+rng.Intn(2), 1+rng.Intn(2), 1+rng.Intn(2)
 		bx, by, bz := 1+rng.Intn(6), 1+rng.Intn(6), 1+rng.Intn(6)
 		n := px * py * pz
 		fields := randomFields(rng, n, bx, by, bz)
+		phiBCs := randomBCs(rng, kernels.NP)
+		muBCs := randomBCs(rng, kernels.NR)
 		h := Header{
 			Step: rng.Int63n(1 << 40), Time: rng.Float64() * 1e4,
 			WindowShift: rng.Int63n(1 << 20),
@@ -161,14 +212,19 @@ func TestRoundTripProperty(t *testing.T) {
 			PhiStrategy: int32(rng.Intn(3)) - 1,
 			Dt:          rng.Float64(), TempG: rng.Float64(),
 			TempV:       rng.Float64(), TempZ0: rng.Float64() * 100,
+			PhiBC:       EncodeBCs(phiBCs),
+			MuBC:        EncodeBCs(muBCs),
 		}
-		legacy := trial%2 == 1
+		version := trial%3 + 1 // 1, 2 or 3
 
 		var buf bytes.Buffer
 		var err error
-		if legacy {
+		switch version {
+		case 1:
 			err = writeLegacyV1(&buf, h, fields)
-		} else {
+		case 2:
+			err = writeLegacyV2(&buf, h, fields)
+		default:
 			err = Write(&buf, h, fields)
 		}
 		if err != nil {
@@ -178,9 +234,9 @@ func TestRoundTripProperty(t *testing.T) {
 
 		h2, fields2, err := Read(&buf)
 		if err != nil {
-			t.Fatalf("trial %d (legacy=%v): %v", trial, legacy, err)
+			t.Fatalf("trial %d (v%d): %v", trial, version, err)
 		}
-		if legacy {
+		if version == 1 {
 			if h2.SchedulePos != 0 || h2.PhiVariant != VariantUnspecified ||
 				h2.MuVariant != VariantUnspecified || h2.PhiStrategy != VariantUnspecified {
 				t.Fatalf("trial %d: V1 upgrade got %+v", trial, h2)
@@ -191,6 +247,42 @@ func TestRoundTripProperty(t *testing.T) {
 			// The shared V1 prefix must survive.
 			h2.SchedulePos, h2.PhiVariant, h2.MuVariant, h2.PhiStrategy = h.SchedulePos, h.PhiVariant, h.MuVariant, h.PhiStrategy
 			h2.Dt, h2.TempG, h2.TempV, h2.TempZ0 = h.Dt, h.TempG, h.TempV, h.TempZ0
+		}
+		if version < 3 {
+			if _, ok := DecodeBCs(h2.PhiBC); ok {
+				t.Fatalf("trial %d: v%d file decoded BC state", trial, version)
+			}
+			for f := range h2.PhiBC {
+				if h2.PhiBC[f].Kind != BCUnspecified || h2.MuBC[f].Kind != BCUnspecified {
+					t.Fatalf("trial %d: v%d upgrade left specified BC state %+v", trial, version, h2.PhiBC[f])
+				}
+			}
+			h2.PhiBC, h2.MuBC = h.PhiBC, h.MuBC
+		} else {
+			gotPhi, ok := DecodeBCs(h2.PhiBC)
+			if !ok {
+				t.Fatalf("trial %d: V3 BC state did not decode", trial)
+			}
+			gotMu, ok := DecodeBCs(h2.MuBC)
+			if !ok {
+				t.Fatalf("trial %d: V3 µ BC state did not decode", trial)
+			}
+			for f := range gotPhi {
+				if gotPhi[f].Kind != phiBCs[f].Kind || gotMu[f].Kind != muBCs[f].Kind {
+					t.Fatalf("trial %d face %d: BC kind round trip %v/%v, want %v/%v",
+						trial, f, gotPhi[f].Kind, gotMu[f].Kind, phiBCs[f].Kind, muBCs[f].Kind)
+				}
+				for i, v := range phiBCs[f].Values {
+					if gotPhi[f].Values[i] != v {
+						t.Fatalf("trial %d face %d: φ wall value %g != %g", trial, f, gotPhi[f].Values[i], v)
+					}
+				}
+				for i, v := range muBCs[f].Values {
+					if gotMu[f].Values[i] != v {
+						t.Fatalf("trial %d face %d: µ wall value %g != %g", trial, f, gotMu[f].Values[i], v)
+					}
+				}
+			}
 		}
 		if h2 != h {
 			t.Fatalf("trial %d: header %+v != %+v", trial, h2, h)
@@ -251,5 +343,28 @@ func TestMaxRoundTripError(t *testing.T) {
 	}
 	if math.Abs(MaxRoundTripError(2)-2*MaxRoundTripError(1)) > 1e-20 {
 		t.Error("error bound should scale linearly with magnitude")
+	}
+}
+
+func TestCorruptV3BCStateRejected(t *testing.T) {
+	fields := randomFields(rand.New(rand.NewSource(7)), 1, 3, 3, 3)
+	var buf bytes.Buffer
+	if err := Write(&buf, Header{PX: 1, PY: 1, PZ: 1, BX: 3, BY: 3, BZ: 3}, fields); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// PhiBC[0].Kind sits after magic+version (8) and the V2 prefix of the
+	// header (3×int64 + 6×int32 + int64 + 3×int32 + 4×float64 = 100).
+	off := 8 + 100
+	binary.LittleEndian.PutUint32(raw[off:], 99)
+	if _, _, err := Read(bytes.NewReader(raw)); err == nil {
+		t.Error("V3 file with corrupt BC kind accepted")
+	}
+	// Out-of-range NVals must also be corruption, not a silent fallback.
+	raw2 := append([]byte(nil), raw...)
+	binary.LittleEndian.PutUint32(raw2[off:], 0)            // restore kind
+	binary.LittleEndian.PutUint32(raw2[off+4:], uint32(50)) // NVals
+	if _, _, err := Read(bytes.NewReader(raw2)); err == nil {
+		t.Error("V3 file with corrupt BC value count accepted")
 	}
 }

@@ -226,30 +226,45 @@ func applyFaceBC(f *grid.Field, face grid.Face, bc grid.BC) {
 	bs.Apply(f)
 }
 
-// Pending represents an in-flight overlapped ghost exchange.
+// Pending represents an in-flight overlapped ghost exchange. Pendings are
+// persistent per-(rank, tag) objects owned by the World — StartExchange
+// hands out the same one every step, so overlapping a fixed set of
+// exchanges allocates nothing in steady state.
 type Pending struct {
-	done chan struct{}
+	done chan struct{} // capacity 1; the comm worker signals completion
 	w    *World
 	rank int
 	tag  Tag
 }
 
+// exchangeReq is one overlapped-exchange order for a rank's comm worker.
+// The boundary set travels by value: its Values slice headers still point
+// at the live domain backing, so a wall-value ramp applied at the step
+// boundary is visible to the worker's BC fill without re-sending state.
+type exchangeReq struct {
+	f   *grid.Field
+	tag Tag
+	bcs grid.BoundarySet
+}
+
 // StartExchange begins an overlapped staged halo exchange and returns
-// immediately. The exchange goroutine writes only ghost cells of f, so it
-// may run concurrently with compute kernels that read/write interior cells
-// only. Call Finish to synchronize. This is the mechanism behind
-// Algorithm 2's "communicate ... end communicate" bracket.
+// immediately. The exchange runs on the rank's persistent comm worker (one
+// goroutine per rank, started on first use) and writes only ghost cells of
+// f, so it may proceed concurrently with compute kernels that read/write
+// interior cells only. Call Finish on the returned Pending to synchronize.
+// At most one exchange per (rank, tag) may be outstanding — exactly the
+// discipline of Algorithm 2's "communicate ... end communicate" bracket.
 func (w *World) StartExchange(rank int, f *grid.Field, tag Tag, bcs grid.BoundarySet) *Pending {
-	p := &Pending{done: make(chan struct{}), w: w, rank: rank, tag: tag}
-	go func() {
-		w.ExchangeGhosts(rank, f, tag, bcs)
-		close(p.done)
-	}()
-	return p
+	w.worker(rank) <- exchangeReq{f: f, tag: tag, bcs: bcs}
+	return &w.pending[rank][tag]
 }
 
 // Finish blocks until the exchange completes, attributing the blocked time
-// to Stats.Wait.
+// to Stats.Wait. It consumes the completion signal and must be called
+// exactly once per StartExchange: the Pending handle is persistent across
+// steps, so a second Finish would steal a later exchange's signal and
+// deadlock its legitimate waiter (the old per-call Pending tolerated
+// double-Finish; this one does not).
 func (p *Pending) Finish() {
 	t0 := time.Now()
 	<-p.done

@@ -91,6 +91,14 @@ type World struct {
 	// steady state; the allocation-guard tests assert it stays flat).
 	packAllocs atomic.Int64
 
+	// workers are the per-rank comm workers executing overlapped
+	// exchanges; pending[rank][tag] are the persistent completion handles
+	// StartExchange hands out. Workers start lazily on first use so
+	// blocking-only worlds spawn no goroutines.
+	workers   []commWorker
+	pending   [][]Pending
+	closeOnce sync.Once
+
 	stats [][]Stats // per-rank, per-tag accumulated stats
 	mu    []sync.Mutex
 
@@ -111,6 +119,8 @@ func NewWorld(bg *grid.BlockGrid) *World {
 		mu:        make([]sync.Mutex, n),
 		barrier:   newBarrier(n),
 	}
+	w.workers = make([]commWorker, n)
+	w.pending = make([][]Pending, n)
 	for r := 0; r < n; r++ {
 		w.stats[r] = make([]Stats, numTags)
 		w.mailboxes[r] = make([]chan []float64, int(grid.NumFaces)*int(numTags))
@@ -123,8 +133,53 @@ func NewWorld(bg *grid.BlockGrid) *World {
 			// mailbox is full is never dropped.
 			w.freeBufs[r][i] = make(chan []float64, 3)
 		}
+		// Request capacity covers one outstanding exchange per tag, so
+		// StartExchange never blocks under the one-per-(rank,tag)
+		// discipline.
+		w.workers[r].req = make(chan exchangeReq, int(numTags))
+		w.pending[r] = make([]Pending, numTags)
+		for t := 0; t < int(numTags); t++ {
+			w.pending[r][t] = Pending{done: make(chan struct{}, 1), w: w, rank: r, tag: Tag(t)}
+		}
 	}
 	return w
+}
+
+// commWorker is one rank's persistent overlapped-exchange executor.
+type commWorker struct {
+	once sync.Once
+	req  chan exchangeReq
+}
+
+// worker returns rank's request channel, starting the worker goroutine on
+// first use. The goroutine exits when Close closes the channel.
+func (w *World) worker(rank int) chan<- exchangeReq {
+	cw := &w.workers[rank]
+	cw.once.Do(func() {
+		go func() {
+			for rq := range cw.req {
+				w.ExchangeGhosts(rank, rq.f, rq.tag, rq.bcs)
+				w.pending[rank][rq.tag].done <- struct{}{}
+			}
+		}()
+	})
+	return cw.req
+}
+
+// Close releases the comm workers. Optional — a World whose owner is
+// garbage collected releases them too (solver.Sim arranges that) — but
+// deterministic for harnesses that build many worlds. The World must not
+// be used for overlapped exchanges afterwards; blocking exchanges and
+// reductions keep working.
+func (w *World) Close() {
+	w.closeOnce.Do(func() {
+		for r := range w.workers {
+			// Run each once so a worker started after Close would not
+			// hang; an already-started worker drains and exits.
+			w.workers[r].once.Do(func() {})
+			close(w.workers[r].req)
+		}
+	})
 }
 
 // NumRanks returns the number of ranks in the world.

@@ -135,6 +135,53 @@ func DirectionalSolidification(botVals []float64) BoundarySet {
 	return b
 }
 
+// SetFace installs kind and Dirichlet values on face f in place, reusing
+// the existing Values backing array when it has capacity. Reuse matters for
+// time-varying boundary conditions: the per-rank boundary sets derived by
+// BlockGrid.BlockBCs share the domain set's Values backing, so ramping wall
+// values in place propagates to every rank without re-deriving or
+// reallocating — and a steady BC ramp allocates nothing per step. The
+// returned flag reports whether the backing array was replaced (the caller
+// must then re-derive any sets that shared the old one).
+func (b *BoundarySet) SetFace(f Face, kind BCKind, vals []float64) (realloc bool) {
+	bc := &b[f]
+	bc.Kind = kind
+	if vals == nil {
+		return false
+	}
+	if cap(bc.Values) < len(vals) {
+		bc.Values = make([]float64, len(vals))
+		realloc = true
+	}
+	bc.Values = bc.Values[:len(vals)]
+	copy(bc.Values, vals)
+	return realloc
+}
+
+// Clone returns a deep copy of the boundary set (Values backing included).
+func (b BoundarySet) Clone() BoundarySet {
+	out := b
+	for f := range out {
+		if b[f].Values != nil {
+			out[f].Values = append([]float64(nil), b[f].Values...)
+		}
+	}
+	return out
+}
+
+// Validate checks that the set can be applied to an ncomp-component field:
+// every Dirichlet face must prescribe exactly one value per component
+// (Apply indexes Values by component and would otherwise panic mid-sweep).
+func (b *BoundarySet) Validate(ncomp int) error {
+	for f := Face(0); f < NumFaces; f++ {
+		if b[f].Kind == BCDirichlet && len(b[f].Values) != ncomp {
+			return fmt.Errorf("grid: %v Dirichlet BC carries %d values for an %d-component field",
+				f, len(b[f].Values), ncomp)
+		}
+	}
+	return nil
+}
+
 // Apply applies every non-BCNone face condition to f's ghost layers.
 // It fills the full ghost shell for the given axis extents including edge
 // and corner regions by sweeping the axes in order x, y, z with progressively

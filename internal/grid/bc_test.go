@@ -152,3 +152,53 @@ func TestBCKindString(t *testing.T) {
 		}
 	}
 }
+
+func TestSetFaceReusesBacking(t *testing.T) {
+	var b BoundarySet
+	if realloc := b.SetFace(ZMin, BCDirichlet, []float64{1, 2, 3, 4}); !realloc {
+		t.Error("first install should report a fresh backing array")
+	}
+	derived := b // simulates a rank's BlockBCs copy: shares Values backing
+	if realloc := b.SetFace(ZMin, BCDirichlet, []float64{5, 6, 7, 8}); realloc {
+		t.Error("same-arity update should reuse the backing array")
+	}
+	// The in-place update must be visible through the derived copy.
+	for i, want := range []float64{5, 6, 7, 8} {
+		if derived[ZMin].Values[i] != want {
+			t.Fatalf("derived copy saw stale value %g at %d", derived[ZMin].Values[i], i)
+		}
+	}
+	// Kind-only changes leave Values untouched.
+	if realloc := b.SetFace(ZMin, BCNeumann, nil); realloc {
+		t.Error("kind-only change reported a realloc")
+	}
+	if b[ZMin].Kind != BCNeumann {
+		t.Error("kind not installed")
+	}
+}
+
+func TestBoundarySetClone(t *testing.T) {
+	b := DirectionalSolidification([]float64{1, 0, 0, 0})
+	c := b.Clone()
+	c[ZMin].Values[0] = 42
+	if b[ZMin].Values[0] != 1 {
+		t.Error("Clone shares the Values backing")
+	}
+	if c[ZMax].Kind != BCNeumann || c[XMin].Kind != BCPeriodic {
+		t.Error("Clone dropped kinds")
+	}
+}
+
+func TestBoundarySetValidate(t *testing.T) {
+	b := DirectionalSolidification([]float64{1, 0, 0, 0})
+	if err := b.Validate(4); err != nil {
+		t.Errorf("valid set rejected: %v", err)
+	}
+	if err := b.Validate(2); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	var none BoundarySet
+	if err := none.Validate(4); err != nil {
+		t.Errorf("all-none set rejected: %v", err)
+	}
+}

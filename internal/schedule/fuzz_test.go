@@ -1,0 +1,154 @@
+package schedule
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// fuzz_test.go holds the native Go fuzz targets guarding the schedule
+// subsystem's two untrusted surfaces: the JSON decoder (production runs
+// feed operator-written files into cmd/solidify -schedule) and Compose
+// (multi-schedule runs merge several such files). Both must return errors,
+// never panic, and must uphold the subsystem's ordering invariants on
+// every accepted input.
+//
+// CI runs each target for a short -fuzztime as a smoke test; run them
+// longer locally with e.g.
+//
+//	go test -run '^$' -fuzz FuzzDecodeSchedule -fuzztime 60s ./internal/schedule/
+
+// seedCorpus feeds every committed schedule file (and the golden-trajectory
+// fixture, a well-formed JSON that is NOT a schedule) into the fuzzer.
+func seedCorpus(f *testing.F) [][]byte {
+	f.Helper()
+	var out [][]byte
+	paths, _ := filepath.Glob("../../examples/*/schedule.json")
+	paths = append(paths, "../../examples/coldwall/chill.json",
+		"../../testdata/golden_trajectory.json")
+	for _, p := range paths {
+		if raw, err := os.ReadFile(p); err == nil {
+			out = append(out, raw)
+		}
+	}
+	// Handwritten seeds covering every event class and the sharp edges the
+	// decoder must reject cleanly.
+	out = append(out,
+		[]byte(`{"events": []}`),
+		[]byte(`{"events": [{"type": "ramp", "param": "v", "step": 0, "over": 10, "from": 0.02, "to": 0.05}]}`),
+		[]byte(`{"events": [{"type": "burst", "step": 3, "count": 2, "phase": -1, "radius": 2.5, "zmin": 0, "zmax": 8, "seed": 1}]}`),
+		[]byte(`{"events": [{"type": "switch", "step": 4, "phi": "shortcut", "mu": "stag", "strategy": "fourcell"}]}`),
+		[]byte(`{"events": [{"type": "setbc", "step": 5, "over": 6, "face": "z-", "field": "mu", "kind": "dirichlet", "from": [0,0], "to": [0.08,-0.04]}]}`),
+		[]byte(`{"events": [{"type": "setbc", "step": 5, "face": "top", "field": "phi", "kind": "neumann"}]}`),
+		[]byte(`{"events": [{"type": "checkpoint", "every": 100, "path": "out/state_%06d.pfcp"}]}`),
+		[]byte(`{"events": [{"type": "ramp", "param": "dt", "step": 9007199254740993, "over": 9007199254740993, "from": 1e308, "to": 1}]}`),
+		[]byte(`{"events": [{"type": "setbc", "step": 0, "face": "z-", "field": "mu", "kind": "dirichlet", "to": [1e309, 0]}]}`),
+	)
+	return out
+}
+
+// checkInvariants asserts the structural properties every accepted
+// schedule must have; callers pass the label of the producing operation.
+func checkInvariants(t *testing.T, label string, s *Schedule) {
+	t.Helper()
+	for i := 1; i < len(s.Events); i++ {
+		if s.Events[i].StartStep() < s.Events[i-1].StartStep() {
+			t.Fatalf("%s: events not sorted by start step", label)
+		}
+	}
+	if end := s.EndStep(); end < 0 {
+		t.Fatalf("%s: negative end step %d", label, end)
+	}
+	// Re-validating the events must succeed — an event that decodes but
+	// fails its own validator means the two disagree.
+	if _, err := New(s.Events...); err != nil {
+		t.Fatalf("%s: decoded schedule fails revalidation: %v", label, err)
+	}
+	// Every SetBC payload must be usable without panicking at arbitrary
+	// step indices (this is what the solver does every timestep), and the
+	// interpolated wall values must stay finite — Inf leaking into ghost
+	// cells turns the fields NaN within a step.
+	var buf [8]float64
+	for _, b := range s.SetBCs() {
+		for _, step := range []int{b.Step, b.Step + 1, b.rampEnd(), b.Step + b.Over/2} {
+			vals := b.ValuesAt(step, buf[:])
+			for _, v := range vals {
+				if v != v || math.IsInf(v, 0) {
+					t.Fatalf("%s: setbc produced non-finite wall value %g at step %d", label, v, step)
+				}
+			}
+		}
+	}
+	for _, r := range s.Ramps() {
+		for _, step := range []int{0, r.Step, r.Step + r.Over/2, r.Step + r.Over} {
+			if v := r.Value(step); v != v || math.IsInf(v, 0) {
+				t.Fatalf("%s: ramp produced non-finite value %g at step %d", label, v, step)
+			}
+		}
+	}
+}
+
+// FuzzDecodeSchedule hammers the JSON decoder: arbitrary bytes must either
+// produce a valid, invariant-upholding schedule or a clean error.
+func FuzzDecodeSchedule(f *testing.F) {
+	for _, seed := range seedCorpus(f) {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := FromJSON(bytes.NewReader(data))
+		if err != nil {
+			if s != nil {
+				t.Fatal("error with non-nil schedule")
+			}
+			return
+		}
+		checkInvariants(t, "decode", s)
+	})
+}
+
+// FuzzCompose merges two fuzzer-supplied schedules: composition must never
+// panic, must be deterministic, and accepted compositions must contain
+// exactly the union of events in sorted order.
+func FuzzCompose(f *testing.F) {
+	seeds := seedCorpus(f)
+	for i, a := range seeds {
+		f.Add(a, seeds[(i+1)%len(seeds)])
+	}
+	f.Fuzz(func(t *testing.T, a, b []byte) {
+		sa, err := FromJSON(bytes.NewReader(a))
+		if err != nil {
+			return
+		}
+		sb, err := FromJSON(bytes.NewReader(b))
+		if err != nil {
+			return
+		}
+		c, err := Compose(sa, sb)
+		if err != nil {
+			// Conflicts are legal outcomes; they must be deterministic.
+			if _, err2 := Compose(sa, sb); err2 == nil {
+				t.Fatal("conflict verdict not deterministic")
+			}
+			return
+		}
+		if len(c.Events) != len(sa.Events)+len(sb.Events) {
+			t.Fatalf("composed %d events from %d+%d", len(c.Events), len(sa.Events), len(sb.Events))
+		}
+		checkInvariants(t, "compose", c)
+		c2, err := Compose(sa, sb)
+		if err != nil {
+			t.Fatal("composition verdict not deterministic")
+		}
+		for i := range c.Events {
+			if fmt.Sprintf("%#v", c.Events[i]) != fmt.Sprintf("%#v", c2.Events[i]) {
+				t.Fatalf("composition order not deterministic at event %d", i)
+			}
+		}
+		// Compose must not mutate its inputs.
+		checkInvariants(t, "input a after compose", sa)
+		checkInvariants(t, "input b after compose", sb)
+	})
+}

@@ -6,6 +6,7 @@ import (
 	"io"
 	"strings"
 
+	"repro/internal/grid"
 	"repro/internal/kernels"
 )
 
@@ -20,13 +21,19 @@ import (
 //	   "from": 0.02, "to": 0.05},
 //	  {"type": "switch", "step": 400, "phi": "shortcut", "mu": "stag",
 //	   "strategy": "fourcell"},
+//	  {"type": "setbc",  "step": 300, "over": 200, "face": "z-",
+//	   "field": "mu", "kind": "dirichlet", "from": [0, 0], "to": [0.08, -0.04]},
 //	  {"type": "checkpoint", "every": 500, "path": "out/state_%06d.pfcp"}
 //	]}
 //
 // Variant names follow the optimization ladder: general, basic, simd, tz,
 // stag, shortcut. Strategy names follow Fig. 5: cellwise,
 // cellwise-shortcut, fourcell, plus "off" to unpin. Omitted switch fields
-// keep the current kernel.
+// keep the current kernel. Face names are "x-", "x+", "y-", "y+", "z-",
+// "z+"; BC kinds are "periodic", "neumann", "dirichlet"; setbc fields are
+// "phi" (4 wall values, one per phase) or "mu" (2, one per reduced
+// chemical potential). "from"/"to" are numbers on a ramp and arrays on a
+// setbc event.
 
 // variantNames maps JSON names to ladder rungs.
 var variantNames = map[string]kernels.Variant{
@@ -91,6 +98,48 @@ func ParseParam(name string) (Param, error) {
 	return 0, fmt.Errorf("schedule: unknown ramp param %q", name)
 }
 
+var faceNames = map[string]grid.Face{
+	"x-": grid.XMin, "x+": grid.XMax,
+	"y-": grid.YMin, "y+": grid.YMax,
+	"z-": grid.ZMin, "z+": grid.ZMax,
+	"bottom": grid.ZMin, "top": grid.ZMax,
+}
+
+// ParseFace resolves a JSON face name ("z-", "top", ...).
+func ParseFace(name string) (grid.Face, error) {
+	if f, ok := faceNames[strings.ToLower(name)]; ok {
+		return f, nil
+	}
+	return 0, fmt.Errorf("schedule: unknown face %q", name)
+}
+
+var bcKindNames = map[string]grid.BCKind{
+	"periodic":  grid.BCPeriodic,
+	"neumann":   grid.BCNeumann,
+	"dirichlet": grid.BCDirichlet,
+}
+
+// ParseBCKind resolves a JSON boundary-condition kind name.
+func ParseBCKind(name string) (grid.BCKind, error) {
+	if k, ok := bcKindNames[strings.ToLower(name)]; ok {
+		return k, nil
+	}
+	return 0, fmt.Errorf("schedule: unknown BC kind %q", name)
+}
+
+var bcFieldNames = map[string]BCField{
+	"phi": BCPhi,
+	"mu":  BCMu,
+}
+
+// ParseBCField resolves a JSON setbc field name.
+func ParseBCField(name string) (BCField, error) {
+	if f, ok := bcFieldNames[strings.ToLower(name)]; ok {
+		return f, nil
+	}
+	return 0, fmt.Errorf("schedule: unknown BC field %q", name)
+}
+
 // jsonEvent is the union of all event fields, discriminated by Type.
 type jsonEvent struct {
 	Type string `json:"type"`
@@ -104,20 +153,51 @@ type jsonEvent struct {
 	ZMax   int     `json:"zmax"`
 	Seed   int64   `json:"seed"`
 
-	// ramp
-	Param string  `json:"param"`
-	Over  int     `json:"over"`
-	From  float64 `json:"from"`
-	To    float64 `json:"to"`
+	// ramp + setbc. From/To are raw because the two event classes share
+	// the keys with different shapes: a ramp carries numbers, a setbc
+	// event arrays of wall values.
+	Param string          `json:"param"`
+	Over  int             `json:"over"`
+	From  json.RawMessage `json:"from"`
+	To    json.RawMessage `json:"to"`
 
 	// switch
 	Phi      string `json:"phi"`
 	Mu       string `json:"mu"`
 	Strategy string `json:"strategy"`
 
+	// setbc
+	Face  string `json:"face"`
+	Field string `json:"field"`
+	Kind  string `json:"kind"`
+
 	// checkpoint
 	Every int    `json:"every"`
 	Path  string `json:"path"`
+}
+
+// scalar decodes a ramp endpoint (missing = 0).
+func scalar(raw json.RawMessage, key string) (float64, error) {
+	if raw == nil {
+		return 0, nil
+	}
+	var v float64
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return 0, fmt.Errorf("%s: %w", key, err)
+	}
+	return v, nil
+}
+
+// vector decodes a setbc wall-value array (missing = nil).
+func vector(raw json.RawMessage, key string) ([]float64, error) {
+	if raw == nil {
+		return nil, nil
+	}
+	var v []float64
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return nil, fmt.Errorf("%s: %w", key, err)
+	}
+	return v, nil
 }
 
 type jsonSchedule struct {
@@ -159,7 +239,38 @@ func (je *jsonEvent) toEvent() (Event, error) {
 		if err != nil {
 			return nil, err
 		}
-		return Ramp{Param: p, Step: je.Step, Over: je.Over, From: je.From, To: je.To}, nil
+		from, err := scalar(je.From, "from")
+		if err != nil {
+			return nil, err
+		}
+		to, err := scalar(je.To, "to")
+		if err != nil {
+			return nil, err
+		}
+		return Ramp{Param: p, Step: je.Step, Over: je.Over, From: from, To: to}, nil
+	case "setbc":
+		face, err := ParseFace(je.Face)
+		if err != nil {
+			return nil, err
+		}
+		field, err := ParseBCField(je.Field)
+		if err != nil {
+			return nil, err
+		}
+		kind, err := ParseBCKind(je.Kind)
+		if err != nil {
+			return nil, err
+		}
+		from, err := vector(je.From, "from")
+		if err != nil {
+			return nil, err
+		}
+		to, err := vector(je.To, "to")
+		if err != nil {
+			return nil, err
+		}
+		return SetBC{Step: je.Step, Over: je.Over, Face: face, Field: field,
+			Kind: kind, From: from, To: to}, nil
 	case "switch":
 		phi, err := ParseVariant(je.Phi)
 		if err != nil {

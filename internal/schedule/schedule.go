@@ -19,20 +19,30 @@
 //     coefficients;
 //   - SwitchVariant changes the active φ/µ kernel variants (and optionally
 //     pins a Fig. 5 φ vectorization strategy) at a step boundary;
+//   - SetBC changes the boundary condition of one block face for one field
+//     (φ or µ) — switching the BCKind and, for Dirichlet walls, ramping the
+//     prescribed face values as a pure function of the step index, so a
+//     run restarted mid-BC-ramp recomputes bit-identical wall values;
 //   - Checkpoint requests periodic state dumps through a caller-supplied
 //     writer hook.
 //
 // One-shot events (bursts, switches) are consumed in order; the count of
 // consumed events is the "schedule position" carried by version-2
-// checkpoint headers so a restart never re-fires a burst. Ramps and
-// checkpoint cadences are stateless functions of the step index and need
-// no position tracking.
+// checkpoint headers so a restart never re-fires a burst. Ramps, SetBC
+// events and checkpoint cadences are stateless functions of the step index
+// and need no position tracking.
+//
+// Independent schedules (a furnace program, a boundary-environment program,
+// an instrumentation overlay) compose with Compose, which merges them
+// deterministically and rejects ambiguous combinations.
 package schedule
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
+	"repro/internal/grid"
 	"repro/internal/kernels"
 )
 
@@ -114,7 +124,7 @@ func (e NucleationBurst) validate() error {
 	if e.Count < 1 {
 		return fmt.Errorf("schedule: burst with count %d", e.Count)
 	}
-	if e.Radius <= 0 {
+	if !(e.Radius > 0) || math.IsInf(e.Radius, 0) {
 		return fmt.Errorf("schedule: burst with radius %g", e.Radius)
 	}
 	if e.ZMin >= e.ZMax {
@@ -163,14 +173,24 @@ func (e Ramp) validate() error {
 	if e.Step < 0 {
 		return fmt.Errorf("schedule: ramp at negative step %d", e.Step)
 	}
-	if e.Over < 1 {
-		return fmt.Errorf("schedule: ramp over %d steps", e.Over)
+	if e.Over < 1 || e.Step > math.MaxInt-e.Over {
+		return fmt.Errorf("schedule: ramp over %d steps from %d", e.Over, e.Step)
 	}
 	if e.Param < ParamPullVelocity || e.Param > ParamDt {
 		return fmt.Errorf("schedule: unknown ramp param %d", int(e.Param))
 	}
 	if e.Param == ParamDt && (e.From <= 0 || e.To <= 0) {
 		return fmt.Errorf("schedule: dt ramp through nonpositive values")
+	}
+	for _, v := range [2]float64{e.From, e.To} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("schedule: ramp with non-finite value %g", v)
+		}
+	}
+	// Value interpolates via To-From, which can overflow for finite
+	// endpoints of opposite huge sign and leak Inf into the solver.
+	if math.IsInf(e.To-e.From, 0) {
+		return fmt.Errorf("schedule: ramp span %g→%g overflows", e.From, e.To)
 	}
 	return nil
 }
@@ -257,14 +277,169 @@ func (e Checkpoint) validate() error {
 	return nil
 }
 
+// BCField selects which field a SetBC event targets. Boundary payloads are
+// per-component, so the two fields take different Dirichlet arities: φ walls
+// prescribe one value per phase, µ walls one per reduced chemical potential.
+type BCField int
+
+const (
+	// BCPhi targets the phase-field boundary condition.
+	BCPhi BCField = iota
+	// BCMu targets the chemical-potential boundary condition.
+	BCMu
+)
+
+func (f BCField) String() string {
+	switch f {
+	case BCPhi:
+		return "phi"
+	case BCMu:
+		return "mu"
+	}
+	return fmt.Sprintf("BCField(%d)", int(f))
+}
+
+// NComps returns the Dirichlet payload arity of the targeted field.
+func (f BCField) NComps() int {
+	if f == BCPhi {
+		return kernels.NP
+	}
+	return kernels.NR
+}
+
+// SetBC changes the boundary condition of one block face for one field from
+// step Step on: the face switches to Kind, and for Dirichlet walls the
+// prescribed per-component values ramp linearly From→To over the steps
+// [Step, Step+Over) (Over = 0 installs To immediately). Like Ramp, the
+// active values are a pure function of the step index, so a run restarted
+// mid-BC-ramp from a checkpoint recomputes bit-identical wall values. The
+// event stays in force until a later SetBC on the same (face, field)
+// overrides it.
+//
+// Time-varying conditions apply to physical (non-periodic) domain faces —
+// in the production topology the z faces; faces on axes whose periodicity
+// is realized by the communication layer are rejected by the solver.
+type SetBC struct {
+	Step  int
+	Over  int // Dirichlet value-ramp length in steps (0 = immediate)
+	Face  grid.Face
+	Field BCField
+	Kind  grid.BCKind
+	From  []float64 // Dirichlet values at Step (nil with Over 0 = start at To)
+	To    []float64 // Dirichlet values from Step+Over on
+}
+
+func (e SetBC) StartStep() int { return e.Step }
+func (e SetBC) OneShot() bool  { return false }
+
+// rampEnd returns the first step at which the event's values have settled
+// at To; degenerate (Over ≤ 0) ramps settle one step after they start.
+func (e SetBC) rampEnd() int {
+	if e.Over < 1 {
+		return e.Step + 1
+	}
+	return e.Step + e.Over
+}
+
+// SettleStep returns the first step from which the event's prescription is
+// constant: the kind is installed and the values have reached To. From the
+// step after it, re-applying the event is a no-op (the solver uses this to
+// stop per-step wall updates once a ramp has settled).
+func (e SetBC) SettleStep() int { return e.rampEnd() }
+
+// ValuesAt writes the Dirichlet payload prescribed for `step` into dst
+// (len ≥ Field.NComps()) and returns it. The interpolation mirrors
+// Ramp.Value exactly so restarts are bit-compatible.
+func (e SetBC) ValuesAt(step int, dst []float64) []float64 {
+	n := e.Field.NComps()
+	dst = dst[:n]
+	if e.From == nil || step >= e.Step+e.Over {
+		copy(dst, e.To)
+		return dst
+	}
+	if step <= e.Step {
+		copy(dst, e.From)
+		return dst
+	}
+	frac := float64(step-e.Step) / float64(e.Over)
+	for i := range dst {
+		dst[i] = e.From[i] + (e.To[i]-e.From[i])*frac
+	}
+	return dst
+}
+
+func (e SetBC) validate() error {
+	if e.Step < 0 {
+		return fmt.Errorf("schedule: setbc at negative step %d", e.Step)
+	}
+	if e.Over < 0 || e.Step > math.MaxInt-e.Over-1 {
+		return fmt.Errorf("schedule: setbc ramp length %d invalid", e.Over)
+	}
+	if e.Face < 0 || e.Face >= grid.NumFaces {
+		return fmt.Errorf("schedule: setbc on unknown face %d", int(e.Face))
+	}
+	if e.Field != BCPhi && e.Field != BCMu {
+		return fmt.Errorf("schedule: setbc on unknown field %d", int(e.Field))
+	}
+	switch e.Kind {
+	case grid.BCPeriodic, grid.BCNeumann:
+		if e.From != nil || e.To != nil || e.Over != 0 {
+			return fmt.Errorf("schedule: setbc %v carries Dirichlet payload", e.Kind)
+		}
+	case grid.BCDirichlet:
+		if len(e.To) != e.Field.NComps() {
+			return fmt.Errorf("schedule: setbc %s wall needs %d values, got %d",
+				e.Field, e.Field.NComps(), len(e.To))
+		}
+		if e.Over > 0 && len(e.From) != len(e.To) {
+			return fmt.Errorf("schedule: setbc ramp needs matching from/to arities (%d vs %d)",
+				len(e.From), len(e.To))
+		}
+		if e.From != nil && len(e.From) != len(e.To) {
+			return fmt.Errorf("schedule: setbc from/to arity mismatch (%d vs %d)",
+				len(e.From), len(e.To))
+		}
+		for _, vs := range [2][]float64{e.From, e.To} {
+			for _, v := range vs {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					return fmt.Errorf("schedule: setbc with non-finite value %g", v)
+				}
+			}
+		}
+		// ValuesAt interpolates via To-From, which can overflow for
+		// finite endpoints of opposite huge sign.
+		for i := range e.From {
+			if math.IsInf(e.To[i]-e.From[i], 0) {
+				return fmt.Errorf("schedule: setbc ramp span %g→%g overflows", e.From[i], e.To[i])
+			}
+		}
+	default:
+		return fmt.Errorf("schedule: setbc to unsupported kind %v", e.Kind)
+	}
+	return nil
+}
+
+func (e SetBC) String() string {
+	s := fmt.Sprintf("set %s BC on %v → %v", e.Field, e.Face, e.Kind)
+	if e.Kind == grid.BCDirichlet {
+		if e.Over > 0 {
+			s += fmt.Sprintf(" ramp %v→%v over steps [%d,%d)", e.From, e.To, e.Step, e.Step+e.Over)
+		} else {
+			s += fmt.Sprintf(" %v", e.To)
+		}
+	}
+	return s
+}
+
 // Schedule is an ordered list of events. Build one with New (or FromJSON)
 // so events are validated and sorted by start step.
 type Schedule struct {
 	Events []Event
 }
 
-// New validates the events and returns them as a Schedule sorted stably by
-// start step.
+// New validates the events — individually and against each other (see
+// Compose for the conflict rules) — and returns them as a Schedule sorted
+// stably by start step.
 func New(events ...Event) (*Schedule, error) {
 	for i, e := range events {
 		if err := e.validate(); err != nil {
@@ -275,6 +450,9 @@ func New(events ...Event) (*Schedule, error) {
 	sort.SliceStable(s.Events, func(i, j int) bool {
 		return s.Events[i].StartStep() < s.Events[j].StartStep()
 	})
+	if err := s.validateConflicts(); err != nil {
+		return nil, err
+	}
 	return s, nil
 }
 
@@ -313,18 +491,105 @@ func (s *Schedule) Checkpoints() []Checkpoint {
 	return out
 }
 
+// SetBCs returns all boundary-condition events in order.
+func (s *Schedule) SetBCs() []SetBC {
+	var out []SetBC
+	for _, e := range s.Events {
+		if b, ok := e.(SetBC); ok {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
 // EndStep returns the last step any event prescribes activity for (the
 // natural run length of the schedule), or 0 for an empty schedule.
 func (s *Schedule) EndStep() int {
 	end := 0
 	for _, e := range s.Events {
 		last := e.StartStep()
-		if r, ok := e.(Ramp); ok {
-			last = r.Step + r.Over
+		switch t := e.(type) {
+		case Ramp:
+			last = t.Step + t.Over
+		case SetBC:
+			last = t.rampEnd()
 		}
 		if last > end {
 			end = last
 		}
 	}
 	return end
+}
+
+// Compose merges independent schedules into one. Events keep their relative
+// order within each source schedule; across sources, events are ordered by
+// start step with same-step ties broken by argument position — an event of
+// an earlier argument fires before a same-step event of a later one (the
+// base program goes first, overlays refine it). Nil schedules are skipped.
+//
+// Ambiguous combinations are rejected rather than silently resolved
+// (by New, so single-file schedules are held to the same rules):
+//
+//   - two SetBC events on the same (face, field) whose value-ramp windows
+//     overlap — the wall state they prescribe would depend on evaluation
+//     order (a later SetBC overriding an earlier settled one is fine);
+//   - two Ramps of the same parameter starting at the same step — within
+//     one step the last applied ramp would silently win;
+//   - two same-step SwitchVariant events that both change the same kernel
+//     (or both pin a φ strategy).
+func Compose(scheds ...*Schedule) (*Schedule, error) {
+	var events []Event
+	for _, s := range scheds {
+		if s == nil {
+			continue
+		}
+		events = append(events, s.Events...)
+	}
+	return New(events...)
+}
+
+// validateConflicts rejects event combinations whose outcome would depend
+// on evaluation order (see Compose).
+func (s *Schedule) validateConflicts() error {
+	bcs := s.SetBCs()
+	for i := 0; i < len(bcs); i++ {
+		for j := i + 1; j < len(bcs); j++ {
+			a, b := bcs[i], bcs[j]
+			if a.Face != b.Face || a.Field != b.Field {
+				continue
+			}
+			if a.Step < b.rampEnd() && b.Step < a.rampEnd() {
+				return fmt.Errorf("schedule: conflicting setbc events on %v/%s: ramp windows [%d,%d) and [%d,%d) overlap",
+					a.Face, a.Field, a.Step, a.rampEnd(), b.Step, b.rampEnd())
+			}
+		}
+	}
+	ramps := s.Ramps()
+	for i := 0; i < len(ramps); i++ {
+		for j := i + 1; j < len(ramps); j++ {
+			if ramps[i].Param == ramps[j].Param && ramps[i].Step == ramps[j].Step {
+				return fmt.Errorf("schedule: two %s ramps start at step %d", ramps[i].Param, ramps[i].Step)
+			}
+		}
+	}
+	var switches []SwitchVariant
+	for _, e := range s.Events {
+		if sw, ok := e.(SwitchVariant); ok {
+			switches = append(switches, sw)
+		}
+	}
+	for i := 0; i < len(switches); i++ {
+		for j := i + 1; j < len(switches); j++ {
+			a, b := switches[i], switches[j]
+			if a.Step != b.Step {
+				continue
+			}
+			if (a.Phi != KeepVariant && b.Phi != KeepVariant) ||
+				(a.Mu != KeepVariant && b.Mu != KeepVariant) ||
+				(a.Strategy != StrategyKeep && b.Strategy != StrategyKeep) {
+				return fmt.Errorf("schedule: two switch events at step %d change the same kernel", a.Step)
+			}
+		}
+	}
+	return nil
 }

@@ -1,10 +1,12 @@
 package schedule
 
 import (
+	"fmt"
 	"math"
 	"strings"
 	"testing"
 
+	"repro/internal/grid"
 	"repro/internal/kernels"
 )
 
@@ -180,10 +182,279 @@ func TestEventStrings(t *testing.T) {
 		NucleationBurst{Step: 1, Count: 3, Phase: -1, Radius: 2, ZMin: 0, ZMax: 9},
 		Ramp{Param: ParamPullVelocity, Step: 0, Over: 10, From: 1, To: 2},
 		SwitchVariant{Step: 2, Phi: kernels.VarStag, Mu: KeepVariant, Strategy: StrategyOff},
+		SetBC{Step: 3, Over: 4, Face: grid.ZMin, Field: BCMu, Kind: grid.BCDirichlet,
+			From: []float64{0, 0}, To: []float64{1, -1}},
+		SetBC{Step: 3, Face: grid.ZMax, Field: BCPhi, Kind: grid.BCNeumann},
 	}
 	for _, e := range evs {
 		if s, ok := e.(interface{ String() string }); !ok || s.String() == "" {
 			t.Errorf("%T has no useful String()", e)
 		}
+	}
+}
+
+func TestSetBCValuesPureFunctionOfStep(t *testing.T) {
+	e := SetBC{Step: 100, Over: 50, Face: grid.ZMin, Field: BCMu,
+		Kind: grid.BCDirichlet, From: []float64{0, 0}, To: []float64{0.08, -0.04}}
+	var buf [kernels.NP]float64
+	at := func(step int) []float64 { return append([]float64(nil), e.ValuesAt(step, buf[:])...) }
+
+	if got := at(100); got[0] != 0 || got[1] != 0 {
+		t.Errorf("at start: %v", got)
+	}
+	if got := at(150); got[0] != 0.08 || got[1] != -0.04 {
+		t.Errorf("at end: %v", got)
+	}
+	if got := at(1000); got[0] != 0.08 || got[1] != -0.04 {
+		t.Errorf("after end: %v", got)
+	}
+	mid := at(125)
+	if math.Abs(mid[0]-0.04) > 1e-15 || math.Abs(mid[1]+0.02) > 1e-15 {
+		t.Errorf("midpoint: %v", mid)
+	}
+	// The interpolation must mirror Ramp.Value bit-for-bit so a restart
+	// mid-BC-ramp recomputes identical wall values.
+	r := Ramp{Param: ParamGradient, Step: 100, Over: 50, From: 0, To: 0.08}
+	for _, s := range []int{100, 113, 137, 150} {
+		if at(s)[0] != r.Value(s) {
+			t.Fatalf("step %d: SetBC %g != Ramp %g", s, at(s)[0], r.Value(s))
+		}
+	}
+
+	// Over 0 installs To immediately, with or without From.
+	imm := SetBC{Step: 5, Face: grid.ZMin, Field: BCMu, Kind: grid.BCDirichlet, To: []float64{1, 2}}
+	if got := imm.ValuesAt(5, buf[:]); got[0] != 1 || got[1] != 2 {
+		t.Errorf("immediate: %v", got)
+	}
+}
+
+func TestSetBCValidation(t *testing.T) {
+	bad := []Event{
+		SetBC{Step: -1, Face: grid.ZMin, Field: BCMu, Kind: grid.BCNeumann},
+		SetBC{Step: 0, Face: grid.Face(9), Field: BCMu, Kind: grid.BCNeumann},
+		SetBC{Step: 0, Face: grid.ZMin, Field: BCField(7), Kind: grid.BCNeumann},
+		SetBC{Step: 0, Face: grid.ZMin, Field: BCMu, Kind: grid.BCNone},
+		SetBC{Step: 0, Face: grid.ZMin, Field: BCMu, Kind: grid.BCKind(42)},
+		// Dirichlet arity must match the field (µ: 2, φ: 4).
+		SetBC{Step: 0, Face: grid.ZMin, Field: BCMu, Kind: grid.BCDirichlet, To: []float64{1}},
+		SetBC{Step: 0, Face: grid.ZMin, Field: BCPhi, Kind: grid.BCDirichlet, To: []float64{1, 0}},
+		// A ramp needs both endpoints at matching arity.
+		SetBC{Step: 0, Over: 5, Face: grid.ZMin, Field: BCMu, Kind: grid.BCDirichlet, To: []float64{1, 2}},
+		SetBC{Step: 0, Over: 5, Face: grid.ZMin, Field: BCMu, Kind: grid.BCDirichlet,
+			From: []float64{1}, To: []float64{1, 2}},
+		// Non-Dirichlet kinds carry no payload.
+		SetBC{Step: 0, Face: grid.ZMin, Field: BCMu, Kind: grid.BCNeumann, To: []float64{1, 2}},
+		SetBC{Step: 0, Over: 3, Face: grid.ZMin, Field: BCMu, Kind: grid.BCPeriodic},
+		// Non-finite wall values.
+		SetBC{Step: 0, Face: grid.ZMin, Field: BCMu, Kind: grid.BCDirichlet, To: []float64{math.NaN(), 0}},
+		SetBC{Step: 0, Face: grid.ZMin, Field: BCMu, Kind: grid.BCDirichlet, To: []float64{math.Inf(1), 0}},
+		SetBC{Step: 0, Over: -1, Face: grid.ZMin, Field: BCMu, Kind: grid.BCNeumann},
+	}
+	for i, e := range bad {
+		if _, err := New(e); err == nil {
+			t.Errorf("case %d (%#v) accepted", i, e)
+		}
+	}
+	good := SetBC{Step: 0, Over: 10, Face: grid.ZMin, Field: BCMu, Kind: grid.BCDirichlet,
+		From: []float64{0, 0}, To: []float64{1, 2}}
+	if _, err := New(good); err != nil {
+		t.Errorf("valid setbc rejected: %v", err)
+	}
+}
+
+func TestComposeMergesAndOrders(t *testing.T) {
+	base, err := New(
+		Ramp{Param: ParamPullVelocity, Step: 0, Over: 30, From: 0.02, To: 0.05},
+		NucleationBurst{Step: 10, Count: 2, Phase: -1, Radius: 2, ZMin: 0, ZMax: 8},
+		SwitchVariant{Step: 10, Phi: kernels.VarStag, Mu: KeepVariant, Strategy: StrategyKeep},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	overlay, err := New(
+		SetBC{Step: 10, Over: 8, Face: grid.ZMin, Field: BCMu, Kind: grid.BCDirichlet,
+			From: []float64{0, 0}, To: []float64{0.06, -0.03}},
+		SwitchVariant{Step: 10, Phi: KeepVariant, Mu: kernels.VarShortcut, Strategy: StrategyKeep},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compose(base, nil, overlay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Events) != 5 {
+		t.Fatalf("composed %d events", len(c.Events))
+	}
+	for i := 1; i < len(c.Events); i++ {
+		if c.Events[i].StartStep() < c.Events[i-1].StartStep() {
+			t.Fatal("composed events not sorted")
+		}
+	}
+	// Same-step ties resolve by argument position: the base schedule's
+	// step-10 events fire before the overlay's.
+	one := c.OneShots()
+	if len(one) != 3 {
+		t.Fatalf("one-shots: %d", len(one))
+	}
+	if _, ok := one[0].(NucleationBurst); !ok {
+		t.Error("base burst should fire first")
+	}
+	if sw, ok := one[1].(SwitchVariant); !ok || sw.Phi != kernels.VarStag {
+		t.Error("base switch should fire before overlay switch")
+	}
+	if sw, ok := one[2].(SwitchVariant); !ok || sw.Mu != kernels.VarShortcut {
+		t.Error("overlay switch should fire last")
+	}
+	if got := c.SetBCs(); len(got) != 1 || got[0].Face != grid.ZMin {
+		t.Errorf("setbc events: %+v", got)
+	}
+	if c.EndStep() != 30 {
+		t.Errorf("end step %d", c.EndStep())
+	}
+
+	// Determinism: composing the same inputs again yields the same order.
+	c2, err := Compose(base, nil, overlay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Events hold slices, so compare via formatting.
+	for i := range c.Events {
+		if fmt.Sprintf("%#v", c.Events[i]) != fmt.Sprintf("%#v", c2.Events[i]) {
+			t.Fatalf("compose not deterministic at event %d", i)
+		}
+	}
+}
+
+func TestComposeRejectsConflicts(t *testing.T) {
+	mk := func(t *testing.T, evs ...Event) *Schedule {
+		t.Helper()
+		s, err := New(evs...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	cases := []struct {
+		name string
+		a, b *Schedule
+	}{
+		{"overlapping setbc ramps on one face/field",
+			mk(t, SetBC{Step: 0, Over: 10, Face: grid.ZMin, Field: BCMu, Kind: grid.BCDirichlet,
+				From: []float64{0, 0}, To: []float64{1, 1}}),
+			mk(t, SetBC{Step: 5, Over: 10, Face: grid.ZMin, Field: BCMu, Kind: grid.BCDirichlet,
+				From: []float64{2, 2}, To: []float64{3, 3}})},
+		{"same-step immediate setbc on one face/field",
+			mk(t, SetBC{Step: 4, Face: grid.ZMax, Field: BCPhi, Kind: grid.BCNeumann}),
+			mk(t, SetBC{Step: 4, Face: grid.ZMax, Field: BCPhi, Kind: grid.BCDirichlet,
+				To: []float64{1, 0, 0, 0}})},
+		{"same-step ramps of one parameter",
+			mk(t, Ramp{Param: ParamGradient, Step: 7, Over: 10, From: 1, To: 2}),
+			mk(t, Ramp{Param: ParamGradient, Step: 7, Over: 20, From: 1, To: 3})},
+		{"same-step switches of one kernel",
+			mk(t, SwitchVariant{Step: 3, Phi: kernels.VarStag, Mu: KeepVariant, Strategy: StrategyKeep}),
+			mk(t, SwitchVariant{Step: 3, Phi: kernels.VarShortcut, Mu: KeepVariant, Strategy: StrategyKeep})},
+	}
+	for _, c := range cases {
+		if _, err := Compose(c.a, c.b); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+
+	// Legal combinations: a later SetBC overriding a settled one, ramps of
+	// one parameter at different steps, same-step switches of different
+	// kernels.
+	ok := [][2]*Schedule{
+		{mk(t, SetBC{Step: 0, Over: 10, Face: grid.ZMin, Field: BCMu, Kind: grid.BCDirichlet,
+			From: []float64{0, 0}, To: []float64{1, 1}}),
+			mk(t, SetBC{Step: 10, Face: grid.ZMin, Field: BCMu, Kind: grid.BCNeumann})},
+		{mk(t, SetBC{Step: 2, Face: grid.ZMin, Field: BCMu, Kind: grid.BCNeumann}),
+			mk(t, SetBC{Step: 2, Face: grid.ZMin, Field: BCPhi, Kind: grid.BCNeumann})},
+		{mk(t, Ramp{Param: ParamGradient, Step: 0, Over: 10, From: 1, To: 2}),
+			mk(t, Ramp{Param: ParamGradient, Step: 12, Over: 10, From: 2, To: 3})},
+		{mk(t, SwitchVariant{Step: 3, Phi: kernels.VarStag, Mu: KeepVariant, Strategy: StrategyKeep}),
+			mk(t, SwitchVariant{Step: 3, Phi: KeepVariant, Mu: kernels.VarShortcut, Strategy: StrategyKeep})},
+	}
+	for i, pair := range ok {
+		if _, err := Compose(pair[0], pair[1]); err != nil {
+			t.Errorf("legal combination %d rejected: %v", i, err)
+		}
+	}
+}
+
+func TestFromJSONSetBC(t *testing.T) {
+	src := `{"events": [
+	  {"type": "setbc", "step": 300, "over": 200, "face": "z-", "field": "mu",
+	   "kind": "dirichlet", "from": [0, 0], "to": [0.08, -0.04]},
+	  {"type": "setbc", "step": 500, "face": "top", "field": "phi", "kind": "neumann"}
+	]}`
+	s, err := FromJSON(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bcs := s.SetBCs()
+	if len(bcs) != 2 {
+		t.Fatalf("parsed %d setbc events", len(bcs))
+	}
+	b := bcs[0]
+	if b.Face != grid.ZMin || b.Field != BCMu || b.Kind != grid.BCDirichlet ||
+		b.Over != 200 || b.From[1] != 0 || b.To[0] != 0.08 || b.To[1] != -0.04 {
+		t.Errorf("setbc parsed as %+v", b)
+	}
+	if bcs[1].Face != grid.ZMax || bcs[1].Field != BCPhi || bcs[1].Kind != grid.BCNeumann {
+		t.Errorf("top-face setbc parsed as %+v", bcs[1])
+	}
+
+	bad := []string{
+		`{"events": [{"type": "setbc", "step": 0, "face": "q-", "field": "mu", "kind": "neumann"}]}`,
+		`{"events": [{"type": "setbc", "step": 0, "face": "z-", "field": "rho", "kind": "neumann"}]}`,
+		`{"events": [{"type": "setbc", "step": 0, "face": "z-", "field": "mu", "kind": "robin"}]}`,
+		`{"events": [{"type": "setbc", "step": 0, "face": "z-", "field": "mu", "kind": "dirichlet", "to": 3}]}`,
+		`{"events": [{"type": "ramp", "param": "v", "step": 0, "over": 10, "from": [1], "to": 2}]}`,
+	}
+	for i, src := range bad {
+		if _, err := FromJSON(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d accepted: %s", i, src)
+		}
+	}
+}
+
+// Conflict validation lives in New, so a single schedule file is held to
+// the same rules as a composition — the solver's last-wins application
+// loop relies on ambiguous overlaps never reaching it.
+func TestNewRejectsConflictsInSingleSchedule(t *testing.T) {
+	if _, err := New(
+		SetBC{Step: 0, Over: 10, Face: grid.ZMin, Field: BCMu, Kind: grid.BCDirichlet,
+			From: []float64{0, 0}, To: []float64{1, 1}},
+		SetBC{Step: 5, Over: 10, Face: grid.ZMin, Field: BCMu, Kind: grid.BCDirichlet,
+			From: []float64{2, 2}, To: []float64{3, 3}},
+	); err == nil {
+		t.Error("overlapping setbc ramps in one schedule accepted")
+	}
+	src := `{"events": [
+	  {"type": "setbc", "step": 0, "over": 10, "face": "z-", "field": "mu", "kind": "dirichlet", "from": [0,0], "to": [1,1]},
+	  {"type": "setbc", "step": 5, "over": 10, "face": "z-", "field": "mu", "kind": "dirichlet", "from": [2,2], "to": [3,3]}
+	]}`
+	if _, err := FromJSON(strings.NewReader(src)); err == nil {
+		t.Error("overlapping setbc ramps in one JSON file accepted")
+	}
+	if _, err := New(
+		Ramp{Param: ParamGradient, Step: 7, Over: 10, From: 1, To: 2},
+		Ramp{Param: ParamGradient, Step: 7, Over: 20, From: 1, To: 3},
+	); err == nil {
+		t.Error("same-step same-param ramps in one schedule accepted")
+	}
+}
+
+// Finite endpoints whose difference overflows must be rejected — the
+// interpolation computes To-From, and an Inf wall value would turn the
+// fields NaN within a step.
+func TestOverflowingRampSpansRejected(t *testing.T) {
+	if _, err := New(Ramp{Param: ParamGradient, Step: 0, Over: 2, From: 1e308, To: -1e308}); err == nil {
+		t.Error("overflowing ramp span accepted")
+	}
+	if _, err := New(SetBC{Step: 0, Over: 2, Face: grid.ZMin, Field: BCMu, Kind: grid.BCDirichlet,
+		From: []float64{1e308, 0}, To: []float64{-1e308, 0}}); err == nil {
+		t.Error("overflowing setbc span accepted")
 	}
 }

@@ -141,12 +141,14 @@ func (s *Sim) runSweep(r *rank, op sweepOp) {
 	r.wg.Wait()
 }
 
-// Close releases the sweep engine's worker goroutines. The Sim must not be
-// stepped afterwards. Calling Close is optional — an unclosed engine is
-// also released when the Sim is garbage collected — but deterministic for
-// benchmark harnesses that build many simulations.
+// Close releases the sweep engine's worker goroutines and the World's comm
+// workers. The Sim must not be stepped afterwards. Calling Close is
+// optional — an unclosed engine is also released when the Sim is garbage
+// collected — but deterministic for benchmark harnesses that build many
+// simulations.
 func (s *Sim) Close() {
 	if s.engine != nil {
 		s.engine.close()
 	}
+	s.World.Close()
 }

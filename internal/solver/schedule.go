@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/comm"
 	"repro/internal/core"
+	"repro/internal/grid"
 	"repro/internal/kernels"
 	"repro/internal/schedule"
 	"repro/internal/voronoi"
@@ -83,6 +84,25 @@ func (s *Sim) RunSchedule(n int, sched *schedule.Schedule, hooks ScheduleHooks) 
 	oneShots := sched.OneShots()
 	ramps := sched.Ramps()
 	ckpts := sched.Checkpoints()
+	setbcs := sched.SetBCs()
+	// Fail fast on events the decomposition cannot honor, before any step
+	// runs — the JSON front-end and Compose cannot know the topology, and
+	// aborting a production run at the event's fire step would lose
+	// everything since the last checkpoint.
+	for _, b := range setbcs {
+		if s.Cfg.BG.Periodic[b.Face.Axis()] {
+			return fmt.Errorf("solver: setbc on %v: periodicity of that axis is realized by the communication layer, not a face condition", b.Face)
+		}
+		if blocks := [3]int{s.Cfg.BG.PX, s.Cfg.BG.PY, s.Cfg.BG.PZ}[b.Face.Axis()]; b.Kind == grid.BCPeriodic && blocks > 1 {
+			return fmt.Errorf("solver: setbc %v to periodic: the face BC wraps within one block, but the axis is decomposed into %d", b.Face, blocks)
+		}
+	}
+	// Install the prescription already in force at entry (a restart from a
+	// checkpoint without BC state — V1/V2 — would otherwise run with the
+	// configured walls until the next event boundary).
+	if s.applyDueSetBCs(setbcs, false) {
+		s.refillBoundaryGhosts()
+	}
 
 	for i := 0; i < n; i++ {
 		// Fire due one-shot events in order, resuming at the
@@ -105,6 +125,14 @@ func (s *Sim) RunSchedule(n int, sched *schedule.Schedule, hooks ScheduleHooks) 
 					return err
 				}
 			}
+		}
+		// Boundary-condition events, like ramps, prescribe the live BC
+		// state as a pure function of the step index. Only events still
+		// changing (within their ramp window) apply here; settled state
+		// persists in the domain sets and the regular exchange fills,
+		// costing nothing per step.
+		if s.applyDueSetBCs(setbcs, true) {
+			s.refillBoundaryGhosts()
 		}
 
 		s.Run(1)
@@ -176,6 +204,74 @@ func (s *Sim) applyRamp(r schedule.Ramp) error {
 		return fmt.Errorf("solver: unknown ramp param %v", r.Param)
 	}
 	return nil
+}
+
+// applyDueSetBCs installs the wall state the schedule prescribes for the
+// current step and reports whether anything was applied. Only the latest
+// due event per (face, field) applies — an earlier overridden event must
+// not be re-applied, or a kind override would flip the face twice per step
+// and re-derive every rank's BCs forever (schedule.New rejects ambiguous
+// overlaps). With changingOnly, events whose prescription has settled are
+// skipped — their state already persists in the domain sets.
+func (s *Sim) applyDueSetBCs(setbcs []schedule.SetBC, changingOnly bool) bool {
+	var due [2 * int(grid.NumFaces)]int
+	for i := range due {
+		due[i] = -1
+	}
+	for j, b := range setbcs {
+		if b.Step <= s.step && (!changingOnly || s.step <= b.SettleStep()) {
+			due[2*int(b.Face)+int(b.Field)] = j
+		}
+	}
+	applied := false
+	for _, j := range due {
+		if j >= 0 {
+			s.applySetBC(setbcs[j])
+			applied = true
+		}
+	}
+	return applied
+}
+
+// refillBoundaryGhosts re-applies the physical-face fills to the
+// source-field ghosts at a fixed point of the step, so every overlap
+// mode's sweeps see the same wall values while a SetBC event is rewriting
+// them: without this, modes that exchange µ ghosts at the end of the
+// previous step (OverlapNone/OverlapPhi) would read walls one ramp
+// increment behind modes that exchange at the step start
+// (OverlapMu/OverlapBoth), and φ walls would lag a step in every mode.
+// Idempotent for deferred-exchange modes, whose step-start exchange redoes
+// the same fills.
+func (s *Sim) refillBoundaryGhosts() {
+	s.forAllRanks(func(r *rank) {
+		r.phiBCs.Apply(r.fields.PhiSrc)
+		r.muBCs.Apply(r.fields.MuSrc)
+	})
+}
+
+// applySetBC installs one event's boundary condition for the current step.
+// Dirichlet wall-value ramps write into the domain set's Values backing in
+// place — shared by every rank's derived set through BlockBCs — so a
+// steady BC ramp allocates nothing and every rank picks up the live values
+// at its next halo exchange. A kind change (or a first-time payload
+// allocation) invalidates the ranks' derived copies and re-derives them.
+// Called between timesteps only, when no sweep or overlapped exchange is
+// in flight; RunSchedule has already rejected events the decomposition
+// cannot honor.
+func (s *Sim) applySetBC(e schedule.SetBC) {
+	dom := &s.domainPhiBCs
+	if e.Field == schedule.BCMu {
+		dom = &s.domainMuBCs
+	}
+	var vals []float64
+	if e.Kind == grid.BCDirichlet {
+		vals = e.ValuesAt(s.step, s.bcScratch[:])
+	}
+	prevKind := dom[e.Face].Kind
+	realloc := dom.SetFace(e.Face, e.Kind, vals)
+	if prevKind != e.Kind || realloc {
+		s.refreshRankBCs()
+	}
 }
 
 // ApplyBurst seeds the burst's nuclei as solid spheres in the melt. Nucleus

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/grid"
 	"repro/internal/kernels"
 	"repro/internal/schedule"
 )
@@ -303,5 +304,227 @@ func TestMuNormDeterministicAndPositive(t *testing.T) {
 	}
 	if !(n1 > 0) || math.IsNaN(n1) {
 		t.Errorf("MuNorm = %g", n1)
+	}
+}
+
+// A scheduled SetBC event must change the live wall state — visible through
+// DomainBCs and in the trajectory — without disturbing ghost consistency.
+func TestSetBCAppliesLiveWall(t *testing.T) {
+	const n = 6
+	ev := schedule.SetBC{Step: 1, Over: 4, Face: grid.ZMin, Field: schedule.BCMu,
+		Kind: grid.BCDirichlet, From: []float64{0, 0}, To: []float64{0.4, -0.2}}
+
+	withBC := mkSim(t, 1, 1, 1, 10, 10, 14, kernels.VarShortcut, OverlapNone)
+	without := mkSim(t, 1, 1, 1, 10, 10, 14, kernels.VarShortcut, OverlapNone)
+	for _, s := range []*Sim{withBC, without} {
+		if err := s.InitScenario(ScenarioInterface); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := withBC.RunSchedule(n, mkSched(t, ev), ScheduleHooks{}); err != nil {
+		t.Fatal(err)
+	}
+	without.Run(n)
+
+	_, mu := withBC.DomainBCs()
+	if mu[grid.ZMin].Kind != grid.BCDirichlet {
+		t.Fatalf("bottom µ BC kind %v", mu[grid.ZMin].Kind)
+	}
+	// The last application ran before the final step, at step index n-1.
+	var buf [kernels.NP]float64
+	want := ev.ValuesAt(n-1, buf[:])
+	for i := range want {
+		if mu[grid.ZMin].Values[i] != want[i] {
+			t.Errorf("wall value %d: %g, want %g", i, mu[grid.ZMin].Values[i], want[i])
+		}
+	}
+	if withBC.HasNaN() {
+		t.Fatal("NaN after BC ramp")
+	}
+	a, b := withBC.GatherGlobalMu(), without.GatherGlobalMu()
+	if ok, _ := a.InteriorEqual(b, 0); ok {
+		t.Error("BC ramp had no effect on the trajectory")
+	}
+}
+
+// Mid-BC-ramp restart, in-memory (double precision): transplanting the
+// fields and BC state at step k and continuing under the same schedule must
+// be bitwise identical to the uninterrupted run — the discrete analogue of
+// the V3-checkpoint guarantee, without the float32 round trip.
+func TestSetBCMidRampRestartBitwise(t *testing.T) {
+	const k, n = 3, 8
+	sched := mkSched(t,
+		schedule.Ramp{Param: schedule.ParamPullVelocity, Step: 0, Over: 6, From: 0.02, To: 0.05},
+		schedule.SetBC{Step: 1, Over: 5, Face: grid.ZMin, Field: schedule.BCMu,
+			Kind: grid.BCDirichlet, From: []float64{0, 0}, To: []float64{0.3, -0.1}},
+		schedule.SetBC{Step: 2, Face: grid.ZMax, Field: schedule.BCPhi,
+			Kind: grid.BCDirichlet, To: []float64{0, 0, 0, 1}})
+
+	full := mkSim(t, 2, 1, 1, 6, 12, 14, kernels.VarStag, OverlapMu)
+	if err := full.InitScenario(ScenarioInterface); err != nil {
+		t.Fatal(err)
+	}
+	if err := full.RunSchedule(n, sched, ScheduleHooks{}); err != nil {
+		t.Fatal(err)
+	}
+
+	pre := mkSim(t, 2, 1, 1, 6, 12, 14, kernels.VarStag, OverlapMu)
+	if err := pre.InitScenario(ScenarioInterface); err != nil {
+		t.Fatal(err)
+	}
+	if err := pre.RunSchedule(k, sched, ScheduleHooks{}); err != nil {
+		t.Fatal(err)
+	}
+	pre.Sync()
+	fields := make([]*kernels.Fields, pre.NumRanks())
+	for r := range fields {
+		fields[r] = pre.RankFields(r).Clone()
+	}
+
+	restart := mkSim(t, 2, 1, 1, 6, 12, 14, kernels.VarStag, OverlapMu)
+	// Mirror the checkpoint-restore order: BC state first, so the ghost
+	// rebuild in RestoreState already uses the mid-ramp wall values.
+	phiBCs, muBCs := pre.DomainBCs()
+	if err := restart.SetDomainBCs(phiBCs, muBCs); err != nil {
+		t.Fatal(err)
+	}
+	if err := restart.RestoreState(pre.StepCount(), pre.Time(), pre.WindowShift(), fields); err != nil {
+		t.Fatal(err)
+	}
+	restart.Cfg.Params.Dt = pre.Cfg.Params.Dt
+	restart.Cfg.Params.Temp = pre.Cfg.Params.Temp
+	if err := restart.RunSchedule(n-k, sched, ScheduleHooks{}); err != nil {
+		t.Fatal(err)
+	}
+
+	if ok, maxd := full.GatherGlobalPhi().InteriorEqual(restart.GatherGlobalPhi(), 0); !ok {
+		t.Errorf("φ diverged %g across mid-BC-ramp restart", maxd)
+	}
+	if ok, maxd := full.GatherGlobalMu().InteriorEqual(restart.GatherGlobalMu(), 0); !ok {
+		t.Errorf("µ diverged %g across mid-BC-ramp restart", maxd)
+	}
+}
+
+// SetBC on a face whose axis periodicity is realized by the communication
+// layer cannot take effect and must be rejected, not silently ignored.
+func TestSetBCRejectsPeriodicAxisFace(t *testing.T) {
+	s := mkSim(t, 2, 1, 1, 6, 8, 10, kernels.VarShortcut, OverlapNone)
+	if err := s.InitScenario(ScenarioLiquid); err != nil {
+		t.Fatal(err)
+	}
+	sched := mkSched(t, schedule.SetBC{Step: 0, Face: grid.XMin, Field: schedule.BCMu, Kind: grid.BCNeumann})
+	if err := s.RunSchedule(1, sched, ScheduleHooks{}); err == nil {
+		t.Error("setbc on a comm-periodic axis accepted")
+	}
+}
+
+// A later SetBC legally overriding an earlier settled one: only the latest
+// due event per (face, field) applies each step, so the wall ends in the
+// override's state and stays there (no per-step kind flapping between the
+// two prescriptions).
+func TestSetBCLaterEventOverridesSettledOne(t *testing.T) {
+	sched := mkSched(t,
+		schedule.SetBC{Step: 1, Over: 3, Face: grid.ZMin, Field: schedule.BCMu,
+			Kind: grid.BCDirichlet, From: []float64{0, 0}, To: []float64{0.2, -0.1}},
+		schedule.SetBC{Step: 6, Face: grid.ZMin, Field: schedule.BCMu, Kind: grid.BCNeumann})
+	s := mkSim(t, 1, 1, 1, 8, 8, 12, kernels.VarShortcut, OverlapNone)
+	if err := s.InitScenario(ScenarioInterface); err != nil {
+		t.Fatal(err)
+	}
+	// After 5 steps the last BC application ran at step index 4 = Step+Over,
+	// so the ramp has settled at To.
+	if err := s.RunSchedule(5, sched, ScheduleHooks{}); err != nil {
+		t.Fatal(err)
+	}
+	_, mu := s.DomainBCs()
+	if mu[grid.ZMin].Kind != grid.BCDirichlet || mu[grid.ZMin].Values[0] != 0.2 {
+		t.Fatalf("mid-run wall %+v, want settled Dirichlet ramp", mu[grid.ZMin])
+	}
+	if err := s.RunSchedule(5, sched, ScheduleHooks{}); err != nil {
+		t.Fatal(err)
+	}
+	_, mu = s.DomainBCs()
+	if mu[grid.ZMin].Kind != grid.BCNeumann {
+		t.Fatalf("override did not take: %+v", mu[grid.ZMin])
+	}
+	if s.HasNaN() {
+		t.Error("NaN after BC override")
+	}
+}
+
+// An impossible setbc face must abort before any step runs, not at the
+// event's fire step deep into a production run.
+func TestSetBCPeriodicAxisFailsFast(t *testing.T) {
+	s := mkSim(t, 2, 1, 1, 6, 8, 10, kernels.VarShortcut, OverlapNone)
+	if err := s.InitScenario(ScenarioLiquid); err != nil {
+		t.Fatal(err)
+	}
+	sched := mkSched(t, schedule.SetBC{Step: 5000, Face: grid.XMin, Field: schedule.BCMu, Kind: grid.BCNeumann})
+	if err := s.RunSchedule(1, sched, ScheduleHooks{}); err == nil {
+		t.Error("far-future setbc on a comm-periodic axis not rejected at entry")
+	}
+	if s.StepCount() != 0 {
+		t.Errorf("ran %d steps before rejecting", s.StepCount())
+	}
+}
+
+// All four overlap modes must produce identical physics even while a SetBC
+// ramp is rewriting wall values between steps: the step-start re-fill pins
+// the wall state every sweep sees, regardless of when each mode exchanges
+// ghosts.
+func TestOverlapModesEquivalentUnderSetBC(t *testing.T) {
+	sched := func() *schedule.Schedule {
+		return mkSched(t,
+			schedule.SetBC{Step: 1, Over: 6, Face: grid.ZMin, Field: schedule.BCMu,
+				Kind: grid.BCDirichlet, From: []float64{0, 0}, To: []float64{0.4, -0.2}},
+			schedule.SetBC{Step: 3, Face: grid.ZMax, Field: schedule.BCPhi,
+				Kind: grid.BCDirichlet, To: []float64{0, 0, 0, 1}})
+	}
+	run := func(mode OverlapMode) *Sim {
+		s := mkSim(t, 2, 2, 1, 5, 5, 14, kernels.VarShortcut, mode)
+		if err := s.InitScenario(ScenarioInterface); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.RunSchedule(8, sched(), ScheduleHooks{}); err != nil {
+			t.Fatal(err)
+		}
+		s.Sync()
+		return s
+	}
+	ref := run(OverlapNone)
+	refPhi, refMu := ref.GatherGlobalPhi(), ref.GatherGlobalMu()
+	for _, mode := range []OverlapMode{OverlapMu, OverlapPhi, OverlapBoth} {
+		s := run(mode)
+		if ok, maxd := s.GatherGlobalPhi().InteriorEqual(refPhi, 1e-12); !ok {
+			t.Errorf("%v: φ differs by %g under BC ramp", mode, maxd)
+		}
+		if ok, maxd := s.GatherGlobalMu().InteriorEqual(refMu, 1e-12); !ok {
+			t.Errorf("%v: µ differs by %g under BC ramp", mode, maxd)
+		}
+	}
+}
+
+// A scheduled periodic wall wraps within one block, which is only valid
+// when the block spans the whole domain along that axis — reject it on a
+// decomposed axis instead of silently copying the midplane into the wall.
+func TestSetBCRejectsPeriodicKindOnDecomposedAxis(t *testing.T) {
+	s := mkSim(t, 1, 1, 2, 8, 8, 6, kernels.VarShortcut, OverlapNone)
+	if err := s.InitScenario(ScenarioLiquid); err != nil {
+		t.Fatal(err)
+	}
+	sched := mkSched(t, schedule.SetBC{Step: 0, Face: grid.ZMin, Field: schedule.BCMu, Kind: grid.BCPeriodic})
+	if err := s.RunSchedule(1, sched, ScheduleHooks{}); err == nil {
+		t.Error("periodic wall on a z-decomposed axis accepted")
+	}
+	// On an undecomposed axis the block-local wrap is valid.
+	ok := mkSim(t, 2, 1, 1, 6, 8, 10, kernels.VarShortcut, OverlapNone)
+	if err := ok.InitScenario(ScenarioLiquid); err != nil {
+		t.Fatal(err)
+	}
+	okSched := mkSched(t,
+		schedule.SetBC{Step: 0, Face: grid.ZMin, Field: schedule.BCMu, Kind: grid.BCPeriodic},
+		schedule.SetBC{Step: 0, Face: grid.ZMax, Field: schedule.BCMu, Kind: grid.BCPeriodic})
+	if err := ok.RunSchedule(1, okSched, ScheduleHooks{}); err != nil {
+		t.Errorf("periodic wall on an undecomposed axis rejected: %v", err)
 	}
 }

@@ -154,6 +154,7 @@ type Sim struct {
 	windowShift  int // total cells scrolled out of the window
 	domainPhiBCs grid.BoundarySet
 	domainMuBCs  grid.BoundarySet
+	bcScratch    [kernels.NP]float64 // per-step SetBC wall values, reused
 }
 
 // New builds a simulation; fields are liquid-initialized (use InitScenario).
@@ -179,6 +180,10 @@ func New(cfg Config) (*Sim, error) {
 
 	s := &Sim{Cfg: cfg, World: comm.NewWorld(cfg.BG),
 		phiVariant: cfg.Variant, muVariant: cfg.Variant}
+	// The World's per-rank comm workers (overlapped exchanges) reference
+	// the World, so they keep it alive; release them when the Sim goes
+	// unreachable without an explicit Close.
+	runtime.AddCleanup(s, func(w *comm.World) { w.Close() }, s.World)
 	nBlocks := cfg.BG.NumBlocks()
 	s.workersPerRank = cfg.Parallelism / nBlocks
 	if s.workersPerRank < 1 {
@@ -462,5 +467,37 @@ func (s *Sim) Sync() {
 		s.forAllRanks(func(r *rank) {
 			s.World.ExchangeGhosts(r.id, r.fields.MuSrc, comm.TagMu, r.muBCs)
 		})
+	}
+}
+
+// DomainBCs returns deep copies of the live per-face boundary sets for the
+// φ and µ fields (checkpoint headers snapshot these).
+func (s *Sim) DomainBCs() (phi, mu grid.BoundarySet) {
+	return s.domainPhiBCs.Clone(), s.domainMuBCs.Clone()
+}
+
+// SetDomainBCs installs both boundary sets wholesale — the restore path for
+// checkpoints whose header carries active BC state — and re-derives every
+// rank's per-face conditions. Must be called at a step boundary.
+func (s *Sim) SetDomainBCs(phi, mu grid.BoundarySet) error {
+	if err := phi.Validate(kernels.NP); err != nil {
+		return fmt.Errorf("solver: φ BCs: %w", err)
+	}
+	if err := mu.Validate(kernels.NR); err != nil {
+		return fmt.Errorf("solver: µ BCs: %w", err)
+	}
+	s.domainPhiBCs = phi.Clone()
+	s.domainMuBCs = mu.Clone()
+	s.refreshRankBCs()
+	return nil
+}
+
+// refreshRankBCs re-derives every rank's per-face boundary conditions from
+// the live domain sets. Safe only at step boundaries, when no sweep or
+// overlapped exchange is in flight.
+func (s *Sim) refreshRankBCs() {
+	for _, r := range s.ranks {
+		r.phiBCs = s.Cfg.BG.BlockBCs(r.id, s.domainPhiBCs)
+		r.muBCs = s.Cfg.BG.BlockBCs(r.id, s.domainMuBCs)
 	}
 }

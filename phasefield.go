@@ -266,6 +266,7 @@ func (s *Simulation) Checkpoint(path string) error {
 		stratField = int32(strat)
 	}
 	p := s.cfg.Params
+	phiBCs, muBCs := s.sim.DomainBCs()
 	h := ckpt.Header{
 		Step:        int64(s.sim.StepCount()),
 		Time:        s.sim.Time(),
@@ -280,6 +281,8 @@ func (s *Simulation) Checkpoint(path string) error {
 		TempG:       p.Temp.G,
 		TempV:       p.Temp.V,
 		TempZ0:      p.Temp.Z0,
+		PhiBC:       ckpt.EncodeBCs(phiBCs),
+		MuBC:        ckpt.EncodeBCs(muBCs),
 	}
 	if err := ckpt.Write(f, h, fields); err != nil {
 		return err
@@ -311,6 +314,17 @@ func Restore(path string, cfg Config) (*Simulation, error) {
 	sim, err := New(cfg)
 	if err != nil {
 		return nil, err
+	}
+	// Version-3 headers carry the active per-face boundary conditions (a
+	// scheduled SetBC event may have changed them mid-run); install them
+	// before the field restore so the rebuilt ghost layers already use the
+	// checkpointed wall state. Older files keep the configured set.
+	phiBCs, okPhi := ckpt.DecodeBCs(h.PhiBC)
+	muBCs, okMu := ckpt.DecodeBCs(h.MuBC)
+	if okPhi && okMu {
+		if err := sim.sim.SetDomainBCs(phiBCs, muBCs); err != nil {
+			return nil, err
+		}
 	}
 	if err := sim.sim.RestoreState(int(h.Step), h.Time, int(h.WindowShift), fields); err != nil {
 		return nil, err
@@ -344,6 +358,22 @@ func LoadSchedule(path string) (*schedule.Schedule, error) {
 	}
 	defer f.Close()
 	return schedule.FromJSON(f)
+}
+
+// LoadSchedules parses several schedule files and composes them into one
+// (schedule.Compose semantics: same-step ties fire in argument order,
+// conflicting events are rejected). This is the multi-schedule form of
+// cmd/solidify -schedule a.json,b.json.
+func LoadSchedules(paths ...string) (*schedule.Schedule, error) {
+	scheds := make([]*schedule.Schedule, len(paths))
+	for i, p := range paths {
+		s, err := LoadSchedule(p)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p, err)
+		}
+		scheds[i] = s
+	}
+	return schedule.Compose(scheds...)
 }
 
 // stepVerb matches a %d-style format verb in a checkpoint path template;
@@ -398,6 +428,10 @@ func (s *Simulation) RunSchedule(sched *schedule.Schedule, n int, opt ScheduleOp
 
 // SchedulePos returns how many one-shot schedule events have fired.
 func (s *Simulation) SchedulePos() int { return s.sim.SchedulePos() }
+
+// DomainBCs returns deep copies of the live per-face boundary sets of the
+// φ and µ fields (scheduled SetBC events change them between steps).
+func (s *Simulation) DomainBCs() (phi, mu grid.BoundarySet) { return s.sim.DomainBCs() }
 
 // Kernels returns the active kernel selection.
 func (s *Simulation) Kernels() (phi, mu kernels.Variant, strat kernels.PhiStrategy, pinned bool) {
