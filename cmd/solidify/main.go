@@ -52,6 +52,7 @@ func main() {
 	par := flag.Int("par", 0, "total sweep workers for intra-block parallelism (0 = GOMAXPROCS)")
 	seed := flag.Int64("seed", 1, "Voronoi seed")
 	schedPath := flag.String("schedule", "", "JSON production schedule(s), comma-separated and composed in order (bursts, ramps, BC events, variant switches, checkpoints)")
+	recordPath := flag.String("record", "", "write the applied-event audit log as a replayable schedule JSON file at exit")
 	restorePath := flag.String("restore", "", "resume from this checkpoint instead of a fresh init")
 	variantOverride := flag.String("variant-override", "", "on -restore, switch both kernels to this variant (general|basic|simd|tz|stag|shortcut)")
 	flag.Parse()
@@ -146,6 +147,16 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println("checkpoint written to", *ckptPath)
+	}
+	if *recordPath != "" {
+		blob, err := sim.AppliedScheduleJSON()
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*recordPath, blob, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("applied schedule (%d events) recorded to %s\n", len(sim.AppliedEvents()), *recordPath)
 	}
 }
 

@@ -1,0 +1,89 @@
+// Command solidifyd is the always-on solidification service: it serves the
+// jobd HTTP/JSON API, running submitted schedule-driven simulations up to
+// -jobs at a time against one shared -budget of sweep workers. Queued jobs
+// with strictly higher priority preempt running ones at timestep
+// boundaries via lossless in-memory checkpoints and later resume
+// bit-identically. On SIGTERM/SIGINT the daemon drains: every in-flight
+// job is checkpointed and — with -spool — persisted, so the next instance
+// picks the queue back up.
+//
+// Usage:
+//
+//	solidifyd -addr :8080 -jobs 2 -budget 8 -spool /var/lib/solidifyd
+//
+//	curl -X POST -d '{"nx":32,"ny":32,"nz":64,"steps":500,
+//	  "schedule":{"events":[{"type":"ramp","param":"v","step":0,
+//	  "over":200,"from":0.02,"to":0.05}]}}' localhost:8080/jobs
+//	curl localhost:8080/jobs/job-0001
+//	curl localhost:8080/jobs/job-0001/metrics   # NDJSON stream
+//	curl localhost:8080/jobs/job-0001/schedule  # replayable audit log
+//	curl -X DELETE localhost:8080/jobs/job-0001
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/jobd"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "HTTP listen address")
+	jobs := flag.Int("jobs", 2, "max concurrently running jobs (K)")
+	budget := flag.Int("budget", runtime.GOMAXPROCS(0), "global sweep-worker budget shared by running jobs")
+	spool := flag.String("spool", "", "directory for drained-job spooling (empty = no persistence)")
+	report := flag.Int("report", 5, "metrics sampling cadence in steps")
+	flag.Parse()
+
+	srv := jobd.New(jobd.Config{
+		MaxConcurrent: *jobs,
+		Budget:        *budget,
+		SpoolDir:      *spool,
+		ReportEvery:   *report,
+	})
+	if n, err := srv.LoadSpool(); err != nil {
+		fatal(err)
+	} else if n > 0 {
+		fmt.Printf("solidifyd: requeued %d spooled job(s)\n", n)
+	}
+	srv.Start()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Printf("solidifyd: listening on %s (jobs=%d budget=%d)\n", *addr, *jobs, *budget)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+
+	select {
+	case sig := <-sigCh:
+		fmt.Printf("solidifyd: %v — draining (checkpointing in-flight jobs)\n", sig)
+		if err := srv.Drain(); err != nil {
+			fmt.Fprintln(os.Stderr, "solidifyd: drain:", err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(ctx)
+		fmt.Println("solidifyd: drained, exiting")
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "solidifyd:", err)
+	os.Exit(1)
+}

@@ -20,13 +20,39 @@ import (
 // Magic identifies checkpoint files; Version the current header layout.
 // Older files remain readable: version-1 (fixed-parameter runs) and
 // version-2 (schedule state, no BC state) headers are upgraded on read with
-// the missing extension fields marked unspecified.
+// the missing extension fields marked unspecified. Version 4 shares the
+// version-3 header layout but stores the fields in full double precision —
+// the lossless form the job daemon uses for preemption snapshots, where the
+// resumed trajectory must be bit-identical to an uninterrupted run (a disk
+// checkpoint keeps the paper's single-precision format).
 const (
 	Magic    = 0x50464350 // "PFCP"
 	Version1 = 1
 	Version2 = 2
-	Version  = 3
+	Version3 = 3
+	Version4 = 4
+	Version  = Version3
 )
+
+// Precision selects the on-disk field encoding.
+type Precision int
+
+const (
+	// Float32 is the paper's disk format (§3.2): "checkpoints use only
+	// single precision to save disk space and I/O bandwidth".
+	Float32 Precision = iota
+	// Float64 is the lossless preemption-snapshot format: save + restore
+	// round-trips every field bit-exactly, so a preempted simulation
+	// resumes bit-identical to one that was never interrupted.
+	Float64
+)
+
+func (p Precision) String() string {
+	if p == Float64 {
+		return "float64"
+	}
+	return "float32"
+}
 
 // VariantUnspecified marks the kernel-state fields of headers read from
 // version-1 files (the restart keeps its configured kernels).
@@ -189,11 +215,23 @@ func DecodeBCs(e [grid.NumFaces]FaceBC) (grid.BoundarySet, bool) {
 // Write serializes the header and all ranks' source fields (interior only;
 // ghosts are reconstructed on restart) in single precision.
 func Write(w io.Writer, h Header, fields []*kernels.Fields) error {
+	return WritePrecision(w, h, fields, Float32)
+}
+
+// WritePrecision serializes a checkpoint with the given field precision.
+// Float32 emits the paper's version-3 disk format; Float64 emits a
+// version-4 file whose fields round-trip bit-exactly (the preemption
+// snapshot format of the job daemon).
+func WritePrecision(w io.Writer, h Header, fields []*kernels.Fields, prec Precision) error {
+	version := uint32(Version3)
+	if prec == Float64 {
+		version = Version4
+	}
 	bw := bufio.NewWriterSize(w, 1<<20)
 	if err := binary.Write(bw, binary.LittleEndian, uint32(Magic)); err != nil {
 		return err
 	}
-	if err := binary.Write(bw, binary.LittleEndian, uint32(Version)); err != nil {
+	if err := binary.Write(bw, binary.LittleEndian, version); err != nil {
 		return err
 	}
 	if err := binary.Write(bw, binary.LittleEndian, &h); err != nil {
@@ -204,17 +242,35 @@ func Write(w io.Writer, h Header, fields []*kernels.Fields) error {
 			len(fields), h.PX, h.PY, h.PZ)
 	}
 	for _, f := range fields {
-		if err := writeField(bw, f.PhiSrc); err != nil {
+		if err := writeField(bw, f.PhiSrc, prec); err != nil {
 			return err
 		}
-		if err := writeField(bw, f.MuSrc); err != nil {
+		if err := writeField(bw, f.MuSrc, prec); err != nil {
 			return err
 		}
 	}
 	return bw.Flush()
 }
 
-func writeField(w io.Writer, f *grid.Field) error {
+func writeField(w io.Writer, f *grid.Field, prec Precision) error {
+	if prec == Float64 {
+		buf := make([]float64, f.NX*f.NComp)
+		for z := 0; z < f.NZ; z++ {
+			for y := 0; y < f.NY; y++ {
+				i := 0
+				for c := 0; c < f.NComp; c++ {
+					for x := 0; x < f.NX; x++ {
+						buf[i] = f.At(c, x, y, z)
+						i++
+					}
+				}
+				if err := binary.Write(w, binary.LittleEndian, buf); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
 	buf := make([]float32, f.NX*f.NComp)
 	for z := 0; z < f.NZ; z++ {
 		for y := 0; y < f.NY; y++ {
@@ -247,6 +303,7 @@ func Read(r io.Reader) (Header, []*kernels.Fields, error) {
 		return Header{}, nil, err
 	}
 	var h Header
+	prec := Float32
 	switch version {
 	case Version1:
 		var h1 headerV1
@@ -260,11 +317,14 @@ func Read(r io.Reader) (Header, []*kernels.Fields, error) {
 			return Header{}, nil, err
 		}
 		h = h2.upgrade()
-	case Version:
+	case Version3, Version4:
+		if version == Version4 {
+			prec = Float64
+		}
 		if err := binary.Read(br, binary.LittleEndian, &h); err != nil {
 			return Header{}, nil, err
 		}
-		// A version-3 writer always emits well-formed BC entries; a
+		// A version-3/4 writer always emits well-formed BC entries; a
 		// malformed one is corruption, not an older layout — failing
 		// here keeps the unspecified-BC fallback exclusive to genuine
 		// v1/v2 upgrades (a restart silently dropping checkpointed wall
@@ -285,10 +345,10 @@ func Read(r io.Reader) (Header, []*kernels.Fields, error) {
 	fields := make([]*kernels.Fields, n)
 	for i := 0; i < n; i++ {
 		f := kernels.NewFields(int(h.BX), int(h.BY), int(h.BZ))
-		if err := readField(br, f.PhiSrc); err != nil {
+		if err := readField(br, f.PhiSrc, prec); err != nil {
 			return h, nil, err
 		}
-		if err := readField(br, f.MuSrc); err != nil {
+		if err := readField(br, f.MuSrc, prec); err != nil {
 			return h, nil, err
 		}
 		f.PhiDst.CopyFrom(f.PhiSrc)
@@ -298,7 +358,25 @@ func Read(r io.Reader) (Header, []*kernels.Fields, error) {
 	return h, fields, nil
 }
 
-func readField(r io.Reader, f *grid.Field) error {
+func readField(r io.Reader, f *grid.Field, prec Precision) error {
+	if prec == Float64 {
+		buf := make([]float64, f.NX*f.NComp)
+		for z := 0; z < f.NZ; z++ {
+			for y := 0; y < f.NY; y++ {
+				if err := binary.Read(r, binary.LittleEndian, buf); err != nil {
+					return err
+				}
+				i := 0
+				for c := 0; c < f.NComp; c++ {
+					for x := 0; x < f.NX; x++ {
+						f.Set(c, x, y, z, buf[i])
+						i++
+					}
+				}
+			}
+		}
+		return nil
+	}
 	buf := make([]float32, f.NX*f.NComp)
 	for z := 0; z < f.NZ; z++ {
 		for y := 0; y < f.NY; y++ {
@@ -317,9 +395,10 @@ func readField(r io.Reader, f *grid.Field) error {
 	return nil
 }
 
-// SizeBytes returns the on-disk size of a checkpoint for the given
-// decomposition: magic + version + version-2 header plus six
-// single-precision values per cell.
+// SizeBytes returns the on-disk size of a single-precision checkpoint for
+// the given decomposition: magic + version + header plus six
+// single-precision values per cell. A Float64 (version-4) snapshot is twice
+// the field payload.
 func SizeBytes(px, py, pz, bx, by, bz int) int64 {
 	cells := int64(px*py*pz) * int64(bx*by*bz)
 	header := int64(8 + binary.Size(Header{}))

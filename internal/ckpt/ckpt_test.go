@@ -62,6 +62,54 @@ func TestRoundTrip(t *testing.T) {
 	}
 }
 
+// A Float64 (version-4) snapshot must round-trip every field value
+// bit-exactly — this is what makes preempt/resume in the job daemon
+// trajectory-preserving.
+func TestFloat64RoundTripExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	fields := randomFields(rng, 2, 5, 4, 6)
+	h := Header{Step: 7, Time: 1.25, PX: 2, PY: 1, PZ: 1, BX: 5, BY: 4, BZ: 6,
+		SchedulePos: 1, PhiVariant: 3, MuVariant: 3, PhiStrategy: VariantUnspecified,
+		Dt: 0.001, TempG: 1, TempV: 0.02, TempZ0: 8}
+	h.PhiBC = EncodeBCs(randomBCs(rng, kernels.NP))
+	h.MuBC = EncodeBCs(randomBCs(rng, kernels.NR))
+
+	var buf bytes.Buffer
+	if err := WritePrecision(&buf, h, fields, Float64); err != nil {
+		t.Fatal(err)
+	}
+	h2, fields2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2 != h {
+		t.Errorf("header round trip: %+v != %+v", h2, h)
+	}
+	for i := range fields {
+		if ok, maxd := fields[i].PhiSrc.InteriorEqual(fields2[i].PhiSrc, 0); !ok {
+			t.Errorf("rank %d φ not bit-exact: %g", i, maxd)
+		}
+		if ok, maxd := fields[i].MuSrc.InteriorEqual(fields2[i].MuSrc, 0); !ok {
+			t.Errorf("rank %d µ not bit-exact: %g", i, maxd)
+		}
+	}
+}
+
+// Corrupt BC entries in a version-4 header are read errors, exactly as for
+// version 3.
+func TestFloat64CorruptBCRejected(t *testing.T) {
+	fields := randomFields(rand.New(rand.NewSource(12)), 1, 4, 4, 4)
+	h := Header{PX: 1, PY: 1, PZ: 1, BX: 4, BY: 4, BZ: 4}
+	h.PhiBC[0].Kind = 99
+	var buf bytes.Buffer
+	if err := WritePrecision(&buf, h, fields, Float64); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Read(&buf); err == nil {
+		t.Error("corrupt v4 BC state accepted")
+	}
+}
+
 func TestSinglePrecisionOnDisk(t *testing.T) {
 	fields := randomFields(rand.New(rand.NewSource(2)), 1, 4, 4, 4)
 	h := Header{PX: 1, PY: 1, PZ: 1, BX: 4, BY: 4, BZ: 4}
@@ -130,10 +178,10 @@ func writeLegacyV1(w *bytes.Buffer, h Header, fields []*kernels.Fields) error {
 		return err
 	}
 	for _, f := range fields {
-		if err := writeField(w, f.PhiSrc); err != nil {
+		if err := writeField(w, f.PhiSrc, Float32); err != nil {
 			return err
 		}
-		if err := writeField(w, f.MuSrc); err != nil {
+		if err := writeField(w, f.MuSrc, Float32); err != nil {
 			return err
 		}
 	}
@@ -157,10 +205,10 @@ func writeLegacyV2(w *bytes.Buffer, h Header, fields []*kernels.Fields) error {
 		return err
 	}
 	for _, f := range fields {
-		if err := writeField(w, f.PhiSrc); err != nil {
+		if err := writeField(w, f.PhiSrc, Float32); err != nil {
 			return err
 		}
-		if err := writeField(w, f.MuSrc); err != nil {
+		if err := writeField(w, f.MuSrc, Float32); err != nil {
 			return err
 		}
 	}
@@ -206,14 +254,14 @@ func TestRoundTripProperty(t *testing.T) {
 			Step: rng.Int63n(1 << 40), Time: rng.Float64() * 1e4,
 			WindowShift: rng.Int63n(1 << 20),
 			PX:          int32(px), PY: int32(py), PZ: int32(pz),
-			BX:          int32(bx), BY: int32(by), BZ: int32(bz),
+			BX: int32(bx), BY: int32(by), BZ: int32(bz),
 			SchedulePos: rng.Int63n(64),
 			PhiVariant:  int32(rng.Intn(6)), MuVariant: int32(rng.Intn(6)),
 			PhiStrategy: int32(rng.Intn(3)) - 1,
 			Dt:          rng.Float64(), TempG: rng.Float64(),
-			TempV:       rng.Float64(), TempZ0: rng.Float64() * 100,
-			PhiBC:       EncodeBCs(phiBCs),
-			MuBC:        EncodeBCs(muBCs),
+			TempV: rng.Float64(), TempZ0: rng.Float64() * 100,
+			PhiBC: EncodeBCs(phiBCs),
+			MuBC:  EncodeBCs(muBCs),
 		}
 		version := trial%3 + 1 // 1, 2 or 3
 

@@ -254,9 +254,18 @@ type exchangeReq struct {
 // interior cells only. Call Finish on the returned Pending to synchronize.
 // At most one exchange per (rank, tag) may be outstanding — exactly the
 // discipline of Algorithm 2's "communicate ... end communicate" bracket.
+//
+// On a closed (or concurrently closing) World the exchange degrades to a
+// blocking one executed here, on the caller's goroutine, and the returned
+// Pending is already complete — correctness is preserved, only the overlap
+// is lost.
 func (w *World) StartExchange(rank int, f *grid.Field, tag Tag, bcs grid.BoundarySet) *Pending {
-	w.worker(rank) <- exchangeReq{f: f, tag: tag, bcs: bcs}
-	return &w.pending[rank][tag]
+	p := &w.pending[rank][tag]
+	if !w.submitExchange(rank, exchangeReq{f: f, tag: tag, bcs: bcs}) {
+		w.ExchangeGhosts(rank, f, tag, bcs)
+		p.done <- struct{}{}
+	}
+	return p
 }
 
 // Finish blocks until the exchange completes, attributing the blocked time

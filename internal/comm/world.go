@@ -98,6 +98,10 @@ type World struct {
 	workers   []commWorker
 	pending   [][]Pending
 	closeOnce sync.Once
+	// inflight counts overlapped-exchange requests accepted but not yet
+	// completed; Close waits for it to drain so an in-flight round always
+	// finishes (and its Finish returns) before the workers shut down.
+	inflight sync.WaitGroup
 
 	stats [][]Stats // per-rank, per-tag accumulated stats
 	mu    []sync.Mutex
@@ -145,38 +149,73 @@ func NewWorld(bg *grid.BlockGrid) *World {
 	return w
 }
 
-// commWorker is one rank's persistent overlapped-exchange executor.
+// commWorker is one rank's persistent overlapped-exchange executor. The
+// mutex makes the started/closed transitions atomic with request
+// submission, so Close can never race a send on a closed channel.
 type commWorker struct {
-	once sync.Once
-	req  chan exchangeReq
+	mu      sync.Mutex
+	started bool
+	closed  bool
+	req     chan exchangeReq
 }
 
-// worker returns rank's request channel, starting the worker goroutine on
-// first use. The goroutine exits when Close closes the channel.
-func (w *World) worker(rank int) chan<- exchangeReq {
+// submitExchange hands rq to rank's comm worker, starting the worker
+// goroutine on first use. It reports false — without submitting — when the
+// World is closed (or closing); the caller then runs the exchange inline.
+// The send happens under the worker's mutex, which is safe because the
+// request channel has one slot per tag and the one-outstanding-per-
+// (rank, tag) discipline guarantees a free slot.
+func (w *World) submitExchange(rank int, rq exchangeReq) bool {
 	cw := &w.workers[rank]
-	cw.once.Do(func() {
-		go func() {
-			for rq := range cw.req {
-				w.ExchangeGhosts(rank, rq.f, rq.tag, rq.bcs)
-				w.pending[rank][rq.tag].done <- struct{}{}
-			}
-		}()
-	})
-	return cw.req
+	cw.mu.Lock()
+	defer cw.mu.Unlock()
+	if cw.closed {
+		return false
+	}
+	if !cw.started {
+		cw.started = true
+		go w.runWorker(rank)
+	}
+	w.inflight.Add(1)
+	cw.req <- rq
+	return true
 }
 
-// Close releases the comm workers. Optional — a World whose owner is
-// garbage collected releases them too (solver.Sim arranges that) — but
-// deterministic for harnesses that build many worlds. The World must not
-// be used for overlapped exchanges afterwards; blocking exchanges and
-// reductions keep working.
+// runWorker is one rank's comm-worker loop. It exits when Close closes the
+// request channel (after the in-flight count drained, so no request is
+// ever abandoned).
+func (w *World) runWorker(rank int) {
+	cw := &w.workers[rank]
+	for rq := range cw.req {
+		w.ExchangeGhosts(rank, rq.f, rq.tag, rq.bcs)
+		w.pending[rank][rq.tag].done <- struct{}{}
+		w.inflight.Done()
+	}
+}
+
+// Close releases the comm workers. It is idempotent and safe to call
+// concurrently with an in-flight overlapped exchange round (the job daemon
+// cancels jobs from API goroutines): accepted exchanges complete — their
+// Finish returns normally — before the workers shut down, and a
+// StartExchange that loses the race to Close degrades to a blocking
+// exchange on the caller's goroutine. Optional — a World whose owner is
+// garbage collected releases the workers too (solver.Sim arranges that) —
+// but deterministic for harnesses that build many worlds. Blocking
+// exchanges and reductions keep working after Close.
 func (w *World) Close() {
 	w.closeOnce.Do(func() {
+		// Phase 1: refuse new submissions. After this loop no
+		// submitExchange can add to inflight (the check-and-add is
+		// atomic under each worker's mutex).
 		for r := range w.workers {
-			// Run each once so a worker started after Close would not
-			// hang; an already-started worker drains and exits.
-			w.workers[r].once.Do(func() {})
+			cw := &w.workers[r]
+			cw.mu.Lock()
+			cw.closed = true
+			cw.mu.Unlock()
+		}
+		// Phase 2: let accepted exchanges finish, then stop the workers.
+		w.inflight.Wait()
+		for r := range w.workers {
 			close(w.workers[r].req)
 		}
 	})

@@ -1,0 +1,86 @@
+package jobd
+
+import (
+	"bytes"
+	"testing"
+
+	"repro"
+	"repro/internal/ckpt"
+)
+
+// BenchmarkPreemptResume measures the cost of the daemon's preemption
+// quantum for a 40³ block: the lossless (float64, ckpt V4) snapshot a
+// preempted job writes, the restore a resumed job performs, and the full
+// round trip. This is the latency a higher-priority submission pays beyond
+// the current timestep — see ROADMAP/README for recorded numbers.
+func BenchmarkPreemptResume(b *testing.B) {
+	build := func(b *testing.B) *phasefield.Simulation {
+		b.Helper()
+		cfg := phasefield.DefaultConfig(40, 40, 40)
+		cfg.Parallelism = 1
+		sim, err := phasefield.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sim.InitFront(); err != nil {
+			b.Fatal(err)
+		}
+		sim.Run(2)
+		return sim
+	}
+	bytesPerOp := int64(40*40*40*6) * 8 // six float64 field values per cell
+
+	b.Run("save", func(b *testing.B) {
+		sim := build(b)
+		defer sim.Close()
+		var buf bytes.Buffer
+		b.SetBytes(bytesPerOp)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			buf.Reset()
+			if err := sim.WriteCheckpoint(&buf, ckpt.Float64); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("restore", func(b *testing.B) {
+		sim := build(b)
+		defer sim.Close()
+		var buf bytes.Buffer
+		if err := sim.WriteCheckpoint(&buf, ckpt.Float64); err != nil {
+			b.Fatal(err)
+		}
+		snapshot := buf.Bytes()
+		cfg := phasefield.Config{Parallelism: 1}
+		b.SetBytes(bytesPerOp)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			restored, err := phasefield.RestoreReader(bytes.NewReader(snapshot), cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			restored.Close()
+		}
+	})
+
+	b.Run("roundtrip", func(b *testing.B) {
+		sim := build(b)
+		defer sim.Close()
+		var buf bytes.Buffer
+		cfg := phasefield.Config{Parallelism: 1}
+		b.SetBytes(2 * bytesPerOp)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			buf.Reset()
+			if err := sim.WriteCheckpoint(&buf, ckpt.Float64); err != nil {
+				b.Fatal(err)
+			}
+			restored, err := phasefield.RestoreReader(bytes.NewReader(buf.Bytes()), cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			restored.Close()
+		}
+	})
+}

@@ -1,0 +1,310 @@
+package jobd
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/schedule"
+)
+
+// Spec is a job submission: the domain configuration plus the production
+// schedule driving the run. It is the JSON body of POST /jobs.
+type Spec struct {
+	Name string `json:"name,omitempty"`
+
+	// Domain size in cells and block decomposition (defaults 1×1).
+	NX int `json:"nx"`
+	NY int `json:"ny"`
+	NZ int `json:"nz"`
+	PX int `json:"px,omitempty"`
+	PY int `json:"py,omitempty"`
+
+	// Steps is the total number of timesteps the job runs (across
+	// preemptions).
+	Steps int `json:"steps"`
+
+	// Priority orders the queue; larger runs first. A queued job with
+	// strictly greater priority than a running one preempts it at the
+	// next timestep boundary.
+	Priority int `json:"priority,omitempty"`
+
+	Seed int64 `json:"seed,omitempty"`
+
+	// Scenario selects the initial composition: "production" (default,
+	// Voronoi nuclei under melt) or "interface" (planar front).
+	Scenario string `json:"scenario,omitempty"`
+
+	// Window enables the moving-window technique (PZ is always 1 here).
+	Window bool `json:"window,omitempty"`
+
+	// Schedule is an embedded schedule file ({"events": [...]}; the same
+	// format as cmd/solidify -schedule). Optional.
+	Schedule json.RawMessage `json:"schedule,omitempty"`
+}
+
+// blocks returns the number of block ranks the spec decomposes into.
+func (sp *Spec) blocks() int { return sp.PX * sp.PY }
+
+// normalize fills defaults and validates the spec; the parsed schedule is
+// returned so submission errors surface at the API boundary, not mid-run.
+func (sp *Spec) normalize() (*schedule.Schedule, error) {
+	if sp.PX == 0 {
+		sp.PX = 1
+	}
+	if sp.PY == 0 {
+		sp.PY = 1
+	}
+	if sp.NX <= 0 || sp.NY <= 0 || sp.NZ <= 0 {
+		return nil, fmt.Errorf("jobd: domain %dx%dx%d invalid", sp.NX, sp.NY, sp.NZ)
+	}
+	if sp.PX < 1 || sp.PY < 1 || sp.NX%sp.PX != 0 || sp.NY%sp.PY != 0 {
+		return nil, fmt.Errorf("jobd: domain %dx%d not divisible by blocks %dx%d",
+			sp.NX, sp.NY, sp.PX, sp.PY)
+	}
+	if sp.Steps < 1 {
+		return nil, fmt.Errorf("jobd: steps %d invalid", sp.Steps)
+	}
+	switch sp.Scenario {
+	case "", "production", "interface":
+	default:
+		return nil, fmt.Errorf("jobd: unknown scenario %q", sp.Scenario)
+	}
+	if len(sp.Schedule) == 0 {
+		return nil, nil
+	}
+	sched, err := schedule.FromJSONBytes(sp.Schedule)
+	if err != nil {
+		return nil, err
+	}
+	// The daemon writes no checkpoint files on behalf of jobs (preemption
+	// snapshots are in-memory; the final state is served by /result), and
+	// a path-bearing checkpoint event submitted over the network would be
+	// an arbitrary file write on the daemon host. Reject rather than
+	// silently strip.
+	for _, c := range sched.Checkpoints() {
+		if c.Path != "" {
+			return nil, fmt.Errorf("jobd: checkpoint events with a path are not allowed in submitted schedules (the daemon serves state via GET /jobs/{id}/result)")
+		}
+	}
+	return sched, nil
+}
+
+// State is a job's lifecycle position.
+type State string
+
+const (
+	// StateQueued: waiting for a slot (never run, or preempted — see
+	// Status.Preemptions).
+	StateQueued State = "queued"
+	// StateRunning: a runner goroutine is stepping the simulation.
+	StateRunning State = "running"
+	// StateDone: all Steps completed; the final state is retrievable.
+	StateDone State = "done"
+	// StateFailed: the run aborted with an error.
+	StateFailed State = "failed"
+	// StateCanceled: removed by DELETE /jobs/{id} or daemon shutdown.
+	StateCanceled State = "canceled"
+)
+
+// terminal reports whether no further transitions can happen.
+func (s State) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// control verbs the scheduler posts to a runner; checked at every timestep
+// boundary (the cooperative yield point).
+const (
+	ctrlNone int32 = iota
+	ctrlPreempt
+	ctrlCancel
+)
+
+// Sample is one metrics observation, streamed over GET /jobs/{id}/metrics
+// as NDJSON.
+type Sample struct {
+	Step  int     `json:"step"`
+	Steps int     `json:"steps"`
+	Time  float64 `json:"time"`
+	Solid float64 `json:"solid"`
+	MLUPs float64 `json:"mlups"`
+	State State   `json:"state"`
+}
+
+// Status is the API view of a job (GET /jobs/{id}).
+type Status struct {
+	ID          string  `json:"id"`
+	Name        string  `json:"name,omitempty"`
+	State       State   `json:"state"`
+	Priority    int     `json:"priority"`
+	Step        int     `json:"step"`
+	Steps       int     `json:"steps"`
+	Time        float64 `json:"time"`
+	Solid       float64 `json:"solid"`
+	Workers     int     `json:"workers"`
+	Preemptions int     `json:"preemptions"`
+	Error       string  `json:"error,omitempty"`
+}
+
+// Job is the daemon-side state of one submitted run.
+type Job struct {
+	ID    string
+	Spec  Spec
+	seq   int64 // submission order; ties queue ordering within a priority
+	sched *schedule.Schedule
+
+	// Control words, written by the scheduler/API and read by the runner
+	// at timestep boundaries.
+	ctrl         atomic.Int32
+	desiredShare atomic.Int32 // worker-budget share the scheduler wants
+	appliedShare atomic.Int32 // share the runner has installed
+
+	mu          sync.Mutex
+	state       State
+	err         error
+	step        int
+	simTime     float64
+	solid       float64
+	preemptions int
+	// snapshot is the float64 (lossless) checkpoint of a preempted job;
+	// final is the float64 checkpoint of a completed one (GET result).
+	snapshot []byte
+	final    []byte
+	// applied accumulates the schedule recorder's audit log across
+	// preemption segments (each resume starts a fresh Sim whose recorder
+	// is empty).
+	applied     []schedule.Event
+	appliedSeen map[string]bool
+	subs        map[chan Sample]struct{}
+}
+
+func newJob(id string, seq int64, spec Spec, sched *schedule.Schedule) *Job {
+	return &Job{
+		ID: id, Spec: spec, seq: seq, sched: sched,
+		state:       StateQueued,
+		appliedSeen: make(map[string]bool),
+		subs:        make(map[chan Sample]struct{}),
+	}
+}
+
+// Status snapshots the job for the API.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := Status{
+		ID: j.ID, Name: j.Spec.Name, State: j.state, Priority: j.Spec.Priority,
+		Step: j.step, Steps: j.Spec.Steps, Time: j.simTime, Solid: j.solid,
+		Preemptions: j.preemptions,
+	}
+	if j.state == StateRunning {
+		st.Workers = int(j.appliedShare.Load())
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	return st
+}
+
+// State returns the current lifecycle state.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// mergeApplied folds a Sim segment's audit log into the job-level log,
+// dropping stateless events already recorded by an earlier segment
+// (one-shots never re-fire across segments — the checkpointed schedule
+// position guarantees that).
+func (j *Job) mergeApplied(events []schedule.Event) {
+	for _, ev := range events {
+		key := fmt.Sprintf("%T %v", ev, ev)
+		if j.appliedSeen[key] {
+			continue
+		}
+		j.appliedSeen[key] = true
+		j.applied = append(j.applied, ev)
+	}
+}
+
+// AppliedScheduleJSON dumps the job's accumulated audit log as a
+// replayable schedule file.
+func (j *Job) AppliedScheduleJSON() ([]byte, error) {
+	j.mu.Lock()
+	events := append([]schedule.Event(nil), j.applied...)
+	j.mu.Unlock()
+	return schedule.EncodeJSON(events)
+}
+
+// FinalCheckpoint returns the lossless checkpoint of a completed job (nil
+// until StateDone).
+func (j *Job) FinalCheckpoint() []byte {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.final
+}
+
+// subscribe registers a metrics listener. The channel is buffered and
+// lossy: a slow consumer drops samples, never stalls the runner. The
+// channel is closed when the job reaches a terminal state.
+func (j *Job) subscribe() (<-chan Sample, func()) {
+	ch := make(chan Sample, 16)
+	j.mu.Lock()
+	if j.state.terminal() {
+		// Deliver one terminal sample and close immediately.
+		ch <- j.sampleLocked()
+		close(ch)
+		j.mu.Unlock()
+		return ch, func() {}
+	}
+	j.subs[ch] = struct{}{}
+	// Seed the stream with the current position.
+	select {
+	case ch <- j.sampleLocked():
+	default:
+	}
+	j.mu.Unlock()
+	return ch, func() {
+		j.mu.Lock()
+		if _, ok := j.subs[ch]; ok {
+			delete(j.subs, ch)
+			close(ch)
+		}
+		j.mu.Unlock()
+	}
+}
+
+// sampleLocked builds a Sample from the current state; j.mu must be held.
+func (j *Job) sampleLocked() Sample {
+	return Sample{Step: j.step, Steps: j.Spec.Steps, Time: j.simTime,
+		Solid: j.solid, State: j.state}
+}
+
+// publish pushes a sample to all subscribers (lossy).
+func (j *Job) publish(s Sample) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for ch := range j.subs {
+		select {
+		case ch <- s:
+		default:
+		}
+	}
+}
+
+// closeSubs delivers a final sample and closes every subscriber channel;
+// called when the job reaches a terminal state.
+func (j *Job) closeSubs() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	final := j.sampleLocked()
+	for ch := range j.subs {
+		select {
+		case ch <- final:
+		default:
+		}
+		close(ch)
+		delete(j.subs, ch)
+	}
+}

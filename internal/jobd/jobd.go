@@ -1,0 +1,540 @@
+// Package jobd is the multi-job orchestration layer that turns the
+// solidification engine into a service: jobs — schedule-driven production
+// runs — are submitted over an HTTP/JSON API, queued by priority, and
+// executed up to K at a time against one shared intra-block worker budget.
+//
+// The paper's production story is an always-on pipeline of
+// process-parameter studies sharing fixed hardware, not one hand-launched
+// binary per run. jobd multiplexes the primitives the engine already has:
+//
+//   - the persistent sweep worker pool (budget shares are re-split across
+//     running jobs as jobs start and finish; a job applies its new share
+//     at the next timestep boundary, and shrinks are acknowledged before a
+//     new job starts, so the global budget is never exceeded — an
+//     invariant made observable by the shared solver.WorkerGauge);
+//   - event schedules (a job is just a composed schedule plus a domain);
+//   - lossless float64 checkpoints (a higher-priority submission preempts
+//     the lowest-priority running job at a timestep boundary via an
+//     in-memory snapshot; the job later resumes bit-identically — the
+//     resumed trajectory is indistinguishable from an uninterrupted one);
+//   - idempotent comm.World shutdown (cancellation arrives from API
+//     goroutines while exchanges are in flight).
+//
+// On SIGTERM the daemon (cmd/solidifyd) drains: every in-flight job is
+// preempted, snapshotted, and spooled to disk together with the queue, so
+// a restarted daemon resumes where the old one stopped.
+package jobd
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/schedule"
+	"repro/internal/solver"
+)
+
+// Config sizes the daemon.
+type Config struct {
+	// MaxConcurrent is K, the number of jobs stepping simultaneously
+	// (default 1).
+	MaxConcurrent int
+	// Budget is the global intra-block sweep worker budget shared by all
+	// running jobs (default GOMAXPROCS). Every running job gets
+	// ⌊Budget/n⌋ workers; a job whose block count exceeds that share is
+	// not admitted until slots free up.
+	Budget int
+	// SpoolDir, when non-empty, is where Drain persists preempted and
+	// queued jobs for the next daemon instance (LoadSpool).
+	SpoolDir string
+	// ReportEvery is the metrics sampling cadence in steps (default 5).
+	ReportEvery int
+}
+
+// Server is the orchestration daemon: queue, scheduler and job registry.
+// Create with New, start with Start, serve Handler over HTTP, stop with
+// Drain (or Close for tests).
+type Server struct {
+	cfg   Config
+	gauge *solver.WorkerGauge
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	queue    []*Job // StateQueued jobs, unordered (sorted on pop)
+	running  map[string]*Job
+	draining bool
+	nextSeq  int64
+	nextID   int
+
+	wake chan struct{}
+	quit chan struct{}
+
+	runnersWG   sync.WaitGroup
+	schedulerWG sync.WaitGroup
+}
+
+// New builds a Server.
+func New(cfg Config) *Server {
+	if cfg.MaxConcurrent < 1 {
+		cfg.MaxConcurrent = 1
+	}
+	if cfg.Budget < 1 {
+		cfg.Budget = runtime.GOMAXPROCS(0)
+	}
+	if cfg.ReportEvery < 1 {
+		cfg.ReportEvery = 5
+	}
+	return &Server{
+		cfg:     cfg,
+		gauge:   &solver.WorkerGauge{},
+		jobs:    make(map[string]*Job),
+		running: make(map[string]*Job),
+		wake:    make(chan struct{}, 1),
+		quit:    make(chan struct{}),
+	}
+}
+
+// Gauge exposes the shared sweep-worker gauge (tests assert
+// Gauge().Max() <= Budget).
+func (s *Server) Gauge() *solver.WorkerGauge { return s.gauge }
+
+// Start launches the scheduler goroutine.
+func (s *Server) Start() {
+	s.schedulerWG.Add(1)
+	go func() {
+		defer s.schedulerWG.Done()
+		for {
+			select {
+			case <-s.quit:
+				return
+			case <-s.wake:
+				s.schedule()
+			}
+		}
+	}()
+}
+
+// wakeup nudges the scheduler (never blocks).
+func (s *Server) wakeup() {
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Submit validates a spec, registers the job, and enqueues it.
+func (s *Server) Submit(spec Spec) (*Job, error) {
+	sched, err := spec.normalize()
+	if err != nil {
+		return nil, err
+	}
+	if spec.blocks() > s.cfg.Budget {
+		return nil, fmt.Errorf("jobd: job needs %d block ranks but the worker budget is %d",
+			spec.blocks(), s.cfg.Budget)
+	}
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil, errDraining
+	}
+	s.nextID++
+	s.nextSeq++
+	j := newJob(fmt.Sprintf("job-%04d", s.nextID), s.nextSeq, spec, sched)
+	s.jobs[j.ID] = j
+	s.queue = append(s.queue, j)
+	s.mu.Unlock()
+	s.wakeup()
+	return j, nil
+}
+
+// errDraining marks submissions rejected during shutdown.
+var errDraining = fmt.Errorf("jobd: daemon is draining")
+
+// IsDraining reports whether err is the drain rejection.
+func IsDraining(err error) bool { return err == errDraining }
+
+// Get returns a job by id.
+func (s *Server) Get(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// List returns all jobs ordered by submission.
+func (s *Server) List() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		out = append(out, j)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].seq < out[b].seq })
+	return out
+}
+
+// Cancel removes a job: queued jobs are canceled immediately; a running
+// job is told to stop at its next timestep boundary. Terminal jobs are
+// left as they are (reported by the returned state).
+func (s *Server) Cancel(id string) (State, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return "", false
+	}
+	j.mu.Lock()
+	switch {
+	case j.state.terminal():
+		st := j.state
+		j.mu.Unlock()
+		s.mu.Unlock()
+		return st, true
+	case j.state == StateQueued:
+		j.state = StateCanceled
+		j.snapshot = nil
+		j.mu.Unlock()
+		s.dropFromQueueLocked(j)
+		s.mu.Unlock()
+		j.closeSubs()
+		s.wakeup()
+		return StateCanceled, true
+	default: // running
+		j.mu.Unlock()
+		j.ctrl.Store(ctrlCancel)
+		s.mu.Unlock()
+		return StateRunning, true
+	}
+}
+
+// dropFromQueueLocked removes j from the queue slice; s.mu must be held.
+func (s *Server) dropFromQueueLocked(j *Job) {
+	for i, q := range s.queue {
+		if q == j {
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+// bestQueuedLocked returns the queued job that should run next: highest
+// priority, then earliest submission. s.mu must be held.
+func (s *Server) bestQueuedLocked() *Job {
+	var best *Job
+	for _, j := range s.queue {
+		if best == nil || j.Spec.Priority > best.Spec.Priority ||
+			(j.Spec.Priority == best.Spec.Priority && j.seq < best.seq) {
+			best = j
+		}
+	}
+	return best
+}
+
+// share computes the per-job worker share for n running jobs.
+func (s *Server) share(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	sh := s.cfg.Budget / n
+	if sh < 1 {
+		sh = 1
+	}
+	return sh
+}
+
+// schedule is one pass of the scheduling policy: preempt if a queued job
+// outranks a running one, then admit while slots and budget allow, then
+// relax shares upward if slots emptied.
+func (s *Server) schedule() {
+	s.preemptIfOutranked()
+	for s.admitOne() {
+	}
+	s.relaxShares()
+}
+
+// preemptIfOutranked asks the lowest-priority running job to preempt when
+// a strictly higher-priority job waits and all slots are busy.
+func (s *Server) preemptIfOutranked() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining || len(s.running) < s.cfg.MaxConcurrent {
+		return
+	}
+	best := s.bestQueuedLocked()
+	if best == nil {
+		return
+	}
+	var victim *Job
+	for _, j := range s.running {
+		if victim == nil || j.Spec.Priority < victim.Spec.Priority ||
+			(j.Spec.Priority == victim.Spec.Priority && j.seq > victim.seq) {
+			victim = j
+		}
+	}
+	if victim != nil && best.Spec.Priority > victim.Spec.Priority {
+		victim.ctrl.CompareAndSwap(ctrlNone, ctrlPreempt)
+	}
+}
+
+// admitOne starts the best queued job if a slot is free and every running
+// job's share can shrink to make room. Returns true when a job started
+// (the caller loops).
+func (s *Server) admitOne() bool {
+	s.mu.Lock()
+	if s.draining || len(s.running) >= s.cfg.MaxConcurrent {
+		s.mu.Unlock()
+		return false
+	}
+	j := s.bestQueuedLocked()
+	if j == nil {
+		s.mu.Unlock()
+		return false
+	}
+	newShare := s.share(len(s.running) + 1)
+	// Every running job needs ≥ one worker per block rank; the candidate
+	// too. If the split cannot honor that, wait for a slot to clear.
+	if j.Spec.blocks() > newShare {
+		s.mu.Unlock()
+		return false
+	}
+	for _, rj := range s.running {
+		if rj.Spec.blocks() > newShare {
+			s.mu.Unlock()
+			return false
+		}
+	}
+	s.dropFromQueueLocked(j)
+	peers := make([]*Job, 0, len(s.running))
+	for _, rj := range s.running {
+		rj.desiredShare.Store(int32(newShare))
+		peers = append(peers, rj)
+	}
+	s.mu.Unlock()
+
+	// Wait for every peer to shrink onto its new share (or leave the
+	// running set) before the newcomer starts — the global budget must
+	// never be exceeded, not even transiently. Shrinks are applied at
+	// timestep boundaries, so this wait is bounded by one step.
+	for _, rj := range peers {
+		for rj.appliedShare.Load() > int32(newShare) && s.isRunning(rj) {
+			time.Sleep(200 * time.Microsecond)
+		}
+	}
+
+	s.mu.Lock()
+	j.mu.Lock()
+	if j.state != StateQueued {
+		// Canceled while we were rebalancing; the slot stays free.
+		j.mu.Unlock()
+		s.mu.Unlock()
+		return true
+	}
+	if s.draining {
+		// Lost the race against Drain: put the job back.
+		j.mu.Unlock()
+		s.queue = append(s.queue, j)
+		s.mu.Unlock()
+		return false
+	}
+	j.state = StateRunning
+	j.mu.Unlock()
+	j.ctrl.Store(ctrlNone)
+	j.desiredShare.Store(int32(newShare))
+	j.appliedShare.Store(int32(newShare))
+	s.running[j.ID] = j
+	s.runnersWG.Add(1)
+	go s.runJob(j)
+	s.mu.Unlock()
+	return true
+}
+
+// relaxShares grows every running job's share to the current split (safe
+// to apply lazily: growing late never violates the budget).
+func (s *Server) relaxShares() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.running) == 0 {
+		return
+	}
+	sh := s.share(len(s.running))
+	for _, j := range s.running {
+		if j.desiredShare.Load() < int32(sh) {
+			j.desiredShare.Store(int32(sh))
+		}
+	}
+}
+
+// isRunning reports whether j is still in the running set.
+func (s *Server) isRunning(j *Job) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.running[j.ID]
+	return ok
+}
+
+// onRunnerExit moves a finished runner's job out of the running set,
+// requeueing it when it was preempted.
+func (s *Server) onRunnerExit(j *Job) {
+	s.mu.Lock()
+	delete(s.running, j.ID)
+	if j.State() == StateQueued { // preempted
+		s.queue = append(s.queue, j)
+	}
+	s.mu.Unlock()
+	s.wakeup()
+}
+
+// Drain stops the daemon gracefully: no new submissions, every running job
+// is preempted (checkpointed at its next timestep boundary), and — when a
+// spool directory is configured — all queued/preempted jobs are persisted
+// for the next daemon instance. Blocks until every runner has exited.
+func (s *Server) Drain() error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.runnersWG.Wait()
+		return nil
+	}
+	s.draining = true
+	for _, j := range s.running {
+		j.ctrl.CompareAndSwap(ctrlNone, ctrlPreempt)
+	}
+	s.mu.Unlock()
+
+	s.runnersWG.Wait()
+	close(s.quit)
+	s.schedulerWG.Wait()
+
+	if s.cfg.SpoolDir == "" {
+		return nil
+	}
+	return s.writeSpool()
+}
+
+// Close is Drain for tests that configured no spool directory.
+func (s *Server) Close() { _ = s.Drain() }
+
+// spoolManifest is the on-disk form of a drained job.
+type spoolManifest struct {
+	ID          string          `json:"id"`
+	Spec        Spec            `json:"spec"`
+	Preemptions int             `json:"preemptions"`
+	Step        int             `json:"step"`
+	Applied     json.RawMessage `json:"applied,omitempty"`
+	// Snapshot is the base64 lossless checkpoint of a preempted job
+	// (absent for never-started jobs).
+	Snapshot string `json:"snapshot,omitempty"`
+}
+
+// writeSpool persists every resumable job.
+func (s *Server) writeSpool() error {
+	if err := os.MkdirAll(s.cfg.SpoolDir, 0o755); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, j := range s.jobs {
+		j.mu.Lock()
+		if j.state != StateQueued {
+			j.mu.Unlock()
+			continue
+		}
+		m := spoolManifest{ID: j.ID, Spec: j.Spec, Preemptions: j.preemptions, Step: j.step}
+		if len(j.snapshot) > 0 {
+			m.Snapshot = base64.StdEncoding.EncodeToString(j.snapshot)
+		}
+		if len(j.applied) > 0 {
+			if blob, err := schedule.EncodeJSON(j.applied); err == nil {
+				m.Applied = blob
+			}
+		}
+		j.mu.Unlock()
+		blob, err := json.Marshal(&m)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(s.cfg.SpoolDir, m.ID+".job.json"), blob, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadSpool requeues jobs a previous daemon instance drained to the spool
+// directory. Call before Start. Returns the number of jobs restored.
+func (s *Server) LoadSpool() (int, error) {
+	if s.cfg.SpoolDir == "" {
+		return 0, nil
+	}
+	entries, err := os.ReadDir(s.cfg.SpoolDir)
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".job.json") {
+			continue
+		}
+		path := filepath.Join(s.cfg.SpoolDir, e.Name())
+		blob, err := os.ReadFile(path)
+		if err != nil {
+			return n, err
+		}
+		var m spoolManifest
+		if err := json.Unmarshal(blob, &m); err != nil {
+			return n, fmt.Errorf("jobd: spool %s: %w", e.Name(), err)
+		}
+		sched, err := m.Spec.normalize()
+		if err != nil {
+			return n, fmt.Errorf("jobd: spool %s: %w", e.Name(), err)
+		}
+		s.mu.Lock()
+		s.nextSeq++
+		j := newJob(m.ID, s.nextSeq, m.Spec, sched)
+		j.step = m.Step
+		j.preemptions = m.Preemptions
+		if m.Snapshot != "" {
+			if j.snapshot, err = base64.StdEncoding.DecodeString(m.Snapshot); err != nil {
+				s.mu.Unlock()
+				return n, fmt.Errorf("jobd: spool %s: %w", e.Name(), err)
+			}
+		}
+		if len(m.Applied) > 0 {
+			if as, err := schedule.FromJSONBytes(m.Applied); err == nil {
+				j.mergeApplied(as.Events)
+			}
+		}
+		// Keep ids unique if the spool and fresh submissions mix.
+		if id := idNumber(m.ID); id >= s.nextID {
+			s.nextID = id
+		}
+		s.jobs[j.ID] = j
+		s.queue = append(s.queue, j)
+		s.mu.Unlock()
+		_ = os.Remove(path)
+		n++
+	}
+	if n > 0 {
+		s.wakeup()
+	}
+	return n, nil
+}
+
+// idNumber extracts the numeric suffix of a job id ("job-0042" → 42).
+func idNumber(id string) int {
+	var n int
+	if _, err := fmt.Sscanf(id, "job-%d", &n); err != nil {
+		return 0
+	}
+	return n
+}

@@ -1,0 +1,177 @@
+package jobd
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"repro"
+	"repro/internal/ckpt"
+)
+
+// runner.go executes one admitted job on its own goroutine. All scheduler
+// control — preemption, cancellation, worker-budget rebalancing — is
+// applied cooperatively at timestep boundaries through the schedule
+// engine's yield hook, where no sweep or overlapped exchange is in flight.
+
+// buildSim constructs the job's simulation: fresh from the spec, or — for
+// a preempted job — restored from the lossless in-memory snapshot, which
+// resumes the trajectory bit-identically.
+func (s *Server) buildSim(j *Job, share int) (*phasefield.Simulation, error) {
+	sp := j.Spec
+	cfg := phasefield.DefaultConfig(sp.NX, sp.NY, sp.NZ)
+	cfg.PX, cfg.PY = sp.PX, sp.PY
+	cfg.Seed = sp.Seed
+	cfg.MovingWindow = sp.Window
+	cfg.Parallelism = share
+	cfg.WorkerGauge = s.gauge
+
+	j.mu.Lock()
+	snapshot := j.snapshot
+	j.mu.Unlock()
+	if snapshot != nil {
+		return phasefield.RestoreReader(bytes.NewReader(snapshot), cfg)
+	}
+	sim, err := phasefield.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if sp.Scenario == "interface" {
+		err = sim.InitFront()
+	} else {
+		err = sim.InitProduction()
+	}
+	if err != nil {
+		return nil, err
+	}
+	return sim, nil
+}
+
+// runJob steps one job until completion, preemption, cancellation or
+// error, then hands the slot back to the scheduler.
+func (s *Server) runJob(j *Job) {
+	defer s.runnersWG.Done()
+	defer s.onRunnerExit(j)
+
+	sim, err := s.buildSim(j, int(j.appliedShare.Load()))
+	if err != nil {
+		s.finishRunner(j, nil, StateFailed, err)
+		return
+	}
+	defer sim.Close()
+
+	remaining := j.Spec.Steps - sim.Step()
+	if remaining <= 0 {
+		s.finishRunner(j, sim, StateDone, nil)
+		return
+	}
+
+	stop := ctrlNone
+	nCells := j.Spec.NX * j.Spec.NY * j.Spec.NZ
+	lastWall := time.Now()
+	lastStep := sim.Step()
+
+	opt := phasefield.ScheduleOptions{
+		OnStep: func(step int) bool {
+			// Control first: a preempted/canceled job must not take
+			// another step.
+			if c := j.ctrl.Load(); c != ctrlNone {
+				stop = c
+				return true
+			}
+			// Budget rebalance: shrinks must apply here, at the step
+			// boundary, before the scheduler admits the next job.
+			if ds := j.desiredShare.Load(); ds != j.appliedShare.Load() {
+				if err := sim.SetWorkerBudget(int(ds)); err == nil {
+					j.appliedShare.Store(ds)
+				}
+			}
+			if (step-lastStep)%s.cfg.ReportEvery == 0 {
+				now := time.Now()
+				mlups := 0.0
+				if d := now.Sub(lastWall).Seconds(); d > 0 {
+					mlups = float64((step-lastStep)*nCells) / d / 1e6
+				}
+				lastWall, lastStep = now, step
+				solid := sim.SolidFraction()
+				j.mu.Lock()
+				j.step = step
+				j.simTime = sim.Time()
+				j.solid = solid
+				j.mergeApplied(sim.AppliedEvents())
+				sample := j.sampleLocked()
+				sample.MLUPs = mlups
+				j.mu.Unlock()
+				j.publish(sample)
+			}
+			return false
+		},
+	}
+
+	runErr := sim.RunSchedule(j.sched, remaining, opt)
+	switch {
+	case runErr != nil:
+		s.finishRunner(j, sim, StateFailed, runErr)
+	case stop == ctrlCancel:
+		s.finishRunner(j, sim, StateCanceled, nil)
+	case stop == ctrlPreempt:
+		s.preemptRunner(j, sim)
+	default:
+		s.finishRunner(j, sim, StateDone, nil)
+	}
+}
+
+// preemptRunner snapshots the simulation losslessly and returns the job to
+// the queue (onRunnerExit requeues StateQueued jobs).
+func (s *Server) preemptRunner(j *Job, sim *phasefield.Simulation) {
+	var buf bytes.Buffer
+	if err := sim.WriteCheckpoint(&buf, ckpt.Float64); err != nil {
+		s.finishRunner(j, sim, StateFailed, fmt.Errorf("jobd: preemption snapshot: %w", err))
+		return
+	}
+	// Clear the preempt order with a CAS, not a store: a DELETE that raced
+	// in while the snapshot was being written must win, or the job would
+	// be requeued despite the acknowledged cancellation. (A cancel landing
+	// after this point sees StateQueued and cancels through the queue
+	// path.)
+	if !j.ctrl.CompareAndSwap(ctrlPreempt, ctrlNone) {
+		s.finishRunner(j, sim, StateCanceled, nil)
+		return
+	}
+	j.mu.Lock()
+	j.snapshot = buf.Bytes()
+	j.state = StateQueued
+	j.preemptions++
+	j.step = sim.Step()
+	j.simTime = sim.Time()
+	j.solid = sim.SolidFraction()
+	j.mergeApplied(sim.AppliedEvents())
+	sample := j.sampleLocked()
+	j.mu.Unlock()
+	j.publish(sample)
+}
+
+// finishRunner records a terminal state (sim may be nil when construction
+// failed).
+func (s *Server) finishRunner(j *Job, sim *phasefield.Simulation, st State, err error) {
+	var final []byte
+	if sim != nil && st == StateDone {
+		var buf bytes.Buffer
+		if werr := sim.WriteCheckpoint(&buf, ckpt.Float64); werr == nil {
+			final = buf.Bytes()
+		}
+	}
+	j.mu.Lock()
+	j.state = st
+	j.err = err
+	if sim != nil {
+		j.step = sim.Step()
+		j.simTime = sim.Time()
+		j.solid = sim.SolidFraction()
+		j.mergeApplied(sim.AppliedEvents())
+	}
+	j.snapshot = nil
+	j.final = final
+	j.mu.Unlock()
+	j.closeSubs()
+}

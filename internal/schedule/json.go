@@ -1,6 +1,7 @@
 package schedule
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -202,6 +203,12 @@ func vector(raw json.RawMessage, key string) ([]float64, error) {
 
 type jsonSchedule struct {
 	Events []jsonEvent `json:"events"`
+}
+
+// FromJSONBytes parses and validates a schedule from an in-memory blob
+// (the embedded "schedule" object of a job-daemon submission).
+func FromJSONBytes(b []byte) (*Schedule, error) {
+	return FromJSON(bytes.NewReader(b))
 }
 
 // FromJSON parses and validates a schedule file.

@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 
@@ -66,26 +67,44 @@ func (t *sweepTask) run(sc *kernels.Scratch) {
 }
 
 // sweepEngine is the persistent worker pool. Workers live for the lifetime
-// of the Sim and block on the task channel between sweeps.
+// of the Sim and block on the task channel between sweeps. The pool can
+// grow at a step boundary (SetWorkerBudget) when the job daemon hands a
+// simulation a larger share of the global budget; shrinking needs no pool
+// change, because concurrency is bounded by how many slabs a sweep
+// dispatches, not by how many workers exist.
 type sweepEngine struct {
 	tasks     chan sweepTask
+	gauge     *WorkerGauge
+	size      int // workers started so far
 	closeOnce sync.Once
 }
 
+// engineTaskCap bounds how many tasks can be queued without blocking the
+// dispatching rank; sized for the largest budget a grow may reach.
+const engineTaskCap = 1024
+
 // newSweepEngine starts nw workers, each owning a Scratch sized for one
 // block slice.
-func newSweepEngine(nw, bx, by int) *sweepEngine {
-	e := &sweepEngine{tasks: make(chan sweepTask, nw)}
-	for i := 0; i < nw; i++ {
+func newSweepEngine(nw, bx, by int, g *WorkerGauge) *sweepEngine {
+	e := &sweepEngine{tasks: make(chan sweepTask, engineTaskCap), gauge: g}
+	e.grow(nw, bx, by)
+	return e
+}
+
+// grow starts n additional workers.
+func (e *sweepEngine) grow(n, bx, by int) {
+	for i := 0; i < n; i++ {
 		sc := kernels.NewScratch(bx, by)
 		go func() {
 			for t := range e.tasks {
+				e.gauge.enter()
 				t.run(sc)
+				e.gauge.exit()
 				t.done.Done()
 			}
 		}()
 	}
-	return e
+	e.size += n
 }
 
 // close releases the worker goroutines. Safe to call more than once.
@@ -126,7 +145,9 @@ func (s *Sim) runSweep(r *rank, op sweepOp) {
 	if n <= 1 || s.engine == nil {
 		t := sweepTask{op: op, ctx: &r.ctx, f: r.fields, v: v,
 			strat: s.phiStrategy, useStrat: useStrat, z0: 0, z1: nz}
+		s.gauge.enter()
 		t.run(r.sc)
+		s.gauge.exit()
 		return
 	}
 	r.wg.Add(n)
@@ -151,4 +172,39 @@ func (s *Sim) Close() {
 		s.engine.close()
 	}
 	s.World.Close()
+}
+
+// SetWorkerBudget re-targets the simulation's total intra-block sweep
+// parallelism to n workers. It must be called at a step boundary (no sweep
+// in flight) — the job daemon applies rebalanced budget shares from the
+// schedule-runner goroutine inside the per-step yield hook. The pool grows
+// on demand; a shrink simply dispatches fewer slabs from the next sweep on
+// (idle pool workers park on the task channel and cost nothing). Slab
+// decompositions are bit-for-bit equivalent across worker counts, so
+// re-budgeting never perturbs the trajectory.
+func (s *Sim) SetWorkerBudget(n int) error {
+	if n < 1 {
+		return fmt.Errorf("solver: worker budget %d invalid", n)
+	}
+	nBlocks := len(s.ranks)
+	wpr := n / nBlocks
+	if wpr < 1 {
+		wpr = 1
+	}
+	s.Cfg.Parallelism = n
+	if wpr == s.workersPerRank {
+		return nil
+	}
+	s.workersPerRank = wpr
+	if wpr <= 1 {
+		return nil
+	}
+	need := wpr * nBlocks
+	if s.engine == nil {
+		s.engine = newSweepEngine(need, s.Cfg.BG.BX, s.Cfg.BG.BY, s.gauge)
+		runtime.AddCleanup(s, func(e *sweepEngine) { e.close() }, s.engine)
+	} else if need > s.engine.size {
+		s.engine.grow(need-s.engine.size, s.Cfg.BG.BX, s.Cfg.BG.BY)
+	}
+	return nil
 }

@@ -1,0 +1,43 @@
+package solver
+
+import "sync/atomic"
+
+// WorkerGauge counts sweep workers that are actively executing kernel code
+// at this instant, across every Sim it is installed in (Config.Gauge). The
+// job daemon shares one gauge across all concurrently running simulations,
+// which turns the "jobs never exceed the global worker budget" invariant
+// into a measurable quantity: Max() is the high-water mark of concurrently
+// busy sweep workers since the last Reset.
+//
+// Both sweep paths report: a serial sweep counts as one busy worker on the
+// rank's own goroutine, and every in-flight z-slab task of the parallel
+// engine counts as one busy pool worker.
+type WorkerGauge struct {
+	cur atomic.Int64
+	max atomic.Int64
+}
+
+// enter marks one worker busy and updates the high-water mark.
+func (g *WorkerGauge) enter() {
+	c := g.cur.Add(1)
+	for {
+		m := g.max.Load()
+		if c <= m || g.max.CompareAndSwap(m, c) {
+			return
+		}
+	}
+}
+
+// exit marks one worker idle.
+func (g *WorkerGauge) exit() { g.cur.Add(-1) }
+
+// Active returns the number of currently busy sweep workers.
+func (g *WorkerGauge) Active() int { return int(g.cur.Load()) }
+
+// Max returns the high-water mark of concurrently busy sweep workers since
+// the last Reset.
+func (g *WorkerGauge) Max() int { return int(g.max.Load()) }
+
+// Reset clears the high-water mark (the instantaneous count is live and
+// not resettable).
+func (g *WorkerGauge) Reset() { g.max.Store(g.cur.Load()) }

@@ -36,6 +36,14 @@ type ScheduleHooks struct {
 	WriteCheckpoint func(pathTemplate string, step int) error
 	// OnEvent is invoked after a one-shot event fires (logging/tracing).
 	OnEvent func(ev schedule.Event, step int)
+	// StepDone is the cooperative yield point of the job daemon: invoked
+	// after every completed step (after due checkpoints were written),
+	// on the caller's goroutine at a step boundary where no sweep or
+	// overlapped exchange is in flight. Returning true stops RunSchedule
+	// early with a nil error — the caller decides whether that means
+	// preemption (checkpoint + requeue), cancellation, or drain. Budget
+	// rebalancing (SetWorkerBudget) is also safe here.
+	StepDone func(step int) (stop bool)
 }
 
 // Kernels returns the active kernel selection: the φ- and µ-sweep variants
@@ -78,8 +86,13 @@ func (s *Sim) SetSchedulePos(pos int) { s.schedPos = pos }
 // post-step. A nil schedule degenerates to Run(n).
 func (s *Sim) RunSchedule(n int, sched *schedule.Schedule, hooks ScheduleHooks) error {
 	if sched == nil {
-		s.Run(n)
-		return nil
+		if hooks.StepDone == nil {
+			s.Run(n)
+			return nil
+		}
+		// An unscheduled run still needs the per-step yield point (the
+		// job daemon preempts schedule-less jobs too).
+		sched = &schedule.Schedule{}
 	}
 	oneShots := sched.OneShots()
 	ramps := sched.Ramps()
@@ -97,10 +110,17 @@ func (s *Sim) RunSchedule(n int, sched *schedule.Schedule, hooks ScheduleHooks) 
 			return fmt.Errorf("solver: setbc %v to periodic: the face BC wraps within one block, but the axis is decomposed into %d", b.Face, blocks)
 		}
 	}
+	// Per-call recording gates: an event enters the audit log on its first
+	// application in this call (the cross-call/cross-segment dedup happens
+	// in recordEvent's key map); after that, re-applying it each step costs
+	// one bool check, keeping the hot loop free of reflective formatting.
+	rampRec := make([]bool, len(ramps))
+	bcRec := make([]bool, len(setbcs))
+	ckptRec := make([]bool, len(ckpts))
 	// Install the prescription already in force at entry (a restart from a
 	// checkpoint without BC state — V1/V2 — would otherwise run with the
 	// configured walls until the next event boundary).
-	if s.applyDueSetBCs(setbcs, false) {
+	if s.applyDueSetBCs(setbcs, false, bcRec) {
 		s.refillBoundaryGhosts()
 	}
 
@@ -112,6 +132,7 @@ func (s *Sim) RunSchedule(n int, sched *schedule.Schedule, hooks ScheduleHooks) 
 			if err := s.applyOneShot(ev); err != nil {
 				return err
 			}
+			s.recordOneShot(ev)
 			s.schedPos++
 			if hooks.OnEvent != nil {
 				hooks.OnEvent(ev, s.step)
@@ -119,10 +140,14 @@ func (s *Sim) RunSchedule(n int, sched *schedule.Schedule, hooks ScheduleHooks) 
 		}
 		// Ramps are pure functions of the step index; a later ramp on
 		// the same parameter overrides an earlier one.
-		for _, r := range ramps {
+		for ri, r := range ramps {
 			if r.Step <= s.step {
 				if err := s.applyRamp(r); err != nil {
 					return err
+				}
+				if !rampRec[ri] {
+					rampRec[ri] = true
+					s.recordEvent(r)
 				}
 			}
 		}
@@ -131,18 +156,26 @@ func (s *Sim) RunSchedule(n int, sched *schedule.Schedule, hooks ScheduleHooks) 
 		// changing (within their ramp window) apply here; settled state
 		// persists in the domain sets and the regular exchange fills,
 		// costing nothing per step.
-		if s.applyDueSetBCs(setbcs, true) {
+		if s.applyDueSetBCs(setbcs, true, bcRec) {
 			s.refillBoundaryGhosts()
 		}
 
 		s.Run(1)
 
-		for _, c := range ckpts {
+		for ci, c := range ckpts {
 			if c.Due(s.step) && hooks.WriteCheckpoint != nil {
+				if !ckptRec[ci] {
+					ckptRec[ci] = true
+					s.recordEvent(c)
+				}
 				if err := hooks.WriteCheckpoint(c.Path, s.step); err != nil {
 					return err
 				}
 			}
+		}
+
+		if hooks.StepDone != nil && hooks.StepDone(s.step) {
+			return nil
 		}
 	}
 	return nil
@@ -213,7 +246,7 @@ func (s *Sim) applyRamp(r schedule.Ramp) error {
 // and re-derive every rank's BCs forever (schedule.New rejects ambiguous
 // overlaps). With changingOnly, events whose prescription has settled are
 // skipped — their state already persists in the domain sets.
-func (s *Sim) applyDueSetBCs(setbcs []schedule.SetBC, changingOnly bool) bool {
+func (s *Sim) applyDueSetBCs(setbcs []schedule.SetBC, changingOnly bool, rec []bool) bool {
 	var due [2 * int(grid.NumFaces)]int
 	for i := range due {
 		due[i] = -1
@@ -227,10 +260,57 @@ func (s *Sim) applyDueSetBCs(setbcs []schedule.SetBC, changingOnly bool) bool {
 	for _, j := range due {
 		if j >= 0 {
 			s.applySetBC(setbcs[j])
+			if !rec[j] {
+				rec[j] = true
+				s.recordEvent(setbcs[j])
+			}
 			applied = true
 		}
 	}
 	return applied
+}
+
+// recordEvent appends a stateless event (ramp, setbc, checkpoint cadence)
+// to the applied-event audit log the first time it takes effect. The
+// original event is kept verbatim — its prescription is a pure function of
+// the absolute step index, so replaying the dumped schedule reproduces the
+// same values at the same steps.
+func (s *Sim) recordEvent(ev schedule.Event) {
+	key := fmt.Sprintf("%T %v", ev, ev)
+	if s.recordSeen == nil {
+		s.recordSeen = make(map[string]bool)
+	}
+	if s.recordSeen[key] {
+		return
+	}
+	s.recordSeen[key] = true
+	s.record = append(s.record, ev)
+}
+
+// recordOneShot appends a fired one-shot event, rebased to the step it
+// actually fired at (a restart can legally delay an event past its nominal
+// start step; the log captures what happened, not what was asked for).
+func (s *Sim) recordOneShot(ev schedule.Event) {
+	switch e := ev.(type) {
+	case schedule.NucleationBurst:
+		e.Step = s.step
+		s.record = append(s.record, e)
+	case schedule.SwitchVariant:
+		e.Step = s.step
+		s.record = append(s.record, e)
+	default:
+		s.record = append(s.record, ev)
+	}
+}
+
+// AppliedEvents returns the audit log of schedule events this simulation
+// has applied, in application order: one-shots at the step they fired,
+// stateless events (ramps, BC events, checkpoint cadences) once, when they
+// first took effect, verbatim. The log is the minimal replayable record of
+// the run — encode it with schedule.EncodeJSON to obtain a schedule file
+// that reproduces the same trajectory from the same initial state.
+func (s *Sim) AppliedEvents() []schedule.Event {
+	return append([]schedule.Event(nil), s.record...)
 }
 
 // refillBoundaryGhosts re-applies the physical-face fills to the

@@ -18,6 +18,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/grid"
 	"repro/internal/kernels"
+	"repro/internal/schedule"
 	"repro/internal/voronoi"
 )
 
@@ -107,8 +108,14 @@ type Config struct {
 	// When it exceeds the block count, each block's sweeps are decomposed
 	// into z-slabs executed concurrently by the persistent worker pool;
 	// otherwise sweeps run serially on the per-block goroutines exactly as
-	// without the engine.
+	// without the engine. SetWorkerBudget re-targets it between steps.
 	Parallelism int
+
+	// Gauge, when non-nil, is shared instrumentation counting concurrently
+	// busy sweep workers. The job daemon installs one gauge across every
+	// simulation it runs so the global-budget invariant is observable; nil
+	// gets a private gauge.
+	Gauge *WorkerGauge
 
 	Seed int64 // RNG seed for the Voronoi setup
 }
@@ -137,6 +144,7 @@ type Sim struct {
 
 	engine         *sweepEngine // nil when every rank gets a single slab
 	workersPerRank int
+	gauge          *WorkerGauge // never nil; Cfg.Gauge or a private one
 
 	// Active kernel selection. Initialized from Cfg.Variant; scheduled
 	// SwitchVariant events (and checkpoint restarts) may change it at
@@ -148,6 +156,11 @@ type Sim struct {
 	usePhiStrategy bool
 
 	schedPos int // one-shot schedule events already fired
+
+	// Applied-event audit log (the schedule recorder): every event
+	// RunSchedule applies is appended once, replayable via AppliedEvents.
+	record     []schedule.Event
+	recordSeen map[string]bool
 
 	step         int
 	time         float64
@@ -184,13 +197,17 @@ func New(cfg Config) (*Sim, error) {
 	// the World, so they keep it alive; release them when the Sim goes
 	// unreachable without an explicit Close.
 	runtime.AddCleanup(s, func(w *comm.World) { w.Close() }, s.World)
+	s.gauge = cfg.Gauge
+	if s.gauge == nil {
+		s.gauge = &WorkerGauge{}
+	}
 	nBlocks := cfg.BG.NumBlocks()
 	s.workersPerRank = cfg.Parallelism / nBlocks
 	if s.workersPerRank < 1 {
 		s.workersPerRank = 1
 	}
 	if s.workersPerRank > 1 {
-		s.engine = newSweepEngine(s.workersPerRank*nBlocks, cfg.BG.BX, cfg.BG.BY)
+		s.engine = newSweepEngine(s.workersPerRank*nBlocks, cfg.BG.BX, cfg.BG.BY, s.gauge)
 		// Release the workers when the Sim becomes unreachable without an
 		// explicit Close (benchmark harnesses build many simulations).
 		runtime.AddCleanup(s, func(e *sweepEngine) { e.close() }, s.engine)

@@ -81,7 +81,12 @@ type Config struct {
 	// Parallelism is the total worker budget for intra-block sweep
 	// parallelism (0 selects runtime.GOMAXPROCS(0)). Workers beyond the
 	// block count split each block's sweeps into concurrent z-slabs.
+	// SetWorkerBudget re-targets it between steps.
 	Parallelism int
+	// WorkerGauge, when non-nil, instruments this simulation's sweep
+	// workers on a shared gauge (the job daemon installs one gauge across
+	// all concurrent simulations to observe its global budget).
+	WorkerGauge *solver.WorkerGauge
 	// Seed for the Voronoi nuclei.
 	Seed int64
 
@@ -160,6 +165,7 @@ func New(cfg Config) (*Simulation, error) {
 		MovingWindow:        cfg.MovingWindow,
 		WindowFrontFraction: cfg.WindowFraction,
 		Parallelism:         cfg.Parallelism,
+		Gauge:               cfg.WorkerGauge,
 		Seed:                cfg.Seed,
 	})
 	if err != nil {
@@ -247,13 +253,26 @@ func (s *Simulation) WriteInterfaceSTL(w io.Writer, phase, targetTris int) error
 	return m.WriteSTL(w)
 }
 
-// Checkpoint writes the full simulation state in single precision.
+// Checkpoint writes the full simulation state to path in single precision
+// (the paper's disk format).
 func (s *Simulation) Checkpoint(path string) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
+	if err := s.WriteCheckpoint(f, ckpt.Float32); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// WriteCheckpoint serializes the full simulation state to w at the given
+// field precision. ckpt.Float32 is the paper's compact disk format;
+// ckpt.Float64 is the lossless snapshot the job daemon uses for
+// preemption, where the resumed trajectory must be bit-identical to an
+// uninterrupted run.
+func (s *Simulation) WriteCheckpoint(w io.Writer, prec ckpt.Precision) error {
 	s.sim.Sync()
 	n := s.sim.NumRanks()
 	fields := make([]*kernels.Fields, n)
@@ -284,10 +303,7 @@ func (s *Simulation) Checkpoint(path string) error {
 		PhiBC:       ckpt.EncodeBCs(phiBCs),
 		MuBC:        ckpt.EncodeBCs(muBCs),
 	}
-	if err := ckpt.Write(f, h, fields); err != nil {
-		return err
-	}
-	return f.Close()
+	return ckpt.WritePrecision(w, h, fields, prec)
 }
 
 // Restore loads a checkpoint written by Checkpoint into a new Simulation
@@ -303,7 +319,14 @@ func Restore(path string, cfg Config) (*Simulation, error) {
 		return nil, err
 	}
 	defer f.Close()
-	h, fields, err := ckpt.Read(f)
+	return RestoreReader(f, cfg)
+}
+
+// RestoreReader is Restore over an arbitrary checkpoint stream — the job
+// daemon resumes preempted jobs from in-memory float64 snapshots through
+// this path.
+func RestoreReader(r io.Reader, cfg Config) (*Simulation, error) {
+	h, fields, err := ckpt.Read(r)
 	if err != nil {
 		return nil, err
 	}
@@ -390,6 +413,11 @@ type ScheduleOptions struct {
 	// Log, when non-nil, receives one line per fired event and written
 	// checkpoint.
 	Log func(msg string)
+	// OnStep, when non-nil, is called after every completed step at a
+	// step boundary (the cooperative yield point). Returning true stops
+	// RunSchedule early with a nil error; the job daemon uses this for
+	// preemption, cancellation and worker-budget rebalancing.
+	OnStep func(step int) (stop bool)
 }
 
 // RunSchedule advances n timesteps under a production schedule: nucleation
@@ -423,11 +451,29 @@ func (s *Simulation) RunSchedule(sched *schedule.Schedule, n int, opt ScheduleOp
 			opt.Log(fmt.Sprintf("step %d: %v", step, ev))
 		}
 	}
+	hooks.StepDone = opt.OnStep
 	return s.sim.RunSchedule(n, sched, hooks)
 }
 
 // SchedulePos returns how many one-shot schedule events have fired.
 func (s *Simulation) SchedulePos() int { return s.sim.SchedulePos() }
+
+// AppliedEvents returns the schedule recorder's audit log: every event
+// RunSchedule has applied, one-shots rebased to the step they actually
+// fired, replayable via schedule.EncodeJSON (see AppliedScheduleJSON).
+func (s *Simulation) AppliedEvents() []schedule.Event { return s.sim.AppliedEvents() }
+
+// AppliedScheduleJSON dumps the applied-event audit log as a replayable
+// schedule file (the format read by -schedule / LoadSchedule).
+func (s *Simulation) AppliedScheduleJSON() ([]byte, error) {
+	return schedule.EncodeJSON(s.sim.AppliedEvents())
+}
+
+// SetWorkerBudget re-targets the simulation's total sweep parallelism to n
+// workers. Must be called at a step boundary (e.g. from
+// ScheduleOptions.OnStep); the trajectory is unaffected — slab
+// decompositions are bit-for-bit equivalent across worker counts.
+func (s *Simulation) SetWorkerBudget(n int) error { return s.sim.SetWorkerBudget(n) }
 
 // DomainBCs returns deep copies of the live per-face boundary sets of the
 // φ and µ fields (scheduled SetBC events change them between steps).
