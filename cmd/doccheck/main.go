@@ -1,0 +1,145 @@
+// Command doccheck is the doc-health gate run by CI: it fails when a
+// package lacks a package-level doc comment or exports an identifier
+// without one. Only non-test files are checked; _test.go helpers may stay
+// terse, and String methods are exempt (fmt.Stringer is self-describing).
+//
+// Usage:
+//
+//	go run ./cmd/doccheck internal/jobd internal/schedule internal/ckpt internal/comm
+//
+// Exit status 1 lists every offending declaration as file:line: name.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: doccheck <package-dir>...")
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	bad := 0
+	for _, dir := range flag.Args() {
+		bad += checkDir(dir)
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d undocumented exported identifier(s)\n", bad)
+		os.Exit(1)
+	}
+}
+
+// checkDir parses one package directory and reports undocumented exported
+// declarations; returns the count.
+func checkDir(dir string) int {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doccheck: %s: %v\n", dir, err)
+		return 1
+	}
+	bad := 0
+	for _, pkg := range pkgs {
+		hasPkgDoc := false
+		for path, f := range pkg.Files {
+			if f.Doc != nil {
+				hasPkgDoc = true
+			}
+			bad += checkFile(fset, f, path)
+		}
+		if !hasPkgDoc {
+			fmt.Printf("%s: package %s has no package doc comment\n", dir, pkg.Name)
+			bad++
+		}
+	}
+	return bad
+}
+
+// checkFile walks one file's top-level declarations.
+func checkFile(fset *token.FileSet, f *ast.File, path string) int {
+	bad := 0
+	report := func(pos token.Pos, what string) {
+		p := fset.Position(pos)
+		fmt.Printf("%s:%d: %s is exported but undocumented\n", filepath.ToSlash(p.Filename), p.Line, what)
+		bad++
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if d.Name.IsExported() && d.Name.Name != "String" && d.Doc == nil && receiverExported(d) {
+				report(d.Pos(), declName(d))
+			}
+		case *ast.GenDecl:
+			bad += checkGenDecl(report, d)
+		}
+	}
+	return bad
+}
+
+// receiverExported reports whether a method's receiver type is itself
+// exported (methods on unexported types are internal API).
+func receiverExported(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return true
+		}
+	}
+}
+
+// declName renders a function or method name for the report.
+func declName(d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return "func " + d.Name.Name
+	}
+	return "method " + d.Name.Name
+}
+
+// checkGenDecl handles const/var/type blocks: the block doc covers single
+// specs; grouped specs need per-spec docs only when the block has none.
+func checkGenDecl(report func(token.Pos, string), d *ast.GenDecl) int {
+	if d.Tok != token.CONST && d.Tok != token.VAR && d.Tok != token.TYPE {
+		return 0
+	}
+	bad := 0
+	for _, spec := range d.Specs {
+		switch sp := spec.(type) {
+		case *ast.TypeSpec:
+			if sp.Name.IsExported() && d.Doc == nil && sp.Doc == nil {
+				report(sp.Pos(), "type "+sp.Name.Name)
+				bad++
+			}
+		case *ast.ValueSpec:
+			for _, name := range sp.Names {
+				if name.IsExported() && d.Doc == nil && sp.Doc == nil && sp.Comment == nil {
+					report(name.Pos(), d.Tok.String()+" "+name.Name)
+					bad++
+				}
+			}
+		}
+	}
+	return bad
+}

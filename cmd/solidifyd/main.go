@@ -7,17 +7,30 @@
 // job is checkpointed and — with -spool — persisted, so the next instance
 // picks the queue back up.
 //
+// Campaigns submit as job arrays (POST /arrays): a template spec expands
+// over a parameter grid into one child job per grid point, children
+// interleaving fairly with other submissions. Named resource classes
+// (-class name=W, e.g. -class small=2 -class large=6) cap how many workers
+// each class's jobs may hold collectively, so an array of cheap scouts
+// never starves a production run. With -store-dir, terminal jobs spill
+// their final checkpoint, replayable schedule and metrics summary to a
+// content-addressed on-disk store, and a restarted daemon keeps serving
+// /result and /schedule byte-identically.
+//
 // Usage:
 //
-//	solidifyd -addr :8080 -jobs 2 -budget 8 -spool /var/lib/solidifyd
+//	solidifyd -addr :8080 -jobs 2 -budget 8 -class small=2 \
+//	  -spool /var/lib/solidifyd/spool -store-dir /var/lib/solidifyd/store
 //
 //	curl -X POST -d '{"nx":32,"ny":32,"nz":64,"steps":500,
 //	  "schedule":{"events":[{"type":"ramp","param":"v","step":0,
 //	  "over":200,"from":0.02,"to":0.05}]}}' localhost:8080/jobs
-//	curl localhost:8080/jobs/job-0001
-//	curl localhost:8080/jobs/job-0001/metrics   # NDJSON stream
-//	curl localhost:8080/jobs/job-0001/schedule  # replayable audit log
-//	curl -X DELETE localhost:8080/jobs/job-0001
+//	curl -X POST -d @array.json localhost:8080/arrays
+//	curl localhost:8080/arrays/arr-0001            # aggregated status
+//	curl localhost:8080/arrays/arr-0001/results    # per-child params + metrics
+//	curl localhost:8080/jobs/job-0001/metrics      # NDJSON stream
+//	curl localhost:8080/jobs/job-0001/schedule     # replayable audit log
+//	curl -X DELETE localhost:8080/arrays/arr-0001
 package main
 
 import (
@@ -29,17 +42,46 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/jobd"
 )
 
+// classFlags accumulates repeated -class name=W definitions.
+type classFlags map[string]int
+
+func (c classFlags) String() string {
+	parts := make([]string, 0, len(c))
+	for name, w := range c {
+		parts = append(parts, fmt.Sprintf("%s=%d", name, w))
+	}
+	return strings.Join(parts, ",")
+}
+
+func (c classFlags) Set(v string) error {
+	name, val, ok := strings.Cut(v, "=")
+	if !ok || name == "" {
+		return fmt.Errorf("want name=workers, got %q", v)
+	}
+	w, err := strconv.Atoi(val)
+	if err != nil || w < 1 {
+		return fmt.Errorf("class %q needs a positive worker count, got %q", name, val)
+	}
+	c[name] = w
+	return nil
+}
+
 func main() {
 	addr := flag.String("addr", ":8080", "HTTP listen address")
 	jobs := flag.Int("jobs", 2, "max concurrently running jobs (K)")
 	budget := flag.Int("budget", runtime.GOMAXPROCS(0), "global sweep-worker budget shared by running jobs")
 	spool := flag.String("spool", "", "directory for drained-job spooling (empty = no persistence)")
+	storeDir := flag.String("store-dir", "", "persistent result store directory (empty = results are in-memory only)")
+	classes := classFlags{}
+	flag.Var(classes, "class", "resource class as name=workers (repeatable, e.g. -class small=2 -class large=6)")
 	report := flag.Int("report", 5, "metrics sampling cadence in steps")
 	flag.Parse()
 
@@ -47,8 +89,16 @@ func main() {
 		MaxConcurrent: *jobs,
 		Budget:        *budget,
 		SpoolDir:      *spool,
+		StoreDir:      *storeDir,
+		Classes:       classes,
 		ReportEvery:   *report,
+		Log:           func(msg string) { fmt.Fprintln(os.Stderr, msg) },
 	})
+	if n, err := srv.LoadStore(); err != nil {
+		fatal(err)
+	} else if n > 0 {
+		fmt.Printf("solidifyd: restored %d stored job(s) from %s\n", n, *storeDir)
+	}
 	if n, err := srv.LoadSpool(); err != nil {
 		fatal(err)
 	} else if n > 0 {
@@ -59,7 +109,8 @@ func main() {
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	errCh := make(chan error, 1)
 	go func() {
-		fmt.Printf("solidifyd: listening on %s (jobs=%d budget=%d)\n", *addr, *jobs, *budget)
+		fmt.Printf("solidifyd: listening on %s (jobs=%d budget=%d classes=%v)\n",
+			*addr, *jobs, *budget, classes)
 		errCh <- httpSrv.ListenAndServe()
 	}()
 

@@ -1,0 +1,185 @@
+// Sweep: the campaign workload. The paper's production story is parameter
+// studies — many related solidification runs exploring pull velocity,
+// nucleation scenarios and seeds — not single hand-launched simulations.
+// This example drives one end-to-end through the job daemon:
+//
+//  1. array.json is a job-array submission: a template spec whose schedule
+//     references grid parameters ("${vmax}", "${seed}"), expanded over a
+//     3×2 grid into six child jobs of resource class "scout" (capped at 2
+//     of the daemon's 4 sweep workers);
+//  2. a higher-cost "large"-class production job runs concurrently — the
+//     class caps guarantee the scouts never starve it;
+//  3. every terminal job spills its result into the content-addressed
+//     store; the example then drains the daemon (the SIGTERM path),
+//     restarts a fresh one over the same store directory, and verifies the
+//     children's /result payloads are byte-identical to the pre-restart
+//     responses;
+//  4. the per-child aggregation (GET /arrays/{id}/results) lands in
+//     sweep-results.json — the campaign's product: solid fraction as a
+//     function of (vmax, seed).
+package main
+
+import (
+	"bytes"
+	_ "embed"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/jobd"
+)
+
+//go:embed array.json
+var arrayJSON []byte
+
+func main() {
+	storeDir, err := os.MkdirTemp("", "sweep-store-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(storeDir)
+
+	cfg := jobd.Config{
+		MaxConcurrent: 2,
+		Budget:        4,
+		Classes:       map[string]int{"scout": 2, "large": 3},
+		StoreDir:      storeDir,
+		ReportEvery:   5,
+	}
+	srv := jobd.New(cfg)
+	if _, err := srv.LoadStore(); err != nil {
+		log.Fatal(err)
+	}
+	srv.Start()
+	ts := httptest.NewServer(srv.Handler())
+
+	// 1. Submit the campaign.
+	resp, err := http.Post(ts.URL+"/arrays", "application/json", bytes.NewReader(arrayJSON))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var arr jobd.ArrayStatus
+	mustDecode(resp, &arr)
+	fmt.Printf("submitted array %s: %d children\n", arr.ID, len(arr.Children))
+
+	// 2. The concurrent production run in its own resource class.
+	prodSpec := map[string]any{
+		"name": "production", "nx": 16, "ny": 16, "nz": 32, "steps": 80,
+		"class": "large", "seed": 7,
+	}
+	blob, _ := json.Marshal(prodSpec)
+	resp, err = http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader(blob))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var prod jobd.Status
+	mustDecode(resp, &prod)
+	fmt.Printf("submitted production job %s (class %s)\n", prod.ID, prod.Class)
+
+	// Wait for the campaign and the production run.
+	waitDone(ts.URL+"/arrays/"+arr.ID, func(body []byte) bool {
+		var st jobd.ArrayStatus
+		return json.Unmarshal(body, &st) == nil && st.State == jobd.StateDone
+	})
+	waitDone(ts.URL+"/jobs/"+prod.ID, func(body []byte) bool {
+		var st jobd.Status
+		return json.Unmarshal(body, &st) == nil && st.State == jobd.StateDone
+	})
+	fmt.Printf("campaign done; worker gauge high-water mark %d (budget %d), scouts %d (cap %d)\n",
+		srv.Gauge().Max(), cfg.Budget, srv.Gauge().Class("scout").Max(), cfg.Classes["scout"])
+
+	// 4. Fetch the aggregation and print the campaign product.
+	resultsBlob := get(ts.URL + "/arrays/" + arr.ID + "/results")
+	var results jobd.ArrayResults
+	if err := json.Unmarshal(resultsBlob, &results); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n  vmax    seed   solid fraction")
+	for _, c := range results.Children {
+		fmt.Printf("  %-7g %-6g %.6f\n", c.Params["vmax"], c.Params["seed"], c.Solid)
+	}
+	if err := os.WriteFile("sweep-results.json", resultsBlob, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nwrote sweep-results.json")
+
+	// Snapshot one child's result, then restart the daemon over the store.
+	child := arr.Children[0].ID
+	pre := get(ts.URL + "/jobs/" + child + "/result")
+
+	// 3. Drain (the SIGTERM path) and restart over the same store.
+	if err := srv.Drain(); err != nil {
+		log.Fatal(err)
+	}
+	ts.Close()
+	srv2 := jobd.New(cfg)
+	n, err := srv2.LoadStore()
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv2.Start()
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer func() {
+		ts2.Close()
+		srv2.Close()
+	}()
+	fmt.Printf("restarted daemon restored %d jobs from the store\n", n)
+
+	post := get(ts2.URL + "/jobs/" + child + "/result")
+	if !bytes.Equal(pre, post) {
+		log.Fatalf("child %s result differs across restart (%d vs %d bytes)", child, len(pre), len(post))
+	}
+	fmt.Printf("child %s result served from the store byte-identical across restart (%d bytes, ckpt %s)\n",
+		child, len(post), filepath.Base(storeDir))
+}
+
+// get fetches a URL or dies.
+func get(url string) []byte {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode/100 != 2 {
+		log.Fatalf("GET %s: %d %s", url, resp.StatusCode, body)
+	}
+	return body
+}
+
+// mustDecode reads a 2xx JSON response into out or dies.
+func mustDecode(resp *http.Response, out any) {
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode/100 != 2 {
+		log.Fatalf("%s: %d %s", resp.Request.URL, resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, out); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// waitDone polls url until cond holds.
+func waitDone(url string, cond func([]byte) bool) {
+	for start := time.Now(); ; {
+		if cond(get(url)) {
+			return
+		}
+		if time.Since(start) > 10*time.Minute {
+			log.Fatalf("timeout waiting on %s", url)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}

@@ -8,13 +8,18 @@ import (
 
 // api.go is the HTTP/JSON surface of the daemon:
 //
-//	POST   /jobs               submit a Spec; 201 {"id": "job-0001"}
-//	GET    /jobs               list job statuses
-//	GET    /jobs/{id}          one job's status
-//	GET    /jobs/{id}/metrics  NDJSON stream of Samples until terminal
-//	GET    /jobs/{id}/schedule replayable audit log of applied events
-//	GET    /jobs/{id}/result   final lossless checkpoint (done jobs)
-//	DELETE /jobs/{id}          cancel (running jobs stop at the next step)
+//	POST   /jobs                 submit a Spec; 201 {"id": "job-0001"}
+//	GET    /jobs                 list job statuses
+//	GET    /jobs/{id}            one job's status
+//	GET    /jobs/{id}/metrics    NDJSON stream of Samples until terminal
+//	GET    /jobs/{id}/schedule   replayable audit log of applied events
+//	GET    /jobs/{id}/result     final lossless checkpoint (done jobs)
+//	DELETE /jobs/{id}            cancel (running jobs stop at the next step)
+//	POST   /arrays               submit an ArraySpec; expands into child jobs
+//	GET    /arrays               list array statuses
+//	GET    /arrays/{id}          one array's aggregated status
+//	GET    /arrays/{id}/results  per-child params + metrics + result paths
+//	DELETE /arrays/{id}          cancel every non-terminal child
 
 // Handler returns the daemon's HTTP API.
 func (s *Server) Handler() http.Handler {
@@ -26,6 +31,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}/schedule", s.handleSchedule)
 	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	mux.HandleFunc("POST /arrays", s.handleSubmitArray)
+	mux.HandleFunc("GET /arrays", s.handleListArrays)
+	mux.HandleFunc("GET /arrays/{id}", s.handleArrayStatus)
+	mux.HandleFunc("GET /arrays/{id}/results", s.handleArrayResults)
+	mux.HandleFunc("DELETE /arrays/{id}", s.handleCancelArray)
 	return mux
 }
 
@@ -128,7 +138,7 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	blob, err := j.AppliedScheduleJSON()
+	blob, err := s.scheduleBytes(j)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
@@ -142,10 +152,15 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	final := j.FinalCheckpoint()
-	if final == nil {
+	if !s.hasResult(j) {
 		writeError(w, http.StatusConflict, "job %s is %s; result exists only for done jobs",
 			j.ID, j.State())
+		return
+	}
+	final, err := s.resultBytes(j)
+	if err != nil {
+		// A torn or corrupted stored result is an error, never served.
+		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
@@ -159,4 +174,65 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	}
 	st, _ := s.Cancel(j.ID)
 	writeJSON(w, http.StatusAccepted, map[string]any{"id": j.ID, "state": st})
+}
+
+func (s *Server) handleSubmitArray(w http.ResponseWriter, r *http.Request) {
+	var as ArraySpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&as); err != nil {
+		writeError(w, http.StatusBadRequest, "bad array spec: %v", err)
+		return
+	}
+	arr, err := s.SubmitArray(as)
+	if err != nil {
+		code := http.StatusBadRequest
+		if IsDraining(err) {
+			code = http.StatusServiceUnavailable
+		}
+		writeError(w, code, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, s.ArrayStatus(arr))
+}
+
+func (s *Server) handleListArrays(w http.ResponseWriter, r *http.Request) {
+	arrays := s.ListArrays()
+	out := make([]ArrayStatus, 0, len(arrays))
+	for _, a := range arrays {
+		out = append(out, s.ArrayStatus(a))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// arrayFor resolves the {id} path value or writes a 404.
+func (s *Server) arrayFor(w http.ResponseWriter, r *http.Request) (*Array, bool) {
+	id := r.PathValue("id")
+	a, ok := s.GetArray(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no array %q", id)
+		return nil, false
+	}
+	return a, true
+}
+
+func (s *Server) handleArrayStatus(w http.ResponseWriter, r *http.Request) {
+	if a, ok := s.arrayFor(w, r); ok {
+		writeJSON(w, http.StatusOK, s.ArrayStatus(a))
+	}
+}
+
+func (s *Server) handleArrayResults(w http.ResponseWriter, r *http.Request) {
+	if a, ok := s.arrayFor(w, r); ok {
+		writeJSON(w, http.StatusOK, s.ArrayResults(a))
+	}
+}
+
+func (s *Server) handleCancelArray(w http.ResponseWriter, r *http.Request) {
+	a, ok := s.arrayFor(w, r)
+	if !ok {
+		return
+	}
+	st, _ := s.CancelArray(a.ID)
+	writeJSON(w, http.StatusAccepted, st)
 }

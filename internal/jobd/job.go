@@ -39,6 +39,17 @@ type Spec struct {
 	// Window enables the moving-window technique (PZ is always 1 here).
 	Window bool `json:"window,omitempty"`
 
+	// Class names the job's resource class — a configured worker-budget
+	// cap shared by all concurrently running jobs of the class, so cheap
+	// scouts cannot starve a production run. Empty selects DefaultClass
+	// (the full global budget).
+	Class string `json:"class,omitempty"`
+
+	// Params records a parameter assignment. On an array child it is the
+	// grid point the child was expanded from; on an array template it
+	// supplies fixed template parameters shared by every child.
+	Params map[string]float64 `json:"params,omitempty"`
+
 	// Schedule is an embedded schedule file ({"events": [...]}; the same
 	// format as cmd/solidify -schedule). Optional.
 	Schedule json.RawMessage `json:"schedule,omitempty"`
@@ -50,26 +61,8 @@ func (sp *Spec) blocks() int { return sp.PX * sp.PY }
 // normalize fills defaults and validates the spec; the parsed schedule is
 // returned so submission errors surface at the API boundary, not mid-run.
 func (sp *Spec) normalize() (*schedule.Schedule, error) {
-	if sp.PX == 0 {
-		sp.PX = 1
-	}
-	if sp.PY == 0 {
-		sp.PY = 1
-	}
-	if sp.NX <= 0 || sp.NY <= 0 || sp.NZ <= 0 {
-		return nil, fmt.Errorf("jobd: domain %dx%dx%d invalid", sp.NX, sp.NY, sp.NZ)
-	}
-	if sp.PX < 1 || sp.PY < 1 || sp.NX%sp.PX != 0 || sp.NY%sp.PY != 0 {
-		return nil, fmt.Errorf("jobd: domain %dx%d not divisible by blocks %dx%d",
-			sp.NX, sp.NY, sp.PX, sp.PY)
-	}
-	if sp.Steps < 1 {
-		return nil, fmt.Errorf("jobd: steps %d invalid", sp.Steps)
-	}
-	switch sp.Scenario {
-	case "", "production", "interface":
-	default:
-		return nil, fmt.Errorf("jobd: unknown scenario %q", sp.Scenario)
+	if err := sp.validateFields(); err != nil {
+		return nil, err
 	}
 	if len(sp.Schedule) == 0 {
 		return nil, nil
@@ -78,17 +71,56 @@ func (sp *Spec) normalize() (*schedule.Schedule, error) {
 	if err != nil {
 		return nil, err
 	}
-	// The daemon writes no checkpoint files on behalf of jobs (preemption
-	// snapshots are in-memory; the final state is served by /result), and
-	// a path-bearing checkpoint event submitted over the network would be
-	// an arbitrary file write on the daemon host. Reject rather than
-	// silently strip.
-	for _, c := range sched.Checkpoints() {
-		if c.Path != "" {
-			return nil, fmt.Errorf("jobd: checkpoint events with a path are not allowed in submitted schedules (the daemon serves state via GET /jobs/{id}/result)")
-		}
+	if err := validateSubmittedSchedule(sched); err != nil {
+		return nil, err
 	}
 	return sched, nil
+}
+
+// validateFields fills defaults and validates the non-schedule spec
+// fields (array expansion validates the schedule separately, from the
+// already-parsed template instantiation).
+func (sp *Spec) validateFields() error {
+	if sp.PX == 0 {
+		sp.PX = 1
+	}
+	if sp.PY == 0 {
+		sp.PY = 1
+	}
+	if sp.NX <= 0 || sp.NY <= 0 || sp.NZ <= 0 {
+		return fmt.Errorf("jobd: domain %dx%dx%d invalid", sp.NX, sp.NY, sp.NZ)
+	}
+	if sp.PX < 1 || sp.PY < 1 || sp.NX%sp.PX != 0 || sp.NY%sp.PY != 0 {
+		return fmt.Errorf("jobd: domain %dx%d not divisible by blocks %dx%d",
+			sp.NX, sp.NY, sp.PX, sp.PY)
+	}
+	if sp.Steps < 1 {
+		return fmt.Errorf("jobd: steps %d invalid", sp.Steps)
+	}
+	if sp.Class == "" {
+		sp.Class = DefaultClass
+	}
+	switch sp.Scenario {
+	case "", "production", "interface":
+	default:
+		return fmt.Errorf("jobd: unknown scenario %q", sp.Scenario)
+	}
+	return nil
+}
+
+// validateSubmittedSchedule applies the daemon's schedule policy. The
+// daemon writes no checkpoint files on behalf of jobs (preemption
+// snapshots are in-memory; the final state is served by /result), and a
+// path-bearing checkpoint event submitted over the network would be an
+// arbitrary file write on the daemon host. Reject rather than silently
+// strip.
+func validateSubmittedSchedule(sched *schedule.Schedule) error {
+	for _, c := range sched.Checkpoints() {
+		if c.Path != "" {
+			return fmt.Errorf("jobd: checkpoint events with a path are not allowed in submitted schedules (the daemon serves state via GET /jobs/{id}/result)")
+		}
+	}
+	return nil
 }
 
 // State is a job's lifecycle position.
@@ -134,17 +166,20 @@ type Sample struct {
 
 // Status is the API view of a job (GET /jobs/{id}).
 type Status struct {
-	ID          string  `json:"id"`
-	Name        string  `json:"name,omitempty"`
-	State       State   `json:"state"`
-	Priority    int     `json:"priority"`
-	Step        int     `json:"step"`
-	Steps       int     `json:"steps"`
-	Time        float64 `json:"time"`
-	Solid       float64 `json:"solid"`
-	Workers     int     `json:"workers"`
-	Preemptions int     `json:"preemptions"`
-	Error       string  `json:"error,omitempty"`
+	ID          string             `json:"id"`
+	Name        string             `json:"name,omitempty"`
+	Array       string             `json:"array,omitempty"`
+	Class       string             `json:"class,omitempty"`
+	Params      map[string]float64 `json:"params,omitempty"`
+	State       State              `json:"state"`
+	Priority    int                `json:"priority"`
+	Step        int                `json:"step"`
+	Steps       int                `json:"steps"`
+	Time        float64            `json:"time"`
+	Solid       float64            `json:"solid"`
+	Workers     int                `json:"workers"`
+	Preemptions int                `json:"preemptions"`
+	Error       string             `json:"error,omitempty"`
 }
 
 // Job is the daemon-side state of one submitted run.
@@ -153,6 +188,11 @@ type Job struct {
 	Spec  Spec
 	seq   int64 // submission order; ties queue ordering within a priority
 	sched *schedule.Schedule
+	// group is the fairness unit the scheduler interleaves at equal
+	// priority: the owning array's id, or the job's own id for singles.
+	group string
+	// array is the owning array's id ("" for singles).
+	array string
 
 	// Control words, written by the scheduler/API and read by the runner
 	// at timestep boundaries.
@@ -171,6 +211,11 @@ type Job struct {
 	// final is the float64 checkpoint of a completed one (GET result).
 	snapshot []byte
 	final    []byte
+	// storedResult/storedSchedule are the content hashes of the spilled
+	// result and applied-schedule blobs in the persistent store; a daemon
+	// restarted over the store serves terminal jobs from these.
+	storedResult   string
+	storedSchedule string
 	// applied accumulates the schedule recorder's audit log across
 	// preemption segments (each resume starts a fresh Sim whose recorder
 	// is empty).
@@ -182,6 +227,7 @@ type Job struct {
 func newJob(id string, seq int64, spec Spec, sched *schedule.Schedule) *Job {
 	return &Job{
 		ID: id, Spec: spec, seq: seq, sched: sched,
+		group:       id,
 		state:       StateQueued,
 		appliedSeen: make(map[string]bool),
 		subs:        make(map[chan Sample]struct{}),
@@ -193,7 +239,8 @@ func (j *Job) Status() Status {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	st := Status{
-		ID: j.ID, Name: j.Spec.Name, State: j.state, Priority: j.Spec.Priority,
+		ID: j.ID, Name: j.Spec.Name, Array: j.array, Class: j.Spec.Class,
+		Params: j.Spec.Params, State: j.state, Priority: j.Spec.Priority,
 		Step: j.step, Steps: j.Spec.Steps, Time: j.simTime, Solid: j.solid,
 		Preemptions: j.preemptions,
 	}

@@ -20,9 +20,29 @@
 //   - idempotent comm.World shutdown (cancellation arrives from API
 //     goroutines while exchanges are in flight).
 //
+// Beyond single jobs, jobd is a campaign engine:
+//
+//   - job arrays (POST /arrays) expand a template spec over a parameter
+//     grid — the schedule references grid parameters as "${name}"
+//     placeholders (schedule.Instantiate) — into one child job per grid
+//     point, with deterministic child ids ("arr-0001.003") and fair
+//     round-robin interleaving against other submissions of the same
+//     priority;
+//   - resource classes (Config.Classes) cap how many sweep workers all
+//     jobs of one class may hold collectively, shares assigned by
+//     per-class water-filling, so an array of cheap scouts cannot starve
+//     a production run — observable per class via WorkerGauge.Class;
+//   - the persistent result store (Config.StoreDir, internal/jobd/store)
+//     spills every terminal job's final checkpoint, replayable schedule
+//     and metrics summary to a content-addressed layout; a restarted
+//     daemon serves /result and /schedule byte-identical to its
+//     predecessor, and GET /arrays/{id}/results aggregates a campaign's
+//     per-child parameters and metrics.
+//
 // On SIGTERM the daemon (cmd/solidifyd) drains: every in-flight job is
-// preempted, snapshotted, and spooled to disk together with the queue, so
-// a restarted daemon resumes where the old one stopped.
+// preempted, snapshotted, and spooled to disk together with the queue and
+// the array records, so a restarted daemon resumes where the old one
+// stopped.
 package jobd
 
 import (
@@ -37,6 +57,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/jobd/store"
 	"repro/internal/schedule"
 	"repro/internal/solver"
 )
@@ -54,30 +75,77 @@ type Config struct {
 	// SpoolDir, when non-empty, is where Drain persists preempted and
 	// queued jobs for the next daemon instance (LoadSpool).
 	SpoolDir string
+	// StoreDir, when non-empty, is the persistent result store: terminal
+	// jobs spill their final checkpoint, replayable schedule and metrics
+	// summary there, and a restarted daemon serves them byte-identically
+	// (LoadStore).
+	StoreDir string
+	// Classes maps resource-class names to per-class worker budgets W_c.
+	// Jobs of one class collectively never hold more than W_c workers
+	// (budget unused by a capped class flows to the others). The "default"
+	// class always exists with the full Budget unless overridden here.
+	Classes map[string]int
 	// ReportEvery is the metrics sampling cadence in steps (default 5).
 	ReportEvery int
+	// Log, when non-nil, receives daemon-side progress and spill-failure
+	// lines.
+	Log func(string)
 }
 
 // Server is the orchestration daemon: queue, scheduler and job registry.
 // Create with New, start with Start, serve Handler over HTTP, stop with
 // Drain (or Close for tests).
 type Server struct {
-	cfg   Config
-	gauge *solver.WorkerGauge
+	cfg     Config
+	gauge   *solver.WorkerGauge
+	classes map[string]int // resolved resource classes (name → W_c)
 
-	mu       sync.Mutex
-	jobs     map[string]*Job
-	queue    []*Job // StateQueued jobs, unordered (sorted on pop)
-	running  map[string]*Job
-	draining bool
-	nextSeq  int64
-	nextID   int
+	mu          sync.Mutex
+	jobs        map[string]*Job
+	queue       []*Job // StateQueued jobs, unordered (sorted on pop)
+	running     map[string]*Job
+	arrays      map[string]*Array
+	store       *store.Store // nil until LoadStore
+	draining    bool
+	nextSeq     int64
+	nextID      int
+	nextArrayID int
+	// Fairness bookkeeping: groupPick[g] is the pickSeq at which group g
+	// last started (or, for a newly seen group, joined) the queue; the
+	// scheduler favors the smallest pick within a priority level. Entries
+	// exist only while the group has queued jobs — a group re-enqueueing
+	// later re-enters at the current pickSeq, so it cannot jump ahead of
+	// groups that have been waiting.
+	groupPick map[string]int64
+	pickSeq   int64
 
 	wake chan struct{}
 	quit chan struct{}
 
 	runnersWG   sync.WaitGroup
+	spillWG     sync.WaitGroup // async store spills (queued-cancel path)
+	spillSem    chan struct{}  // bounds concurrent fsync-heavy spills
 	schedulerWG sync.WaitGroup
+}
+
+// enqueueLocked appends j to the queue, seeding its fairness group at the
+// current pick sequence on first sight. s.mu must be held.
+func (s *Server) enqueueLocked(j *Job) {
+	if _, ok := s.groupPick[j.group]; !ok {
+		s.groupPick[j.group] = s.pickSeq
+	}
+	s.queue = append(s.queue, j)
+}
+
+// pruneGroupLocked drops a group's fairness entry once it has no queued
+// jobs left, bounding the map on an always-on daemon. s.mu must be held.
+func (s *Server) pruneGroupLocked(group string) {
+	for _, q := range s.queue {
+		if q.group == group {
+			return
+		}
+	}
+	delete(s.groupPick, group)
 }
 
 // New builds a Server.
@@ -92,12 +160,16 @@ func New(cfg Config) *Server {
 		cfg.ReportEvery = 5
 	}
 	return &Server{
-		cfg:     cfg,
-		gauge:   &solver.WorkerGauge{},
-		jobs:    make(map[string]*Job),
-		running: make(map[string]*Job),
-		wake:    make(chan struct{}, 1),
-		quit:    make(chan struct{}),
+		cfg:       cfg,
+		gauge:     &solver.WorkerGauge{},
+		classes:   resolveClasses(cfg.Budget, cfg.Classes),
+		jobs:      make(map[string]*Job),
+		running:   make(map[string]*Job),
+		arrays:    make(map[string]*Array),
+		groupPick: make(map[string]int64),
+		spillSem:  make(chan struct{}, 4),
+		wake:      make(chan struct{}, 1),
+		quit:      make(chan struct{}),
 	}
 }
 
@@ -139,6 +211,9 @@ func (s *Server) Submit(spec Spec) (*Job, error) {
 		return nil, fmt.Errorf("jobd: job needs %d block ranks but the worker budget is %d",
 			spec.blocks(), s.cfg.Budget)
 	}
+	if err := s.validateClass(&spec); err != nil {
+		return nil, err
+	}
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
@@ -148,7 +223,7 @@ func (s *Server) Submit(spec Spec) (*Job, error) {
 	s.nextSeq++
 	j := newJob(fmt.Sprintf("job-%04d", s.nextID), s.nextSeq, spec, sched)
 	s.jobs[j.ID] = j
-	s.queue = append(s.queue, j)
+	s.enqueueLocked(j)
 	s.mu.Unlock()
 	s.wakeup()
 	return j, nil
@@ -202,7 +277,31 @@ func (s *Server) Cancel(id string) (State, bool) {
 		j.snapshot = nil
 		j.mu.Unlock()
 		s.dropFromQueueLocked(j)
+		s.pruneGroupLocked(j.group)
+		// Terminal states reached off the runner path must spill too, or a
+		// restarted daemon would forget the cancellation ever happened.
+		// Asynchronously (Drain waits via spillWG): canceling a wide array
+		// must not serialize hundreds of fsyncs into the DELETE request.
+		// Once draining, spill synchronously instead — Drain may already be
+		// past its spillWG.Wait, and an Add racing that Wait is both lost
+		// work and WaitGroup misuse.
+		async := !s.draining
+		if async {
+			s.spillWG.Add(1) // under s.mu, ordered before Drain sets draining
+		}
 		s.mu.Unlock()
+		if async {
+			go func() {
+				defer s.spillWG.Done()
+				// Canceling a 1000-child array spawns one goroutine per
+				// child; the semaphore keeps the fsync storm off the disk.
+				s.spillSem <- struct{}{}
+				defer func() { <-s.spillSem }()
+				s.spillJob(j)
+			}()
+		} else {
+			s.spillJob(j)
+		}
 		j.closeSubs()
 		s.wakeup()
 		return StateCanceled, true
@@ -224,29 +323,28 @@ func (s *Server) dropFromQueueLocked(j *Job) {
 	}
 }
 
-// bestQueuedLocked returns the queued job that should run next: highest
-// priority, then earliest submission. s.mu must be held.
-func (s *Server) bestQueuedLocked() *Job {
+// bestQueuedLocked returns the queued job that should run next, ignoring
+// jobs in skip (nil = none): highest priority first; within a priority,
+// the least-recently-served fairness group (so a wide array's children
+// interleave with other submissions instead of draining FIFO); within a
+// group, earliest submission. s.mu must be held.
+func (s *Server) bestQueuedLocked(skip map[*Job]bool) *Job {
 	var best *Job
+	var bestPick int64
 	for _, j := range s.queue {
-		if best == nil || j.Spec.Priority > best.Spec.Priority ||
-			(j.Spec.Priority == best.Spec.Priority && j.seq < best.seq) {
-			best = j
+		if skip[j] {
+			continue
+		}
+		pick := s.groupPick[j.group]
+		better := best == nil ||
+			j.Spec.Priority > best.Spec.Priority ||
+			(j.Spec.Priority == best.Spec.Priority &&
+				(pick < bestPick || (pick == bestPick && j.seq < best.seq)))
+		if better {
+			best, bestPick = j, pick
 		}
 	}
 	return best
-}
-
-// share computes the per-job worker share for n running jobs.
-func (s *Server) share(n int) int {
-	if n < 1 {
-		n = 1
-	}
-	sh := s.cfg.Budget / n
-	if sh < 1 {
-		sh = 1
-	}
-	return sh
 }
 
 // schedule is one pass of the scheduling policy: preempt if a queued job
@@ -259,71 +357,119 @@ func (s *Server) schedule() {
 	s.relaxShares()
 }
 
-// preemptIfOutranked asks the lowest-priority running job to preempt when
-// a strictly higher-priority job waits and all slots are busy.
+// preemptIfOutranked asks a running job to preempt when a strictly
+// higher-priority job waits and all slots are busy. The victim must be
+// outranked AND its eviction must actually make the waiting job
+// admissible under the class caps — otherwise (e.g. the waiting job's own
+// class is saturated by a non-evictable peer) preempting would just churn
+// snapshots while admission keeps re-admitting the victim. Among usable
+// victims, the lowest-priority most-recent one is chosen.
 func (s *Server) preemptIfOutranked() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining || len(s.running) < s.cfg.MaxConcurrent {
 		return
 	}
-	best := s.bestQueuedLocked()
+	best := s.bestQueuedLocked(nil)
 	if best == nil {
 		return
 	}
 	var victim *Job
 	for _, j := range s.running {
+		if j.Spec.Priority >= best.Spec.Priority {
+			continue
+		}
 		if victim == nil || j.Spec.Priority < victim.Spec.Priority ||
 			(j.Spec.Priority == victim.Spec.Priority && j.seq > victim.seq) {
-			victim = j
+			if s.evictionAdmitsLocked(j, best) {
+				victim = j
+			}
 		}
 	}
-	if victim != nil && best.Spec.Priority > victim.Spec.Priority {
+	if victim != nil {
 		victim.ctrl.CompareAndSwap(ctrlNone, ctrlPreempt)
 	}
 }
 
-// admitOne starts the best queued job if a slot is free and every running
-// job's share can shrink to make room. Returns true when a job started
-// (the caller loops).
+// evictionAdmitsLocked reports whether the running set with victim
+// replaced by cand water-fills so that every member (cand included) gets
+// its block count. s.mu must be held.
+func (s *Server) evictionAdmitsLocked(victim, cand *Job) bool {
+	after := make([]*Job, 0, len(s.running))
+	for _, rj := range s.running {
+		if rj != victim {
+			after = append(after, rj)
+		}
+	}
+	after = append(after, cand)
+	shares := s.sharesFor(after)
+	for _, j := range after {
+		if shares[j] < j.Spec.blocks() || shares[j] < 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// admitOne starts the best admissible queued job if a slot is free: the
+// per-class water-filled shares must leave every running job — and the
+// candidate — at least one worker per block rank. Candidates that cannot
+// run right now (their class cap saturated, or a decomposition wider than
+// the attainable share) are skipped so they don't head-of-line-block
+// admissible jobs of other classes; they keep their fairness standing and
+// get first refusal on the next pass once capacity frees. Returns true
+// when a job started (the caller loops).
 func (s *Server) admitOne() bool {
 	s.mu.Lock()
 	if s.draining || len(s.running) >= s.cfg.MaxConcurrent {
 		s.mu.Unlock()
 		return false
 	}
-	j := s.bestQueuedLocked()
-	if j == nil {
-		s.mu.Unlock()
-		return false
-	}
-	newShare := s.share(len(s.running) + 1)
-	// Every running job needs ≥ one worker per block rank; the candidate
-	// too. If the split cannot honor that, wait for a slot to clear.
-	if j.Spec.blocks() > newShare {
-		s.mu.Unlock()
-		return false
-	}
-	for _, rj := range s.running {
-		if rj.Spec.blocks() > newShare {
+	var j *Job
+	var shares map[*Job]int
+	skip := map[*Job]bool{}
+	for {
+		j = s.bestQueuedLocked(skip)
+		if j == nil {
 			s.mu.Unlock()
 			return false
 		}
+		shares = s.sharesLocked(j)
+		admissible := shares[j] >= j.Spec.blocks() && shares[j] >= 1
+		for _, rj := range s.running {
+			if shares[rj] < rj.Spec.blocks() || shares[rj] < 1 {
+				admissible = false
+				break
+			}
+		}
+		if admissible {
+			break
+		}
+		skip[j] = true
 	}
 	s.dropFromQueueLocked(j)
-	peers := make([]*Job, 0, len(s.running))
-	for _, rj := range s.running {
-		rj.desiredShare.Store(int32(newShare))
-		peers = append(peers, rj)
+	s.pickSeq++
+	s.groupPick[j.group] = s.pickSeq
+	s.pruneGroupLocked(j.group)
+	type peer struct {
+		j      *Job
+		target int32
 	}
+	peers := make([]peer, 0, len(s.running))
+	for _, rj := range s.running {
+		rj.desiredShare.Store(int32(shares[rj]))
+		peers = append(peers, peer{rj, int32(shares[rj])})
+	}
+	newShare := shares[j]
 	s.mu.Unlock()
 
 	// Wait for every peer to shrink onto its new share (or leave the
-	// running set) before the newcomer starts — the global budget must
-	// never be exceeded, not even transiently. Shrinks are applied at
-	// timestep boundaries, so this wait is bounded by one step.
-	for _, rj := range peers {
-		for rj.appliedShare.Load() > int32(newShare) && s.isRunning(rj) {
+	// running set) before the newcomer starts — neither the global budget
+	// nor any class budget may be exceeded, not even transiently. Shrinks
+	// are applied at timestep boundaries, so this wait is bounded by one
+	// step.
+	for _, p := range peers {
+		for p.j.appliedShare.Load() > p.target && s.isRunning(p.j) {
 			time.Sleep(200 * time.Microsecond)
 		}
 	}
@@ -339,7 +485,7 @@ func (s *Server) admitOne() bool {
 	if s.draining {
 		// Lost the race against Drain: put the job back.
 		j.mu.Unlock()
-		s.queue = append(s.queue, j)
+		s.enqueueLocked(j)
 		s.mu.Unlock()
 		return false
 	}
@@ -355,18 +501,18 @@ func (s *Server) admitOne() bool {
 	return true
 }
 
-// relaxShares grows every running job's share to the current split (safe
-// to apply lazily: growing late never violates the budget).
+// relaxShares grows every running job's share to the current water-filled
+// split (safe to apply lazily: growing late never violates a budget).
 func (s *Server) relaxShares() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if len(s.running) == 0 {
 		return
 	}
-	sh := s.share(len(s.running))
+	shares := s.sharesLocked(nil)
 	for _, j := range s.running {
-		if j.desiredShare.Load() < int32(sh) {
-			j.desiredShare.Store(int32(sh))
+		if sh := int32(shares[j]); j.desiredShare.Load() < sh {
+			j.desiredShare.Store(sh)
 		}
 	}
 }
@@ -385,7 +531,7 @@ func (s *Server) onRunnerExit(j *Job) {
 	s.mu.Lock()
 	delete(s.running, j.ID)
 	if j.State() == StateQueued { // preempted
-		s.queue = append(s.queue, j)
+		s.enqueueLocked(j)
 	}
 	s.mu.Unlock()
 	s.wakeup()
@@ -409,6 +555,7 @@ func (s *Server) Drain() error {
 	s.mu.Unlock()
 
 	s.runnersWG.Wait()
+	s.spillWG.Wait()
 	close(s.quit)
 	s.schedulerWG.Wait()
 
@@ -424,6 +571,7 @@ func (s *Server) Close() { _ = s.Drain() }
 // spoolManifest is the on-disk form of a drained job.
 type spoolManifest struct {
 	ID          string          `json:"id"`
+	Array       string          `json:"array,omitempty"`
 	Spec        Spec            `json:"spec"`
 	Preemptions int             `json:"preemptions"`
 	Step        int             `json:"step"`
@@ -433,7 +581,7 @@ type spoolManifest struct {
 	Snapshot string `json:"snapshot,omitempty"`
 }
 
-// writeSpool persists every resumable job.
+// writeSpool persists every resumable job and every array record.
 func (s *Server) writeSpool() error {
 	if err := os.MkdirAll(s.cfg.SpoolDir, 0o755); err != nil {
 		return err
@@ -446,7 +594,8 @@ func (s *Server) writeSpool() error {
 			j.mu.Unlock()
 			continue
 		}
-		m := spoolManifest{ID: j.ID, Spec: j.Spec, Preemptions: j.preemptions, Step: j.step}
+		m := spoolManifest{ID: j.ID, Array: j.array, Spec: j.Spec,
+			Preemptions: j.preemptions, Step: j.step}
 		if len(j.snapshot) > 0 {
 			m.Snapshot = base64.StdEncoding.EncodeToString(j.snapshot)
 		}
@@ -461,6 +610,16 @@ func (s *Server) writeSpool() error {
 			return err
 		}
 		if err := os.WriteFile(filepath.Join(s.cfg.SpoolDir, m.ID+".job.json"), blob, 0o644); err != nil {
+			return err
+		}
+	}
+	for _, arr := range s.arrays {
+		m := arrayManifest{ID: arr.ID, Spec: arr.Spec, Children: arr.Children}
+		blob, err := json.Marshal(&m)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(s.cfg.SpoolDir, arr.ID+".array.json"), blob, 0o644); err != nil {
 			return err
 		}
 	}
@@ -482,10 +641,25 @@ func (s *Server) LoadSpool() (int, error) {
 	}
 	n := 0
 	for _, e := range entries {
+		path := filepath.Join(s.cfg.SpoolDir, e.Name())
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".array.json") {
+			blob, err := os.ReadFile(path)
+			if err != nil {
+				return n, err
+			}
+			var m arrayManifest
+			if err := json.Unmarshal(blob, &m); err != nil {
+				return n, fmt.Errorf("jobd: spool %s: %w", e.Name(), err)
+			}
+			s.mu.Lock()
+			s.restoreArrayLocked(&m)
+			s.mu.Unlock()
+			_ = os.Remove(path)
+			continue
+		}
 		if e.IsDir() || !strings.HasSuffix(e.Name(), ".job.json") {
 			continue
 		}
-		path := filepath.Join(s.cfg.SpoolDir, e.Name())
 		blob, err := os.ReadFile(path)
 		if err != nil {
 			return n, err
@@ -503,6 +677,10 @@ func (s *Server) LoadSpool() (int, error) {
 		j := newJob(m.ID, s.nextSeq, m.Spec, sched)
 		j.step = m.Step
 		j.preemptions = m.Preemptions
+		j.array = m.Array
+		if j.array != "" {
+			j.group = j.array
+		}
 		if m.Snapshot != "" {
 			if j.snapshot, err = base64.StdEncoding.DecodeString(m.Snapshot); err != nil {
 				s.mu.Unlock()
@@ -519,8 +697,9 @@ func (s *Server) LoadSpool() (int, error) {
 			s.nextID = id
 		}
 		s.jobs[j.ID] = j
-		s.queue = append(s.queue, j)
+		s.enqueueLocked(j)
 		s.mu.Unlock()
+		s.warnUnknownClass(j.ID, j.Spec.Class)
 		_ = os.Remove(path)
 		n++
 	}

@@ -1,0 +1,274 @@
+package jobd
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"repro/internal/jobd/store"
+)
+
+// persist.go — the daemon side of the persistent result store. Terminal
+// jobs spill their final checkpoint, replayable schedule and metrics
+// summary into a content-addressed store (internal/jobd/store); a
+// restarted daemon reloads the manifests and keeps serving /result and
+// /schedule byte-identical to the pre-restart responses, because both
+// endpoints serve the stored blobs verbatim (and the store verifies every
+// blob against its content hash before it leaves disk).
+
+// jobManifest is the on-store record of a terminal job: the metrics
+// summary plus the content addresses of the result and schedule blobs.
+// Name, class, params and total steps live in the embedded Spec — the one
+// source of truth.
+type jobManifest struct {
+	ID          string  `json:"id"`
+	Array       string  `json:"array,omitempty"`
+	Spec        Spec    `json:"spec"`
+	State       State   `json:"state"`
+	Step        int     `json:"step"`
+	Time        float64 `json:"time"`
+	Solid       float64 `json:"solid"`
+	Preemptions int     `json:"preemptions"`
+	Error       string  `json:"error,omitempty"`
+	Result      string  `json:"result,omitempty"`   // blob hash, ckpt container bytes
+	Schedule    string  `json:"schedule,omitempty"` // blob hash, replayable schedule JSON
+}
+
+// arrayManifest is the on-store (and on-spool) record of an array.
+type arrayManifest struct {
+	ID       string    `json:"id"`
+	Spec     ArraySpec `json:"spec"`
+	Children []string  `json:"children"`
+}
+
+// logf reports a daemon-side event through the configured logger.
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Log != nil {
+		s.cfg.Log(fmt.Sprintf(format, args...))
+	}
+}
+
+// LoadStore opens the configured store directory and restores the
+// manifests a previous daemon instance left: terminal jobs (served from
+// disk) and array records. Call before Start, before LoadSpool (spooled
+// live jobs then layer on top of the stored terminal ones). Returns the
+// number of jobs restored.
+func (s *Server) LoadStore() (int, error) {
+	if s.cfg.StoreDir == "" {
+		return 0, nil
+	}
+	st, err := store.Open(s.cfg.StoreDir)
+	if err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.store = st
+
+	n := 0
+	var manifests []jobManifest
+	err = st.Manifests(store.JobsBucket, func(id string, blob []byte) error {
+		var m jobManifest
+		if err := json.Unmarshal(blob, &m); err != nil {
+			return err
+		}
+		if m.ID != id {
+			return fmt.Errorf("manifest id %q names job %q", id, m.ID)
+		}
+		if !m.State.terminal() {
+			return fmt.Errorf("stored job %s has non-terminal state %q", id, m.State)
+		}
+		manifests = append(manifests, m)
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	// Directory order is not submission order; sort for stable listings.
+	sort.Slice(manifests, func(i, j int) bool { return manifests[i].ID < manifests[j].ID })
+	for _, m := range manifests {
+		if _, exists := s.jobs[m.ID]; exists {
+			continue
+		}
+		s.nextSeq++
+		j := newJob(m.ID, s.nextSeq, m.Spec, nil)
+		j.state = m.State
+		j.step = m.Step
+		j.simTime = m.Time
+		j.solid = m.Solid
+		j.preemptions = m.Preemptions
+		if m.Error != "" {
+			j.err = fmt.Errorf("%s", m.Error)
+		}
+		j.array = m.Array
+		if j.array != "" {
+			j.group = j.array
+		}
+		j.storedResult = m.Result
+		j.storedSchedule = m.Schedule
+		s.jobs[j.ID] = j
+		if id := idNumber(m.ID); id > s.nextID {
+			s.nextID = id
+		}
+		// Child manifests also pin the array counter: the array's own
+		// manifest may be missing (persistArray is best-effort), and a
+		// reused array id would overwrite the stored children.
+		if id := arrayNumber(m.Array); id > s.nextArrayID {
+			s.nextArrayID = id
+		}
+		n++
+	}
+
+	err = st.Manifests(store.ArraysBucket, func(id string, blob []byte) error {
+		var m arrayManifest
+		if err := json.Unmarshal(blob, &m); err != nil {
+			return err
+		}
+		s.restoreArrayLocked(&m)
+		return nil
+	})
+	if err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+// restoreArrayLocked registers an array record loaded from the store or
+// spool; s.mu must be held.
+func (s *Server) restoreArrayLocked(m *arrayManifest) {
+	if _, exists := s.arrays[m.ID]; exists {
+		return
+	}
+	s.nextSeq++
+	arr := &Array{ID: m.ID, Spec: m.Spec, Children: m.Children, seq: s.nextSeq}
+	s.arrays[arr.ID] = arr
+	if id := arrayNumber(m.ID); id > s.nextArrayID {
+		s.nextArrayID = id
+	}
+}
+
+// arrayNumber extracts the numeric suffix of an array id ("arr-0042" → 42).
+func arrayNumber(id string) int {
+	var n int
+	if _, err := fmt.Sscanf(id, "arr-%d", &n); err != nil {
+		return 0
+	}
+	return n
+}
+
+// persistArray writes an array's manifest to the store (best effort: the
+// in-memory record keeps serving if the spill fails).
+func (s *Server) persistArray(arr *Array) {
+	s.mu.Lock()
+	st := s.store
+	s.mu.Unlock()
+	if st == nil {
+		return
+	}
+	m := arrayManifest{ID: arr.ID, Spec: arr.Spec, Children: arr.Children}
+	if err := st.PutManifest(store.ArraysBucket, arr.ID, &m); err != nil {
+		s.logf("jobd: store array %s: %v", arr.ID, err)
+	}
+}
+
+// spillJob persists a terminal job: result and schedule blobs first, the
+// manifest referencing them last, so a manifest never points at a blob
+// that was not fully written. Best effort — on failure the job keeps
+// serving from memory for this daemon's lifetime.
+func (s *Server) spillJob(j *Job) {
+	s.mu.Lock()
+	st := s.store
+	s.mu.Unlock()
+	if st == nil {
+		return
+	}
+	j.mu.Lock()
+	m := jobManifest{
+		ID: j.ID, Array: j.array, Spec: j.Spec, State: j.state,
+		Step: j.step, Time: j.simTime, Solid: j.solid,
+		Preemptions: j.preemptions,
+	}
+	if j.err != nil {
+		m.Error = j.err.Error()
+	}
+	final := j.final
+	j.mu.Unlock()
+	if !m.State.terminal() {
+		return
+	}
+
+	if final != nil {
+		hash, err := st.PutBlob(final)
+		if err != nil {
+			s.logf("jobd: store result of %s: %v", j.ID, err)
+			return
+		}
+		m.Result = hash
+	}
+	if blob, err := j.AppliedScheduleJSON(); err != nil {
+		s.logf("jobd: encode schedule of %s: %v", j.ID, err)
+		return
+	} else if hash, err := st.PutBlob(blob); err != nil {
+		s.logf("jobd: store schedule of %s: %v", j.ID, err)
+		return
+	} else {
+		m.Schedule = hash
+	}
+	if err := st.PutManifest(store.JobsBucket, j.ID, &m); err != nil {
+		s.logf("jobd: store manifest of %s: %v", j.ID, err)
+		return
+	}
+	j.mu.Lock()
+	j.storedResult = m.Result
+	j.storedSchedule = m.Schedule
+	j.mu.Unlock()
+}
+
+// hasResult reports whether a final checkpoint can be served for j, from
+// memory or the store.
+func (s *Server) hasResult(j *Job) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.final != nil || j.storedResult != ""
+}
+
+// resultBytes returns the job's final checkpoint: the in-memory copy when
+// this daemon ran the job, otherwise the stored blob (content-verified).
+func (s *Server) resultBytes(j *Job) ([]byte, error) {
+	j.mu.Lock()
+	final, hash := j.final, j.storedResult
+	j.mu.Unlock()
+	if final != nil {
+		return final, nil
+	}
+	if hash == "" {
+		return nil, nil
+	}
+	s.mu.Lock()
+	st := s.store
+	s.mu.Unlock()
+	if st == nil {
+		return nil, fmt.Errorf("jobd: job %s result is in the store but no store is configured", j.ID)
+	}
+	return st.Blob(hash)
+}
+
+// scheduleBytes returns the job's replayable applied-schedule JSON. A
+// terminal job with a stored blob serves those exact bytes — the live
+// encoding at spill time — so responses are byte-identical across daemon
+// restarts.
+func (s *Server) scheduleBytes(j *Job) ([]byte, error) {
+	j.mu.Lock()
+	hash := j.storedSchedule
+	terminal := j.state.terminal()
+	j.mu.Unlock()
+	if terminal && hash != "" {
+		s.mu.Lock()
+		st := s.store
+		s.mu.Unlock()
+		if st != nil {
+			return st.Blob(hash)
+		}
+	}
+	return j.AppliedScheduleJSON()
+}

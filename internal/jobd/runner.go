@@ -24,7 +24,9 @@ func (s *Server) buildSim(j *Job, share int) (*phasefield.Simulation, error) {
 	cfg.Seed = sp.Seed
 	cfg.MovingWindow = sp.Window
 	cfg.Parallelism = share
-	cfg.WorkerGauge = s.gauge
+	// The class sub-gauge counts this job's workers on both the class and
+	// the root gauge, making per-class budget caps measurable.
+	cfg.WorkerGauge = s.gauge.Class(sp.Class)
 
 	j.mu.Lock()
 	snapshot := j.snapshot
@@ -173,5 +175,8 @@ func (s *Server) finishRunner(j *Job, sim *phasefield.Simulation, st State, err 
 	j.snapshot = nil
 	j.final = final
 	j.mu.Unlock()
+	// Spill before subscribers see the terminal sample, so a client that
+	// reacts to stream close by fetching /result finds the stored copy too.
+	s.spillJob(j)
 	j.closeSubs()
 }

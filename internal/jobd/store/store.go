@@ -1,0 +1,223 @@
+// Package store is the job daemon's persistent result store: final
+// checkpoints, recorded schedules and metrics summaries outlive the daemon
+// process, so a restarted solidifyd serves the same /result and /schedule
+// bytes its predecessor did.
+//
+// The layout separates immutable content from mutable bookkeeping:
+//
+//	<dir>/objects/ab/abcdef…   content-addressed blobs (SHA-256 hex)
+//	<dir>/jobs/<id>.json       per-job manifests (state + blob hashes)
+//	<dir>/arrays/<id>.json     per-array manifests (spec + child ids)
+//
+// Blobs — checkpoint files in the ckpt container format, replayable
+// schedule JSON, metrics summaries — are written once under their content
+// hash and verified against it on every read, so a torn or corrupted
+// object is an error, never silently served. Manifests are small JSON
+// documents updated with the temp-file + rename discipline: a crash at any
+// point leaves either the old manifest or the new one, and stray *.tmp
+// files are swept on Open. Readers therefore never observe a partial
+// write.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Bucket names for the two manifest kinds.
+const (
+	// JobsBucket holds per-job manifests.
+	JobsBucket = "jobs"
+	// ArraysBucket holds per-array manifests.
+	ArraysBucket = "arrays"
+)
+
+// Store is a content-addressed result store rooted at one directory. All
+// methods are safe for concurrent use (atomicity comes from rename, not
+// locking).
+type Store struct {
+	dir string
+}
+
+// Open prepares the store layout under dir, creating it if needed and
+// sweeping temp files a crashed writer may have left behind.
+func Open(dir string) (*Store, error) {
+	s := &Store{dir: dir}
+	for _, sub := range []string{"objects", JobsBucket, ArraysBucket} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, err
+		}
+	}
+	if err := s.sweepTemp(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// sweepTemp removes leftover *.tmp files (a crash between create and
+// rename). Visible names are never *.tmp, so this cannot race a completed
+// write.
+func (s *Store) sweepTemp() error {
+	return filepath.WalkDir(s.dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.HasSuffix(d.Name(), ".tmp") {
+			return os.Remove(path)
+		}
+		return nil
+	})
+}
+
+// writeAtomic lands blob at path via a same-directory temp file, fsync and
+// rename, so path never holds a partial write. The parent directory is
+// fsynced after the rename — without that, a power loss could persist a
+// later write's directory entry while dropping this one, breaking the
+// blobs-before-manifest ordering spillers rely on.
+func writeAtomic(path string, blob []byte) error {
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".*.tmp")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if _, err := f.Write(blob); err == nil {
+		err = f.Sync()
+	} else {
+		_ = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		_ = os.Remove(tmp)
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// syncDir fsyncs a directory so a completed rename's entry is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// HashBlob returns the content address (SHA-256 hex) PutBlob would assign.
+func HashBlob(blob []byte) string {
+	sum := sha256.Sum256(blob)
+	return hex.EncodeToString(sum[:])
+}
+
+// objectPath maps a content hash to its on-disk location.
+func (s *Store) objectPath(hash string) (string, error) {
+	if len(hash) != 2*sha256.Size {
+		return "", fmt.Errorf("store: malformed object hash %q", hash)
+	}
+	if _, err := hex.DecodeString(hash); err != nil {
+		return "", fmt.Errorf("store: malformed object hash %q", hash)
+	}
+	return filepath.Join(s.dir, "objects", hash[:2], hash), nil
+}
+
+// PutBlob stores blob under its content address and returns the hash.
+// Storing the same content twice is a no-op — identical results across
+// array children (or retries) share one object.
+func (s *Store) PutBlob(blob []byte) (string, error) {
+	hash := HashBlob(blob)
+	path, err := s.objectPath(hash)
+	if err != nil {
+		return "", err
+	}
+	if _, err := os.Stat(path); err == nil {
+		return hash, nil
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return "", err
+	}
+	if err := writeAtomic(path, blob); err != nil {
+		return "", err
+	}
+	return hash, nil
+}
+
+// Blob returns the object stored under hash, verifying the content against
+// its address: a torn or bit-flipped object is reported as corruption, not
+// returned.
+func (s *Store) Blob(hash string) ([]byte, error) {
+	path, err := s.objectPath(hash)
+	if err != nil {
+		return nil, err
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if got := HashBlob(blob); got != hash {
+		return nil, fmt.Errorf("store: object %s is corrupt (content hashes to %s)", hash, got)
+	}
+	return blob, nil
+}
+
+// PutManifest writes the manifest for id into a bucket (JobsBucket or
+// ArraysBucket) with the temp-file + rename discipline.
+func (s *Store) PutManifest(bucket, id string, m any) error {
+	path, err := s.manifestPath(bucket, id)
+	if err != nil {
+		return err
+	}
+	blob, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return writeAtomic(path, blob)
+}
+
+// manifestPath validates the id (it becomes a file name) and returns the
+// manifest location.
+func (s *Store) manifestPath(bucket, id string) (string, error) {
+	if id == "" || strings.ContainsAny(id, "/\\") || strings.HasPrefix(id, ".") {
+		return "", fmt.Errorf("store: invalid manifest id %q", id)
+	}
+	return filepath.Join(s.dir, bucket, id+".json"), nil
+}
+
+// Manifests streams every manifest in a bucket through decode as
+// (id, raw JSON) pairs. A decode error aborts the walk — rename-atomicity
+// means a malformed file is corruption, not an in-progress write.
+func (s *Store) Manifests(bucket string, decode func(id string, blob []byte) error) error {
+	entries, err := os.ReadDir(filepath.Join(s.dir, bucket))
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		blob, err := os.ReadFile(filepath.Join(s.dir, bucket, name))
+		if err != nil {
+			return err
+		}
+		if err := decode(strings.TrimSuffix(name, ".json"), blob); err != nil {
+			return fmt.Errorf("store: manifest %s/%s: %w", bucket, name, err)
+		}
+	}
+	return nil
+}

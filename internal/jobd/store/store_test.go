@@ -1,0 +1,169 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestBlobRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := []byte("final checkpoint bytes")
+	h, err := s.PutBlob(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != HashBlob(blob) {
+		t.Fatalf("hash %s, want %s", h, HashBlob(blob))
+	}
+	// Idempotent: same content stores once.
+	if h2, err := s.PutBlob(blob); err != nil || h2 != h {
+		t.Fatalf("re-put: %s %v", h2, err)
+	}
+	got, err := s.Blob(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, blob) {
+		t.Fatalf("blob %q, want %q", got, blob)
+	}
+}
+
+// A bit-flipped object must be reported as corruption, never returned: the
+// content address is verified on every read.
+func TestCorruptObjectNeverServed(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := []byte("result payload")
+	h, err := s.PutBlob(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "objects", h[:2], h)
+
+	// Flip one byte in place (simulates on-disk corruption).
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[0] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Blob(h); err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("corrupt object served (err=%v)", err)
+	}
+
+	// Truncate it (simulates a torn write that bypassed the rename
+	// discipline, e.g. filesystem damage).
+	if err := os.WriteFile(path, raw[:4], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Blob(h); err == nil {
+		t.Fatal("torn object served")
+	}
+}
+
+// A crash between temp-file creation and rename leaves *.tmp litter; Open
+// sweeps it and readers never see it as content.
+func TestCrashLeftoversSweptAndInvisible(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := s.PutBlob([]byte("good"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a writer killed mid-spill: partial temp files next to a
+	// manifest and an object.
+	for _, p := range []string{
+		filepath.Join(dir, JobsBucket, "job-0007.json.123.tmp"),
+		filepath.Join(dir, "objects", h[:2], h+".456.tmp"),
+	} {
+		if err := os.WriteFile(p, []byte("torn{"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Readers skip temp files even before the sweep.
+	n := 0
+	if err := s.Manifests(JobsBucket, func(id string, blob []byte) error {
+		n++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("temp manifest visible to readers (%d entries)", n)
+	}
+
+	// A reopened store (the restarted daemon) sweeps the litter.
+	if _, err := Open(dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, sub := range []string{"objects", JobsBucket, ArraysBucket} {
+		_ = filepath.WalkDir(filepath.Join(dir, sub), func(path string, d os.DirEntry, err error) error {
+			if err == nil && !d.IsDir() && strings.HasSuffix(d.Name(), ".tmp") {
+				t.Errorf("leftover temp file survived reopen: %s", path)
+			}
+			return nil
+		})
+	}
+	// The completed object is untouched.
+	if _, err := s.Blob(h); err != nil {
+		t.Fatalf("good object lost: %v", err)
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	type manifest struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	if err := s.PutManifest(JobsBucket, "job-0001", manifest{ID: "job-0001", State: "done"}); err != nil {
+		t.Fatal(err)
+	}
+	// Updating is atomic replacement.
+	if err := s.PutManifest(JobsBucket, "job-0001", manifest{ID: "job-0001", State: "failed"}); err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]string{}
+	if err := s.Manifests(JobsBucket, func(id string, blob []byte) error {
+		got[id] = string(blob)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || !strings.Contains(got["job-0001"], `"failed"`) {
+		t.Fatalf("manifests %v", got)
+	}
+}
+
+func TestManifestIDValidation(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"", "../evil", "a/b", ".hidden"} {
+		if err := s.PutManifest(JobsBucket, id, struct{}{}); err == nil {
+			t.Errorf("manifest id %q accepted", id)
+		}
+	}
+	if _, err := s.Blob("not-a-hash"); err == nil {
+		t.Error("malformed hash accepted")
+	}
+}

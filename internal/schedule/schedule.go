@@ -114,8 +114,11 @@ type NucleationBurst struct {
 	Seed   int64 // RNG seed for the nucleus positions
 }
 
+// StartStep implements Event: the burst fires on the step leaving e.Step.
 func (e NucleationBurst) StartStep() int { return e.Step }
-func (e NucleationBurst) OneShot() bool  { return true }
+
+// OneShot implements Event: a burst is consumed once.
+func (e NucleationBurst) OneShot() bool { return true }
 
 func (e NucleationBurst) validate() error {
 	if e.Step < 0 {
@@ -154,8 +157,13 @@ type Ramp struct {
 	From, To float64
 }
 
+// StartStep implements Event: the ramp starts acting on the step leaving
+// e.Step.
 func (e Ramp) StartStep() int { return e.Step }
-func (e Ramp) OneShot() bool  { return false }
+
+// OneShot implements Event: a ramp is a pure function of the step index,
+// evaluated every step.
+func (e Ramp) OneShot() bool { return false }
 
 // Value returns the parameter value the ramp prescribes for the step that
 // advances the simulation from `step` completed steps.
@@ -209,8 +217,11 @@ type SwitchVariant struct {
 	Strategy int // kernels.PhiStrategy, StrategyKeep, or StrategyOff
 }
 
+// StartStep implements Event: the switch applies at the e.Step boundary.
 func (e SwitchVariant) StartStep() int { return e.Step }
-func (e SwitchVariant) OneShot() bool  { return true }
+
+// OneShot implements Event: a switch is consumed once.
+func (e SwitchVariant) OneShot() bool { return true }
 
 func (e SwitchVariant) validate() error {
 	if e.Step < 0 {
@@ -259,8 +270,11 @@ type Checkpoint struct {
 	Path  string
 }
 
+// StartStep implements Event: the cadence counts from e.Step.
 func (e Checkpoint) StartStep() int { return e.Step }
-func (e Checkpoint) OneShot() bool  { return false }
+
+// OneShot implements Event: a cadence is evaluated every step.
+func (e Checkpoint) OneShot() bool { return false }
 
 // Due reports whether a dump is due after `step` steps have completed.
 func (e Checkpoint) Due(step int) bool {
@@ -329,8 +343,13 @@ type SetBC struct {
 	To    []float64 // Dirichlet values from Step+Over on
 }
 
+// StartStep implements Event: the BC change applies from the step leaving
+// e.Step.
 func (e SetBC) StartStep() int { return e.Step }
-func (e SetBC) OneShot() bool  { return false }
+
+// OneShot implements Event: BC prescriptions are pure functions of the
+// step index, evaluated every step until settled.
+func (e SetBC) OneShot() bool { return false }
 
 // rampEnd returns the first step at which the event's values have settled
 // at To; degenerate (Over ≤ 0) ramps settle one step after they start.

@@ -1,0 +1,199 @@
+package schedule
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// template.go is the parameter-substitution layer behind job arrays: a
+// schedule template is ordinary schedule JSON whose values may reference
+// named parameters as "${name}". Instantiate substitutes one parameter
+// assignment and parses the result, so a single template file expands into
+// a whole campaign — one child schedule per point of a parameter grid.
+//
+// A placeholder standing alone in a value position becomes a JSON number:
+//
+//	{"type": "ramp", "param": "v", "step": 0, "over": 800,
+//	 "from": 0.02, "to": "${vmax}"}
+//
+// A placeholder embedded in a longer string substitutes textually (useful
+// for derived names). Substitution is deterministic: the same (template,
+// params) pair always yields byte-identical output, which is what makes
+// array-child schedules reproducible from the array spec alone.
+
+// placeholderRE matches "${name}" template parameter references.
+var placeholderRE = regexp.MustCompile(`\$\{([A-Za-z_][A-Za-z0-9_.]*)\}`)
+
+// Template is a pre-parsed schedule template: decode once, instantiate
+// once per grid point (job arrays expand up to ~1000 children per
+// submission, so re-decoding the JSON tree per child would dominate the
+// request path).
+type Template struct {
+	root   any
+	params []string
+}
+
+// ParseTemplate decodes a schedule template and collects its placeholder
+// names.
+func ParseTemplate(tmpl []byte) (*Template, error) {
+	root, err := decodeTemplate(tmpl)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	seen := map[string]bool{}
+	if _, err := walkTemplateStrings(root, func(s string) (any, error) {
+		for _, m := range placeholderRE.FindAllStringSubmatch(s, -1) {
+			if !seen[m[1]] {
+				seen[m[1]] = true
+				names = append(names, m[1])
+			}
+		}
+		return s, nil
+	}); err != nil {
+		return nil, err
+	}
+	sort.Strings(names)
+	return &Template{root: root, params: names}, nil
+}
+
+// Params returns the template's distinct placeholder names, sorted.
+func (t *Template) Params() []string {
+	return append([]string(nil), t.params...)
+}
+
+// Instantiate substitutes params into the template and parses the result,
+// returning the validated schedule and the substituted blob (the form an
+// array child embeds in its job spec). Referencing a parameter the map
+// does not supply is an error; supplying parameters the template never
+// references is not (grid axes may drive spec-level fields like the
+// seed). The substitution rebuilds the tree, so a Template may be
+// instantiated repeatedly.
+func (t *Template) Instantiate(params map[string]float64) (*Schedule, []byte, error) {
+	for name, v := range params {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, nil, fmt.Errorf("schedule: template param %q is %g", name, v)
+		}
+	}
+	sub, err := substitute(t.root, params)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Maps marshal with sorted keys, so the blob is deterministic.
+	blob, err := json.Marshal(sub)
+	if err != nil {
+		return nil, nil, fmt.Errorf("schedule: template: %w", err)
+	}
+	sched, err := FromJSONBytes(blob)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sched, blob, nil
+}
+
+// TemplateParams returns the distinct placeholder names referenced by a
+// schedule template, sorted. A template without placeholders returns
+// nil — every plain schedule is a valid template.
+func TemplateParams(tmpl []byte) ([]string, error) {
+	t, err := ParseTemplate(tmpl)
+	if err != nil {
+		return nil, err
+	}
+	if len(t.params) == 0 {
+		return nil, nil
+	}
+	return t.Params(), nil
+}
+
+// Instantiate is the one-shot form of ParseTemplate + Template.Instantiate.
+func Instantiate(tmpl []byte, params map[string]float64) (*Schedule, []byte, error) {
+	t, err := ParseTemplate(tmpl)
+	if err != nil {
+		return nil, nil, err
+	}
+	return t.Instantiate(params)
+}
+
+// decodeTemplate parses a template into a generic JSON tree, keeping
+// untouched numbers verbatim (json.Number round-trips exactly).
+func decodeTemplate(tmpl []byte) (any, error) {
+	dec := json.NewDecoder(bytes.NewReader(tmpl))
+	dec.UseNumber()
+	var root any
+	if err := dec.Decode(&root); err != nil {
+		return nil, fmt.Errorf("schedule: template: %w", err)
+	}
+	return root, nil
+}
+
+// substitute replaces every placeholder in the tree: a string that is
+// exactly one placeholder becomes the parameter's numeric value; embedded
+// placeholders substitute textually.
+func substitute(root any, params map[string]float64) (any, error) {
+	return walkTemplateStrings(root, func(s string) (any, error) {
+		if m := placeholderRE.FindStringSubmatch(s); m != nil && m[0] == s {
+			v, ok := params[m[1]]
+			if !ok {
+				return nil, fmt.Errorf("schedule: template references unknown param %q", m[1])
+			}
+			return json.Number(formatParam(v)), nil
+		}
+		var substErr error
+		out := placeholderRE.ReplaceAllStringFunc(s, func(ph string) string {
+			name := placeholderRE.FindStringSubmatch(ph)[1]
+			v, ok := params[name]
+			if !ok {
+				substErr = fmt.Errorf("schedule: template references unknown param %q", name)
+				return ph
+			}
+			return formatParam(v)
+		})
+		return out, substErr
+	})
+}
+
+// formatParam renders a parameter value as a JSON number literal: integral
+// values print without a fraction so seeds and step counts substitute
+// cleanly into integer fields.
+func formatParam(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// walkTemplateStrings rebuilds the JSON tree, passing every string value
+// (not object keys) through fn.
+func walkTemplateStrings(v any, fn func(string) (any, error)) (any, error) {
+	switch t := v.(type) {
+	case map[string]any:
+		out := make(map[string]any, len(t))
+		for k, elem := range t {
+			sub, err := walkTemplateStrings(elem, fn)
+			if err != nil {
+				return nil, err
+			}
+			out[k] = sub
+		}
+		return out, nil
+	case []any:
+		out := make([]any, len(t))
+		for i, elem := range t {
+			sub, err := walkTemplateStrings(elem, fn)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = sub
+		}
+		return out, nil
+	case string:
+		return fn(t)
+	default:
+		return v, nil
+	}
+}

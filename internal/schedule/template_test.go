@@ -1,0 +1,119 @@
+package schedule
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const rampTemplate = `{"events":[
+	{"type":"ramp","param":"v","step":0,"over":"${over}","from":0.02,"to":"${vmax}"},
+	{"type":"burst","step":2,"count":2,"phase":-1,"radius":1.5,"zmin":4,"zmax":8,"seed":"${seed}"}
+]}`
+
+func TestTemplateParams(t *testing.T) {
+	names, err := TemplateParams([]byte(rampTemplate))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"over", "seed", "vmax"} // sorted
+	if len(names) != len(want) {
+		t.Fatalf("params %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("params %v, want %v", names, want)
+		}
+	}
+	// A plain schedule is a valid template with no parameters.
+	names, err = TemplateParams([]byte(`{"events":[{"type":"checkpoint","every":5}]}`))
+	if err != nil || names != nil {
+		t.Fatalf("plain schedule: params %v err %v", names, err)
+	}
+}
+
+func TestInstantiate(t *testing.T) {
+	sched, blob, err := Instantiate([]byte(rampTemplate),
+		map[string]float64{"over": 40, "vmax": 0.055, "seed": 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ramps := sched.Ramps()
+	if len(ramps) != 1 || ramps[0].Over != 40 || ramps[0].To != 0.055 {
+		t.Fatalf("instantiated ramp %+v", ramps)
+	}
+	var burst NucleationBurst
+	for _, ev := range sched.Events {
+		if b, ok := ev.(NucleationBurst); ok {
+			burst = b
+		}
+	}
+	if burst.Seed != 9 {
+		t.Fatalf("instantiated burst seed %d, want 9", burst.Seed)
+	}
+	// The substituted blob must itself parse (it is embedded in child job
+	// specs verbatim).
+	if _, err := FromJSONBytes(blob); err != nil {
+		t.Fatalf("substituted blob unparsable: %v\n%s", err, blob)
+	}
+}
+
+// Equal (template, params) pairs must produce byte-identical blobs — child
+// schedules are reproducible from the array spec alone.
+func TestInstantiateDeterministic(t *testing.T) {
+	params := map[string]float64{"over": 40, "vmax": 0.055, "seed": 9}
+	_, a, err := Instantiate([]byte(rampTemplate), params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		_, b, err := Instantiate([]byte(rampTemplate), params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("instantiation %d differs:\n%s\n%s", i, a, b)
+		}
+	}
+}
+
+func TestInstantiateErrors(t *testing.T) {
+	// Unknown placeholder.
+	if _, _, err := Instantiate([]byte(rampTemplate),
+		map[string]float64{"over": 40, "vmax": 0.05}); err == nil ||
+		!strings.Contains(err.Error(), "seed") {
+		t.Errorf("missing param not rejected: %v", err)
+	}
+	// Non-finite parameter values.
+	inf := []float64{1}
+	inf[0] /= 0
+	if _, _, err := Instantiate([]byte(rampTemplate),
+		map[string]float64{"over": 40, "vmax": inf[0], "seed": 1}); err == nil {
+		t.Error("infinite param accepted")
+	}
+	// The substituted schedule still passes full validation.
+	if _, _, err := Instantiate([]byte(rampTemplate),
+		map[string]float64{"over": 0, "vmax": 0.05, "seed": 1}); err == nil {
+		t.Error("substitution producing an invalid ramp accepted")
+	}
+	// Malformed template JSON.
+	if _, err := TemplateParams([]byte(`{"events": [`)); err == nil {
+		t.Error("malformed template accepted")
+	}
+}
+
+// Embedded placeholders substitute textually; integral values print
+// without a fraction so they land cleanly in integer fields.
+func TestInstantiateEmbedded(t *testing.T) {
+	tmpl := []byte(`{"events":[
+		{"type":"checkpoint","every":"${every}","path":"out/run-${every}-%06d.pfcp"}
+	]}`)
+	sched, _, err := Instantiate(tmpl, map[string]float64{"every": 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cps := sched.Checkpoints()
+	if len(cps) != 1 || cps[0].Every != 25 || cps[0].Path != "out/run-25-%06d.pfcp" {
+		t.Fatalf("instantiated checkpoint %+v", cps)
+	}
+}

@@ -1,0 +1,67 @@
+package solver
+
+import (
+	"sync"
+	"testing"
+)
+
+// Sub-gauge workers count on both the class gauge and the root, so the
+// global high-water mark still bounds the sum of all classes.
+func TestWorkerGaugeClasses(t *testing.T) {
+	root := &WorkerGauge{}
+	small := root.Class("small")
+	large := root.Class("large")
+	if root.Class("small") != small {
+		t.Fatal("Class is not idempotent")
+	}
+	if small.Class("large") != large {
+		t.Fatal("Class on a sub-gauge must delegate to the root")
+	}
+
+	small.enter()
+	large.enter()
+	large.enter()
+	if got := root.Active(); got != 3 {
+		t.Fatalf("root active %d, want 3", got)
+	}
+	if got := small.Active(); got != 1 {
+		t.Fatalf("small active %d, want 1", got)
+	}
+	if got := large.Max(); got != 2 {
+		t.Fatalf("large max %d, want 2", got)
+	}
+	small.exit()
+	large.exit()
+	large.exit()
+	if got := root.Active(); got != 0 {
+		t.Fatalf("root active %d after exits, want 0", got)
+	}
+	if got := root.Max(); got != 3 {
+		t.Fatalf("root max %d, want 3", got)
+	}
+}
+
+// Concurrent enters through different classes must never lose a count on
+// the shared root (run under -race in CI).
+func TestWorkerGaugeClassesConcurrent(t *testing.T) {
+	root := &WorkerGauge{}
+	var wg sync.WaitGroup
+	for _, name := range []string{"a", "b", "c", "d"} {
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			g := root.Class(name)
+			for i := 0; i < 1000; i++ {
+				g.enter()
+				g.exit()
+			}
+		}(name)
+	}
+	wg.Wait()
+	if got := root.Active(); got != 0 {
+		t.Fatalf("root active %d, want 0", got)
+	}
+	if max := root.Max(); max < 1 || max > 4 {
+		t.Fatalf("root max %d, want within [1,4]", max)
+	}
+}

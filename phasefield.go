@@ -1,24 +1,3 @@
-// Package phasefield is a Go reproduction of "Massively Parallel
-// Phase-Field Simulations for Ternary Eutectic Directional Solidification"
-// (Bauer, Hötzer et al., SC 2015): a thermodynamically consistent
-// grand-potential phase-field solver for the four-phase, three-component
-// Ag-Al-Cu eutectic system, with the paper's full optimization ladder
-// (explicit vectorization, T(z) precomputation, staggered-value buffers,
-// region shortcuts), block-structured domain decomposition with
-// communication hiding, the moving-window technique, and the hierarchical
-// mesh-based I/O reduction pipeline.
-//
-// Quick start:
-//
-//	cfg := phasefield.DefaultConfig(64, 64, 128)
-//	sim, err := phasefield.New(cfg)
-//	if err != nil { ... }
-//	if err := sim.InitProduction(); err != nil { ... }
-//	sim.Run(1000)
-//	meshes := sim.ExtractInterfaces()
-//
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// paper-figure reproduction results.
 package phasefield
 
 import (
