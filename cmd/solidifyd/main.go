@@ -83,6 +83,9 @@ func main() {
 	classes := classFlags{}
 	flag.Var(classes, "class", "resource class as name=workers (repeatable, e.g. -class small=2 -class large=6)")
 	report := flag.Int("report", 5, "metrics sampling cadence in steps")
+	snapshotEvery := flag.Int("snapshot-every", 50, "safety-snapshot cadence in steps for automatic retries (0 = off)")
+	stallTimeout := flag.Duration("stall-timeout", 0, "watchdog: max wall-clock gap between timestep boundaries before a job is declared stalled (0 = watchdog off)")
+	chaos := flag.Bool("chaos", false, "accept fault-injection specs (deterministic failure drills; never in production)")
 	flag.Parse()
 
 	srv := jobd.New(jobd.Config{
@@ -92,6 +95,9 @@ func main() {
 		StoreDir:      *storeDir,
 		Classes:       classes,
 		ReportEvery:   *report,
+		SnapshotEvery: *snapshotEvery,
+		StallTimeout:  *stallTimeout,
+		AllowFaults:   *chaos,
 		Log:           func(msg string) { fmt.Fprintln(os.Stderr, msg) },
 	})
 	if n, err := srv.LoadStore(); err != nil {
@@ -106,7 +112,18 @@ func main() {
 	}
 	srv.Start()
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	// Server-side timeouts: slowloris-style clients must not pin
+	// connections forever. The write timeout is generous because /result
+	// ships multi-MB checkpoints; the long-lived /jobs/{id}/metrics stream
+	// extends its own deadline per sample via a ResponseController.
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
 	errCh := make(chan error, 1)
 	go func() {
 		fmt.Printf("solidifyd: listening on %s (jobs=%d budget=%d classes=%v)\n",

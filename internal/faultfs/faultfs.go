@@ -1,0 +1,360 @@
+// Package faultfs is the deterministic fault-injection layer of the
+// fault-tolerance test harness. It provides two independent primitives:
+//
+//   - FS, a minimal filesystem interface covering exactly the operations
+//     the persistent result store performs (temp-file creation, write,
+//     fsync, rename, remove, reads, directory sync). OS is the production
+//     passthrough; Inject wraps any FS with a deterministic rule table
+//     that fails, tears, or "crashes" matching operations — so torn
+//     writes, ENOSPC, fsync errors and SIGKILL-at-any-point scenarios
+//     become reproducible unit tests instead of flaky chaos.
+//
+//   - Points, a set of named in-process panic points. Production code
+//     hits a point by name; a test arms the point for its next N hits,
+//     and the hit panics with an Injected value. Unarmed points cost one
+//     nil check and one mutex-free load, so shipping them in hot paths
+//     (the solver's sweep workers) is free.
+//
+// The crash rule deserves its own mention: a rule with Crash set models
+// the process dying at that operation. The matching call fails, and every
+// subsequent operation on the same Inject fails with ErrCrashed — exactly
+// the on-disk state a SIGKILL at that instant would leave, because writes
+// that would have happened after the kill never happen. A test then
+// reopens the directory with a fresh OS-backed store, the same way a
+// restarted daemon would.
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"sync"
+)
+
+// File is the writable-file surface the store needs from an FS.
+type File interface {
+	// Write appends to the file.
+	Write(p []byte) (int, error)
+	// Sync flushes the file to stable storage.
+	Sync() error
+	// Close closes the file.
+	Close() error
+	// Name returns the file's path.
+	Name() string
+}
+
+// FS is the filesystem surface of the persistent result store. Every
+// mutation the store performs goes through one of these methods, so an
+// Inject wrapper observes — and can fail — each step of the
+// temp-write/sync/rename/dirsync discipline individually.
+type FS interface {
+	// MkdirAll creates a directory path.
+	MkdirAll(path string, perm os.FileMode) error
+	// CreateTemp creates a new temp file in dir (os.CreateTemp pattern
+	// semantics).
+	CreateTemp(dir, pattern string) (File, error)
+	// Rename atomically moves oldpath to newpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// ReadFile returns a file's contents.
+	ReadFile(name string) ([]byte, error)
+	// ReadDir lists a directory.
+	ReadDir(name string) ([]fs.DirEntry, error)
+	// Stat describes a file.
+	Stat(name string) (fs.FileInfo, error)
+	// SyncDir fsyncs a directory, making completed renames durable.
+	SyncDir(dir string) error
+}
+
+// Operation names used by Rule.Op; "*" matches any operation.
+const (
+	OpMkdirAll   = "mkdirall"
+	OpCreateTemp = "createtemp"
+	OpWrite      = "write"
+	OpSync       = "sync"
+	OpClose      = "close"
+	OpRename     = "rename"
+	OpRemove     = "remove"
+	OpReadFile   = "readfile"
+	OpReadDir    = "readdir"
+	OpStat       = "stat"
+	OpSyncDir    = "syncdir"
+)
+
+// OS returns the production passthrough FS backed by the os package.
+func OS() FS { return osFS{} }
+
+type osFS struct{}
+
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+func (osFS) CreateTemp(dir, pattern string) (File, error) {
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) Rename(oldpath, newpath string) error       { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                   { return os.Remove(name) }
+func (osFS) ReadFile(name string) ([]byte, error)       { return os.ReadFile(name) }
+func (osFS) ReadDir(name string) ([]fs.DirEntry, error) { return os.ReadDir(name) }
+func (osFS) Stat(name string) (fs.FileInfo, error)      { return os.Stat(name) }
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// ErrInjected is the default error injected rules return (wrapped with the
+// rule's description, matchable with errors.Is).
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// ErrCrashed is returned by every operation after a Crash rule fired: the
+// simulated process is dead and its writes no longer reach the disk.
+var ErrCrashed = errors.New("faultfs: crashed (simulated process death)")
+
+// Rule describes one deterministic fault. A rule matches an operation when
+// Op equals the operation name (or "*") and the operation's path contains
+// PathContains (empty matches all). The first After matching calls pass
+// through untouched; the next Times matching calls (0 = every later call)
+// fire the fault.
+type Rule struct {
+	// Op is the operation name (Op* constants) or "*".
+	Op string
+	// PathContains filters by substring of the operation's path.
+	PathContains string
+	// After skips this many matching calls before the rule starts firing.
+	After int
+	// Times bounds how many calls fire (0 = unbounded).
+	Times int
+	// Err is the error to inject (nil selects ErrInjected wrapped with the
+	// rule description).
+	Err error
+	// TornBytes, for write operations, writes only this many bytes before
+	// failing — a torn write reaches the disk.
+	TornBytes int
+	// Crash marks the rule as a crash point: the matching call fails and
+	// the whole FS is dead afterwards (every later operation returns
+	// ErrCrashed), modeling SIGKILL at that instant.
+	Crash bool
+
+	seen  int // matching calls observed
+	fired int // faults delivered
+}
+
+// String names the rule — the crash-point name in test output.
+func (r *Rule) String() string {
+	return fmt.Sprintf("%s@%q after=%d", r.Op, r.PathContains, r.After)
+}
+
+// Inject wraps an FS with a deterministic fault-rule table. Safe for
+// concurrent use; rule matching is serialized so "fail the 3rd write"
+// means the same call every run of a deterministic workload.
+type Inject struct {
+	inner FS
+
+	mu      sync.Mutex
+	rules   []*Rule
+	crashed bool
+	crashAt string // description of the rule that crashed the FS
+	ops     int    // total operations observed (crash included, later ones not)
+}
+
+// NewInject wraps inner (nil selects OS()) with the given rules.
+func NewInject(inner FS, rules ...*Rule) *Inject {
+	if inner == nil {
+		inner = OS()
+	}
+	return &Inject{inner: inner, rules: rules}
+}
+
+// AddRule appends a rule at runtime (tests escalate faults mid-scenario).
+func (i *Inject) AddRule(r *Rule) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.rules = append(i.rules, r)
+}
+
+// Crashed reports whether a Crash rule has fired, and which one.
+func (i *Inject) Crashed() (bool, string) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.crashed, i.crashAt
+}
+
+// Ops returns how many operations the FS has observed (for determinism
+// assertions in tests).
+func (i *Inject) Ops() int {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.ops
+}
+
+// check consults the rule table for one operation. It returns the error to
+// inject (nil = proceed) and, for write operations, how many bytes to land
+// before failing (-1 = not a torn write).
+func (i *Inject) check(op, path string) (error, int) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.crashed {
+		return ErrCrashed, -1
+	}
+	i.ops++
+	for _, r := range i.rules {
+		if r.Op != "*" && r.Op != op {
+			continue
+		}
+		if r.PathContains != "" && !contains(path, r.PathContains) {
+			continue
+		}
+		r.seen++
+		if r.seen <= r.After {
+			continue
+		}
+		if r.Times > 0 && r.fired >= r.Times {
+			continue
+		}
+		r.fired++
+		err := r.Err
+		if err == nil {
+			err = fmt.Errorf("%w (%s)", ErrInjected, r)
+		}
+		if r.Crash {
+			i.crashed = true
+			i.crashAt = r.String()
+			err = fmt.Errorf("%w at %s", ErrCrashed, r)
+		}
+		torn := -1
+		if op == OpWrite && r.TornBytes > 0 {
+			torn = r.TornBytes
+		}
+		return err, torn
+	}
+	return nil, -1
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// MkdirAll implements FS.
+func (i *Inject) MkdirAll(path string, perm os.FileMode) error {
+	if err, _ := i.check(OpMkdirAll, path); err != nil {
+		return err
+	}
+	return i.inner.MkdirAll(path, perm)
+}
+
+// CreateTemp implements FS.
+func (i *Inject) CreateTemp(dir, pattern string) (File, error) {
+	if err, _ := i.check(OpCreateTemp, dir); err != nil {
+		return nil, err
+	}
+	f, err := i.inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &injectFile{inner: f, fs: i}, nil
+}
+
+// Rename implements FS.
+func (i *Inject) Rename(oldpath, newpath string) error {
+	if err, _ := i.check(OpRename, newpath); err != nil {
+		return err
+	}
+	return i.inner.Rename(oldpath, newpath)
+}
+
+// Remove implements FS.
+func (i *Inject) Remove(name string) error {
+	if err, _ := i.check(OpRemove, name); err != nil {
+		return err
+	}
+	return i.inner.Remove(name)
+}
+
+// ReadFile implements FS.
+func (i *Inject) ReadFile(name string) ([]byte, error) {
+	if err, _ := i.check(OpReadFile, name); err != nil {
+		return nil, err
+	}
+	return i.inner.ReadFile(name)
+}
+
+// ReadDir implements FS.
+func (i *Inject) ReadDir(name string) ([]fs.DirEntry, error) {
+	if err, _ := i.check(OpReadDir, name); err != nil {
+		return nil, err
+	}
+	return i.inner.ReadDir(name)
+}
+
+// Stat implements FS.
+func (i *Inject) Stat(name string) (fs.FileInfo, error) {
+	if err, _ := i.check(OpStat, name); err != nil {
+		return nil, err
+	}
+	return i.inner.Stat(name)
+}
+
+// SyncDir implements FS.
+func (i *Inject) SyncDir(dir string) error {
+	if err, _ := i.check(OpSyncDir, dir); err != nil {
+		return err
+	}
+	return i.inner.SyncDir(dir)
+}
+
+// injectFile routes a temp file's write/sync/close through the rule table
+// under the file's own path.
+type injectFile struct {
+	inner File
+	fs    *Inject
+}
+
+func (f *injectFile) Name() string { return f.inner.Name() }
+
+func (f *injectFile) Write(p []byte) (int, error) {
+	err, torn := f.fs.check(OpWrite, f.inner.Name())
+	if err != nil {
+		if torn >= 0 && torn < len(p) {
+			// A torn write: part of the payload reaches the disk before
+			// the failure, like a partial page flush before power loss.
+			n, _ := f.inner.Write(p[:torn])
+			return n, err
+		}
+		return 0, err
+	}
+	return f.inner.Write(p)
+}
+
+func (f *injectFile) Sync() error {
+	if err, _ := f.fs.check(OpSync, f.inner.Name()); err != nil {
+		return err
+	}
+	return f.inner.Sync()
+}
+
+func (f *injectFile) Close() error {
+	if err, _ := f.fs.check(OpClose, f.inner.Name()); err != nil {
+		_ = f.inner.Close() // release the descriptor regardless
+		return err
+	}
+	return f.inner.Close()
+}

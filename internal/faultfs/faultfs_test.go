@@ -1,0 +1,186 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestInjectErrAfterTimes(t *testing.T) {
+	dir := t.TempDir()
+	boom := errors.New("boom")
+	fs := NewInject(nil, &Rule{Op: OpReadFile, After: 1, Times: 2, Err: boom})
+
+	path := filepath.Join(dir, "f")
+	if err := os.WriteFile(path, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// 1st call passes (After=1), next two fail, then passes again.
+	want := []bool{true, false, false, true}
+	for i, ok := range want {
+		_, err := fs.ReadFile(path)
+		if ok && err != nil {
+			t.Fatalf("call %d: unexpected error %v", i, err)
+		}
+		if !ok && !errors.Is(err, boom) {
+			t.Fatalf("call %d: want boom, got %v", i, err)
+		}
+	}
+}
+
+func TestInjectPathFilterAndDefaultErr(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewInject(nil, &Rule{Op: "*", PathContains: "manifest"})
+
+	ok := filepath.Join(dir, "blob")
+	bad := filepath.Join(dir, "manifest.json")
+	if err := os.WriteFile(ok, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Stat(ok); err != nil {
+		t.Fatalf("unfiltered path failed: %v", err)
+	}
+	if _, err := fs.Stat(bad); !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected for filtered path, got %v", err)
+	}
+}
+
+func TestInjectTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewInject(nil, &Rule{Op: OpWrite, TornBytes: 3, Times: 1})
+
+	f, err := fs.CreateTemp(dir, "t-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("hello world"))
+	if err == nil {
+		t.Fatal("torn write should report an error")
+	}
+	if n != 3 {
+		t.Fatalf("torn write landed %d bytes, want 3", n)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hel" {
+		t.Fatalf("on-disk bytes %q, want %q", got, "hel")
+	}
+}
+
+func TestInjectCrashKillsAllLaterOps(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewInject(nil, &Rule{Op: OpSync, Crash: true})
+
+	f, err := fs.CreateTemp(dir, "t-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("sync: want ErrCrashed, got %v", err)
+	}
+	if crashed, at := fs.Crashed(); !crashed || !strings.Contains(at, "sync") {
+		t.Fatalf("Crashed() = %v, %q", crashed, at)
+	}
+	// Everything afterwards is dead — the process never got to do these.
+	if err := fs.Rename(f.Name(), filepath.Join(dir, "final")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("rename after crash: want ErrCrashed, got %v", err)
+	}
+	if _, err := fs.ReadDir(dir); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("readdir after crash: want ErrCrashed, got %v", err)
+	}
+	// The rename never happened on the real disk.
+	if _, err := os.Stat(filepath.Join(dir, "final")); !os.IsNotExist(err) {
+		t.Fatalf("crashed rename reached the disk: %v", err)
+	}
+}
+
+func TestOSPassthrough(t *testing.T) {
+	dir := t.TempDir()
+	fs := OS()
+	sub := filepath.Join(dir, "a", "b")
+	if err := fs.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.CreateTemp(sub, "x-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	final := filepath.Join(sub, "final")
+	if err := fs.Rename(f.Name(), final); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SyncDir(sub); err != nil {
+		t.Fatal(err)
+	}
+	b, err := fs.ReadFile(final)
+	if err != nil || string(b) != "ok" {
+		t.Fatalf("ReadFile = %q, %v", b, err)
+	}
+	ents, err := fs.ReadDir(sub)
+	if err != nil || len(ents) != 1 {
+		t.Fatalf("ReadDir = %v, %v", ents, err)
+	}
+	if _, err := fs.Stat(final); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove(final); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPointsArmHitDisarm(t *testing.T) {
+	var nilPts *Points
+	nilPts.Hit("anything") // must not panic
+
+	pts := NewPoints()
+	pts.Hit("unarmed") // must not panic
+
+	pts.Arm("spill", 2, 1)
+	fired := 0
+	for i := 0; i < 5; i++ {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					inj, ok := r.(Injected)
+					if !ok {
+						t.Fatalf("panic value %T, want Injected", r)
+					}
+					if inj.Point != "spill" || inj.Hit != 3 {
+						t.Fatalf("Injected = %+v", inj)
+					}
+					fired++
+				}
+			}()
+			pts.Hit("spill")
+		}()
+	}
+	if fired != 1 {
+		t.Fatalf("point fired %d times, want 1 (after=2 times=1)", fired)
+	}
+	if got := pts.Hits("spill"); got != 5 {
+		t.Fatalf("Hits = %d, want 5", got)
+	}
+
+	pts.Arm("x", 0, 100)
+	pts.Disarm("x")
+	pts.Hit("x") // disarmed: no panic
+}

@@ -1,0 +1,92 @@
+package faultfs
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Injected is the panic value delivered by an armed Point. Recovery code
+// type-asserts on it to distinguish injected faults from real bugs.
+type Injected struct {
+	// Point is the name of the crash point that fired.
+	Point string
+	// Hit is the 1-based count of hits on that point when it fired.
+	Hit int
+}
+
+// Error implements the error interface so a recovered Injected prints
+// usefully when wrapped into a job failure.
+func (p Injected) Error() string {
+	return fmt.Sprintf("faultfs: injected panic at point %q (hit %d)", p.Point, p.Hit)
+}
+
+// Points is a registry of named in-process panic points. Production code
+// calls Hit(name) at each point; a nil *Points (and any unarmed point) is
+// a no-op, so the hooks cost nothing when fault injection is off.
+type Points struct {
+	mu    sync.Mutex
+	armed map[string]*pointState
+}
+
+type pointState struct {
+	after int          // hits to let pass before firing
+	times int          // how many firings remain (<=0 after exhaustion)
+	hits  atomic.Int64 // total hits observed
+}
+
+// NewPoints returns an empty registry with no armed points.
+func NewPoints() *Points { return &Points{armed: map[string]*pointState{}} }
+
+// Arm makes the named point panic on its next `times` hits after skipping
+// the first `after` hits. Re-arming a point replaces its prior schedule.
+func (p *Points) Arm(name string, after, times int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.armed[name] = &pointState{after: after, times: times}
+}
+
+// Disarm removes any schedule for the named point.
+func (p *Points) Disarm(name string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.armed, name)
+}
+
+// Hits returns how many times the named point has been reached (armed
+// hits only; unarmed points are never counted).
+func (p *Points) Hits(name string) int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := p.armed[name]
+	if st == nil {
+		return 0
+	}
+	return int(st.hits.Load())
+}
+
+// Hit marks one pass through the named point, panicking with an Injected
+// value if the point's schedule says so. Safe on a nil receiver.
+func (p *Points) Hit(name string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	st := p.armed[name]
+	if st == nil {
+		p.mu.Unlock()
+		return
+	}
+	n := int(st.hits.Add(1))
+	fire := n > st.after && st.times > 0
+	if fire {
+		st.times--
+	}
+	p.mu.Unlock()
+	if fire {
+		panic(Injected{Point: name, Hit: n})
+	}
+}

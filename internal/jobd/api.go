@@ -2,8 +2,10 @@ package jobd
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"time"
 )
 
 // api.go is the HTTP/JSON surface of the daemon:
@@ -20,6 +22,13 @@ import (
 //	GET    /arrays/{id}          one array's aggregated status
 //	GET    /arrays/{id}/results  per-child params + metrics + result paths
 //	DELETE /arrays/{id}          cancel every non-terminal child
+//	GET    /healthz              liveness + degraded-store state (503 when degraded)
+//	GET    /metrics              daemon-wide counters, Prometheus text format
+
+// MaxRequestBody caps the request body the API reads (submitted specs are
+// small JSON documents; anything near this limit is abuse or a mistake).
+// Oversized bodies get 413.
+const MaxRequestBody = 8 << 20
 
 // Handler returns the daemon's HTTP API.
 func (s *Server) Handler() http.Handler {
@@ -36,7 +45,19 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /arrays/{id}", s.handleArrayStatus)
 	mux.HandleFunc("GET /arrays/{id}/results", s.handleArrayResults)
 	mux.HandleFunc("DELETE /arrays/{id}", s.handleCancelArray)
-	return mux
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleDaemonMetrics)
+	return http.MaxBytesHandler(mux, MaxRequestBody)
+}
+
+// decodeErrorCode maps a body-decode failure to its status: 413 for a
+// body the MaxBytesHandler truncated, 400 otherwise.
+func decodeErrorCode(err error) int {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
 }
 
 // writeJSON emits v with status code.
@@ -62,7 +83,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
-		writeError(w, http.StatusBadRequest, "bad job spec: %v", err)
+		writeError(w, decodeErrorCode(err), "bad job spec: %v", err)
 		return
 	}
 	j, err := s.Submit(spec)
@@ -111,6 +132,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
+	rc := http.NewResponseController(w)
 	enc := json.NewEncoder(w)
 
 	ch, cancel := j.subscribe()
@@ -123,6 +145,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			if !open {
 				return
 			}
+			// The stream outlives the server's WriteTimeout by design;
+			// extend the deadline per sample so only a genuinely stuck
+			// client gets cut off (not supported on all writers — ignore).
+			_ = rc.SetWriteDeadline(time.Now().Add(30 * time.Second))
 			if err := enc.Encode(sample); err != nil {
 				return
 			}
@@ -131,6 +157,50 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := s.Health()
+	code := http.StatusOK
+	if h.Degraded {
+		// 503 keeps dumb probes honest: the daemon serves, but results are
+		// at risk until the store recovers.
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, h)
+}
+
+func (s *Server) handleDaemonMetrics(w http.ResponseWriter, r *http.Request) {
+	byState := map[State]int{}
+	s.mu.Lock()
+	for _, j := range s.jobs {
+		j.mu.Lock()
+		byState[j.state]++
+		j.mu.Unlock()
+	}
+	queued := len(s.queue)
+	running := len(s.running)
+	pending := len(s.pendingSpills)
+	s.mu.Unlock()
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprintf(w, "# HELP jobd_jobs Jobs known to the daemon, by lifecycle state.\n# TYPE jobd_jobs gauge\n")
+	for _, st := range []State{StateQueued, StateRunning, StateDone, StateFailed, StateCanceled} {
+		fmt.Fprintf(w, "jobd_jobs{state=%q} %d\n", st, byState[st])
+	}
+	fmt.Fprintf(w, "# HELP jobd_queue_depth Jobs waiting for a slot.\n# TYPE jobd_queue_depth gauge\njobd_queue_depth %d\n", queued)
+	fmt.Fprintf(w, "# HELP jobd_running Jobs currently stepping.\n# TYPE jobd_running gauge\njobd_running %d\n", running)
+	fmt.Fprintf(w, "# HELP jobd_workers_active Sweep workers currently busy across all jobs.\n# TYPE jobd_workers_active gauge\njobd_workers_active %d\n", s.gauge.Active())
+	fmt.Fprintf(w, "# HELP jobd_workers_budget Global sweep-worker budget.\n# TYPE jobd_workers_budget gauge\njobd_workers_budget %d\n", s.cfg.Budget)
+	fmt.Fprintf(w, "# HELP jobd_retries_total Automatic job retries since daemon start.\n# TYPE jobd_retries_total counter\njobd_retries_total %d\n", s.retriesTotal.Load())
+	fmt.Fprintf(w, "# HELP jobd_stalls_total Watchdog stall detections since daemon start.\n# TYPE jobd_stalls_total counter\njobd_stalls_total %d\n", s.stallsTotal.Load())
+	fmt.Fprintf(w, "# HELP jobd_spill_failures_total Failed result-store spills since daemon start.\n# TYPE jobd_spill_failures_total counter\njobd_spill_failures_total %d\n", s.spillFailsTotal.Load())
+	degraded := 0
+	if s.degraded.Load() {
+		degraded = 1
+	}
+	fmt.Fprintf(w, "# HELP jobd_store_degraded Whether the result store is in degraded mode.\n# TYPE jobd_store_degraded gauge\njobd_store_degraded %d\n", degraded)
+	fmt.Fprintf(w, "# HELP jobd_pending_spills Terminal jobs awaiting a successful store spill.\n# TYPE jobd_pending_spills gauge\njobd_pending_spills %d\n", pending)
 }
 
 func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
@@ -181,7 +251,7 @@ func (s *Server) handleSubmitArray(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&as); err != nil {
-		writeError(w, http.StatusBadRequest, "bad array spec: %v", err)
+		writeError(w, decodeErrorCode(err), "bad array spec: %v", err)
 		return
 	}
 	arr, err := s.SubmitArray(as)

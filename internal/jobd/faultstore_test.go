@@ -1,0 +1,196 @@
+package jobd
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/faultfs"
+)
+
+// faultstore_test.go — degraded store mode and the crash-point table:
+// every way the spill write path can die (ENOSPC-style errors, torn
+// writes, SIGKILL-equivalent crashes at each named operation) must leave
+// a restarted daemon serving each terminal job byte-identically or not at
+// all — never torn, never a manifest pointing at a missing or partial
+// blob.
+
+// degradedServer runs a daemon over a store whose filesystem fails per
+// the rules, plus an HTTP front so the suites assert through the API.
+func degradedServer(t *testing.T, dir string, rules ...*faultfs.Rule) (*Server, *httptest.Server, *faultfs.Inject) {
+	t.Helper()
+	inj := faultfs.NewInject(nil, rules...)
+	s := New(Config{MaxConcurrent: 1, Budget: 2, ReportEvery: 1,
+		StoreDir: dir, StoreFS: inj})
+	if _, err := s.LoadStore(); err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts, inj
+}
+
+// A transient spill failure (here: the first rename dies, as on a full
+// disk) flips the daemon into degraded mode — /healthz reports 503, the
+// job keeps serving from memory — and the background flusher lands the
+// spill once the store recovers, restoring /healthz to 200 with the
+// result persisted for the next daemon.
+func TestDegradedStoreModeRecovers(t *testing.T) {
+	dir := t.TempDir()
+	// The rule expires after two firings: the initial spill and the first
+	// flusher retry fail, the second retry succeeds.
+	s, ts, _ := degradedServer(t, dir,
+		&faultfs.Rule{Op: faultfs.OpRename, Times: 2, Err: faultfs.ErrInjected})
+
+	st := submit(t, ts.URL, smallSpec("degraded"))
+	waitFor(t, "daemon to enter degraded mode", 30*time.Second, func() bool {
+		code, _ := getBytes(t, ts.URL+"/healthz")
+		return code == http.StatusServiceUnavailable
+	})
+	getJSON(t, ts.URL+"/jobs/"+st.ID, new(Status)) // daemon still serves
+	// The terminal job is served from memory while degraded.
+	rcode, mem := getBytes(t, ts.URL+"/jobs/"+st.ID+"/result")
+	if rcode != http.StatusOK || len(mem) == 0 {
+		t.Fatalf("degraded daemon lost the in-memory result: %d", rcode)
+	}
+	code, body := getBytes(t, ts.URL+"/metrics")
+	if code != http.StatusOK || !strings.Contains(string(body), "jobd_store_degraded 1") {
+		t.Fatalf("metrics do not report degraded mode:\n%s", body)
+	}
+
+	waitFor(t, "flusher to land the spill", 30*time.Second, func() bool {
+		code, _ := getBytes(t, ts.URL+"/healthz")
+		return code == http.StatusOK
+	})
+
+	// The spill is now authoritative: a restarted daemon over the same
+	// directory serves the identical bytes.
+	s2 := New(Config{StoreDir: dir})
+	if n, err := s2.LoadStore(); err != nil || n != 1 {
+		t.Fatalf("restart LoadStore = %d, %v", n, err)
+	}
+	defer s2.Close()
+	j2, ok := s2.Get(st.ID)
+	if !ok {
+		t.Fatalf("restarted daemon lost %s", st.ID)
+	}
+	disk, err := s2.resultBytes(j2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffCheckpoints(t, disk, mem)
+	_ = s
+}
+
+// A torn blob write (partial bytes then an error, as a full disk tears a
+// write) must never surface: the temp-file discipline keeps the partial
+// write invisible, and a restarted daemon either serves the full result
+// or has no record of the job.
+func TestTornSpillNeverVisible(t *testing.T) {
+	dir := t.TempDir()
+	_, ts, _ := degradedServer(t, dir,
+		&faultfs.Rule{Op: faultfs.OpWrite, PathContains: "objects", Times: 1,
+			TornBytes: 100, Err: faultfs.ErrInjected})
+
+	st := submit(t, ts.URL, smallSpec("torn"))
+	waitFor(t, "job to finish", 30*time.Second, func() bool {
+		var now Status
+		getJSON(t, ts.URL+"/jobs/"+st.ID, &now)
+		return now.State == StateDone
+	})
+	_, mem := getBytes(t, ts.URL+"/jobs/"+st.ID+"/result")
+
+	waitFor(t, "flusher to land the spill after the torn write", 30*time.Second, func() bool {
+		code, _ := getBytes(t, ts.URL+"/healthz")
+		return code == http.StatusOK
+	})
+	s2 := New(Config{StoreDir: dir})
+	if n, err := s2.LoadStore(); err != nil || n != 1 {
+		t.Fatalf("restart LoadStore = %d, %v", n, err)
+	}
+	defer s2.Close()
+	j2, _ := s2.Get(st.ID)
+	disk, err := s2.resultBytes(j2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffCheckpoints(t, disk, mem)
+}
+
+// Acceptance (c): the crash-point table. For every named operation of the
+// spill write path (temp-file creation, write, fsync, close, rename,
+// directory fsync) and every file of the spill sequence (result blob,
+// schedule blob, manifest), kill the filesystem mid-operation — the
+// SIGKILL-equivalent frozen disk state — restart a daemon over the
+// directory, and require: the job's /result is byte-identical to the
+// pre-crash in-memory result, or the job is cleanly absent (resubmittable).
+// Torn or half-visible state fails the walk (the store's content
+// verification turns it into an error, which the test treats as fatal).
+func TestSpillCrashPointTable(t *testing.T) {
+	ops := []string{
+		faultfs.OpCreateTemp, faultfs.OpWrite, faultfs.OpSync,
+		faultfs.OpClose, faultfs.OpRename, faultfs.OpSyncDir,
+	}
+	// After selects which file of the spill sequence dies: 0 = result
+	// blob, 1 = schedule blob, 2 = manifest.
+	for _, op := range ops {
+		for after := 0; after <= 2; after++ {
+			t.Run(fmt.Sprintf("%s-file%d", op, after), func(t *testing.T) {
+				dir := t.TempDir()
+				s, ts, inj := degradedServer(t, dir,
+					&faultfs.Rule{Op: op, After: after, Times: 1, Crash: true})
+
+				st := submit(t, ts.URL, smallSpec("crash"))
+				waitFor(t, "job to finish", 30*time.Second, func() bool {
+					var now Status
+					getJSON(t, ts.URL+"/jobs/"+st.ID, &now)
+					return now.State == StateDone
+				})
+				code, mem := getBytes(t, ts.URL+"/jobs/"+st.ID+"/result")
+				if code != http.StatusOK {
+					t.Fatalf("pre-crash result: %d", code)
+				}
+				if crashed, at := inj.Crashed(); !crashed {
+					t.Fatalf("crash point %s/%d never fired", op, after)
+				} else if !strings.Contains(at, op) {
+					t.Fatalf("crashed at %q, want op %s", at, op)
+				}
+
+				// "Restart": a fresh daemon over the frozen directory state,
+				// on the real filesystem.
+				s2 := New(Config{StoreDir: dir})
+				n, err := s2.LoadStore()
+				if err != nil {
+					t.Fatalf("restart over crashed store: %v", err)
+				}
+				defer s2.Close()
+				j2, ok := s2.Get(st.ID)
+				switch {
+				case !ok:
+					// Cleanly absent: the crash predates the manifest. The
+					// submitter sees an unknown job and resubmits.
+					if n != 0 {
+						t.Fatalf("no job yet LoadStore restored %d", n)
+					}
+				default:
+					// Present: the manifest landed, so the full spill must
+					// have landed before it — the result is served and
+					// byte-identical, verified against its content hash.
+					disk, err := s2.resultBytes(j2)
+					if err != nil {
+						t.Fatalf("restarted daemon serves a corrupt result: %v", err)
+					}
+					diffCheckpoints(t, disk, mem)
+				}
+				_ = s
+			})
+		}
+	}
+}

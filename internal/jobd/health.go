@@ -1,0 +1,115 @@
+package jobd
+
+import (
+	"time"
+)
+
+// health.go — degraded store mode. A spill that fails (disk full, torn
+// write, fsync error) must not lose the result or take the daemon down:
+// the job keeps serving from memory, the daemon flips into degraded mode
+// (visible on GET /healthz), and a background flusher retries the spill
+// with backoff until the store recovers. Drain makes one final synchronous
+// attempt before the process exits.
+
+// spillDone persists a terminal job through the degraded-mode machinery:
+// on failure the job is parked in pendingSpills and the flusher (started
+// lazily, one at a time) retries until the store recovers.
+func (s *Server) spillDone(j *Job) {
+	err := s.spillJob(j)
+	if err == nil {
+		return
+	}
+	s.spillFailsTotal.Add(1)
+	s.logf("jobd: spill failed (%v); store degraded, serving %s from memory and retrying", err, j.ID)
+	s.mu.Lock()
+	if s.pendingSpills == nil {
+		s.pendingSpills = make(map[string]*Job)
+	}
+	s.pendingSpills[j.ID] = j
+	s.degraded.Store(true)
+	if !s.flusherOn {
+		s.flusherOn = true
+		s.flushWG.Add(1)
+		go s.flushLoop()
+	}
+	s.mu.Unlock()
+}
+
+// flushLoop retries pending spills with exponential backoff (100ms
+// doubling to a 5s ceiling) until they all land or the daemon drains.
+func (s *Server) flushLoop() {
+	defer s.flushWG.Done()
+	backoff := 100 * time.Millisecond
+	for {
+		select {
+		case <-s.quit:
+			return
+		case <-time.After(backoff):
+		}
+		if s.flushPending() {
+			return
+		}
+		if backoff *= 2; backoff > 5*time.Second {
+			backoff = 5 * time.Second
+		}
+	}
+}
+
+// flushPending retries every parked spill once and reports whether the
+// backlog is clear (also clearing degraded mode and releasing the flusher
+// slot, so a later failure starts a fresh loop at the short backoff).
+func (s *Server) flushPending() bool {
+	s.mu.Lock()
+	pend := make([]*Job, 0, len(s.pendingSpills))
+	for _, j := range s.pendingSpills {
+		pend = append(pend, j)
+	}
+	s.mu.Unlock()
+	for _, j := range pend {
+		if err := s.spillJob(j); err != nil {
+			// Still failing — the whole batch likely shares the cause
+			// (one sick disk); stop hammering it and wait for the next
+			// backoff tick.
+			break
+		}
+		s.logf("jobd: store recovered; spilled %s", j.ID)
+		s.mu.Lock()
+		delete(s.pendingSpills, j.ID)
+		s.mu.Unlock()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.pendingSpills) > 0 {
+		return false
+	}
+	s.degraded.Store(false)
+	s.flusherOn = false
+	return true
+}
+
+// Health is the GET /healthz body.
+type Health struct {
+	// Status is "ok" or "degraded" (some terminal jobs are served from
+	// memory only because their store spill keeps failing).
+	Status string `json:"status"`
+	// Degraded mirrors Status as a boolean.
+	Degraded bool `json:"degraded"`
+	// PendingSpills counts terminal jobs awaiting a successful spill.
+	PendingSpills int `json:"pending_spills"`
+	// Draining reports a shutdown in progress.
+	Draining bool `json:"draining"`
+}
+
+// Health snapshots the daemon's health for /healthz.
+func (s *Server) Health() Health {
+	s.mu.Lock()
+	n := len(s.pendingSpills)
+	draining := s.draining
+	s.mu.Unlock()
+	h := Health{Status: "ok", PendingSpills: n, Draining: draining}
+	if s.degraded.Load() {
+		h.Status = "degraded"
+		h.Degraded = true
+	}
+	return h
+}

@@ -45,6 +45,25 @@ type Spec struct {
 	// (the full global budget).
 	Class string `json:"class,omitempty"`
 
+	// MaxRetries is how many automatic retries the job gets after a
+	// failure (a kernel panic, a mid-run error, or a watchdog stall).
+	// Each retry resumes from the job's last in-memory safety snapshot
+	// (Config.SnapshotEvery) after an exponential backoff; a job that
+	// exhausts its retries is quarantined as failed, with the retry count
+	// and last error in its status.
+	MaxRetries int `json:"max_retries,omitempty"`
+
+	// StallSeconds overrides the daemon's watchdog deadline for this job:
+	// the maximum wall-clock gap between timestep boundaries before the
+	// job is declared stalled. 0 keeps the daemon default
+	// (Config.StallTimeout); irrelevant when the watchdog is off.
+	StallSeconds int `json:"stall_seconds,omitempty"`
+
+	// Fault injects a deterministic fault into this job's run — the chaos
+	// surface of the fault-injection harness. Rejected unless the daemon
+	// runs with Config.AllowFaults (solidifyd -chaos).
+	Fault *FaultSpec `json:"fault,omitempty"`
+
 	// Params records a parameter assignment. On an array child it is the
 	// grid point the child was expanded from; on an array template it
 	// supplies fixed template parameters shared by every child.
@@ -53,6 +72,48 @@ type Spec struct {
 	// Schedule is an embedded schedule file ({"events": [...]}; the same
 	// format as cmd/solidify -schedule). Optional.
 	Schedule json.RawMessage `json:"schedule,omitempty"`
+}
+
+// Fault-injection modes accepted in FaultSpec.Mode.
+const (
+	// FaultPanicSweep panics inside a kernel sweep (via the solver's
+	// faultfs point) during the step after Step — the poisoned-kernel
+	// scenario, exercising panic isolation end to end.
+	FaultPanicSweep = "panic-sweep"
+	// FaultFailStep makes the run return an error at the Step boundary —
+	// a transient mid-run failure, exercising the retry path without
+	// corrupting any state.
+	FaultFailStep = "fail-step"
+	// FaultStallStep wedges the run at the Step boundary until a control
+	// verb arrives — the hung-job scenario, exercising the watchdog.
+	FaultStallStep = "stall-step"
+)
+
+// FaultSpec describes one deterministic injected fault, part of a Spec on
+// daemons running with Config.AllowFaults. The fault fires at (or, for
+// panic-sweep, during the step after) the Step boundary, Times times in
+// total across the job's retries — so a fault with Times < 1+MaxRetries
+// is transient and the job eventually completes.
+type FaultSpec struct {
+	// Mode selects the fault (Fault* constants).
+	Mode string `json:"mode"`
+	// Step is the completed-step count at which the fault fires.
+	Step int `json:"step"`
+	// Times bounds the total firings across retries (default 1).
+	Times int `json:"times,omitempty"`
+}
+
+// validate checks a submitted fault spec.
+func (f *FaultSpec) validate() error {
+	switch f.Mode {
+	case FaultPanicSweep, FaultFailStep, FaultStallStep:
+	default:
+		return fmt.Errorf("jobd: unknown fault mode %q", f.Mode)
+	}
+	if f.Step < 0 || f.Times < 0 {
+		return fmt.Errorf("jobd: fault step/times must be non-negative")
+	}
+	return nil
 }
 
 // blocks returns the number of block ranks the spec decomposes into.
@@ -105,6 +166,17 @@ func (sp *Spec) validateFields() error {
 	default:
 		return fmt.Errorf("jobd: unknown scenario %q", sp.Scenario)
 	}
+	if sp.MaxRetries < 0 {
+		return fmt.Errorf("jobd: max_retries %d invalid", sp.MaxRetries)
+	}
+	if sp.StallSeconds < 0 {
+		return fmt.Errorf("jobd: stall_seconds %d invalid", sp.StallSeconds)
+	}
+	if sp.Fault != nil {
+		if err := sp.Fault.validate(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -151,6 +223,12 @@ const (
 	ctrlNone int32 = iota
 	ctrlPreempt
 	ctrlCancel
+	// ctrlStall is posted by the watchdog when a running job reaches no
+	// timestep boundary within its progress deadline; the runner routes it
+	// into the retry/quarantine path. Cooperative like the others: a job
+	// wedged so hard it never reaches a boundary cannot be reclaimed, only
+	// reported (the stall counters keep climbing).
+	ctrlStall
 )
 
 // Sample is one metrics observation, streamed over GET /jobs/{id}/metrics
@@ -179,7 +257,14 @@ type Status struct {
 	Solid       float64            `json:"solid"`
 	Workers     int                `json:"workers"`
 	Preemptions int                `json:"preemptions"`
-	Error       string             `json:"error,omitempty"`
+	// Retries is how many automatic retries the job has consumed;
+	// LastError is the error that triggered the most recent one (kept
+	// after a later retry succeeds, so a flaky-but-finished job is
+	// diagnosable). Stalls counts watchdog firings against this job.
+	Retries   int    `json:"retries,omitempty"`
+	Stalls    int    `json:"stalls,omitempty"`
+	LastError string `json:"last_error,omitempty"`
+	Error     string `json:"error,omitempty"`
 }
 
 // Job is the daemon-side state of one submitted run.
@@ -200,6 +285,15 @@ type Job struct {
 	desiredShare atomic.Int32 // worker-budget share the scheduler wants
 	appliedShare atomic.Int32 // share the runner has installed
 
+	// notBefore (unixnano) is the retry-backoff gate: the scheduler skips
+	// the queued job until the deadline passes. lastBeat (unixnano) is the
+	// watchdog's progress marker, stored by the runner at every timestep
+	// boundary. faultLeft counts remaining FaultSpec firings across
+	// retries.
+	notBefore atomic.Int64
+	lastBeat  atomic.Int64
+	faultLeft atomic.Int32
+
 	mu          sync.Mutex
 	state       State
 	err         error
@@ -207,6 +301,9 @@ type Job struct {
 	simTime     float64
 	solid       float64
 	preemptions int
+	retries     int   // automatic retries consumed
+	stalls      int   // watchdog firings
+	lastErr     error // error behind the most recent retry
 	// snapshot is the float64 (lossless) checkpoint of a preempted job;
 	// final is the float64 checkpoint of a completed one (GET result).
 	snapshot []byte
@@ -225,13 +322,21 @@ type Job struct {
 }
 
 func newJob(id string, seq int64, spec Spec, sched *schedule.Schedule) *Job {
-	return &Job{
+	j := &Job{
 		ID: id, Spec: spec, seq: seq, sched: sched,
 		group:       id,
 		state:       StateQueued,
 		appliedSeen: make(map[string]bool),
 		subs:        make(map[chan Sample]struct{}),
 	}
+	if spec.Fault != nil {
+		times := spec.Fault.Times
+		if times == 0 {
+			times = 1
+		}
+		j.faultLeft.Store(int32(times))
+	}
+	return j
 }
 
 // Status snapshots the job for the API.
@@ -242,10 +347,13 @@ func (j *Job) Status() Status {
 		ID: j.ID, Name: j.Spec.Name, Array: j.array, Class: j.Spec.Class,
 		Params: j.Spec.Params, State: j.state, Priority: j.Spec.Priority,
 		Step: j.step, Steps: j.Spec.Steps, Time: j.simTime, Solid: j.solid,
-		Preemptions: j.preemptions,
+		Preemptions: j.preemptions, Retries: j.retries, Stalls: j.stalls,
 	}
 	if j.state == StateRunning {
 		st.Workers = int(j.appliedShare.Load())
+	}
+	if j.lastErr != nil {
+		st.LastError = j.lastErr.Error()
 	}
 	if j.err != nil {
 		st.Error = j.err.Error()

@@ -55,8 +55,10 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/faultfs"
 	"repro/internal/jobd/store"
 	"repro/internal/schedule"
 	"repro/internal/solver"
@@ -87,6 +89,33 @@ type Config struct {
 	Classes map[string]int
 	// ReportEvery is the metrics sampling cadence in steps (default 5).
 	ReportEvery int
+	// SnapshotEvery, when > 0, is the safety-snapshot cadence in steps: a
+	// running job writes a lossless in-memory checkpoint at every multiple,
+	// and an automatic retry (Spec.MaxRetries) resumes from the last one
+	// instead of step 0. Costs one float64 checkpoint in memory per
+	// running job; 0 disables (retries then restart from the beginning, or
+	// from the last preemption snapshot).
+	SnapshotEvery int
+	// RetryBackoff is the delay before a failed job's first automatic
+	// retry; it doubles with each further retry, capped at 64×. Default
+	// 100ms.
+	RetryBackoff time.Duration
+	// StallTimeout, when > 0, arms the watchdog: a running job that
+	// reaches no timestep boundary within the window is declared stalled,
+	// canceled cooperatively at its next boundary, and routed through the
+	// retry/quarantine path. Size it above the worst-case initialization
+	// plus one step. Spec.StallSeconds overrides it per job.
+	StallTimeout time.Duration
+	// WatchdogTick is the stall-scan cadence (default StallTimeout/4).
+	WatchdogTick time.Duration
+	// AllowFaults permits submitted specs to carry a FaultSpec
+	// (deterministic fault injection for tests and recovery drills;
+	// solidifyd -chaos). Off, a fault-bearing spec is rejected.
+	AllowFaults bool
+	// StoreFS, when non-nil, routes the result store's filesystem
+	// operations through an injectable implementation (the fault-injection
+	// suite passes a faultfs.Inject). Nil selects the real filesystem.
+	StoreFS faultfs.FS
 	// Log, when non-nil, receives daemon-side progress and spill-failure
 	// lines.
 	Log func(string)
@@ -119,6 +148,19 @@ type Server struct {
 	groupPick map[string]int64
 	pickSeq   int64
 
+	// Degraded store mode: terminal jobs whose spill failed wait here for
+	// the background flusher, which retries with backoff until the store
+	// recovers. While the map is non-empty the daemon reports degraded
+	// via /healthz (and keeps serving those jobs from memory).
+	pendingSpills map[string]*Job
+	flusherOn     bool
+
+	// Fleet counters exported by GET /metrics.
+	retriesTotal    atomic.Int64
+	stallsTotal     atomic.Int64
+	spillFailsTotal atomic.Int64
+	degraded        atomic.Bool
+
 	wake chan struct{}
 	quit chan struct{}
 
@@ -126,6 +168,7 @@ type Server struct {
 	spillWG     sync.WaitGroup // async store spills (queued-cancel path)
 	spillSem    chan struct{}  // bounds concurrent fsync-heavy spills
 	schedulerWG sync.WaitGroup
+	flushWG     sync.WaitGroup // degraded-mode spill-retry flusher
 }
 
 // enqueueLocked appends j to the queue, seeding its fairness group at the
@@ -159,6 +202,12 @@ func New(cfg Config) *Server {
 	if cfg.ReportEvery < 1 {
 		cfg.ReportEvery = 5
 	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 100 * time.Millisecond
+	}
+	if cfg.WatchdogTick <= 0 && cfg.StallTimeout > 0 {
+		cfg.WatchdogTick = cfg.StallTimeout / 4
+	}
 	return &Server{
 		cfg:       cfg,
 		gauge:     &solver.WorkerGauge{},
@@ -177,7 +226,8 @@ func New(cfg Config) *Server {
 // Gauge().Max() <= Budget).
 func (s *Server) Gauge() *solver.WorkerGauge { return s.gauge }
 
-// Start launches the scheduler goroutine.
+// Start launches the scheduler goroutine and, when Config.StallTimeout is
+// set, the watchdog.
 func (s *Server) Start() {
 	s.schedulerWG.Add(1)
 	go func() {
@@ -191,6 +241,48 @@ func (s *Server) Start() {
 			}
 		}
 	}()
+	if s.cfg.StallTimeout > 0 {
+		s.schedulerWG.Add(1)
+		go func() {
+			defer s.schedulerWG.Done()
+			tick := time.NewTicker(s.cfg.WatchdogTick)
+			defer tick.Stop()
+			for {
+				select {
+				case <-s.quit:
+					return
+				case <-tick.C:
+					s.checkStalls()
+				}
+			}
+		}()
+	}
+}
+
+// checkStalls is one watchdog pass: every running job whose last timestep
+// boundary is older than its progress deadline gets a ctrlStall verb (once
+// — the CAS loses against an already-posted cancel or preempt, which is
+// correct: those verbs already reclaim the slot).
+func (s *Server) checkStalls() {
+	now := time.Now().UnixNano()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, j := range s.running {
+		deadline := s.cfg.StallTimeout
+		if j.Spec.StallSeconds > 0 {
+			deadline = time.Duration(j.Spec.StallSeconds) * time.Second
+		}
+		if now-j.lastBeat.Load() <= int64(deadline) {
+			continue
+		}
+		if j.ctrl.CompareAndSwap(ctrlNone, ctrlStall) {
+			s.stallsTotal.Add(1)
+			j.mu.Lock()
+			j.stalls++
+			j.mu.Unlock()
+			s.logf("jobd: watchdog: %s made no progress within %v", j.ID, deadline)
+		}
+	}
 }
 
 // wakeup nudges the scheduler (never blocks).
@@ -210,6 +302,9 @@ func (s *Server) Submit(spec Spec) (*Job, error) {
 	if spec.blocks() > s.cfg.Budget {
 		return nil, fmt.Errorf("jobd: job needs %d block ranks but the worker budget is %d",
 			spec.blocks(), s.cfg.Budget)
+	}
+	if spec.Fault != nil && !s.cfg.AllowFaults {
+		return nil, fmt.Errorf("jobd: fault injection is disabled on this daemon")
 	}
 	if err := s.validateClass(&spec); err != nil {
 		return nil, err
@@ -297,10 +392,10 @@ func (s *Server) Cancel(id string) (State, bool) {
 				// child; the semaphore keeps the fsync storm off the disk.
 				s.spillSem <- struct{}{}
 				defer func() { <-s.spillSem }()
-				s.spillJob(j)
+				s.spillDone(j)
 			}()
 		} else {
-			s.spillJob(j)
+			s.spillDone(j)
 		}
 		j.closeSubs()
 		s.wakeup()
@@ -327,12 +422,15 @@ func (s *Server) dropFromQueueLocked(j *Job) {
 // jobs in skip (nil = none): highest priority first; within a priority,
 // the least-recently-served fairness group (so a wide array's children
 // interleave with other submissions instead of draining FIFO); within a
-// group, earliest submission. s.mu must be held.
+// group, earliest submission. Jobs sitting out a retry backoff
+// (notBefore in the future) are invisible to this pass — retryOrFail has
+// scheduled a wakeup for when they become eligible. s.mu must be held.
 func (s *Server) bestQueuedLocked(skip map[*Job]bool) *Job {
 	var best *Job
 	var bestPick int64
+	now := time.Now().UnixNano()
 	for _, j := range s.queue {
-		if skip[j] {
+		if skip[j] || j.notBefore.Load() > now {
 			continue
 		}
 		pick := s.groupPick[j.group]
@@ -558,6 +656,12 @@ func (s *Server) Drain() error {
 	s.spillWG.Wait()
 	close(s.quit)
 	s.schedulerWG.Wait()
+	s.flushWG.Wait()
+	// One last synchronous attempt at spills the degraded-mode flusher was
+	// still retrying: the store may have recovered (disk freed) between the
+	// last backoff tick and now, and a drained daemon should leave as few
+	// memory-only results behind as possible.
+	s.flushPending()
 
 	if s.cfg.SpoolDir == "" {
 		return nil
@@ -575,6 +679,9 @@ type spoolManifest struct {
 	Spec        Spec            `json:"spec"`
 	Preemptions int             `json:"preemptions"`
 	Step        int             `json:"step"`
+	Retries     int             `json:"retries,omitempty"`
+	Stalls      int             `json:"stalls,omitempty"`
+	LastError   string          `json:"last_error,omitempty"`
 	Applied     json.RawMessage `json:"applied,omitempty"`
 	// Snapshot is the base64 lossless checkpoint of a preempted job
 	// (absent for never-started jobs).
@@ -595,7 +702,11 @@ func (s *Server) writeSpool() error {
 			continue
 		}
 		m := spoolManifest{ID: j.ID, Array: j.array, Spec: j.Spec,
-			Preemptions: j.preemptions, Step: j.step}
+			Preemptions: j.preemptions, Step: j.step,
+			Retries: j.retries, Stalls: j.stalls}
+		if j.lastErr != nil {
+			m.LastError = j.lastErr.Error()
+		}
 		if len(j.snapshot) > 0 {
 			m.Snapshot = base64.StdEncoding.EncodeToString(j.snapshot)
 		}
@@ -677,6 +788,11 @@ func (s *Server) LoadSpool() (int, error) {
 		j := newJob(m.ID, s.nextSeq, m.Spec, sched)
 		j.step = m.Step
 		j.preemptions = m.Preemptions
+		j.retries = m.Retries
+		j.stalls = m.Stalls
+		if m.LastError != "" {
+			j.lastErr = fmt.Errorf("%s", m.LastError)
+		}
 		j.array = m.Array
 		if j.array != "" {
 			j.group = j.array

@@ -29,6 +29,9 @@ type jobManifest struct {
 	Time        float64 `json:"time"`
 	Solid       float64 `json:"solid"`
 	Preemptions int     `json:"preemptions"`
+	Retries     int     `json:"retries,omitempty"`
+	Stalls      int     `json:"stalls,omitempty"`
+	LastError   string  `json:"last_error,omitempty"`
 	Error       string  `json:"error,omitempty"`
 	Result      string  `json:"result,omitempty"`   // blob hash, ckpt container bytes
 	Schedule    string  `json:"schedule,omitempty"` // blob hash, replayable schedule JSON
@@ -57,7 +60,7 @@ func (s *Server) LoadStore() (int, error) {
 	if s.cfg.StoreDir == "" {
 		return 0, nil
 	}
-	st, err := store.Open(s.cfg.StoreDir)
+	st, err := store.OpenFS(s.cfg.StoreDir, s.cfg.StoreFS)
 	if err != nil {
 		return 0, err
 	}
@@ -97,6 +100,11 @@ func (s *Server) LoadStore() (int, error) {
 		j.simTime = m.Time
 		j.solid = m.Solid
 		j.preemptions = m.Preemptions
+		j.retries = m.Retries
+		j.stalls = m.Stalls
+		if m.LastError != "" {
+			j.lastErr = fmt.Errorf("%s", m.LastError)
+		}
 		if m.Error != "" {
 			j.err = fmt.Errorf("%s", m.Error)
 		}
@@ -173,55 +181,56 @@ func (s *Server) persistArray(arr *Array) {
 
 // spillJob persists a terminal job: result and schedule blobs first, the
 // manifest referencing them last, so a manifest never points at a blob
-// that was not fully written. Best effort — on failure the job keeps
-// serving from memory for this daemon's lifetime.
-func (s *Server) spillJob(j *Job) {
+// that was not fully written. A returned error means nothing authoritative
+// landed — the job keeps serving from memory and the caller (spillDone)
+// parks it for the degraded-mode flusher to retry.
+func (s *Server) spillJob(j *Job) error {
 	s.mu.Lock()
 	st := s.store
 	s.mu.Unlock()
 	if st == nil {
-		return
+		return nil
 	}
 	j.mu.Lock()
 	m := jobManifest{
 		ID: j.ID, Array: j.array, Spec: j.Spec, State: j.state,
 		Step: j.step, Time: j.simTime, Solid: j.solid,
-		Preemptions: j.preemptions,
+		Preemptions: j.preemptions, Retries: j.retries, Stalls: j.stalls,
 	}
 	if j.err != nil {
 		m.Error = j.err.Error()
 	}
+	if j.lastErr != nil {
+		m.LastError = j.lastErr.Error()
+	}
 	final := j.final
 	j.mu.Unlock()
 	if !m.State.terminal() {
-		return
+		return nil
 	}
 
 	if final != nil {
 		hash, err := st.PutBlob(final)
 		if err != nil {
-			s.logf("jobd: store result of %s: %v", j.ID, err)
-			return
+			return fmt.Errorf("store result of %s: %w", j.ID, err)
 		}
 		m.Result = hash
 	}
 	if blob, err := j.AppliedScheduleJSON(); err != nil {
-		s.logf("jobd: encode schedule of %s: %v", j.ID, err)
-		return
+		return fmt.Errorf("encode schedule of %s: %w", j.ID, err)
 	} else if hash, err := st.PutBlob(blob); err != nil {
-		s.logf("jobd: store schedule of %s: %v", j.ID, err)
-		return
+		return fmt.Errorf("store schedule of %s: %w", j.ID, err)
 	} else {
 		m.Schedule = hash
 	}
 	if err := st.PutManifest(store.JobsBucket, j.ID, &m); err != nil {
-		s.logf("jobd: store manifest of %s: %v", j.ID, err)
-		return
+		return fmt.Errorf("store manifest of %s: %w", j.ID, err)
 	}
 	j.mu.Lock()
 	j.storedResult = m.Result
 	j.storedSchedule = m.Schedule
 	j.mu.Unlock()
+	return nil
 }
 
 // hasResult reports whether a final checkpoint can be served for j, from

@@ -3,27 +3,40 @@ package jobd
 import (
 	"bytes"
 	"fmt"
+	"runtime/debug"
 	"time"
 
 	"repro"
 	"repro/internal/ckpt"
+	"repro/internal/faultfs"
+	"repro/internal/solver"
 )
 
 // runner.go executes one admitted job on its own goroutine. All scheduler
-// control — preemption, cancellation, worker-budget rebalancing — is
-// applied cooperatively at timestep boundaries through the schedule
-// engine's yield hook, where no sweep or overlapped exchange is in flight.
+// control — preemption, cancellation, stall reclamation, worker-budget
+// rebalancing — is applied cooperatively at timestep boundaries through
+// the schedule engine's yield hook, where no sweep or overlapped exchange
+// is in flight.
+//
+// Failure containment: a kernel panic is recovered inside the solver's
+// sweep tasks and surfaces here as a *solver.KernelFault error from
+// RunSchedule; a panic in the runner's own code (simulation construction,
+// checkpointing, hooks) is recovered at the top of runJob. Either way the
+// blast radius is one job: the attempt is routed through retryOrFail,
+// concurrent jobs keep stepping, and the daemon keeps serving.
 
 // buildSim constructs the job's simulation: fresh from the spec, or — for
-// a preempted job — restored from the lossless in-memory snapshot, which
-// resumes the trajectory bit-identically.
-func (s *Server) buildSim(j *Job, share int) (*phasefield.Simulation, error) {
+// a preempted or retried job — restored from the lossless in-memory
+// snapshot, which resumes the trajectory bit-identically. pts, when
+// non-nil, arms the solver's fault-injection registry (chaos jobs only).
+func (s *Server) buildSim(j *Job, share int, pts *faultfs.Points) (*phasefield.Simulation, error) {
 	sp := j.Spec
 	cfg := phasefield.DefaultConfig(sp.NX, sp.NY, sp.NZ)
 	cfg.PX, cfg.PY = sp.PX, sp.PY
 	cfg.Seed = sp.Seed
 	cfg.MovingWindow = sp.Window
 	cfg.Parallelism = share
+	cfg.Faults = pts
 	// The class sub-gauge counts this job's workers on both the class and
 	// the root gauge, making per-class budget caps measurable.
 	cfg.WorkerGauge = s.gauge.Class(sp.Class)
@@ -49,15 +62,40 @@ func (s *Server) buildSim(j *Job, share int) (*phasefield.Simulation, error) {
 	return sim, nil
 }
 
-// runJob steps one job until completion, preemption, cancellation or
-// error, then hands the slot back to the scheduler.
+// runJob steps one job until completion, preemption, cancellation, stall
+// or error, then hands the slot back to the scheduler. Panics escaping
+// the attempt (runner-side bugs; sweep panics are already contained in
+// the solver) are recovered here and routed through the same
+// retry/quarantine path as errors — one job's failure never takes down
+// the daemon.
 func (s *Server) runJob(j *Job) {
 	defer s.runnersWG.Done()
 	defer s.onRunnerExit(j)
+	defer func() {
+		if r := recover(); r != nil {
+			err := fmt.Errorf("jobd: runner panic: %v\n%s", r, debug.Stack())
+			s.logf("jobd: %s: recovered runner panic: %v", j.ID, r)
+			s.retryOrFail(j, nil, err)
+		}
+	}()
+	s.runAttempt(j)
+}
 
-	sim, err := s.buildSim(j, int(j.appliedShare.Load()))
+// runAttempt is one execution attempt of a job: build (or restore) the
+// simulation, step it under the job's schedule, and route the outcome.
+func (s *Server) runAttempt(j *Job) {
+	j.lastBeat.Store(time.Now().UnixNano())
+
+	// Chaos jobs of mode panic-sweep get a private fault registry wired
+	// into the solver; the OnStep hook arms it at the requested boundary.
+	var pts *faultfs.Points
+	if f := j.Spec.Fault; f != nil && f.Mode == FaultPanicSweep {
+		pts = faultfs.NewPoints()
+	}
+
+	sim, err := s.buildSim(j, int(j.appliedShare.Load()), pts)
 	if err != nil {
-		s.finishRunner(j, nil, StateFailed, err)
+		s.retryOrFail(j, nil, err)
 		return
 	}
 	defer sim.Close()
@@ -69,23 +107,66 @@ func (s *Server) runJob(j *Job) {
 	}
 
 	stop := ctrlNone
+	var failErr error // set by an injected fail-step fault
 	nCells := j.Spec.NX * j.Spec.NY * j.Spec.NZ
 	lastWall := time.Now()
 	lastStep := sim.Step()
+	snapStep := sim.Step() // last safety-snapshot boundary
 
 	opt := phasefield.ScheduleOptions{
 		OnStep: func(step int) bool {
-			// Control first: a preempted/canceled job must not take
+			// Watchdog heartbeat first: reaching this boundary is progress
+			// by definition, whatever happens next.
+			j.lastBeat.Store(time.Now().UnixNano())
+			// Control next: a preempted/canceled/stalled job must not take
 			// another step.
 			if c := j.ctrl.Load(); c != ctrlNone {
 				stop = c
 				return true
+			}
+			// Injected faults fire at their boundary while budget remains
+			// (Times across all attempts), so a transient fault exhausts
+			// itself and a later retry passes the same boundary cleanly.
+			if f := j.Spec.Fault; f != nil && step == f.Step {
+				if j.faultLeft.Add(-1) >= 0 {
+					switch f.Mode {
+					case FaultPanicSweep:
+						// Fires inside a sweep of the NEXT step.
+						pts.Arm(solver.SweepPoint, 0, 1)
+					case FaultFailStep:
+						failErr = fmt.Errorf("jobd: injected failure at step %d", step)
+						return true
+					case FaultStallStep:
+						// Wedge here — between boundaries, as a hung kernel
+						// would — until a control verb reclaims the slot.
+						for j.ctrl.Load() == ctrlNone {
+							time.Sleep(time.Millisecond)
+						}
+						stop = j.ctrl.Load()
+						return true
+					}
+				} else {
+					j.faultLeft.Add(1) // budget exhausted; restore the floor
+				}
 			}
 			// Budget rebalance: shrinks must apply here, at the step
 			// boundary, before the scheduler admits the next job.
 			if ds := j.desiredShare.Load(); ds != j.appliedShare.Load() {
 				if err := sim.SetWorkerBudget(int(ds)); err == nil {
 					j.appliedShare.Store(ds)
+				}
+			}
+			// Safety snapshot: a lossless in-memory checkpoint every
+			// SnapshotEvery steps, so a retry resumes here instead of at
+			// step 0. Taken before the fault boundary of the step that will
+			// fail, never after — the faulted state is garbage.
+			if se := s.cfg.SnapshotEvery; se > 0 && step > snapStep && step%se == 0 {
+				var buf bytes.Buffer
+				if err := sim.WriteCheckpoint(&buf, ckpt.Float64); err == nil {
+					snapStep = step
+					j.mu.Lock()
+					j.snapshot = buf.Bytes()
+					j.mu.Unlock()
 				}
 			}
 			if (step-lastStep)%s.cfg.ReportEvery == 0 {
@@ -113,14 +194,64 @@ func (s *Server) runJob(j *Job) {
 	runErr := sim.RunSchedule(j.sched, remaining, opt)
 	switch {
 	case runErr != nil:
-		s.finishRunner(j, sim, StateFailed, runErr)
+		// Mid-run error: a recovered kernel panic (*solver.KernelFault) or
+		// a schedule/solver failure. Retryable.
+		s.retryOrFail(j, sim, runErr)
+	case failErr != nil:
+		s.retryOrFail(j, sim, failErr)
 	case stop == ctrlCancel:
 		s.finishRunner(j, sim, StateCanceled, nil)
+	case stop == ctrlStall:
+		s.retryOrFail(j, sim, fmt.Errorf("jobd: watchdog: job made no progress within its deadline"))
 	case stop == ctrlPreempt:
 		s.preemptRunner(j, sim)
 	default:
 		s.finishRunner(j, sim, StateDone, nil)
 	}
+}
+
+// retryOrFail routes a failed attempt. A cancellation that raced in wins
+// outright. Otherwise, while retry budget remains, the job goes back to
+// the queue behind an exponential backoff (invisible to the scheduler
+// until notBefore passes) and will resume from its last safety snapshot;
+// with the budget exhausted it is quarantined as failed, keeping its
+// retry count and last error in the status.
+func (s *Server) retryOrFail(j *Job, sim *phasefield.Simulation, err error) {
+	if j.ctrl.Load() == ctrlCancel {
+		s.finishRunner(j, sim, StateCanceled, nil)
+		return
+	}
+	j.mu.Lock()
+	used := j.retries
+	j.mu.Unlock()
+	if used >= j.Spec.MaxRetries {
+		s.finishRunner(j, sim, StateFailed, err)
+		return
+	}
+	backoff := s.cfg.RetryBackoff << min(used, 6) // doubles, capped at 64×
+	s.retriesTotal.Add(1)
+	j.mu.Lock()
+	j.retries++
+	retries := j.retries
+	j.lastErr = err
+	j.state = StateQueued
+	// A faulted simulation's fields are garbage from the aborted step —
+	// keep the last good progress numbers instead of NaNs.
+	if sim != nil && sim.Fault() == nil {
+		j.step = sim.Step()
+		j.simTime = sim.Time()
+		j.solid = sim.SolidFraction()
+		j.mergeApplied(sim.AppliedEvents())
+	}
+	sample := j.sampleLocked()
+	j.mu.Unlock()
+	j.notBefore.Store(time.Now().Add(backoff).UnixNano())
+	// onRunnerExit requeues StateQueued jobs; this wakeup fires when the
+	// backoff expires so the scheduler re-examines the queue then.
+	time.AfterFunc(backoff, s.wakeup)
+	j.publish(sample)
+	s.logf("jobd: %s attempt failed (%v); retry %d/%d in %v",
+		j.ID, err, retries, j.Spec.MaxRetries, backoff)
 }
 
 // preemptRunner snapshots the simulation losslessly and returns the job to
@@ -154,19 +285,25 @@ func (s *Server) preemptRunner(j *Job, sim *phasefield.Simulation) {
 }
 
 // finishRunner records a terminal state (sim may be nil when construction
-// failed).
+// failed). A done job whose final checkpoint cannot be serialized is a
+// failed job — /result must never 200 with nothing behind it, and a
+// restarted daemon must not see a "done" manifest with no result blob.
 func (s *Server) finishRunner(j *Job, sim *phasefield.Simulation, st State, err error) {
 	var final []byte
 	if sim != nil && st == StateDone {
 		var buf bytes.Buffer
-		if werr := sim.WriteCheckpoint(&buf, ckpt.Float64); werr == nil {
+		if werr := sim.WriteCheckpoint(&buf, ckpt.Float64); werr != nil {
+			st = StateFailed
+			err = fmt.Errorf("jobd: final checkpoint of %s: %w", j.ID, werr)
+		} else {
 			final = buf.Bytes()
 		}
 	}
 	j.mu.Lock()
 	j.state = st
 	j.err = err
-	if sim != nil {
+	// Skip the faulted-sim statistics for the same reason as retryOrFail.
+	if sim != nil && sim.Fault() == nil {
 		j.step = sim.Step()
 		j.simTime = sim.Time()
 		j.solid = sim.SolidFraction()
@@ -177,6 +314,6 @@ func (s *Server) finishRunner(j *Job, sim *phasefield.Simulation, st State, err 
 	j.mu.Unlock()
 	// Spill before subscribers see the terminal sample, so a client that
 	// reacts to stream close by fetching /result finds the stored copy too.
-	s.spillJob(j)
+	s.spillDone(j)
 	j.closeSubs()
 }

@@ -17,6 +17,11 @@
 // point leaves either the old manifest or the new one, and stray *.tmp
 // files are swept on Open. Readers therefore never observe a partial
 // write.
+//
+// Every filesystem operation goes through a faultfs.FS (OpenFS), so the
+// fault-injection harness can fail, tear or crash any individual step of
+// the write discipline and prove the recovery claims above hold at each
+// one.
 package store
 
 import (
@@ -24,9 +29,10 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
-	"os"
 	"path/filepath"
 	"strings"
+
+	"repro/internal/faultfs"
 )
 
 // Bucket names for the two manifest kinds.
@@ -42,14 +48,26 @@ const (
 // locking).
 type Store struct {
 	dir string
+	fs  faultfs.FS
 }
 
-// Open prepares the store layout under dir, creating it if needed and
-// sweeping temp files a crashed writer may have left behind.
+// Open prepares the store layout under dir on the real filesystem,
+// creating it if needed and sweeping temp files a crashed writer may have
+// left behind.
 func Open(dir string) (*Store, error) {
-	s := &Store{dir: dir}
+	return OpenFS(dir, nil)
+}
+
+// OpenFS is Open over an injectable filesystem (nil selects the real one).
+// The fault-injection suite passes a faultfs.Inject to fail or crash
+// individual store operations deterministically.
+func OpenFS(dir string, fsys faultfs.FS) (*Store, error) {
+	if fsys == nil {
+		fsys = faultfs.OS()
+	}
+	s := &Store{dir: dir, fs: fsys}
 	for _, sub := range []string{"objects", JobsBucket, ArraysBucket} {
-		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+		if err := fsys.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
 			return nil, err
 		}
 	}
@@ -64,17 +82,35 @@ func (s *Store) Dir() string { return s.dir }
 
 // sweepTemp removes leftover *.tmp files (a crash between create and
 // rename). Visible names are never *.tmp, so this cannot race a completed
-// write.
+// write. Temp files only ever live next to their final location: the
+// bucket directories and the objects/<xx> fan-out.
 func (s *Store) sweepTemp() error {
-	return filepath.WalkDir(s.dir, func(path string, d os.DirEntry, err error) error {
+	dirs := []string{s.dir, filepath.Join(s.dir, JobsBucket), filepath.Join(s.dir, ArraysBucket)}
+	objects := filepath.Join(s.dir, "objects")
+	ents, err := s.fs.ReadDir(objects)
+	if err != nil {
+		return err
+	}
+	dirs = append(dirs, objects)
+	for _, e := range ents {
+		if e.IsDir() {
+			dirs = append(dirs, filepath.Join(objects, e.Name()))
+		}
+	}
+	for _, d := range dirs {
+		ents, err := s.fs.ReadDir(d)
 		if err != nil {
 			return err
 		}
-		if !d.IsDir() && strings.HasSuffix(d.Name(), ".tmp") {
-			return os.Remove(path)
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".tmp") {
+				if err := s.fs.Remove(filepath.Join(d, e.Name())); err != nil {
+					return err
+				}
+			}
 		}
-		return nil
-	})
+	}
+	return nil
 }
 
 // writeAtomic lands blob at path via a same-directory temp file, fsync and
@@ -82,13 +118,14 @@ func (s *Store) sweepTemp() error {
 // fsynced after the rename — without that, a power loss could persist a
 // later write's directory entry while dropping this one, breaking the
 // blobs-before-manifest ordering spillers rely on.
-func writeAtomic(path string, blob []byte) error {
-	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".*.tmp")
+func (s *Store) writeAtomic(path string, blob []byte) error {
+	f, err := s.fs.CreateTemp(filepath.Dir(path), filepath.Base(path)+".*.tmp")
 	if err != nil {
 		return err
 	}
 	tmp := f.Name()
-	if _, err := f.Write(blob); err == nil {
+	_, err = f.Write(blob)
+	if err == nil {
 		err = f.Sync()
 	} else {
 		_ = f.Sync()
@@ -97,26 +134,13 @@ func writeAtomic(path string, blob []byte) error {
 		err = cerr
 	}
 	if err == nil {
-		err = os.Rename(tmp, path)
+		err = s.fs.Rename(tmp, path)
 	}
 	if err != nil {
-		_ = os.Remove(tmp)
+		_ = s.fs.Remove(tmp)
 		return err
 	}
-	return syncDir(filepath.Dir(path))
-}
-
-// syncDir fsyncs a directory so a completed rename's entry is durable.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	err = d.Sync()
-	if cerr := d.Close(); err == nil {
-		err = cerr
-	}
-	return err
+	return s.fs.SyncDir(filepath.Dir(path))
 }
 
 // HashBlob returns the content address (SHA-256 hex) PutBlob would assign.
@@ -145,13 +169,13 @@ func (s *Store) PutBlob(blob []byte) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	if _, err := os.Stat(path); err == nil {
+	if _, err := s.fs.Stat(path); err == nil {
 		return hash, nil
 	}
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+	if err := s.fs.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return "", err
 	}
-	if err := writeAtomic(path, blob); err != nil {
+	if err := s.writeAtomic(path, blob); err != nil {
 		return "", err
 	}
 	return hash, nil
@@ -165,7 +189,7 @@ func (s *Store) Blob(hash string) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	blob, err := os.ReadFile(path)
+	blob, err := s.fs.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
@@ -186,7 +210,7 @@ func (s *Store) PutManifest(bucket, id string, m any) error {
 	if err != nil {
 		return err
 	}
-	return writeAtomic(path, blob)
+	return s.writeAtomic(path, blob)
 }
 
 // manifestPath validates the id (it becomes a file name) and returns the
@@ -202,7 +226,7 @@ func (s *Store) manifestPath(bucket, id string) (string, error) {
 // (id, raw JSON) pairs. A decode error aborts the walk — rename-atomicity
 // means a malformed file is corruption, not an in-progress write.
 func (s *Store) Manifests(bucket string, decode func(id string, blob []byte) error) error {
-	entries, err := os.ReadDir(filepath.Join(s.dir, bucket))
+	entries, err := s.fs.ReadDir(filepath.Join(s.dir, bucket))
 	if err != nil {
 		return err
 	}
@@ -211,7 +235,7 @@ func (s *Store) Manifests(bucket string, decode func(id string, blob []byte) err
 		if e.IsDir() || !strings.HasSuffix(name, ".json") {
 			continue
 		}
-		blob, err := os.ReadFile(filepath.Join(s.dir, bucket, name))
+		blob, err := s.fs.ReadFile(filepath.Join(s.dir, bucket, name))
 		if err != nil {
 			return err
 		}

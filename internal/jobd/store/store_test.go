@@ -2,11 +2,46 @@ package store
 
 import (
 	"bytes"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/faultfs"
 )
+
+// A torn write (partial bytes, then an error — the ENOSPC signature) must
+// fail PutBlob and leave the object address empty: the write error aborts
+// the discipline before the rename, so the torn temp file never becomes
+// visible content. Regression test — an error-shadowing bug once renamed
+// the torn temp file into place.
+func TestTornWriteNeverRenamedIntoPlace(t *testing.T) {
+	dir := t.TempDir()
+	inj := faultfs.NewInject(nil, &faultfs.Rule{
+		Op: faultfs.OpWrite, PathContains: "objects", Times: 1,
+		TornBytes: 3, Err: faultfs.ErrInjected,
+	})
+	s, err := OpenFS(dir, inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := []byte("full result payload")
+	if _, err := s.PutBlob(blob); !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("torn PutBlob err = %v, want the injected write error", err)
+	}
+	h := HashBlob(blob)
+	if _, err := os.Stat(filepath.Join(dir, "objects", h[:2], h)); !os.IsNotExist(err) {
+		t.Fatalf("torn write became visible content (stat err = %v)", err)
+	}
+	// The rule is spent; the retry lands the full blob.
+	if _, err := s.PutBlob(blob); err != nil {
+		t.Fatalf("retry after torn write: %v", err)
+	}
+	if got, err := s.Blob(h); err != nil || !bytes.Equal(got, blob) {
+		t.Fatalf("retried blob: %q, %v", got, err)
+	}
+}
 
 func TestBlobRoundTrip(t *testing.T) {
 	s, err := Open(t.TempDir())

@@ -47,6 +47,7 @@ type sweepTask struct {
 	useStrat bool // pin the φ-sweep to strat instead of variant dispatch
 	z0, z1   int
 	done     *sync.WaitGroup
+	sink     *faultSink // panic isolation + injection points (never nil from runSweep)
 }
 
 func (t *sweepTask) run(sc *kernels.Scratch) {
@@ -98,7 +99,7 @@ func (e *sweepEngine) grow(n, bx, by int) {
 		go func() {
 			for t := range e.tasks {
 				e.gauge.enter()
-				t.run(sc)
+				t.runGuarded(sc)
 				e.gauge.exit()
 				t.done.Done()
 			}
@@ -144,9 +145,10 @@ func (s *Sim) runSweep(r *rank, op sweepOp) {
 	n := s.slabCount(nz)
 	if n <= 1 || s.engine == nil {
 		t := sweepTask{op: op, ctx: &r.ctx, f: r.fields, v: v,
-			strat: s.phiStrategy, useStrat: useStrat, z0: 0, z1: nz}
+			strat: s.phiStrategy, useStrat: useStrat, z0: 0, z1: nz,
+			sink: s.faults}
 		s.gauge.enter()
-		t.run(r.sc)
+		t.runGuarded(r.sc)
 		s.gauge.exit()
 		return
 	}
@@ -156,7 +158,7 @@ func (s *Sim) runSweep(r *rank, op sweepOp) {
 			op: op, ctx: &r.ctx, f: r.fields, v: v,
 			strat: s.phiStrategy, useStrat: useStrat,
 			z0: i * nz / n, z1: (i + 1) * nz / n,
-			done: &r.wg,
+			done: &r.wg, sink: s.faults,
 		}
 	}
 	r.wg.Wait()

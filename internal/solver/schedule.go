@@ -87,7 +87,11 @@ func (s *Sim) SetSchedulePos(pos int) { s.schedPos = pos }
 func (s *Sim) RunSchedule(n int, sched *schedule.Schedule, hooks ScheduleHooks) error {
 	if sched == nil {
 		if hooks.StepDone == nil {
-			s.Run(n)
+			for i := 0; i < n; i++ {
+				if err := s.runStep(); err != nil {
+					return err
+				}
+			}
 			return nil
 		}
 		// An unscheduled run still needs the per-step yield point (the
@@ -160,7 +164,9 @@ func (s *Sim) RunSchedule(n int, sched *schedule.Schedule, hooks ScheduleHooks) 
 			s.refillBoundaryGhosts()
 		}
 
-		s.Run(1)
+		if err := s.runStep(); err != nil {
+			return err
+		}
 
 		for ci, c := range ckpts {
 			if c.Due(s.step) && hooks.WriteCheckpoint != nil {

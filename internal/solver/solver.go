@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/comm"
 	"repro/internal/core"
+	"repro/internal/faultfs"
 	"repro/internal/grid"
 	"repro/internal/kernels"
 	"repro/internal/schedule"
@@ -117,6 +118,12 @@ type Config struct {
 	// gets a private gauge.
 	Gauge *WorkerGauge
 
+	// Faults, when non-nil, arms deterministic fault injection: the sweeps
+	// hit the SweepPoint crash points, and an armed point panics inside the
+	// kernel exactly like a poisoned sweep would. Production leaves it nil
+	// (the hooks then cost one nil check per task).
+	Faults *faultfs.Points
+
 	Seed int64 // RNG seed for the Voronoi setup
 }
 
@@ -145,6 +152,7 @@ type Sim struct {
 	engine         *sweepEngine // nil when every rank gets a single slab
 	workersPerRank int
 	gauge          *WorkerGauge // never nil; Cfg.Gauge or a private one
+	faults         *faultSink   // never nil; collects recovered kernel panics
 
 	// Active kernel selection. Initialized from Cfg.Variant; scheduled
 	// SwitchVariant events (and checkpoint restarts) may change it at
@@ -192,7 +200,8 @@ func New(cfg Config) (*Sim, error) {
 	}
 
 	s := &Sim{Cfg: cfg, World: comm.NewWorld(cfg.BG),
-		phiVariant: cfg.Variant, muVariant: cfg.Variant}
+		phiVariant: cfg.Variant, muVariant: cfg.Variant,
+		faults: &faultSink{points: cfg.Faults}}
 	// The World's per-rank comm workers (overlapped exchanges) reference
 	// the World, so they keep it alive; release them when the Sim goes
 	// unreachable without an explicit Close.
@@ -364,16 +373,38 @@ func (s *Sim) refreshGhosts() {
 	})
 }
 
-// Run advances the simulation n timesteps.
+// Run advances the simulation n timesteps. A kernel panic recovered by the
+// sweeps' isolation layer is re-panicked here as a *KernelFault — the CLI
+// tools keep their fail-fast crash; callers that must survive poisoned
+// kernels (the job daemon) step through RunSchedule, which returns the
+// fault as an error instead.
 func (s *Sim) Run(n int) {
 	for i := 0; i < n; i++ {
-		s.forAllRanks(func(r *rank) { s.timestep(r) })
-		s.step++
-		s.time += s.Cfg.Params.Dt
-		if s.Cfg.MovingWindow {
-			s.maybeShiftWindow()
+		if err := s.runStep(); err != nil {
+			panic(err)
 		}
 	}
+}
+
+// runStep advances one timestep and reports the first kernel fault. The
+// fault is sticky: once a sweep panicked the field data is garbage, so a
+// faulted simulation refuses every further step.
+func (s *Sim) runStep() error {
+	if f := s.faults.first.Load(); f != nil {
+		return f
+	}
+	s.forAllRanks(func(r *rank) { s.timestep(r) })
+	if f := s.faults.first.Load(); f != nil {
+		// The step protocol completed mechanically (exchanges, swap), but
+		// the faulted slab holds garbage: the step does not count.
+		return f
+	}
+	s.step++
+	s.time += s.Cfg.Params.Dt
+	if s.Cfg.MovingWindow {
+		s.maybeShiftWindow()
+	}
+	return nil
 }
 
 // timestep executes one step on one rank with the configured overlap mode.

@@ -10,6 +10,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/ckpt"
 	"repro/internal/core"
+	"repro/internal/faultfs"
 	"repro/internal/grid"
 	"repro/internal/kernels"
 	"repro/internal/mesh"
@@ -66,6 +67,10 @@ type Config struct {
 	// workers on a shared gauge (the job daemon installs one gauge across
 	// all concurrent simulations to observe its global budget).
 	WorkerGauge *solver.WorkerGauge
+	// Faults, when non-nil, arms deterministic fault injection in the
+	// solver's sweeps (see internal/faultfs and solver.SweepPoint). Leave
+	// nil in production.
+	Faults *faultfs.Points
 	// Seed for the Voronoi nuclei.
 	Seed int64
 
@@ -145,6 +150,7 @@ func New(cfg Config) (*Simulation, error) {
 		WindowFrontFraction: cfg.WindowFraction,
 		Parallelism:         cfg.Parallelism,
 		Gauge:               cfg.WorkerGauge,
+		Faults:              cfg.Faults,
 		Seed:                cfg.Seed,
 	})
 	if err != nil {
@@ -186,6 +192,18 @@ func (s *Simulation) ResetAndMeasure(fn func()) solver.Metrics { return s.sim.Me
 // Step returns the completed step count; Time the simulated time.
 func (s *Simulation) Step() int     { return s.sim.StepCount() }
 func (s *Simulation) Time() float64 { return s.sim.Time() }
+
+// Fault returns the first kernel panic captured by this simulation's
+// sweeps, or nil. A faulted simulation's fields hold garbage from the
+// aborted step — callers must not read statistics (SolidFraction may be
+// NaN) or checkpoint it; the job daemon retries from the last snapshot
+// instead.
+func (s *Simulation) Fault() error {
+	if f := s.sim.Fault(); f != nil {
+		return f
+	}
+	return nil
+}
 
 // SolidFraction returns the global solid volume fraction.
 func (s *Simulation) SolidFraction() float64 { return s.sim.SolidFraction() }
