@@ -312,3 +312,82 @@ func BenchmarkCheckpointWrite(b *testing.B) {
 		}
 	}
 }
+
+// --- Active-region sweeping ---------------------------------------------
+
+// cloneBundles deep-copies each rank's field bundle so a RestoreState can
+// rewind the simulation without the benchmark's pristine copy being
+// mutated by subsequent steps.
+func cloneBundles(s *solver.Sim) []*kernels.Fields {
+	out := make([]*kernels.Fields, s.NumRanks())
+	for r := range out {
+		f := s.RankFields(r)
+		out[r] = &kernels.Fields{
+			PhiSrc: f.PhiSrc.Clone(), PhiDst: f.PhiDst.Clone(),
+			MuSrc: f.MuSrc.Clone(), MuDst: f.MuDst.Clone(),
+		}
+	}
+	return out
+}
+
+// benchmarkActiveRegion measures fixed-length runs from a rewound snapshot
+// (rewinds outside the timer), so the measured active fraction stays at the
+// scenario's characteristic value instead of drifting as physics evolves
+// across b.N.
+func benchmarkActiveRegion(b *testing.B, sc solver.Scenario, nz int, disable bool) {
+	const edge = 16
+	const stepsPer = 12
+	bg, err := grid.NewBlockGrid(1, 1, 1, edge, edge, nz, [3]bool{true, true, false})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := core.DefaultParams()
+	p.Temp.Z0 = float64(nz) / 2 * p.Dx
+	s, err := solver.New(solver.Config{Params: p, BG: bg,
+		Variant: kernels.VarShortcut, DisableActiveSweep: disable})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.InitScenario(sc); err != nil {
+		b.Fatal(err)
+	}
+	s.Run(2) // settle the fields and the activity map
+	pristine := s
+	snapshot := cloneBundles(pristine)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		if err := s.RestoreState(0, 0, 0, snapshot); err != nil {
+			b.Fatal(err)
+		}
+		snapshot = cloneBundles(s) // next rewind must not alias live fields
+		b.StartTimer()
+		s.Run(stepsPer)
+	}
+	b.StopTimer()
+	cells := float64(edge * edge * nz)
+	b.ReportMetric(cells*stepsPer*float64(b.N)/b.Elapsed().Seconds()/1e6, "MLUP/s")
+	b.ReportMetric(s.ActiveFraction(), "active_frac")
+}
+
+// BenchmarkActiveRegion contrasts the two compositions activity tracking
+// cares about. "bulk" is the production shape — nuclei at the bottom of a
+// tall melt column, ≲20% of slices active — where skipping sleeping slices
+// should win big. "interface" is the adversarial shape — solid stripes
+// through the whole height, nothing ever sleeps — measuring the tracker's
+// pure overhead. Compare each tracked sub-benchmark against its full twin.
+func BenchmarkActiveRegion(b *testing.B) {
+	cases := []struct {
+		name string
+		sc   solver.Scenario
+		nz   int
+	}{
+		{"bulk", solver.ScenarioProduction, 128},
+		{"interface", solver.ScenarioInterface, 24},
+	}
+	for _, c := range cases {
+		b.Run(c.name+"/tracked", func(b *testing.B) { benchmarkActiveRegion(b, c.sc, c.nz, false) })
+		b.Run(c.name+"/full", func(b *testing.B) { benchmarkActiveRegion(b, c.sc, c.nz, true) })
+	}
+}

@@ -36,8 +36,8 @@ func main() {
 	const nz = 48
 	for i := 0; i < 8; i++ {
 		sim.Run(100)
-		fmt.Printf("step %5d  front z=%-3d of %d  solid=%.3f  window advanced by %d cells\n",
-			sim.Step(), sim.FrontHeight(), nz, sim.SolidFraction(), sim.WindowShift())
+		fmt.Printf("step %5d  front z=%-3d of %d  solid=%.3f  active=%.2f  window advanced by %d cells\n",
+			sim.Step(), sim.FrontHeight(), nz, sim.SolidFraction(), sim.ActiveFraction(), sim.WindowShift())
 	}
 
 	// Final interface mesh of the first solid phase, simplified.

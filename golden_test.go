@@ -116,10 +116,13 @@ func sampleSim(s *Simulation) goldenSample {
 }
 
 // runGolden advances sim under the schedule to `until` steps, sampling
-// every goldenEvery steps (including the entry state).
-func runGolden(t *testing.T, sim *Simulation, sched *schedule.Schedule, until int) []goldenSample {
+// every goldenEvery steps (including the entry state). The second return
+// is the smallest active fraction observed at any sample point — the
+// evidence that the trajectory being compared exercised the skip path.
+func runGolden(t *testing.T, sim *Simulation, sched *schedule.Schedule, until int) ([]goldenSample, float64) {
 	t.Helper()
 	samples := []goldenSample{sampleSim(sim)}
+	minActive := 1.0
 	for sim.Step() < until {
 		n := goldenEvery
 		if sim.Step()+n > until {
@@ -129,8 +132,11 @@ func runGolden(t *testing.T, sim *Simulation, sched *schedule.Schedule, until in
 			t.Fatal(err)
 		}
 		samples = append(samples, sampleSim(sim))
+		if af := sim.ActiveFraction(); af < minActive {
+			minActive = af
+		}
 	}
-	return samples
+	return samples, minActive
 }
 
 func compareSamples(t *testing.T, label string, got, want []goldenSample, tolSolid, tolMu float64) {
@@ -168,7 +174,7 @@ func TestGoldenTrajectory(t *testing.T) {
 	if err := sim.InitProduction(); err != nil {
 		t.Fatal(err)
 	}
-	samples := runGolden(t, sim, sched, goldenSteps)
+	samples, minActive := runGolden(t, sim, sched, goldenSteps)
 
 	// The schedule must actually have exercised its machinery; a golden
 	// fixture of a trivial run would guard nothing.
@@ -194,6 +200,13 @@ func TestGoldenTrajectory(t *testing.T) {
 	}
 	if phiBCs[grid.ZMax].Kind != grid.BCDirichlet {
 		t.Fatalf("golden run's φ top wall did not switch: %+v", phiBCs[grid.ZMax])
+	}
+	// The fixture run must engage activity tracking (melt above the front
+	// sleeps for the first third of the run, before µ diffusion wakes the
+	// whole small domain) — otherwise the golden comparison would not
+	// cover the skip-vs-full path at all.
+	if !(minActive < 1) || minActive <= 0 {
+		t.Fatalf("golden run's minimum active fraction = %g, want engaged (0 < af < 1)", minActive)
 	}
 
 	if *update {
@@ -260,7 +273,7 @@ func TestGoldenTrajectory(t *testing.T) {
 				i, restoredMu[grid.ZMin].Values[i], wantWall[i])
 		}
 	}
-	restartSamples := runGolden(t, restored, sched, goldenSteps)
+	restartSamples, _ := runGolden(t, restored, sched, goldenSteps)
 	tail := fx.Samples[fx.CheckpointStep/fx.SampleEvery:]
 	compareSamples(t, "restart", restartSamples, tail, fx.TolRestart, fx.TolRestart)
 	if phi, _, _, _ := restored.Kernels(); phi != kernels.VarShortcut {

@@ -136,21 +136,37 @@ func unpackRegion(f *grid.Field, r haloRegion, buf []float64) {
 	}
 }
 
+// sleepToken is the zero-length message a sender ships instead of a packed
+// halo when the face's pack region is marked quiet: the receiver's ghost
+// bytes are already identical, so it discards the token without unpacking.
+// Real pack buffers always hold at least one cell, so length zero is an
+// unambiguous discriminator. Every round still moves exactly one message
+// per face, keeping the staged protocol deadlock-free — each side decides
+// about its own sends independently.
+var sleepToken = make([]float64, 0)
+
 // ExchangeGhosts performs the blocking staged halo exchange for rank's
 // field, interleaving physical boundary-condition fills so edge and corner
 // ghosts are consistent. This corresponds to "ghostlayer communication +
-// boundary handling" in Algorithm 1.
+// boundary handling" in Algorithm 1. Faces marked quiet via SetQuietFaces
+// send a sleep token instead of packing — unless an earlier stage of this
+// same exchange unpacked real data, which may have refreshed the ghost
+// cells the later stages' pack regions include.
 func (w *World) ExchangeGhosts(rank int, f *grid.Field, tag Tag, bcs grid.BoundarySet) {
 	var st Stats
+	quiet := w.takeQuiet(rank, tag)
+	realRecv := false
 	for axis := 0; axis < 3; axis++ {
-		w.exchangeAxis(rank, f, tag, bcs, axis, &st)
+		w.exchangeAxis(rank, f, tag, bcs, axis, &st, &quiet, &realRecv)
 	}
 	w.addStats(rank, tag, st)
 }
 
 // exchangeAxis handles one stage: sends both faces of the axis, applies the
-// axis' physical BCs, then receives and unpacks.
-func (w *World) exchangeAxis(rank int, f *grid.Field, tag Tag, bcs grid.BoundarySet, axis int, st *Stats) {
+// axis' physical BCs, then receives and unpacks. realRecv records whether
+// any stage of the enclosing exchange has unpacked real (non-token) data
+// yet; once it has, later quiet faces are sent for real.
+func (w *World) exchangeAxis(rank int, f *grid.Field, tag Tag, bcs grid.BoundarySet, axis int, st *Stats, quiet *[grid.NumFaces]bool, realRecv *bool) {
 	faces := [2]grid.Face{grid.Face(2 * axis), grid.Face(2*axis + 1)}
 
 	var recvs [2]grid.Face
@@ -164,10 +180,15 @@ func (w *World) exchangeAxis(rank int, f *grid.Field, tag Tag, bcs grid.Boundary
 		if !ok || n == rank {
 			continue // physical boundary or local periodic: BC handles it
 		}
-		pack, _ := stageRegions(f, face)
 		t0 := time.Now()
-		buf := packRegion(f, pack, w.takeBuf(rank, face, tag, pack.numCells()*f.NComp))
-		st.Pack += time.Since(t0)
+		buf := sleepToken
+		if !quiet[face] || *realRecv {
+			pack, _ := stageRegions(f, face)
+			buf = packRegion(f, pack, w.takeBuf(rank, face, tag, pack.numCells()*f.NComp))
+			st.Pack += time.Since(t0)
+		} else {
+			st.Skipped++
+		}
 
 		t0 = time.Now()
 		// Message arrives at the neighbor's opposite face.
@@ -192,10 +213,16 @@ func (w *World) exchangeAxis(rank int, f *grid.Field, tag Tag, bcs grid.Boundary
 	// arrival side: a message arriving at our XMin face fills our low
 	// ghost slab. The drained buffer goes back to its sender — the
 	// neighbor on the arrival face, which sent through its opposite face.
+	// A sleep token carries nothing: the ghost slab already holds the
+	// right bytes, and the token is not a pooled buffer to return.
 	for _, face := range recvs[:nrecv] {
 		t0 := time.Now()
 		buf := <-w.box(rank, face, tag)
 		st.Transfer += time.Since(t0)
+		if len(buf) == 0 {
+			continue
+		}
+		*realRecv = true
 
 		t0 = time.Now()
 		unpackRegion(f, arrivalRegion(f, face), buf)

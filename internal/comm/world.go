@@ -57,6 +57,11 @@ type Stats struct {
 	Wait     time.Duration // time blocked in Finish() for overlapped exchanges
 	Messages int
 	Bytes    int
+	// Skipped counts face rounds replaced by a zero-length sleep token
+	// because the sender's pack region was marked quiet (SetQuietFaces):
+	// the receiver's ghost bytes are provably identical already, so
+	// nothing is packed, transferred or unpacked.
+	Skipped int
 }
 
 // Add accumulates other into s.
@@ -67,6 +72,7 @@ func (s *Stats) Add(other Stats) {
 	s.Wait += other.Wait
 	s.Messages += other.Messages
 	s.Bytes += other.Bytes
+	s.Skipped += other.Skipped
 }
 
 // Total returns the total time attributed to communication.
@@ -103,6 +109,13 @@ type World struct {
 	// finishes (and its Finish returns) before the workers shut down.
 	inflight sync.WaitGroup
 
+	// quiet[rank][tag] is the one-shot quiet-face mask SetQuietFaces
+	// stores for the next exchange of that (rank, tag) stream. Only the
+	// rank's own goroutine and its comm worker touch an entry, and never
+	// concurrently (the one-outstanding-per-(rank,tag) discipline orders
+	// them through the request and completion channels).
+	quiet [][][grid.NumFaces]bool
+
 	stats [][]Stats // per-rank, per-tag accumulated stats
 	mu    []sync.Mutex
 
@@ -125,7 +138,9 @@ func NewWorld(bg *grid.BlockGrid) *World {
 	}
 	w.workers = make([]commWorker, n)
 	w.pending = make([][]Pending, n)
+	w.quiet = make([][][grid.NumFaces]bool, n)
 	for r := 0; r < n; r++ {
+		w.quiet[r] = make([][grid.NumFaces]bool, numTags)
 		w.stats[r] = make([]Stats, numTags)
 		w.mailboxes[r] = make([]chan []float64, int(grid.NumFaces)*int(numTags))
 		w.freeBufs[r] = make([]chan []float64, int(grid.NumFaces)*int(numTags))
@@ -223,6 +238,29 @@ func (w *World) Close() {
 
 // NumRanks returns the number of ranks in the world.
 func (w *World) NumRanks() int { return w.BG.NumBlocks() }
+
+// SetQuietFaces marks faces of rank's next exchange on tag as quiet: the
+// caller asserts the pack region of each masked face is bitwise-unchanged
+// since the bytes the receiving neighbor currently holds in its ghost
+// layer. The very next exchange for (rank, tag) consumes the mask — it
+// does not persist — and replaces each still-eligible masked round with a
+// zero-length sleep token the receiver discards without unpacking. A
+// masked face whose pack region was refreshed by a real unpack earlier in
+// the same staged exchange is sent for real (the token is suppressed), so
+// the staged corner/edge propagation stays exact. Must be called from the
+// goroutine that initiates the exchange, before initiating it.
+func (w *World) SetQuietFaces(rank int, tag Tag, mask [grid.NumFaces]bool) {
+	w.quiet[rank][int(tag)] = mask
+}
+
+// takeQuiet consumes the one-shot quiet mask for (rank, tag).
+func (w *World) takeQuiet(rank int, tag Tag) [grid.NumFaces]bool {
+	m := w.quiet[rank][int(tag)]
+	if m != ([grid.NumFaces]bool{}) {
+		w.quiet[rank][int(tag)] = [grid.NumFaces]bool{}
+	}
+	return m
+}
 
 func (w *World) box(to int, face grid.Face, tag Tag) chan []float64 {
 	return w.mailboxes[to][int(face)*int(numTags)+int(tag)]

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
 	"time"
 )
 
@@ -172,10 +173,22 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleDaemonMetrics(w http.ResponseWriter, r *http.Request) {
 	byState := map[State]int{}
+	type jobGauge struct {
+		id string
+		af float64
+	}
+	var active []jobGauge
 	s.mu.Lock()
 	for _, j := range s.jobs {
 		j.mu.Lock()
 		byState[j.state]++
+		if j.state == StateRunning {
+			af := j.activeFrac
+			if af == 0 {
+				af = 1 // no sample yet: the solver sweeps everything
+			}
+			active = append(active, jobGauge{j.ID, af})
+		}
 		j.mu.Unlock()
 	}
 	queued := len(s.queue)
@@ -201,6 +214,11 @@ func (s *Server) handleDaemonMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	fmt.Fprintf(w, "# HELP jobd_store_degraded Whether the result store is in degraded mode.\n# TYPE jobd_store_degraded gauge\njobd_store_degraded %d\n", degraded)
 	fmt.Fprintf(w, "# HELP jobd_pending_spills Terminal jobs awaiting a successful store spill.\n# TYPE jobd_pending_spills gauge\njobd_pending_spills %d\n", pending)
+	sort.Slice(active, func(i, k int) bool { return active[i].id < active[k].id })
+	fmt.Fprintf(w, "# HELP jobd_active_fraction Fraction of z-slices the solver swept last step, per running job.\n# TYPE jobd_active_fraction gauge\n")
+	for _, g := range active {
+		fmt.Fprintf(w, "jobd_active_fraction{job=%q} %g\n", g.id, g.af)
+	}
 }
 
 func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -193,4 +195,92 @@ func TestSpillCrashPointTable(t *testing.T) {
 			})
 		}
 	}
+}
+
+// countObjects walks dir/objects and counts content-addressed blob files.
+func countObjects(t *testing.T, dir string) int {
+	t.Helper()
+	n := 0
+	err := filepath.WalkDir(filepath.Join(dir, "objects"), func(path string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && !strings.HasSuffix(d.Name(), ".tmp") {
+			n++
+		}
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// Satellite regression beside the crash-point table: a crash on the
+// manifest rename — the last step of the spill — strands fully-written
+// result and schedule blobs with no manifest pointing at them. Before the
+// orphan sweep these blobs leaked forever; now a restarted daemon's store
+// open reclaims them, the job is cleanly absent, and resubmitting it runs
+// and spills as if the crash never happened.
+func TestCrashBeforeManifestReclaimsOrphanedBlobs(t *testing.T) {
+	dir := t.TempDir()
+	// The spill renames the result blob, the schedule blob, then the
+	// manifest; After: 2 skips the first two and kills the third.
+	_, ts, inj := degradedServer(t, dir,
+		&faultfs.Rule{Op: faultfs.OpRename, After: 2, Times: 1, Crash: true})
+
+	st := submit(t, ts.URL, smallSpec("orphan"))
+	waitFor(t, "job to finish", 30*time.Second, func() bool {
+		var now Status
+		getJSON(t, ts.URL+"/jobs/"+st.ID, &now)
+		return now.State == StateDone
+	})
+	if crashed, at := inj.Crashed(); !crashed {
+		t.Fatal("manifest-rename crash point never fired")
+	} else if !strings.Contains(at, faultfs.OpRename) {
+		t.Fatalf("crashed at %q, want a rename", at)
+	}
+	if n := countObjects(t, dir); n < 2 {
+		t.Fatalf("crash left %d blobs on disk, want the orphaned result and schedule", n)
+	}
+
+	// Restart over the frozen directory: the store open reclaims the
+	// orphans and the job is cleanly absent (resubmittable).
+	s2 := New(Config{MaxConcurrent: 1, Budget: 2, ReportEvery: 1, StoreDir: dir})
+	if n, err := s2.LoadStore(); err != nil || n != 0 {
+		t.Fatalf("restart LoadStore = %d, %v; want no restored jobs", n, err)
+	}
+	if n := countObjects(t, dir); n != 0 {
+		t.Fatalf("%d orphaned blobs survived the restart sweep", n)
+	}
+	s2.Start()
+	ts2 := httptest.NewServer(s2.Handler())
+	defer func() {
+		ts2.Close()
+		s2.Close()
+	}()
+
+	// The resubmitted job runs to done and this time the spill lands: a
+	// third daemon over the directory serves it from disk.
+	st2 := submit(t, ts2.URL, smallSpec("orphan"))
+	waitFor(t, "resubmitted job to finish", 30*time.Second, func() bool {
+		var now Status
+		getJSON(t, ts2.URL+"/jobs/"+st2.ID, &now)
+		return now.State == StateDone
+	})
+	code, mem := getBytes(t, ts2.URL+"/jobs/"+st2.ID+"/result")
+	if code != http.StatusOK {
+		t.Fatalf("resubmitted result: %d", code)
+	}
+	s3 := New(Config{StoreDir: dir})
+	if n, err := s3.LoadStore(); err != nil || n != 1 {
+		t.Fatalf("third daemon LoadStore = %d, %v", n, err)
+	}
+	defer s3.Close()
+	j3, ok := s3.Get(st2.ID)
+	if !ok {
+		t.Fatalf("third daemon lost %s", st2.ID)
+	}
+	disk, err := s3.resultBytes(j3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffCheckpoints(t, disk, mem)
 }

@@ -238,8 +238,11 @@ type Sample struct {
 	Steps int     `json:"steps"`
 	Time  float64 `json:"time"`
 	Solid float64 `json:"solid"`
-	MLUPs float64 `json:"mlups"`
-	State State   `json:"state"`
+	// ActiveFraction is the share of z-slices the solver's activity
+	// tracker actually swept last step (1 = no slice slept).
+	ActiveFraction float64 `json:"active_fraction"`
+	MLUPs          float64 `json:"mlups"`
+	State          State   `json:"state"`
 }
 
 // Status is the API view of a job (GET /jobs/{id}).
@@ -300,6 +303,7 @@ type Job struct {
 	step        int
 	simTime     float64
 	solid       float64
+	activeFrac  float64 // last observed solver active fraction (0 = unknown)
 	preemptions int
 	retries     int   // automatic retries consumed
 	stalls      int   // watchdog firings
@@ -432,8 +436,12 @@ func (j *Job) subscribe() (<-chan Sample, func()) {
 
 // sampleLocked builds a Sample from the current state; j.mu must be held.
 func (j *Job) sampleLocked() Sample {
+	af := j.activeFrac
+	if af == 0 {
+		af = 1 // not yet observed: the solver sweeps everything
+	}
 	return Sample{Step: j.step, Steps: j.Spec.Steps, Time: j.simTime,
-		Solid: j.solid, State: j.state}
+		Solid: j.solid, ActiveFraction: af, State: j.state}
 }
 
 // publish pushes a sample to all subscribers (lossy).

@@ -177,10 +177,12 @@ func (s *Server) runAttempt(j *Job) {
 				}
 				lastWall, lastStep = now, step
 				solid := sim.SolidFraction()
+				active := sim.ActiveFraction()
 				j.mu.Lock()
 				j.step = step
 				j.simTime = sim.Time()
 				j.solid = solid
+				j.activeFrac = active
 				j.mergeApplied(sim.AppliedEvents())
 				sample := j.sampleLocked()
 				sample.MLUPs = mlups
@@ -241,6 +243,7 @@ func (s *Server) retryOrFail(j *Job, sim *phasefield.Simulation, err error) {
 		j.step = sim.Step()
 		j.simTime = sim.Time()
 		j.solid = sim.SolidFraction()
+		j.activeFrac = sim.ActiveFraction()
 		j.mergeApplied(sim.AppliedEvents())
 	}
 	sample := j.sampleLocked()
@@ -278,6 +281,7 @@ func (s *Server) preemptRunner(j *Job, sim *phasefield.Simulation) {
 	j.step = sim.Step()
 	j.simTime = sim.Time()
 	j.solid = sim.SolidFraction()
+	j.activeFrac = sim.ActiveFraction()
 	j.mergeApplied(sim.AppliedEvents())
 	sample := j.sampleLocked()
 	j.mu.Unlock()
@@ -307,6 +311,7 @@ func (s *Server) finishRunner(j *Job, sim *phasefield.Simulation, st State, err 
 		j.step = sim.Step()
 		j.simTime = sim.Time()
 		j.solid = sim.SolidFraction()
+		j.activeFrac = sim.ActiveFraction()
 		j.mergeApplied(sim.AppliedEvents())
 	}
 	j.snapshot = nil

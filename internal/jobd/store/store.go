@@ -74,6 +74,9 @@ func OpenFS(dir string, fsys faultfs.FS) (*Store, error) {
 	if err := s.sweepTemp(); err != nil {
 		return nil, err
 	}
+	if err := s.sweepOrphans(); err != nil {
+		return nil, err
+	}
 	return s, nil
 }
 
@@ -111,6 +114,88 @@ func (s *Store) sweepTemp() error {
 		}
 	}
 	return nil
+}
+
+// sweepOrphans deletes content objects no manifest references. The spill
+// discipline writes blobs first and the manifest last, so a crash between
+// the two leaves fully-written blobs with no owner; without this sweep they
+// would accumulate forever (the retried spill re-hashes identical content
+// to the same address, but a retry after the inputs changed — or a job that
+// is never resubmitted — strands the old bytes). Running at Open is safe
+// against concurrent spills because Open precedes the daemon's first write,
+// and safe against crashes mid-sweep because deleting an unreferenced
+// object never invalidates a manifest.
+func (s *Store) sweepOrphans() error {
+	referenced := map[string]bool{}
+	for _, bucket := range []string{JobsBucket, ArraysBucket} {
+		err := s.Manifests(bucket, func(id string, blob []byte) error {
+			var doc any
+			if err := json.Unmarshal(blob, &doc); err != nil {
+				return err
+			}
+			collectHashes(doc, referenced)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	objects := filepath.Join(s.dir, "objects")
+	fans, err := s.fs.ReadDir(objects)
+	if err != nil {
+		return err
+	}
+	for _, fan := range fans {
+		if !fan.IsDir() {
+			continue
+		}
+		dir := filepath.Join(objects, fan.Name())
+		ents, err := s.fs.ReadDir(dir)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			name := e.Name()
+			if e.IsDir() || !isHash(name) || referenced[name] {
+				continue
+			}
+			if err := s.fs.Remove(filepath.Join(dir, name)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// collectHashes walks a decoded JSON document and records every string that
+// is shaped like a content address. Manifests store hashes as plain string
+// fields, so shape-matching over the whole document keeps the sweep
+// oblivious to the manifest schema — a new hash-bearing field can never be
+// forgotten here and cause data loss.
+func collectHashes(doc any, out map[string]bool) {
+	switch v := doc.(type) {
+	case string:
+		if isHash(v) {
+			out[v] = true
+		}
+	case []any:
+		for _, e := range v {
+			collectHashes(e, out)
+		}
+	case map[string]any:
+		for _, e := range v {
+			collectHashes(e, out)
+		}
+	}
+}
+
+// isHash reports whether name has the shape of a content address.
+func isHash(name string) bool {
+	if len(name) != 2*sha256.Size {
+		return false
+	}
+	_, err := hex.DecodeString(name)
+	return err == nil
 }
 
 // writeAtomic lands blob at path via a same-directory temp file, fsync and

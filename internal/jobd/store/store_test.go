@@ -119,6 +119,10 @@ func TestCrashLeftoversSweptAndInvisible(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Reference the object so the reopen's orphan sweep keeps it.
+	if err := s.PutManifest(JobsBucket, "job-0001", map[string]string{"result": h}); err != nil {
+		t.Fatal(err)
+	}
 	// Simulate a writer killed mid-spill: partial temp files next to a
 	// manifest and an object.
 	for _, p := range []string{
@@ -138,8 +142,8 @@ func TestCrashLeftoversSweptAndInvisible(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if n != 0 {
-		t.Fatalf("temp manifest visible to readers (%d entries)", n)
+	if n != 1 {
+		t.Fatalf("want only the real manifest visible to readers, got %d entries", n)
 	}
 
 	// A reopened store (the restarted daemon) sweeps the litter.
@@ -200,5 +204,56 @@ func TestManifestIDValidation(t *testing.T) {
 	}
 	if _, err := s.Blob("not-a-hash"); err == nil {
 		t.Error("malformed hash accepted")
+	}
+}
+
+// Open reclaims orphaned objects — blobs whose spill crashed before the
+// manifest rename — while keeping every object any manifest references,
+// including hashes nested in arrays and sub-objects (the sweep matches
+// string shape, not schema).
+func TestOpenReclaimsOrphanedObjects(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept1, err := s.PutBlob([]byte("result bytes"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept2, err := s.PutBlob([]byte("schedule bytes"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	orphan, err := s.PutBlob([]byte("spill died before the manifest"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	type nested struct {
+		Result string   `json:"result"`
+		Extra  []string `json:"extra"`
+	}
+	if err := s.PutManifest(JobsBucket, "job-0001", nested{Result: kept1, Extra: []string{kept2}}); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := Open(dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range []string{kept1, kept2} {
+		if _, err := s.Blob(h); err != nil {
+			t.Errorf("referenced object %s reclaimed: %v", h[:8], err)
+		}
+	}
+	if _, err := s.Blob(orphan); err == nil {
+		t.Errorf("orphaned object %s survived reopen", orphan[:8])
+	}
+
+	// Reclamation is idempotent and the store stays writable.
+	if _, err := Open(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.PutBlob([]byte("spill died before the manifest")); err != nil {
+		t.Fatalf("re-spilling reclaimed content: %v", err)
 	}
 }

@@ -1,0 +1,640 @@
+package solver
+
+import (
+	"math"
+
+	"repro/internal/comm"
+	"repro/internal/grid"
+	"repro/internal/kernels"
+)
+
+// activity.go implements per-z-slab activity tracking: the paper's dynamics
+// live in a thin interface band, so bulk solid below the front and bulk melt
+// above it are (near-)fixed points of both kernels. A z-slice may *sleep* —
+// skip both sweeps — only when the skip is provably bit-identical to the
+// full sweep:
+//
+//   - The slice and every slice within the wake margin (≥ the kernels'
+//     stencil radius of 1, default 2) hold φ at exactly one simplex vertex
+//     (one phase exactly 1.0, the rest exactly +0.0, compared on float64
+//     bits), including the x/y ghost ring, so every stencil input of every
+//     cell in the slice is a known constant.
+//   - µ is bitwise-uniform over the same region (for the φ-sweep only the
+//     slice's own interior matters: the φ-kernel reads µ at cell centers).
+//   - A proxy run of the *actual* active kernel — same variant/strategy,
+//     same Ctx (the analytic temperature depends on the global z), through
+//     the same *Range entry point, on a tiny single-slice field holding the
+//     uniform state — reproduces the would-be output. For φ the output must
+//     equal the input (then skipping = copying src→dst); for µ the output
+//     must be uniform (then skipping = broadcasting the proxy value, which
+//     also captures the frozen-gradient drift term ∂µ/∂T·∂T/∂t that makes
+//     bulk µ move even where nothing diffuses).
+//
+// Every proxy interior cell must agree bitwise, which covers the SIMD
+// four-cell group lanes and the scalar remainder path alike (the proxy is
+// min(NX, 7) cells wide so both paths execute). Because all stencil inputs
+// of a sleeping cell are bitwise-equal to the proxy's inputs and the
+// kernels are deterministic, the full sweep would compute exactly the
+// proxy's output — the invariant "a slab never sleeps through a change
+// that could alter its next value" holds by construction, and the map is
+// conservatively re-derived from field data every step (window shifts,
+// restores and schedule events need no bespoke wake logic for kernel
+// correctness; they only reset the halo-skip counters below).
+//
+// The µ-sweep additionally reads φdst at the cell center (the ∂φ/∂t source
+// term) and at face neighbors inside the anti-trapping flux. A µ-slice
+// sleeps only when its φ-slice slept (center: φdst == φsrc by the copy),
+// and the neighbor reads are provably skipped: the anti-trapping guards
+// fire on φsrc-only predicates (pure solid ⇒ zero liquid fraction at the
+// face; pure liquid ⇒ zero φ gradient) before any φdst load, so the full
+// sweep takes the identical instruction path on identical φsrc inputs.
+//
+// Halo-round skipping: when a face's entire pack region slept for enough
+// consecutive steps (quietRounds, tracked per tag to bridge the two-step
+// ghost provenance of the double-buffered fields), the solver marks the
+// face quiet for the next exchange and comm sends a zero-length sleep
+// token instead of packing — the receiver keeps its (provably identical)
+// ghost bytes. Out-of-band events that rewrite field or ghost content
+// (bursts, SetBC, window shifts, restores) reset the counters, forcing
+// real rounds.
+
+// bitsOne is the IEEE-754 bit pattern of +1.0; a simplex vertex is one
+// component at exactly these bits and the rest at exactly zero bits (+0.0
+// — a slice holding -0.0 stays awake, conservatively).
+const bitsOne = 0x3FF0000000000000
+
+// defaultWakeMargin is the activation margin in z-slices when
+// Config.WakeMargin is zero: conservatively wider than the stencil radius
+// of 1 the re-derived-every-step predicate strictly needs.
+const defaultWakeMargin = 2
+
+// quietRounds is how many consecutive clean steps a face must accumulate
+// before its halo round may be skipped. The minimum safe value is 2 for
+// the post-sweep dst exchanges and 3 for the deferred µsrc exchange (ghost
+// provenance spans two steps through the double-buffer swap); one extra
+// round of margin costs one real exchange per sleep onset.
+const quietRounds = 3
+
+// proxyNX caps the proxy field width: one SIMD four-cell group plus a
+// three-cell scalar remainder exercises every lane position and the scalar
+// tail, so any real cell's code path is represented by a proxy cell.
+const proxyNX = 7
+
+// activity is the per-rank activity tracker. It lives on the rank and is
+// only touched from the rank's goroutine (derivations happen at sweep
+// dispatch, before any slab task is queued, so skip decisions depend on
+// step-start field state only — never on Config.Parallelism).
+type activity struct {
+	margin int
+	valid  bool // slice classifications describe the current step
+
+	// φ classification of slices [-1, nz], indexed z+1: vertex phase and
+	// whether the slice (interior + x/y ghost ring) is exactly that vertex.
+	vertex []int
+	vOK    []bool
+	// µ interior uniformity at φ-dispatch time (ghosts may still be in
+	// flight then under the deferred-exchange overlap modes).
+	muOK  []bool
+	muVal [][kernels.NR]float64
+	// µ classification including the ghost ring, taken at µ-dispatch time
+	// when the µsrc ghosts are settled in every overlap mode.
+	muROK  []bool
+	muRVal [][kernels.NR]float64
+
+	phiSleep []bool // per interior slice: φ-sweep skipped this step
+	muSleep  []bool // per interior slice: µ-sweep skipped this step
+	drift    []bool // sleeping µ-slice whose broadcast value ≠ step-start value
+	muBcast  [][kernels.NR]float64
+
+	phiActive int // awake slices in the last φ derivation
+	muActive  int
+
+	// Consecutive clean steps per face: the face's pack region slept (and,
+	// for µ, kept its exact value) through the step. Reset on any
+	// out-of-band field or ghost mutation.
+	cleanPhi [grid.NumFaces]int
+	cleanMu  [grid.NumFaces]int
+
+	proxy   *kernels.Fields
+	proxySc *kernels.Scratch
+
+	runs  [][2]int  // reusable active-run scratch
+	runs1 [1][2]int // no-tracking fallback: one full-extent run
+}
+
+// ensure sizes the tracker for the rank's block (first use only).
+func (a *activity) ensure(s *Sim, nx, nz int) {
+	if a.phiSleep != nil {
+		return
+	}
+	a.margin = s.Cfg.WakeMargin
+	if a.margin == 0 {
+		a.margin = defaultWakeMargin
+	}
+	if a.margin < 1 {
+		a.margin = 1
+	}
+	n := nz + 2
+	a.vertex = make([]int, n)
+	a.vOK = make([]bool, n)
+	a.muOK = make([]bool, n)
+	a.muVal = make([][kernels.NR]float64, n)
+	a.muROK = make([]bool, n)
+	a.muRVal = make([][kernels.NR]float64, n)
+	a.phiSleep = make([]bool, nz)
+	a.muSleep = make([]bool, nz)
+	a.drift = make([]bool, nz)
+	a.muBcast = make([][kernels.NR]float64, nz)
+	a.runs = make([][2]int, 0, nz/2+2)
+	pnx := nx
+	if pnx > proxyNX {
+		pnx = proxyNX
+	}
+	a.proxy = kernels.NewFields(pnx, 1, 1)
+	a.proxySc = kernels.NewScratch(pnx, 1)
+}
+
+// invalidate discards the activity map and halo-skip history. Called
+// whenever field interiors or ghost fills change outside the timestep
+// protocol (window shift, restore, nucleation burst, BC change, re-init).
+func (a *activity) invalidate() {
+	a.valid = false
+	for f := range a.cleanPhi {
+		a.cleanPhi[f] = 0
+		a.cleanMu[f] = 0
+	}
+}
+
+// invalidateActivity resets every rank's tracker.
+func (s *Sim) invalidateActivity() {
+	for _, r := range s.ranks {
+		r.act.invalidate()
+	}
+}
+
+// rowBits reports whether the x-row [x0,x1) of component c at (y,z) holds
+// exactly the bit pattern want in every cell.
+func rowBits(f *grid.Field, c, x0, x1, y, z int, want uint64) bool {
+	i := f.Idx(c, x0, y, z)
+	for _, v := range f.Data[i : i+x1-x0] {
+		if math.Float64bits(v) != want {
+			return false
+		}
+	}
+	return true
+}
+
+// classifyPhi reports whether slice z (ghost slices -1 and nz allowed) is
+// exactly one simplex vertex over the interior and the full x/y ghost ring
+// (corners included), and which phase.
+func classifyPhi(f *grid.Field, z int) (vertex int, ok bool) {
+	v := -1
+	for c := 0; c < f.NComp; c++ {
+		if math.Float64bits(f.At(c, 0, 0, z)) == bitsOne {
+			v = c
+			break
+		}
+	}
+	if v < 0 {
+		return -1, false
+	}
+	g := f.G
+	for c := 0; c < f.NComp; c++ {
+		want := uint64(0)
+		if c == v {
+			want = bitsOne
+		}
+		for y := -g; y < f.NY+g; y++ {
+			if !rowBits(f, c, -g, f.NX+g, y, z, want) {
+				return -1, false
+			}
+		}
+	}
+	return v, true
+}
+
+// classifyMu reports whether slice z is bitwise-uniform per component,
+// over the interior only or including the x/y ghost ring, and the value.
+func classifyMu(f *grid.Field, z int, ring bool) (val [kernels.NR]float64, ok bool) {
+	g := 0
+	if ring {
+		g = f.G
+	}
+	for k := 0; k < f.NComp; k++ {
+		val[k] = f.At(k, 0, 0, z)
+		want := math.Float64bits(val[k])
+		for y := -g; y < f.NY+g; y++ {
+			if !rowBits(f, k, -g, f.NX+g, y, z, want) {
+				return val, false
+			}
+		}
+	}
+	return val, true
+}
+
+// fillProxy loads the proxy fields with the uniform state of a candidate
+// slice: φ at the vertex in both buffers (a slept φ-slice has dst == src),
+// µ at the slice value.
+func (a *activity) fillProxy(vertex int, mu *[kernels.NR]float64) {
+	for c := 0; c < kernels.NP; c++ {
+		v := 0.0
+		if c == vertex {
+			v = 1
+		}
+		a.proxy.PhiSrc.FillComp(c, v)
+		a.proxy.PhiDst.FillComp(c, v)
+	}
+	for k := 0; k < kernels.NR; k++ {
+		a.proxy.MuSrc.FillComp(k, mu[k])
+		a.proxy.MuDst.FillComp(k, 0)
+	}
+}
+
+// proxyCtx builds the sweep context of local slice z: the proxy's single
+// slice must see the same analytic temperature as the real slice.
+func (a *activity) proxyCtx(r *rank, z int) kernels.Ctx {
+	ctx := r.ctx
+	ctx.ZOff += z
+	return ctx
+}
+
+// phiProxySleeps runs the active φ-kernel on the proxy and reports whether
+// the uniform state is an exact fixed point (dst bits == src bits in every
+// proxy cell — every lane and the scalar tail).
+func (a *activity) phiProxySleeps(s *Sim, r *rank, z, vertex int, mu *[kernels.NR]float64) bool {
+	a.fillProxy(vertex, mu)
+	ctx := a.proxyCtx(r, z)
+	if s.usePhiStrategy {
+		kernels.PhiSweepStrategyRange(&ctx, a.proxy, a.proxySc, s.phiStrategy, 0, 1)
+	} else {
+		kernels.PhiSweepRange(&ctx, a.proxy, a.proxySc, s.phiVariant, 0, 1)
+	}
+	d := a.proxy.PhiDst
+	for c := 0; c < kernels.NP; c++ {
+		want := uint64(0)
+		if c == vertex {
+			want = bitsOne
+		}
+		if !rowBits(d, c, 0, d.NX, 0, 0, want) {
+			return false
+		}
+	}
+	return true
+}
+
+// muProxyValue runs the active µ-kernel (fused, or the split local+neighbor
+// pair exactly as the overlap mode would) on the proxy and returns the
+// uniform output value; ok is false when the proxy cells disagree, which
+// keeps the slice awake.
+func (a *activity) muProxyValue(s *Sim, r *rank, z, vertex int, mu *[kernels.NR]float64, split bool) (out [kernels.NR]float64, ok bool) {
+	a.fillProxy(vertex, mu)
+	ctx := a.proxyCtx(r, z)
+	if split {
+		kernels.MuSweepLocalRange(&ctx, a.proxy, a.proxySc, s.muVariant, 0, 1)
+		kernels.MuSweepNeighborRange(&ctx, a.proxy, a.proxySc, s.muVariant, 0, 1)
+	} else {
+		kernels.MuSweepRange(&ctx, a.proxy, a.proxySc, s.muVariant, 0, 1)
+	}
+	d := a.proxy.MuDst
+	for k := 0; k < kernels.NR; k++ {
+		out[k] = d.At(k, 0, 0, 0)
+		if !rowBits(d, k, 0, d.NX, 0, 0, math.Float64bits(out[k])) {
+			return out, false
+		}
+	}
+	return out, true
+}
+
+// derivePhi classifies every slice and decides the step's φ-sleep set. Runs
+// on the rank goroutine at φ-dispatch, before any slab task is queued.
+// Under the deferred-exchange modes a µsrc ghost exchange may be in flight
+// here; only µ interiors are read (the φ-kernel never reads µ ghosts).
+func (a *activity) derivePhi(s *Sim, r *rank) {
+	f := r.fields
+	nz := f.PhiSrc.NZ
+	a.ensure(s, f.PhiSrc.NX, nz)
+	for z := -1; z <= nz; z++ {
+		a.vertex[z+1], a.vOK[z+1] = classifyPhi(f.PhiSrc, z)
+	}
+	for z := 0; z < nz; z++ {
+		a.muVal[z+1], a.muOK[z+1] = classifyMu(f.MuSrc, z, false)
+	}
+	active := 0
+	for z := 0; z < nz; z++ {
+		ok := a.vOK[z+1] && a.muOK[z+1]
+		if ok {
+			v := a.vertex[z+1]
+			lo, hi := z-a.margin, z+a.margin
+			if lo < -1 {
+				lo = -1
+			}
+			if hi > nz {
+				hi = nz
+			}
+			for j := lo; j <= hi; j++ {
+				if !a.vOK[j+1] || a.vertex[j+1] != v {
+					ok = false
+					break
+				}
+			}
+			ok = ok && a.phiProxySleeps(s, r, z, v, &a.muVal[z+1])
+		}
+		a.phiSleep[z] = ok
+		if !ok {
+			active++
+		}
+	}
+	a.phiActive = active
+	a.valid = true
+}
+
+// deriveMu decides the step's µ-sleep set. Runs at µ-dispatch, after the
+// µsrc ghosts settled in every overlap mode, so the classification may
+// include the ghost ring. µ-sleep requires the φ-slice to have slept this
+// step (the µ-kernel's φdst center read then equals φsrc) plus bitwise µ
+// uniformity with equal values across the wake margin.
+func (a *activity) deriveMu(s *Sim, r *rank, split bool) {
+	if !a.valid {
+		return
+	}
+	f := r.fields
+	nz := f.MuSrc.NZ
+	if a.phiActive == nz {
+		for z := 0; z < nz; z++ {
+			a.muSleep[z] = false
+		}
+		a.muActive = nz
+		return
+	}
+	for z := -1; z <= nz; z++ {
+		a.muRVal[z+1], a.muROK[z+1] = classifyMu(f.MuSrc, z, true)
+	}
+	active := 0
+	for z := 0; z < nz; z++ {
+		ok := a.phiSleep[z] && a.muROK[z+1]
+		if ok {
+			want := &a.muRVal[z+1]
+			lo, hi := z-a.margin, z+a.margin
+			if lo < -1 {
+				lo = -1
+			}
+			if hi > nz {
+				hi = nz
+			}
+			for j := lo; j <= hi; j++ {
+				if !a.muROK[j+1] || !sameMuBits(&a.muRVal[j+1], want) {
+					ok = false
+					break
+				}
+			}
+		}
+		if ok {
+			a.muBcast[z], ok = a.muProxyValue(s, r, z, a.vertex[z+1], &a.muRVal[z+1], split)
+		}
+		a.muSleep[z] = ok
+		a.drift[z] = ok && !sameMuBits(&a.muBcast[z], &a.muRVal[z+1])
+		if !ok {
+			active++
+		}
+	}
+	a.muActive = active
+}
+
+// sameMuBits compares two µ values bitwise per component.
+func sameMuBits(x, y *[kernels.NR]float64) bool {
+	for k := 0; k < kernels.NR; k++ {
+		if math.Float64bits(x[k]) != math.Float64bits(y[k]) {
+			return false
+		}
+	}
+	return true
+}
+
+// prepareActivity derives (or reuses) the sleep set for one sweep op and
+// returns it, or nil when tracking is disabled or not yet established.
+func (s *Sim) prepareActivity(r *rank, op sweepOp) []bool {
+	if s.Cfg.DisableActiveSweep {
+		return nil
+	}
+	a := &r.act
+	switch op {
+	case opPhi:
+		a.derivePhi(s, r)
+		return a.phiSleep
+	case opMu:
+		a.deriveMu(s, r, false)
+	case opMuLocal:
+		a.deriveMu(s, r, true)
+	}
+	// opMuNeighbor reuses the decision taken at the local pass.
+	if !a.valid {
+		return nil
+	}
+	return a.muSleep
+}
+
+// activeRuns converts a sleep set into maximal awake [z0,z1) runs, reusing
+// the tracker's scratch. A nil sleep set yields one full-extent run.
+func (a *activity) activeRuns(sleep []bool, nz int) [][2]int {
+	if sleep == nil {
+		a.runs1[0] = [2]int{0, nz}
+		return a.runs1[:]
+	}
+	runs := a.runs[:0]
+	start := -1
+	for z := 0; z < nz; z++ {
+		switch {
+		case !sleep[z] && start < 0:
+			start = z
+		case sleep[z] && start >= 0:
+			runs = append(runs, [2]int{start, z})
+			start = -1
+		}
+	}
+	if start >= 0 {
+		runs = append(runs, [2]int{start, nz})
+	}
+	a.runs = runs
+	return runs
+}
+
+// applySkips realizes the skipped sweeps on the rank goroutine: a slept
+// φ-slice copies src→dst (the proxy proved the kernel is an exact fixed
+// point there); a slept µ-slice broadcasts the proxy output (which carries
+// the uniform frozen-gradient drift). The split µ-kernel's local pass
+// defers to the neighbor pass, mirroring where the fused value lands.
+func (s *Sim) applySkips(r *rank, op sweepOp, sleep []bool) {
+	if sleep == nil || op == opMuLocal {
+		return
+	}
+	a := &r.act
+	f := r.fields
+	for z, slept := range sleep {
+		if !slept {
+			continue
+		}
+		if op == opPhi {
+			copySliceInterior(f.PhiDst, f.PhiSrc, z)
+		} else {
+			broadcastSlice(f.MuDst, z, &a.muBcast[z])
+		}
+	}
+}
+
+// copySliceInterior copies the interior of slice z between same-shape
+// fields row by row (contiguous in x).
+func copySliceInterior(dst, src *grid.Field, z int) {
+	for c := 0; c < src.NComp; c++ {
+		for y := 0; y < src.NY; y++ {
+			i := src.Idx(c, 0, y, z)
+			copy(dst.Data[i:i+src.NX], src.Data[i:i+src.NX])
+		}
+	}
+}
+
+// broadcastSlice fills the interior of slice z with one value per
+// component.
+func broadcastSlice(f *grid.Field, z int, val *[kernels.NR]float64) {
+	for k := 0; k < f.NComp; k++ {
+		v := val[k]
+		for y := 0; y < f.NY; y++ {
+			i := f.Idx(k, 0, y, z)
+			row := f.Data[i : i+f.NX]
+			for j := range row {
+				row[j] = v
+			}
+		}
+	}
+}
+
+// faceAsleep reports whether a face's entire pack region slept this step:
+// z-faces pack one boundary slice (plus its ghost ring, covered by the
+// sleep predicate); x/y faces pack a region spanning every slice.
+func faceAsleep(sleep []bool, face grid.Face) bool {
+	switch face {
+	case grid.ZMin:
+		return sleep[0]
+	case grid.ZMax:
+		return sleep[len(sleep)-1]
+	default:
+		for _, slept := range sleep {
+			if !slept {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// faceMuClean is faceAsleep for µ with the extra demand that the value did
+// not drift — a token round asserts the pack bytes are unchanged, and bulk
+// µ moves with the frozen temperature gradient even while sleeping.
+func (a *activity) faceMuClean(face grid.Face) bool {
+	switch face {
+	case grid.ZMin:
+		return a.muSleep[0] && !a.drift[0]
+	case grid.ZMax:
+		n := len(a.muSleep) - 1
+		return a.muSleep[n] && !a.drift[n]
+	default:
+		for z, slept := range a.muSleep {
+			if !slept || a.drift[z] {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// updateClean advances the per-face clean-step counters at the end of a
+// step.
+func (a *activity) updateClean() {
+	if !a.valid {
+		for f := range a.cleanPhi {
+			a.cleanPhi[f] = 0
+			a.cleanMu[f] = 0
+		}
+		return
+	}
+	for f := grid.Face(0); f < grid.NumFaces; f++ {
+		if faceAsleep(a.phiSleep, f) {
+			a.cleanPhi[f]++
+		} else {
+			a.cleanPhi[f] = 0
+		}
+		if a.faceMuClean(f) {
+			a.cleanMu[f]++
+		} else {
+			a.cleanMu[f] = 0
+		}
+	}
+}
+
+// quietKind names the exchange sites of the timestep protocol; each has its
+// own skip precondition derived from the ghost provenance of the
+// double-buffered fields.
+type quietKind int
+
+const (
+	// quietPhiDst is the post-φ-sweep φdst exchange (all overlap modes).
+	quietPhiDst quietKind = iota
+	// quietMuDst is the post-µ-sweep µdst exchange (OverlapNone/OverlapPhi).
+	quietMuDst
+	// quietMuSrc is the deferred µsrc exchange at the start of the next
+	// step (OverlapMu/OverlapBoth); it relies on counters alone because the
+	// current step's sleep set is not derived yet.
+	quietMuSrc
+)
+
+// markQuiet flags faces whose next halo round for tag may be skipped. The
+// mask is one-shot: comm consumes it in the immediately following exchange
+// of this rank and tag.
+func (s *Sim) markQuiet(r *rank, tag comm.Tag, kind quietKind) {
+	a := &r.act
+	if s.Cfg.DisableActiveSweep || !a.valid {
+		return
+	}
+	var mask [grid.NumFaces]bool
+	any := false
+	for f := grid.Face(0); f < grid.NumFaces; f++ {
+		q := false
+		switch kind {
+		case quietPhiDst:
+			q = faceAsleep(a.phiSleep, f) && a.cleanPhi[f] >= quietRounds
+		case quietMuDst:
+			q = a.faceMuClean(f) && a.cleanMu[f] >= quietRounds
+		case quietMuSrc:
+			q = a.cleanMu[f] >= quietRounds+1
+		}
+		if q {
+			mask[f] = true
+			any = true
+		}
+	}
+	if any {
+		s.World.SetQuietFaces(r.id, tag, mask)
+	}
+}
+
+// ActiveFraction returns the fraction of slice-sweeps (φ and µ combined)
+// the last completed step actually computed, aggregated over ranks: 1.0
+// means a full sweep everywhere (or tracking disabled / no step taken),
+// small values mean the domain is dominated by sleeping bulk.
+func (s *Sim) ActiveFraction() float64 {
+	if s.Cfg.DisableActiveSweep {
+		return 1
+	}
+	total, active := 0, 0
+	for _, r := range s.ranks {
+		if !r.act.valid {
+			return 1
+		}
+		nz := r.fields.PhiSrc.NZ
+		total += 2 * nz
+		active += r.act.phiActive + r.act.muActive
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(active) / float64(total)
+}

@@ -131,9 +131,16 @@ func (s *Sim) slabCount(nz int) int {
 }
 
 // runSweep executes one kernel sweep for rank r, fanned out over the engine
-// when the scheduler assigns this rank more than one slab. The serial path
-// is byte-for-byte the seed behavior: the rank's own goroutine sweeps the
-// whole block with the rank's scratch.
+// when the scheduler assigns this rank more than one slab. With activity
+// tracking on (activity.go), the sleep set for this op is derived first —
+// on the rank's own goroutine, from step-start field state, so skip
+// decisions are independent of Config.Parallelism — and only the awake
+// [z0,z1) runs are swept; slept slices are realized by copy/broadcast
+// while the slab tasks are in flight. Any z-partition of a sweep is
+// bitwise identical to the serial sweep (the stag/shortcut variants
+// recompute seam-slice fluxes), so carving runs around sleeping slices
+// cannot perturb awake cells. With tracking disabled the single
+// full-extent run reproduces the seed behavior byte for byte.
 func (s *Sim) runSweep(r *rank, op sweepOp) {
 	nz := r.fields.PhiSrc.NZ
 	v := s.muVariant
@@ -142,26 +149,56 @@ func (s *Sim) runSweep(r *rank, op sweepOp) {
 		v = s.phiVariant
 		useStrat = s.usePhiStrategy
 	}
-	n := s.slabCount(nz)
+	sleep := s.prepareActivity(r, op)
+	runs := r.act.activeRuns(sleep, nz)
+	total := 0
+	for _, run := range runs {
+		total += run[1] - run[0]
+	}
+	n := 0
+	if total > 0 {
+		n = s.slabCount(total)
+	}
 	if n <= 1 || s.engine == nil {
-		t := sweepTask{op: op, ctx: &r.ctx, f: r.fields, v: v,
-			strat: s.phiStrategy, useStrat: useStrat, z0: 0, z1: nz,
-			sink: s.faults}
-		s.gauge.enter()
-		t.runGuarded(r.sc)
-		s.gauge.exit()
+		for _, run := range runs {
+			t := sweepTask{op: op, ctx: &r.ctx, f: r.fields, v: v,
+				strat: s.phiStrategy, useStrat: useStrat, z0: run[0], z1: run[1],
+				sink: s.faults}
+			s.gauge.enter()
+			t.runGuarded(r.sc)
+			s.gauge.exit()
+		}
+		s.applySkips(r, op, sleep)
 		return
 	}
-	r.wg.Add(n)
-	for i := 0; i < n; i++ {
-		s.engine.tasks <- sweepTask{
-			op: op, ctx: &r.ctx, f: r.fields, v: v,
-			strat: s.phiStrategy, useStrat: useStrat,
-			z0: i * nz / n, z1: (i + 1) * nz / n,
-			done: &r.wg, sink: s.faults,
+	count := 0
+	for _, run := range runs {
+		count += slabsFor(run[1]-run[0], n, total)
+	}
+	r.wg.Add(count)
+	for _, run := range runs {
+		ln := run[1] - run[0]
+		ni := slabsFor(ln, n, total)
+		for i := 0; i < ni; i++ {
+			s.engine.tasks <- sweepTask{
+				op: op, ctx: &r.ctx, f: r.fields, v: v,
+				strat: s.phiStrategy, useStrat: useStrat,
+				z0: run[0] + i*ln/ni, z1: run[0] + (i+1)*ln/ni,
+				done: &r.wg, sink: s.faults,
+			}
 		}
 	}
+	s.applySkips(r, op, sleep)
 	r.wg.Wait()
+}
+
+// slabsFor apportions the slab budget n across active runs by length.
+func slabsFor(ln, n, total int) int {
+	k := n * ln / total
+	if k < 1 {
+		k = 1
+	}
+	return k
 }
 
 // Close releases the sweep engine's worker goroutines and the World's comm

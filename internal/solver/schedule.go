@@ -358,6 +358,11 @@ func (s *Sim) applySetBC(e schedule.SetBC) {
 	if prevKind != e.Kind || realloc {
 		s.refreshRankBCs()
 	}
+	// Wall values changed outside the timestep protocol: ghost fills (and
+	// thus halo pack regions) may differ, so the halo-skip history is void.
+	// Sleep decisions need no help — the ghost ring is part of the
+	// uniformity predicate, so a changed wall keeps adjacent slices awake.
+	s.invalidateActivity()
 }
 
 // ApplyBurst seeds the burst's nuclei as solid spheres in the melt. Nucleus
@@ -427,7 +432,10 @@ func (s *Sim) ApplyBurst(e schedule.NucleationBurst) (int, error) {
 		}
 	})
 
-	// The paint touched source interiors only; re-establish φ ghosts.
+	// The paint touched source interiors only; re-establish φ ghosts. The
+	// burst may have rewritten a sleeping slab to a *different* uniform
+	// vertex, so the halo-skip history must not bridge the repaint.
+	s.invalidateActivity()
 	s.forAllRanks(func(r *rank) {
 		s.World.ExchangeGhosts(r.id, r.fields.PhiSrc, comm.TagPhi, r.phiBCs)
 	})

@@ -124,6 +124,19 @@ type Config struct {
 	// (the hooks then cost one nil check per task).
 	Faults *faultfs.Points
 
+	// DisableActiveSweep turns off per-z-slab activity tracking (see
+	// activity.go), forcing full kernel sweeps and real halo rounds
+	// everywhere. The zero value keeps tracking ON: skipping is provably
+	// bit-identical, so the only reason to disable it is measurement.
+	DisableActiveSweep bool
+
+	// WakeMargin is the activation margin in z-slices: a slice sleeps only
+	// when the uniformity predicate also holds this many slices to either
+	// side, so an approaching front wakes it before its values could
+	// differ. 0 selects the default (2); values below 1 are clamped to the
+	// stencil radius of 1. Larger margins only reduce skipping.
+	WakeMargin int
+
 	Seed int64 // RNG seed for the Voronoi setup
 }
 
@@ -138,6 +151,7 @@ type rank struct {
 
 	ctx kernels.Ctx    // per-step sweep context, reused across steps
 	wg  sync.WaitGroup // joins this rank's in-flight slab tasks
+	act activity       // per-z-slab activity tracker (activity.go)
 
 	phiKernelTime time.Duration
 	muKernelTime  time.Duration
@@ -357,6 +371,7 @@ func (s *Sim) InitScenario(sc Scenario) error {
 		f.MuSrc.FillComp(0, 0)
 		f.MuSrc.FillComp(1, 0)
 	})
+	s.invalidateActivity()
 	s.refreshGhosts()
 	s.forAllRanks(func(r *rank) {
 		r.fields.PhiDst.CopyFrom(r.fields.PhiSrc)
@@ -421,20 +436,24 @@ func (s *Sim) timestep(r *rank) {
 		t0 := time.Now()
 		s.runSweep(r, opPhi)
 		r.phiKernelTime += time.Since(t0)
+		s.markQuiet(r, comm.TagPhi, quietPhiDst)
 		s.World.ExchangeGhosts(r.id, f.PhiDst, comm.TagPhi, r.phiBCs)
 		t0 = time.Now()
 		s.runSweep(r, opMu)
 		r.muKernelTime += time.Since(t0)
+		s.markQuiet(r, comm.TagMu, quietMuDst)
 		s.World.ExchangeGhosts(r.id, f.MuDst, comm.TagMu, r.muBCs)
 
 	case OverlapMu:
 		// µ exchange hidden behind the φ-sweep; φ exchange blocking;
 		// fused µ-kernel. The paper's best-performing combination.
+		s.markQuiet(r, comm.TagMu, quietMuSrc)
 		pMu := s.World.StartExchange(r.id, f.MuSrc, comm.TagMu, r.muBCs)
 		t0 := time.Now()
 		s.runSweep(r, opPhi)
 		r.phiKernelTime += time.Since(t0)
 		pMu.Finish()
+		s.markQuiet(r, comm.TagPhi, quietPhiDst)
 		s.World.ExchangeGhosts(r.id, f.PhiDst, comm.TagPhi, r.phiBCs)
 		t0 = time.Now()
 		s.runSweep(r, opMu)
@@ -445,6 +464,7 @@ func (s *Sim) timestep(r *rank) {
 		t0 := time.Now()
 		s.runSweep(r, opPhi)
 		r.phiKernelTime += time.Since(t0)
+		s.markQuiet(r, comm.TagPhi, quietPhiDst)
 		pPhi := s.World.StartExchange(r.id, f.PhiDst, comm.TagPhi, r.phiBCs)
 		t0 = time.Now()
 		s.runSweep(r, opMuLocal)
@@ -453,15 +473,18 @@ func (s *Sim) timestep(r *rank) {
 		t0 = time.Now()
 		s.runSweep(r, opMuNeighbor)
 		r.muKernelTime += time.Since(t0)
+		s.markQuiet(r, comm.TagMu, quietMuDst)
 		s.World.ExchangeGhosts(r.id, f.MuDst, comm.TagMu, r.muBCs)
 
 	case OverlapBoth:
 		// Algorithm 2 as printed.
+		s.markQuiet(r, comm.TagMu, quietMuSrc)
 		pMu := s.World.StartExchange(r.id, f.MuSrc, comm.TagMu, r.muBCs)
 		t0 := time.Now()
 		s.runSweep(r, opPhi)
 		r.phiKernelTime += time.Since(t0)
 		pMu.Finish()
+		s.markQuiet(r, comm.TagPhi, quietPhiDst)
 		pPhi := s.World.StartExchange(r.id, f.PhiDst, comm.TagPhi, r.phiBCs)
 		t0 = time.Now()
 		s.runSweep(r, opMuLocal)
@@ -472,6 +495,7 @@ func (s *Sim) timestep(r *rank) {
 		r.muKernelTime += time.Since(t0)
 	}
 
+	r.act.updateClean()
 	f.Swap()
 
 	// Modes that defer the µ exchange to the next step's overlap window
@@ -504,6 +528,9 @@ func (s *Sim) RestoreState(step int, t float64, windowShift int, fields []*kerne
 	s.step = step
 	s.time = t
 	s.windowShift = windowShift
+	// The activity map is conservatively re-derived from the restored field
+	// data; the halo-skip history does not survive a restore.
+	s.invalidateActivity()
 	s.refreshGhosts()
 	return nil
 }
@@ -537,6 +564,7 @@ func (s *Sim) SetDomainBCs(phi, mu grid.BoundarySet) error {
 	s.domainPhiBCs = phi.Clone()
 	s.domainMuBCs = mu.Clone()
 	s.refreshRankBCs()
+	s.invalidateActivity()
 	return nil
 }
 

@@ -14,39 +14,52 @@ import (
 // gradient keeps moving with the lab frame.
 
 // FrontHeight returns the highest global z index (within the window) whose
-// slice still contains solid, or -1 for an all-liquid domain.
+// slice still contains solid, or -1 for an all-liquid domain. The top-down
+// scan consults the activity tracker's per-slice classification when it is
+// current: a slept slice is a known pure phase — liquid is skipped without
+// touching a cell, solid ends the scan immediately. Only awake (interface)
+// slices pay the cell scan, and nothing is allocated, so the per-step
+// moving-window trigger check is free in the steady state where the bulk
+// of the domain sleeps.
 func (s *Sim) FrontHeight() int {
-	heights := make([]float64, len(s.ranks))
-	s.forAllRanks(func(r *rank) {
-		top := -1
-		f := r.fields.PhiSrc
-		for z := f.NZ - 1; z >= 0 && top < 0; z-- {
-			for y := 0; y < f.NY && top < 0; y++ {
-				for x := 0; x < f.NX; x++ {
-					solid := 0.0
-					for a := 0; a < core.NPhases-1; a++ {
-						solid += f.At(a, x, y, z)
-					}
-					if solid > 0.5 {
-						top = z
-						break
-					}
+	best := -1
+	for _, r := range s.ranks {
+		if r.zOff+r.fields.PhiSrc.NZ-1 <= best {
+			continue // cannot beat a front already found below this block
+		}
+		if top := frontTop(r); top >= 0 && r.zOff+top > best {
+			best = r.zOff + top
+		}
+	}
+	return best
+}
+
+// frontTop returns the highest local slice of rank r containing solid, or
+// -1. Slept slices are trusted from the classification (their data is
+// unchanged since it was taken); awake slices are scanned cell-wise.
+func frontTop(r *rank) int {
+	f := r.fields.PhiSrc
+	a := &r.act
+	for z := f.NZ - 1; z >= 0; z-- {
+		if a.valid && a.phiSleep[z] {
+			if a.vertex[z+1] != core.Liquid {
+				return z // a pure solid slice: the front is at or above here
+			}
+			continue // pure melt: nothing to scan
+		}
+		for y := 0; y < f.NY; y++ {
+			for x := 0; x < f.NX; x++ {
+				solid := 0.0
+				for p := 0; p < core.NPhases-1; p++ {
+					solid += f.At(p, x, y, z)
+				}
+				if solid > 0.5 {
+					return z
 				}
 			}
 		}
-		if top >= 0 {
-			heights[r.id] = float64(r.zOff + top)
-		} else {
-			heights[r.id] = -1
-		}
-	})
-	best := -1.0
-	for _, h := range heights {
-		if h > best {
-			best = h
-		}
 	}
-	return int(best)
+	return -1
 }
 
 // maybeShiftWindow checks the front position and scrolls the window when it
@@ -83,6 +96,11 @@ func (s *Sim) ShiftWindow(cells int) {
 		r.fields.MuDst.ShiftZDown(cells, muFill)
 	})
 	s.windowShift += cells
+
+	// Every slice now holds different material (and a different analytic
+	// temperature): the activity map is re-derived next step, and the
+	// halo-skip history must not bridge the scroll.
+	s.invalidateActivity()
 
 	// Ghost layers are stale after the shift.
 	s.forAllRanks(func(r *rank) {

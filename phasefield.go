@@ -71,6 +71,14 @@ type Config struct {
 	// solver's sweeps (see internal/faultfs and solver.SweepPoint). Leave
 	// nil in production.
 	Faults *faultfs.Points
+	// DisableActiveSweep turns off per-slice activity tracking, forcing
+	// every sweep to cover the full domain. The zero value leaves the
+	// tracker on; skipped and full sweeps are bitwise identical, so this
+	// knob exists for benchmarking overhead, not for correctness.
+	DisableActiveSweep bool
+	// WakeMargin widens the activation margin (in slices) around awake
+	// slices; 0 selects the conservative default. See solver.Config.
+	WakeMargin int
 	// Seed for the Voronoi nuclei.
 	Seed int64
 
@@ -151,6 +159,8 @@ func New(cfg Config) (*Simulation, error) {
 		Parallelism:         cfg.Parallelism,
 		Gauge:               cfg.WorkerGauge,
 		Faults:              cfg.Faults,
+		DisableActiveSweep:  cfg.DisableActiveSweep,
+		WakeMargin:          cfg.WakeMargin,
 		Seed:                cfg.Seed,
 	})
 	if err != nil {
@@ -207,6 +217,11 @@ func (s *Simulation) Fault() error {
 
 // SolidFraction returns the global solid volume fraction.
 func (s *Simulation) SolidFraction() float64 { return s.sim.SolidFraction() }
+
+// ActiveFraction returns the fraction of z-slices the activity tracker
+// swept last step (φ- and µ-sweeps averaged). It is 1 when tracking is
+// disabled or the map has not been derived yet.
+func (s *Simulation) ActiveFraction() float64 { return s.sim.ActiveFraction() }
 
 // PhaseFractions returns the volume fraction of every phase.
 func (s *Simulation) PhaseFractions() [NumPhases]float64 { return s.sim.PhaseFractions() }
