@@ -16,12 +16,23 @@
 // -variant-override); version-3 checkpoints carry the active per-face BC
 // state, so a restart mid-BC-ramp resumes with bit-identical wall values.
 //
+// A run spreads its ranks over several machines with -peers/-proc: start
+// the same command line on every host, each with its own -proc index into
+// the shared -peers list; the ranks are halved out over the processes and
+// joined by the TCP transport, and checkpoints, meshes and console output
+// come from process 0. A checkpoint taken on one rank grid resumes on a
+// different-sized cluster with -reshard (elastic restart); lossless
+// (float64) checkpoints resume bit-identically.
+//
 // Usage:
 //
 //	solidify -nx 64 -ny 64 -nz 128 -steps 2000 -px 2 -py 2 \
 //	         -out out/ -meshevery 500 -ckpt out/state.pfcp \
 //	         -schedule castbench.json,coldwall.json
 //	solidify -restore out/state_001000.pfcp -schedule castbench.json -steps 1000
+//	solidify -px 2 -py 2 -peers hostA:7000,hostB:7000 -proc 0 ...   # on host A
+//	solidify -px 2 -py 2 -peers hostA:7000,hostB:7000 -proc 1 ...   # on host B
+//	solidify -restore out/state.pfcp -reshard 4x2 -peers ... -proc N ...
 package main
 
 import (
@@ -29,6 +40,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 
 	"repro"
@@ -55,7 +67,24 @@ func main() {
 	recordPath := flag.String("record", "", "write the applied-event audit log as a replayable schedule JSON file at exit")
 	restorePath := flag.String("restore", "", "resume from this checkpoint instead of a fresh init")
 	variantOverride := flag.String("variant-override", "", "on -restore, switch both kernels to this variant (general|basic|simd|tz|stag|shortcut)")
+	reshard := flag.String("reshard", "", "on -restore, re-decompose the checkpoint onto this rank grid (PXxPY or PXxPYxPZ) before resuming — elastic restart on a different-sized cluster")
+	peers := flag.String("peers", "", "comma-separated listen addresses of every process in a network-distributed run, indexed by -proc; empty runs all ranks in this process")
+	proc := flag.Int("proc", 0, "this process' index into -peers")
 	flag.Parse()
+
+	var dist *phasefield.DistConfig
+	if *peers != "" {
+		var addrs []string
+		for _, a := range strings.Split(*peers, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				addrs = append(addrs, a)
+			}
+		}
+		dist = &phasefield.DistConfig{Proc: *proc, Peers: addrs}
+	}
+	// Console and file output belong to process 0; the library gates the
+	// collective outputs (checkpoints, meshes) itself.
+	root := dist == nil || dist.Proc == 0
 
 	var sched *schedule.Schedule
 	if *schedPath != "" {
@@ -81,6 +110,7 @@ func main() {
 		cfg := phasefield.DefaultConfig(0, 0, 0)
 		cfg.MovingWindow = *window
 		cfg.Parallelism = *par
+		cfg.Distributed = dist
 		if *variantOverride != "" {
 			v, perr := schedule.ParseVariant(*variantOverride)
 			if perr != nil {
@@ -89,32 +119,51 @@ func main() {
 			cfg.Variant = v
 			cfg.IgnoreCheckpointKernels = true
 		}
-		if sim, err = phasefield.Restore(*restorePath, cfg); err != nil {
+		if *reshard != "" {
+			rx, ry, rz, perr := parseGrid(*reshard)
+			if perr != nil {
+				fatal(perr)
+			}
+			sim, err = phasefield.RestoreResharded(*restorePath, rx, ry, rz, cfg)
+		} else {
+			sim, err = phasefield.Restore(*restorePath, cfg)
+		}
+		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("solidify: restored %s at step %d (t=%g, window shift %d, schedule pos %d, dt=%g)\n",
-			*restorePath, sim.Step(), sim.Time(), sim.WindowShift(), sim.SchedulePos(), sim.Params().Dt)
+		if root {
+			fmt.Printf("solidify: restored %s at step %d (t=%g, window shift %d, schedule pos %d, dt=%g)\n",
+				*restorePath, sim.Step(), sim.Time(), sim.WindowShift(), sim.SchedulePos(), sim.Params().Dt)
+		}
 	} else {
+		if *reshard != "" {
+			fatal(fmt.Errorf("-reshard requires -restore"))
+		}
 		cfg := phasefield.DefaultConfig(*nx, *ny, *nz)
 		cfg.PX, cfg.PY = *px, *py
 		cfg.MovingWindow = *window
 		cfg.Parallelism = *par
 		cfg.Seed = *seed
+		cfg.Distributed = dist
 		if sim, err = phasefield.New(cfg); err != nil {
 			fatal(err)
 		}
 		if err := sim.InitProduction(); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("solidify: %dx%dx%d cells, %d ranks, dt=%g\n",
-			*nx, *ny, *nz, (*px)*(*py), sim.Params().Dt)
+		if root {
+			fmt.Printf("solidify: %dx%dx%d cells, %d ranks on %d process(es), dt=%g\n",
+				*nx, *ny, *nz, (*px)*(*py), sim.NumProcs(), sim.Params().Dt)
+		}
 	}
 
 	names := phasefield.PhaseNames()
 
 	schedOpt := phasefield.ScheduleOptions{
 		CheckpointPath: filepath.Join(*outDir, "state_%06d.pfcp"),
-		Log:            func(msg string) { fmt.Println("  " + msg) },
+	}
+	if root {
+		schedOpt.Log = func(msg string) { fmt.Println("  " + msg) }
 	}
 
 	start := sim.Step()
@@ -129,10 +178,15 @@ func main() {
 			}
 		})
 		done = sim.Step() - start
+		// The statistics are collectives — every process must compute
+		// them even though only the root prints.
 		fr := sim.PhaseFractions()
-		fmt.Printf("step %6d  t=%8.2f  solid=%.3f  front=z%-4d  %.2f MLUP/s  [%s %.2f | %s %.2f | %s %.2f]\n",
-			sim.Step(), sim.Time(), sim.SolidFraction(), sim.FrontHeight(), m.MLUPs(),
-			names[0], fr[0], names[1], fr[1], names[2], fr[2])
+		solid, front := sim.SolidFraction(), sim.FrontHeight()
+		if root {
+			fmt.Printf("step %6d  t=%8.2f  solid=%.3f  front=z%-4d  %.2f MLUP/s  [%s %.2f | %s %.2f | %s %.2f]\n",
+				sim.Step(), sim.Time(), solid, front, m.MLUPs(),
+				names[0], fr[0], names[1], fr[1], names[2], fr[2])
+		}
 
 		if *meshEvery > 0 && done%*meshEvery == 0 {
 			writeMeshes(sim, *outDir, *meshTris, done, names)
@@ -146,9 +200,11 @@ func main() {
 		if err := sim.Checkpoint(*ckptPath); err != nil {
 			fatal(err)
 		}
-		fmt.Println("checkpoint written to", *ckptPath)
+		if root {
+			fmt.Println("checkpoint written to", *ckptPath)
+		}
 	}
-	if *recordPath != "" {
+	if *recordPath != "" && root {
 		blob, err := sim.AppliedScheduleJSON()
 		if err != nil {
 			fatal(err)
@@ -180,6 +236,21 @@ func writeMeshes(sim *phasefield.Simulation, dir string, target, step int, names
 		f.Close()
 		fmt.Printf("  mesh %s: %d triangles\n", path, m.NumTris())
 	}
+}
+
+// parseGrid parses a rank grid like "2x2" or "2x2x1" (PZ defaults to 1).
+func parseGrid(s string) (px, py, pz int, err error) {
+	parts := strings.Split(strings.ToLower(s), "x")
+	if len(parts) != 2 && len(parts) != 3 {
+		return 0, 0, 0, fmt.Errorf("bad rank grid %q (want PXxPY or PXxPYxPZ)", s)
+	}
+	dims := [3]int{1, 1, 1}
+	for i, p := range parts {
+		if dims[i], err = strconv.Atoi(p); err != nil || dims[i] < 1 {
+			return 0, 0, 0, fmt.Errorf("bad rank grid %q", s)
+		}
+	}
+	return dims[0], dims[1], dims[2], nil
 }
 
 func fatal(err error) {

@@ -291,16 +291,25 @@ func writeField(w io.Writer, f *grid.Field, prec Precision) error {
 
 // Read deserializes a checkpoint into freshly allocated field bundles.
 func Read(r io.Reader) (Header, []*kernels.Fields, error) {
+	h, fields, _, err := ReadPrecision(r)
+	return h, fields, err
+}
+
+// ReadPrecision is Read, additionally reporting the stored field precision
+// (Float64 for version-4 files, Float32 otherwise). Rewriters that must
+// preserve a file's fidelity — resharding in particular — use it to emit
+// the same format they consumed.
+func ReadPrecision(r io.Reader) (Header, []*kernels.Fields, Precision, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
 	var magic, version uint32
 	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
-		return Header{}, nil, err
+		return Header{}, nil, Float32, err
 	}
 	if magic != Magic {
-		return Header{}, nil, fmt.Errorf("ckpt: bad magic %#x", magic)
+		return Header{}, nil, Float32, fmt.Errorf("ckpt: bad magic %#x", magic)
 	}
 	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
-		return Header{}, nil, err
+		return Header{}, nil, Float32, err
 	}
 	var h Header
 	prec := Float32
@@ -308,13 +317,13 @@ func Read(r io.Reader) (Header, []*kernels.Fields, error) {
 	case Version1:
 		var h1 headerV1
 		if err := binary.Read(br, binary.LittleEndian, &h1); err != nil {
-			return Header{}, nil, err
+			return Header{}, nil, Float32, err
 		}
 		h = h1.upgrade()
 	case Version2:
 		var h2 headerV2
 		if err := binary.Read(br, binary.LittleEndian, &h2); err != nil {
-			return Header{}, nil, err
+			return Header{}, nil, Float32, err
 		}
 		h = h2.upgrade()
 	case Version3, Version4:
@@ -322,7 +331,7 @@ func Read(r io.Reader) (Header, []*kernels.Fields, error) {
 			prec = Float64
 		}
 		if err := binary.Read(br, binary.LittleEndian, &h); err != nil {
-			return Header{}, nil, err
+			return Header{}, nil, prec, err
 		}
 		// A version-3/4 writer always emits well-formed BC entries; a
 		// malformed one is corruption, not an older layout — failing
@@ -330,32 +339,32 @@ func Read(r io.Reader) (Header, []*kernels.Fields, error) {
 		// v1/v2 upgrades (a restart silently dropping checkpointed wall
 		// state would diverge the trajectory).
 		if _, ok := DecodeBCs(h.PhiBC); !ok {
-			return Header{}, nil, fmt.Errorf("ckpt: corrupt φ boundary-condition state")
+			return Header{}, nil, Float32, fmt.Errorf("ckpt: corrupt φ boundary-condition state")
 		}
 		if _, ok := DecodeBCs(h.MuBC); !ok {
-			return Header{}, nil, fmt.Errorf("ckpt: corrupt µ boundary-condition state")
+			return Header{}, nil, Float32, fmt.Errorf("ckpt: corrupt µ boundary-condition state")
 		}
 	default:
-		return Header{}, nil, fmt.Errorf("ckpt: unsupported version %d", version)
+		return Header{}, nil, Float32, fmt.Errorf("ckpt: unsupported version %d", version)
 	}
 	if h.PX <= 0 || h.PY <= 0 || h.PZ <= 0 || h.BX <= 0 || h.BY <= 0 || h.BZ <= 0 {
-		return Header{}, nil, fmt.Errorf("ckpt: corrupt header %+v", h)
+		return Header{}, nil, Float32, fmt.Errorf("ckpt: corrupt header %+v", h)
 	}
 	n := int(h.PX) * int(h.PY) * int(h.PZ)
 	fields := make([]*kernels.Fields, n)
 	for i := 0; i < n; i++ {
 		f := kernels.NewFields(int(h.BX), int(h.BY), int(h.BZ))
 		if err := readField(br, f.PhiSrc, prec); err != nil {
-			return h, nil, err
+			return h, nil, prec, err
 		}
 		if err := readField(br, f.MuSrc, prec); err != nil {
-			return h, nil, err
+			return h, nil, prec, err
 		}
 		f.PhiDst.CopyFrom(f.PhiSrc)
 		f.MuDst.CopyFrom(f.MuSrc)
 		fields[i] = f
 	}
-	return h, fields, nil
+	return h, fields, prec, nil
 }
 
 func readField(r io.Reader, f *grid.Field, prec Precision) error {

@@ -176,7 +176,7 @@ func (w *World) exchangeAxis(rank int, f *grid.Field, tag Tag, bcs grid.Boundary
 	// from this rank's per-(face,tag) free list and returned there by the
 	// receiver after unpacking, so steady-state exchanges allocate nothing.
 	for _, face := range faces {
-		n, ok := w.BG.Neighbor(rank, face)
+		n, ok := w.topo.Neighbor(rank, face)
 		if !ok || n == rank {
 			continue // physical boundary or local periodic: BC handles it
 		}
@@ -184,7 +184,7 @@ func (w *World) exchangeAxis(rank int, f *grid.Field, tag Tag, bcs grid.Boundary
 		buf := sleepToken
 		if !quiet[face] || *realRecv {
 			pack, _ := stageRegions(f, face)
-			buf = packRegion(f, pack, w.takeBuf(rank, face, tag, pack.numCells()*f.NComp))
+			buf = packRegion(f, pack, w.tr.TakeBuf(rank, face, tag, pack.numCells()*f.NComp))
 			st.Pack += time.Since(t0)
 		} else {
 			st.Skipped++
@@ -192,7 +192,7 @@ func (w *World) exchangeAxis(rank int, f *grid.Field, tag Tag, bcs grid.Boundary
 
 		t0 = time.Now()
 		// Message arrives at the neighbor's opposite face.
-		w.box(n, face.Opposite(), tag) <- buf
+		w.tr.Send(rank, n, face.Opposite(), tag, buf)
 		st.Transfer += time.Since(t0)
 		st.Messages++
 		st.Bytes += len(buf) * 8
@@ -203,7 +203,7 @@ func (w *World) exchangeAxis(rank int, f *grid.Field, tag Tag, bcs grid.Boundary
 
 	// Physical boundaries of this axis.
 	for _, face := range faces {
-		if n, ok := w.BG.Neighbor(rank, face); ok && n != rank {
+		if n, ok := w.topo.Neighbor(rank, face); ok && n != rank {
 			continue
 		}
 		applyFaceBC(f, face, bcs[face])
@@ -217,7 +217,7 @@ func (w *World) exchangeAxis(rank int, f *grid.Field, tag Tag, bcs grid.Boundary
 	// right bytes, and the token is not a pooled buffer to return.
 	for _, face := range recvs[:nrecv] {
 		t0 := time.Now()
-		buf := <-w.box(rank, face, tag)
+		buf := w.tr.Recv(rank, face, tag)
 		st.Transfer += time.Since(t0)
 		if len(buf) == 0 {
 			continue
@@ -228,8 +228,8 @@ func (w *World) exchangeAxis(rank int, f *grid.Field, tag Tag, bcs grid.Boundary
 		unpackRegion(f, arrivalRegion(f, face), buf)
 		st.Unpack += time.Since(t0)
 
-		if sender, ok := w.BG.Neighbor(rank, face); ok {
-			w.putBuf(sender, face.Opposite(), tag, buf)
+		if sender, ok := w.topo.Neighbor(rank, face); ok {
+			w.tr.Release(sender, rank, face, tag, buf)
 		}
 	}
 }

@@ -1,0 +1,145 @@
+package comm
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// goldenFrames are the frames pinned by testdata/wireframes: any change to
+// the wire layout breaks these fixtures, forcing a deliberate version
+// bump. NaN and negative zero are included so bit-level payload fidelity
+// is part of the pinned contract.
+func goldenFrames() map[string]*wireFrame {
+	return map[string]*wireFrame{
+		"data.bin": {
+			Kind: kindData, Tag: byte(TagMu), Face: 3, From: 1, To: 2, Seq: 7,
+			Payload: []float64{1.5, math.Copysign(0, -1), math.NaN(), math.Inf(1)},
+		},
+		"sleep_token.bin": {
+			Kind: kindData, Tag: byte(TagPhi), Face: 0, From: 4, To: 5, Seq: 12,
+			Payload: []float64{},
+		},
+		"hello.bin": {
+			Kind: kindHello, Tag: ctrlTag, From: 1, To: 0,
+			Payload: []float64{2, 2, 1, 8, 8, 12, 3, 2, 4, 0},
+		},
+		"barrier.bin": {
+			Kind: kindBarrier, Tag: ctrlTag, From: 3,
+			Payload: []float64{},
+		},
+	}
+}
+
+// TestGoldenWireFrames pins the frame format: every fixture must decode to
+// its known frame and re-encode to its exact bytes. Regenerate fixtures
+// (after a deliberate format change, with a version bump) by running the
+// test with UPDATE_WIREFRAMES=1.
+func TestGoldenWireFrames(t *testing.T) {
+	dir := filepath.Join("testdata", "wireframes")
+	update := os.Getenv("UPDATE_WIREFRAMES") != ""
+	if update {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for name, want := range goldenFrames() {
+		path := filepath.Join(dir, name)
+		enc := appendFrame(nil, want)
+		if update {
+			if err := os.WriteFile(path, enc, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		fixture, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("missing golden fixture %s (regenerate with UPDATE_WIREFRAMES=1): %v", name, err)
+		}
+		if !bytes.Equal(enc, fixture) {
+			t.Errorf("%s: encoding changed:\n got %x\nwant %x", name, enc, fixture)
+		}
+		got, err := decodeFrame(fixture, 1<<20)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		if got.Kind != want.Kind || got.Tag != want.Tag || got.Face != want.Face ||
+			got.From != want.From || got.To != want.To || got.Seq != want.Seq {
+			t.Errorf("%s: header mismatch: got %+v want %+v", name, got, want)
+		}
+		if len(got.Payload) != len(want.Payload) {
+			t.Fatalf("%s: payload length %d, want %d", name, len(got.Payload), len(want.Payload))
+		}
+		for i := range want.Payload {
+			if math.Float64bits(got.Payload[i]) != math.Float64bits(want.Payload[i]) {
+				t.Errorf("%s: payload[%d] bits %x, want %x", name, i,
+					math.Float64bits(got.Payload[i]), math.Float64bits(want.Payload[i]))
+			}
+		}
+	}
+}
+
+// TestDecodeFrameRejects covers the decoder's guard rails directly.
+func TestDecodeFrameRejects(t *testing.T) {
+	good := appendFrame(nil, &wireFrame{Kind: kindData, Payload: []float64{1, 2}})
+
+	bad := append([]byte(nil), good...)
+	copy(bad[0:4], "XXXX")
+	if _, err := decodeFrame(bad, 100); err == nil {
+		t.Error("bad magic accepted")
+	}
+
+	bad = append([]byte(nil), good...)
+	bad[4] = 99
+	if _, err := decodeFrame(bad, 100); err == nil {
+		t.Error("bad version accepted")
+	}
+
+	bad = append([]byte(nil), good...)
+	bad[5] = 0
+	if _, err := decodeFrame(bad, 100); err == nil {
+		t.Error("kind 0 accepted")
+	}
+
+	if _, err := decodeFrame(good, 1); err == nil {
+		t.Error("payload above bound accepted")
+	}
+	if _, err := decodeFrame(good[:10], 100); err == nil {
+		t.Error("truncated header accepted")
+	}
+	if _, err := decodeFrame(good[:len(good)-3], 100); err == nil {
+		t.Error("truncated payload accepted")
+	}
+}
+
+// FuzzWireFrame throws arbitrary bytes at the frame decoder: it must never
+// panic or over-allocate, and any frame it accepts must re-encode to the
+// exact bytes it consumed (round-trip fidelity, NaN payloads included).
+func FuzzWireFrame(f *testing.F) {
+	for _, fr := range goldenFrames() {
+		f.Add(appendFrame(nil, fr))
+	}
+	f.Add([]byte(wireMagic))
+	f.Add(appendFrame(nil, &wireFrame{Kind: kindGather, Tag: ctrlTag, From: 3, Payload: []float64{math.NaN()}})[:30])
+	// Oversized length field.
+	huge := appendFrame(nil, &wireFrame{Kind: kindData})
+	huge[24], huge[25], huge[26], huge[27] = 0xFF, 0xFF, 0xFF, 0xFF
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const maxFloats = 1 << 16
+		fr, err := decodeFrame(data, maxFloats)
+		if err != nil {
+			return
+		}
+		if len(fr.Payload) > maxFloats {
+			t.Fatalf("decoder exceeded payload bound: %d floats", len(fr.Payload))
+		}
+		enc := appendFrame(nil, fr)
+		if !bytes.Equal(enc, data[:len(enc)]) {
+			t.Fatalf("round trip diverged:\n in  %x\n out %x", data[:len(enc)], enc)
+		}
+	})
+}

@@ -1,10 +1,16 @@
 // Package comm provides the distributed-memory communication substrate:
 // the Go analogue of the MPI layer the paper's waLBerla implementation runs
 // on. Each block owner ("rank") is a goroutine; ghost-layer exchange is a
-// staged six-face halo swap over buffered channels whose three axis stages
-// (x, then y including x-ghosts, then z including x- and y-ghosts) fill the
-// complete ghost shell — faces, edges and corners — which is exactly the
-// halo the µ-kernel's D3C19 stencil requires.
+// staged six-face halo swap whose three axis stages (x, then y including
+// x-ghosts, then z including x- and y-ghosts) fill the complete ghost shell
+// — faces, edges and corners — which is exactly the halo the µ-kernel's
+// D3C19 stencil requires.
+//
+// Frame movement is delegated to a Transport: the in-process channel fabric
+// (default) or the TCP transport, which lets one rank grid span OS
+// processes and machines. The World keeps everything above the transport —
+// pack/unpack, sleep tokens, persistent comm workers, statistics — so both
+// paths share the protocol and its accounting.
 //
 // The package reproduces the structural properties that matter for the
 // paper's system-level experiments: explicit pack/unpack into message
@@ -17,7 +23,6 @@ package comm
 import (
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/grid"
@@ -49,11 +54,15 @@ func (t Tag) String() string {
 }
 
 // Stats accumulates per-rank communication timing, the measurement behind
-// the paper's Fig. 8 ("time spent in communication per timestep").
+// the paper's Fig. 8 ("time spent in communication per timestep"). The
+// semantics are transport-independent: Transfer is blocking time in the
+// transport's send/receive (channel handoff or socket write/read), Bytes
+// counts payload bytes moved (8 per float64), and Skipped counts face
+// rounds replaced by a zero-length sleep token on either fabric.
 type Stats struct {
 	Pack     time.Duration // packing ghost data into message buffers
 	Unpack   time.Duration // unpacking received buffers into ghost layers
-	Transfer time.Duration // blocking time in channel send/receive
+	Transfer time.Duration // blocking time in transport send/receive
 	Wait     time.Duration // time blocked in Finish() for overlapped exchanges
 	Messages int
 	Bytes    int
@@ -78,24 +87,22 @@ func (s *Stats) Add(other Stats) {
 // Total returns the total time attributed to communication.
 func (s *Stats) Total() time.Duration { return s.Pack + s.Unpack + s.Transfer + s.Wait }
 
-// World is the communicator for one block decomposition. All ranks share
-// the World; per-rank state is indexed by rank id.
+// World is the communicator for one block decomposition. All local ranks
+// share the World; per-rank state is indexed by global rank id. With the
+// default in-process transport every rank is local; with the TCP transport
+// each process' World drives only the ranks it owns.
 type World struct {
 	BG *grid.BlockGrid
 
-	// mailboxes[to][face][tag] carries messages arriving at rank `to`
-	// whose ghost region is on side `face` of `to`'s block.
-	mailboxes [][]chan []float64
+	// topo is the live connectivity: which blocks exchange across which
+	// faces, and which axes wrap. Starts as the BlockGrid's construction
+	// state; SetPeriodic mutates it at step boundaries (runtime SetBC
+	// kind changes on decomposed axes).
+	topo grid.Topology
 
-	// freeBufs[from][face][tag] recycles pack buffers back to their
-	// sending rank: after unpacking, the receiver returns the buffer to
-	// the sender's free list for that (face, tag) stream, so the steady
-	// state circulates a fixed set of buffers and packs allocate nothing.
-	freeBufs [][]chan []float64
+	tr Transport
 
-	// packAllocs counts fresh pack-buffer allocations (warm-up only in
-	// steady state; the allocation-guard tests assert it stays flat).
-	packAllocs atomic.Int64
+	local []int // global ids of ranks this process owns, ascending
 
 	// workers are the per-rank comm workers executing overlapped
 	// exchanges; pending[rank][tag] are the persistent completion handles
@@ -119,39 +126,46 @@ type World struct {
 	stats [][]Stats // per-rank, per-tag accumulated stats
 	mu    []sync.Mutex
 
-	barrier *barrier
+	barrier *barrier // counts local ranks; Barrier bridges processes
 
 	reduceMu  sync.Mutex
 	reduceBuf []float64
 }
 
-// NewWorld builds a communicator for the given decomposition.
+// NewWorld builds a communicator over the in-process channel fabric: every
+// rank of the decomposition lives in this process.
 func NewWorld(bg *grid.BlockGrid) *World {
+	return NewWorldTransport(bg, nil)
+}
+
+// NewWorldTransport builds a communicator over an explicit transport (nil
+// selects the in-process fabric). The World drives the ranks the transport
+// assigns to this process; the halo protocol, sleep tokens and statistics
+// are identical on every transport.
+func NewWorldTransport(bg *grid.BlockGrid, tr Transport) *World {
 	n := bg.NumBlocks()
-	w := &World{
-		BG:        bg,
-		mailboxes: make([][]chan []float64, n),
-		freeBufs:  make([][]chan []float64, n),
-		stats:     make([][]Stats, n),
-		mu:        make([]sync.Mutex, n),
-		barrier:   newBarrier(n),
+	if tr == nil {
+		tr = newLocalTransport(n)
 	}
+	w := &World{
+		BG:    bg,
+		topo:  grid.NewTopology(bg),
+		tr:    tr,
+		stats: make([][]Stats, n),
+		mu:    make([]sync.Mutex, n),
+	}
+	for r := 0; r < n; r++ {
+		if tr.Owner(r) == tr.Proc() {
+			w.local = append(w.local, r)
+		}
+	}
+	w.barrier = newBarrier(len(w.local))
 	w.workers = make([]commWorker, n)
 	w.pending = make([][]Pending, n)
 	w.quiet = make([][][grid.NumFaces]bool, n)
 	for r := 0; r < n; r++ {
 		w.quiet[r] = make([][grid.NumFaces]bool, numTags)
 		w.stats[r] = make([]Stats, numTags)
-		w.mailboxes[r] = make([]chan []float64, int(grid.NumFaces)*int(numTags))
-		w.freeBufs[r] = make([]chan []float64, int(grid.NumFaces)*int(numTags))
-		for i := range w.mailboxes[r] {
-			// Capacity 2 tolerates one full timestep of skew
-			// between neighbors.
-			w.mailboxes[r][i] = make(chan []float64, 2)
-			// One extra free slot so a buffer returned while the
-			// mailbox is full is never dropped.
-			w.freeBufs[r][i] = make(chan []float64, 3)
-		}
 		// Request capacity covers one outstanding exchange per tag, so
 		// StartExchange never blocks under the one-per-(rank,tag)
 		// discipline.
@@ -208,15 +222,17 @@ func (w *World) runWorker(rank int) {
 	}
 }
 
-// Close releases the comm workers. It is idempotent and safe to call
-// concurrently with an in-flight overlapped exchange round (the job daemon
-// cancels jobs from API goroutines): accepted exchanges complete — their
-// Finish returns normally — before the workers shut down, and a
-// StartExchange that loses the race to Close degrades to a blocking
+// Close releases the comm workers and then the transport. It is idempotent
+// and safe to call concurrently with an in-flight overlapped exchange round
+// (the job daemon cancels jobs from API goroutines): accepted exchanges
+// complete — their Finish returns normally — before the workers shut down,
+// and a StartExchange that loses the race to Close degrades to a blocking
 // exchange on the caller's goroutine. Optional — a World whose owner is
 // garbage collected releases the workers too (solver.Sim arranges that) —
-// but deterministic for harnesses that build many worlds. Blocking
-// exchanges and reductions keep working after Close.
+// but deterministic for harnesses that build many worlds. On the in-process
+// transport, blocking exchanges and reductions keep working after Close; on
+// the TCP transport Close tears down the connections, so it must be the
+// last collective act of the process.
 func (w *World) Close() {
 	w.closeOnce.Do(func() {
 		// Phase 1: refuse new submissions. After this loop no
@@ -233,11 +249,46 @@ func (w *World) Close() {
 		for r := range w.workers {
 			close(w.workers[r].req)
 		}
+		_ = w.tr.Close()
 	})
 }
 
-// NumRanks returns the number of ranks in the world.
+// NumRanks returns the number of ranks in the world (all processes).
 func (w *World) NumRanks() int { return w.BG.NumBlocks() }
+
+// Proc returns this process' index in the transport's process grid.
+func (w *World) Proc() int { return w.tr.Proc() }
+
+// NumProcs returns how many processes share the rank grid.
+func (w *World) NumProcs() int { return w.tr.NumProcs() }
+
+// IsRoot reports whether this is process 0, the process that writes
+// checkpoints and gathers global fields.
+func (w *World) IsRoot() bool { return w.tr.Proc() == 0 }
+
+// Owner returns the process index owning a global rank.
+func (w *World) Owner(rank int) int { return w.tr.Owner(rank) }
+
+// LocalRanks returns the global ids of the ranks this process owns, in
+// ascending order. The caller must not mutate the slice.
+func (w *World) LocalRanks() []int { return w.local }
+
+// Topology returns the live connectivity view.
+func (w *World) Topology() grid.Topology { return w.topo }
+
+// SetPeriodic flips one axis' wrap-around state: the runtime topology
+// change behind SetBC kind changes on decomposed axes. Must be called at a
+// step boundary, with no exchange in flight, symmetrically on every
+// process (the schedule engine guarantees both).
+func (w *World) SetPeriodic(axis int, periodic bool) {
+	w.topo.Periodic[axis] = periodic
+}
+
+// BlockBCs derives rank r's per-face boundary conditions from the domain
+// set under the live topology.
+func (w *World) BlockBCs(r int, domain grid.BoundarySet) grid.BoundarySet {
+	return w.topo.BlockBCs(r, domain)
+}
 
 // SetQuietFaces marks faces of rank's next exchange on tag as quiet: the
 // caller asserts the pack region of each masked face is bitwise-unchanged
@@ -262,41 +313,10 @@ func (w *World) takeQuiet(rank int, tag Tag) [grid.NumFaces]bool {
 	return m
 }
 
-func (w *World) box(to int, face grid.Face, tag Tag) chan []float64 {
-	return w.mailboxes[to][int(face)*int(numTags)+int(tag)]
-}
-
-// takeBuf fetches rank's persistent pack buffer for the (face, tag) send
-// stream, allocating only when the free list is empty (first steps) or the
-// requested size grew (window/geometry change).
-func (w *World) takeBuf(rank int, face grid.Face, tag Tag, n int) []float64 {
-	free := w.freeBufs[rank][int(face)*int(numTags)+int(tag)]
-	select {
-	case b := <-free:
-		if cap(b) >= n {
-			return b[:n]
-		}
-	default:
-	}
-	w.packAllocs.Add(1)
-	return make([]float64, n)
-}
-
-// putBuf returns a consumed message buffer to its sender's free list. A full
-// free list (impossible in the steady protocol, but cheap to tolerate) drops
-// the buffer to the garbage collector.
-func (w *World) putBuf(rank int, face grid.Face, tag Tag, b []float64) {
-	free := w.freeBufs[rank][int(face)*int(numTags)+int(tag)]
-	select {
-	case free <- b:
-	default:
-	}
-}
-
 // PackAllocs returns how many pack buffers have been freshly allocated so
 // far. In a steady-state run the count stops growing after the first
 // timestep — the allocation-guard tests assert exactly that.
-func (w *World) PackAllocs() int64 { return w.packAllocs.Load() }
+func (w *World) PackAllocs() int64 { return w.tr.Allocs() }
 
 // RankStats returns the accumulated stats for rank r summed over all tags.
 func (w *World) RankStats(r int) Stats {
@@ -333,11 +353,34 @@ func (w *World) addStats(r int, tag Tag, s Stats) {
 	w.mu[r].Unlock()
 }
 
-// Barrier blocks until all ranks have called it.
-func (w *World) Barrier() { w.barrier.await() }
+// Barrier blocks until all ranks — across every process — have called it.
+func (w *World) Barrier() {
+	if w.barrier.await() {
+		w.tr.Barrier()
+	}
+	w.barrier.await()
+}
 
-// AllReduceSum sums vals elementwise across all ranks; every rank receives
-// the result in vals. It must be called by all ranks with equal lengths.
+// GlobalSum adds vals elementwise across processes; every process receives
+// the result. It is a process-level collective: exactly one goroutine per
+// process calls it, in the same order on every process. Callers preserve
+// bitwise determinism by giving each slot exactly one nonzero contributor
+// (the per-global-rank vectors the solver's metrics use).
+func (w *World) GlobalSum(vals []float64) { w.tr.Sum(vals) }
+
+// GlobalMax computes the elementwise maximum across processes (same calling
+// discipline as GlobalSum).
+func (w *World) GlobalMax(vals []float64) { w.tr.Max(vals) }
+
+// GatherBlocks collects per-global-rank payloads on process 0: each process
+// fills parts[r] for its local ranks and passes the rest nil. The root
+// returns the completed slice; every other process returns nil. Cold path —
+// checkpoint writing and global field assembly.
+func (w *World) GatherBlocks(parts [][]float64) [][]float64 { return w.tr.Gather(parts) }
+
+// AllReduceSum sums vals elementwise across all ranks of all processes;
+// every rank receives the result in vals. It must be called by all local
+// ranks with equal lengths (and by every process' rank set collectively).
 func (w *World) AllReduceSum(rank int, vals []float64) {
 	w.reduceMu.Lock()
 	if w.reduceBuf == nil {
@@ -348,16 +391,18 @@ func (w *World) AllReduceSum(rank int, vals []float64) {
 	}
 	w.reduceMu.Unlock()
 
+	if w.barrier.await() {
+		// One local rank folds in the other processes' partial sums.
+		w.tr.Sum(w.reduceBuf)
+	}
 	w.barrier.await()
 
 	w.reduceMu.Lock()
 	copy(vals, w.reduceBuf)
 	w.reduceMu.Unlock()
 
-	w.barrier.await()
-
-	// One rank clears the buffer for the next reduction.
-	if rank == 0 {
+	if w.barrier.await() {
+		// One rank clears the buffer for the next reduction.
 		w.reduceMu.Lock()
 		w.reduceBuf = nil
 		w.reduceMu.Unlock()
@@ -365,7 +410,8 @@ func (w *World) AllReduceSum(rank int, vals []float64) {
 	w.barrier.await()
 }
 
-// AllReduceMax computes the elementwise maximum across ranks.
+// AllReduceMax computes the elementwise maximum across ranks of all
+// processes.
 func (w *World) AllReduceMax(rank int, vals []float64) {
 	w.reduceMu.Lock()
 	if w.reduceBuf == nil {
@@ -380,12 +426,14 @@ func (w *World) AllReduceMax(rank int, vals []float64) {
 	}
 	w.reduceMu.Unlock()
 
+	if w.barrier.await() {
+		w.tr.Max(w.reduceBuf)
+	}
 	w.barrier.await()
 	w.reduceMu.Lock()
 	copy(vals, w.reduceBuf)
 	w.reduceMu.Unlock()
-	w.barrier.await()
-	if rank == 0 {
+	if w.barrier.await() {
 		w.reduceMu.Lock()
 		w.reduceBuf = nil
 		w.reduceMu.Unlock()
@@ -393,7 +441,10 @@ func (w *World) AllReduceMax(rank int, vals []float64) {
 	w.barrier.await()
 }
 
-// barrier is a reusable counting barrier.
+// barrier is a reusable counting barrier over the local ranks. await
+// returns true for exactly one caller per generation (the last arriver),
+// which bridges the process-level barrier/reduction before the others
+// proceed past the next await.
 type barrier struct {
 	mu    sync.Mutex
 	cond  *sync.Cond
@@ -408,7 +459,7 @@ func newBarrier(n int) *barrier {
 	return b
 }
 
-func (b *barrier) await() {
+func (b *barrier) await() bool {
 	b.mu.Lock()
 	gen := b.gen
 	b.count++
@@ -417,10 +468,11 @@ func (b *barrier) await() {
 		b.gen++
 		b.cond.Broadcast()
 		b.mu.Unlock()
-		return
+		return true
 	}
 	for gen == b.gen {
 		b.cond.Wait()
 	}
 	b.mu.Unlock()
+	return false
 }

@@ -51,52 +51,16 @@ func (bg *BlockGrid) Origin(r int) (ox, oy, oz int) {
 	return bx * bg.BX, by * bg.BY, bz * bg.BZ
 }
 
-// Neighbor returns the rank adjacent to r across face, and whether such a
-// neighbor exists. Across periodic axes the neighbor wraps; across
-// non-periodic axes boundary faces have no neighbor (boundary conditions
-// apply there instead).
+// Neighbor returns the rank adjacent to r across face under the
+// construction-time periodicity. Communicators with a live (mutable)
+// topology consult their own grid.Topology instead.
 func (bg *BlockGrid) Neighbor(r int, face Face) (int, bool) {
-	bx, by, bz := bg.Coords(r)
-	p := [3]int{bg.PX, bg.PY, bg.PZ}
-	c := [3]int{bx, by, bz}
-	ax := face.Axis()
-	if face.IsMin() {
-		c[ax]--
-	} else {
-		c[ax]++
-	}
-	if c[ax] < 0 || c[ax] >= p[ax] {
-		if !bg.Periodic[ax] {
-			return -1, false
-		}
-		c[ax] = (c[ax] + p[ax]) % p[ax]
-	}
-	n := bg.Rank(c[0], c[1], c[2])
-	if n == r && p[ax] == 1 {
-		// Self-neighbor on a periodic axis with a single block: the
-		// local periodic boundary condition handles it without
-		// messages.
-		return r, true
-	}
-	return n, true
+	return NewTopology(bg).Neighbor(r, face)
 }
 
 // BlockBCs derives the per-face boundary set for rank r from the domain
-// boundary set: faces with a communication neighbor get BCNone (their ghost
-// layers are filled by halo exchange), except single-block periodic axes
-// which keep the local periodic condition.
+// boundary set under the construction-time periodicity (see
+// Topology.BlockBCs).
 func (bg *BlockGrid) BlockBCs(r int, domain BoundarySet) BoundarySet {
-	var out BoundarySet
-	for f := Face(0); f < NumFaces; f++ {
-		n, ok := bg.Neighbor(r, f)
-		switch {
-		case !ok:
-			out[f] = domain[f] // physical boundary
-		case n == r:
-			out[f] = BC{Kind: BCPeriodic} // single-block periodic axis
-		default:
-			out[f] = BC{Kind: BCNone} // interior: halo exchange
-		}
-	}
-	return out
+	return NewTopology(bg).BlockBCs(r, domain)
 }

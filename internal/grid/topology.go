@@ -1,0 +1,74 @@
+package grid
+
+// Topology is the connectivity view of a block decomposition: which blocks
+// neighbor which across each face, and which axes wrap around. It was
+// historically baked into BlockGrid (the Periodic field is still the
+// construction-time default), but connectivity is a property of the
+// communication layer, not of the static block geometry: the schedule
+// engine can turn a periodic axis into physical walls (and back) at run
+// time, and the transport layer owns that mutable state. BlockGrid's
+// Neighbor/BlockBCs methods delegate here with the construction-time
+// periodicity, so existing callers keep their behavior.
+type Topology struct {
+	BG *BlockGrid
+	// Periodic is the live per-axis wrap-around state. Mutating it is the
+	// communicator's job (comm.World.SetPeriodic), only at step boundaries
+	// when no exchange is in flight.
+	Periodic [3]bool
+}
+
+// NewTopology returns the connectivity view of bg with its construction-time
+// periodicity.
+func NewTopology(bg *BlockGrid) Topology {
+	return Topology{BG: bg, Periodic: bg.Periodic}
+}
+
+// Neighbor returns the rank adjacent to r across face, and whether such a
+// neighbor exists. Across periodic axes the neighbor wraps; across
+// non-periodic axes boundary faces have no neighbor (boundary conditions
+// apply there instead). On a periodic axis with a single block the rank is
+// its own neighbor — the local periodic boundary condition handles the wrap
+// without messages.
+func (t Topology) Neighbor(r int, face Face) (int, bool) {
+	bg := t.BG
+	bx, by, bz := bg.Coords(r)
+	p := [3]int{bg.PX, bg.PY, bg.PZ}
+	c := [3]int{bx, by, bz}
+	ax := face.Axis()
+	if face.IsMin() {
+		c[ax]--
+	} else {
+		c[ax]++
+	}
+	if c[ax] < 0 || c[ax] >= p[ax] {
+		if !t.Periodic[ax] {
+			return -1, false
+		}
+		c[ax] = (c[ax] + p[ax]) % p[ax]
+	}
+	n := bg.Rank(c[0], c[1], c[2])
+	if n == r && p[ax] == 1 {
+		return r, true
+	}
+	return n, true
+}
+
+// BlockBCs derives the per-face boundary set for rank r from the domain
+// boundary set: faces with a communication neighbor get BCNone (their ghost
+// layers are filled by halo exchange), except single-block periodic axes
+// which keep the local periodic condition.
+func (t Topology) BlockBCs(r int, domain BoundarySet) BoundarySet {
+	var out BoundarySet
+	for f := Face(0); f < NumFaces; f++ {
+		n, ok := t.Neighbor(r, f)
+		switch {
+		case !ok:
+			out[f] = domain[f] // physical boundary
+		case n == r:
+			out[f] = BC{Kind: BCPeriodic} // single-block periodic axis
+		default:
+			out[f] = BC{Kind: BCNone} // interior: halo exchange
+		}
+	}
+	return out
+}

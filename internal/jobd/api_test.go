@@ -282,3 +282,35 @@ func TestSpecDocExample(t *testing.T) {
 		t.Fatal("steps lost")
 	}
 }
+
+// A schedule prescribing mixed periodicity on a decomposed axis is a
+// permanent input error: the job must fail on its first attempt without
+// burning any of its retry budget, and the status must carry the solver's
+// structured rejection so the submitter can fix the offending event.
+func TestAPIScheduleErrorStructuredNoRetry(t *testing.T) {
+	_, ts := apiServer(t, Config{MaxConcurrent: 1, Budget: 2})
+	// Flipping only µ's x- face to a wall leaves the decomposed x axis
+	// mixed-periodic — unrealizable, and not fixable by retrying.
+	spec := Spec{NX: 8, NY: 8, NZ: 10, PX: 2, Steps: 50, Scenario: "interface", MaxRetries: 3,
+		Schedule: json.RawMessage(`{"events": [{"type": "setbc", "step": 4, "face": "x-", "field": "mu", "kind": "neumann"}]}`)}
+	st := submit(t, ts.URL, spec)
+	waitFor(t, "schedule rejection", 10*time.Second, func() bool {
+		var cur Status
+		getJSON(t, ts.URL+"/jobs/"+st.ID, &cur)
+		return cur.State.terminal()
+	})
+	var cur Status
+	getJSON(t, ts.URL+"/jobs/"+st.ID, &cur)
+	if cur.State != StateFailed {
+		t.Fatalf("state %s, want failed", cur.State)
+	}
+	if cur.Retries != 0 {
+		t.Errorf("burned %d retries on a permanent schedule error", cur.Retries)
+	}
+	if cur.ScheduleError == nil {
+		t.Fatalf("no structured schedule_error in status (error %q)", cur.Error)
+	}
+	if cur.ScheduleError.Face != "x-" || cur.ScheduleError.Step != 4 || cur.ScheduleError.Reason == "" {
+		t.Errorf("schedule_error %+v, want face x- at step 4 with reason", cur.ScheduleError)
+	}
+}

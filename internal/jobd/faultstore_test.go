@@ -73,7 +73,11 @@ func TestDegradedStoreModeRecovers(t *testing.T) {
 	})
 
 	// The spill is now authoritative: a restarted daemon over the same
-	// directory serves the identical bytes.
+	// directory serves the identical bytes. Drain hands over the store's
+	// directory flock.
+	if err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
 	s2 := New(Config{StoreDir: dir})
 	if n, err := s2.LoadStore(); err != nil || n != 1 {
 		t.Fatalf("restart LoadStore = %d, %v", n, err)
@@ -88,7 +92,6 @@ func TestDegradedStoreModeRecovers(t *testing.T) {
 		t.Fatal(err)
 	}
 	diffCheckpoints(t, disk, mem)
-	_ = s
 }
 
 // A torn blob write (partial bytes then an error, as a full disk tears a
@@ -97,7 +100,7 @@ func TestDegradedStoreModeRecovers(t *testing.T) {
 // or has no record of the job.
 func TestTornSpillNeverVisible(t *testing.T) {
 	dir := t.TempDir()
-	_, ts, _ := degradedServer(t, dir,
+	s1, ts, _ := degradedServer(t, dir,
 		&faultfs.Rule{Op: faultfs.OpWrite, PathContains: "objects", Times: 1,
 			TornBytes: 100, Err: faultfs.ErrInjected})
 
@@ -113,6 +116,9 @@ func TestTornSpillNeverVisible(t *testing.T) {
 		code, _ := getBytes(t, ts.URL+"/healthz")
 		return code == http.StatusOK
 	})
+	if err := s1.Drain(); err != nil {
+		t.Fatal(err)
+	}
 	s2 := New(Config{StoreDir: dir})
 	if n, err := s2.LoadStore(); err != nil || n != 1 {
 		t.Fatalf("restart LoadStore = %d, %v", n, err)
@@ -166,7 +172,9 @@ func TestSpillCrashPointTable(t *testing.T) {
 				}
 
 				// "Restart": a fresh daemon over the frozen directory state,
-				// on the real filesystem.
+				// on the real filesystem. The crashed process' directory
+				// flock dies with it; in-process, release it by hand.
+				_ = s.store.Close()
 				s2 := New(Config{StoreDir: dir})
 				n, err := s2.LoadStore()
 				if err != nil {
@@ -223,7 +231,7 @@ func TestCrashBeforeManifestReclaimsOrphanedBlobs(t *testing.T) {
 	dir := t.TempDir()
 	// The spill renames the result blob, the schedule blob, then the
 	// manifest; After: 2 skips the first two and kills the third.
-	_, ts, inj := degradedServer(t, dir,
+	s1, ts, inj := degradedServer(t, dir,
 		&faultfs.Rule{Op: faultfs.OpRename, After: 2, Times: 1, Crash: true})
 
 	st := submit(t, ts.URL, smallSpec("orphan"))
@@ -242,7 +250,9 @@ func TestCrashBeforeManifestReclaimsOrphanedBlobs(t *testing.T) {
 	}
 
 	// Restart over the frozen directory: the store open reclaims the
-	// orphans and the job is cleanly absent (resubmittable).
+	// orphans and the job is cleanly absent (resubmittable). The crashed
+	// process' directory flock dies with it; in-process, release it by hand.
+	_ = s1.store.Close()
 	s2 := New(Config{MaxConcurrent: 1, Budget: 2, ReportEvery: 1, StoreDir: dir})
 	if n, err := s2.LoadStore(); err != nil || n != 0 {
 		t.Fatalf("restart LoadStore = %d, %v; want no restored jobs", n, err)
@@ -268,6 +278,11 @@ func TestCrashBeforeManifestReclaimsOrphanedBlobs(t *testing.T) {
 	code, mem := getBytes(t, ts2.URL+"/jobs/"+st2.ID+"/result")
 	if code != http.StatusOK {
 		t.Fatalf("resubmitted result: %d", code)
+	}
+	// Hand the directory over: Drain releases the store's flock while the
+	// drained daemon keeps serving its in-memory state.
+	if err := s2.Drain(); err != nil {
+		t.Fatal(err)
 	}
 	s3 := New(Config{StoreDir: dir})
 	if n, err := s3.LoadStore(); err != nil || n != 1 {

@@ -2,11 +2,13 @@ package jobd
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/schedule"
+	"repro/internal/solver"
 )
 
 // Spec is a job submission: the domain configuration plus the production
@@ -268,6 +270,12 @@ type Status struct {
 	Stalls    int    `json:"stalls,omitempty"`
 	LastError string `json:"last_error,omitempty"`
 	Error     string `json:"error,omitempty"`
+	// ScheduleError is the structured form of Error when the job failed
+	// because its schedule prescribed boundary conditions the rank topology
+	// cannot honor — a permanent input error the daemon does not retry. It
+	// carries the offending face and step, so the submitter can fix the
+	// event rather than parse the message.
+	ScheduleError *solver.ScheduleError `json:"schedule_error,omitempty"`
 }
 
 // Job is the daemon-side state of one submitted run.
@@ -361,6 +369,10 @@ func (j *Job) Status() Status {
 	}
 	if j.err != nil {
 		st.Error = j.err.Error()
+		var serr *solver.ScheduleError
+		if errors.As(j.err, &serr) {
+			st.ScheduleError = serr
+		}
 	}
 	return st
 }

@@ -663,6 +663,16 @@ func (s *Server) Drain() error {
 	// memory-only results behind as possible.
 	s.flushPending()
 
+	// Release the store directory's exclusive lock so a successor daemon
+	// can open it; the store keeps serving reads for /result requests that
+	// arrive after the drain.
+	s.mu.Lock()
+	st := s.store
+	s.mu.Unlock()
+	if st != nil {
+		_ = st.Close()
+	}
+
 	if s.cfg.SpoolDir == "" {
 		return nil
 	}

@@ -236,6 +236,9 @@ func TestStoreTornResultNeverServed(t *testing.T) {
 	if m.Result == "" {
 		t.Fatal("finished job has no stored result")
 	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
 	objPath := filepath.Join(storeDir, "objects", m.Result[:2], m.Result)
 	raw, err := os.ReadFile(objPath)
 	if err != nil {
@@ -317,7 +320,11 @@ func TestStoreSpillOrderBlobsBeforeManifest(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Simulate the crash window: a blob landed, the manifest did not.
+	// The killed process' directory flock dies with it.
 	if _, err := st.PutBlob([]byte("orphaned result")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
 		t.Fatal(err)
 	}
 	cfg := Config{MaxConcurrent: 1, Budget: 1, StoreDir: storeDir}

@@ -2,6 +2,7 @@ package jobd
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"runtime/debug"
 	"time"
@@ -221,6 +222,15 @@ func (s *Server) runAttempt(j *Job) {
 func (s *Server) retryOrFail(j *Job, sim *phasefield.Simulation, err error) {
 	if j.ctrl.Load() == ctrlCancel {
 		s.finishRunner(j, sim, StateCanceled, nil)
+		return
+	}
+	// An unrealizable schedule is a permanent property of the job's input:
+	// every retry would re-validate the same events against the same
+	// topology and fail identically, so the retry budget is not burned.
+	// The structured rejection is surfaced verbatim in the job status.
+	var serr *solver.ScheduleError
+	if errors.As(err, &serr) {
+		s.finishRunner(j, sim, StateFailed, err)
 		return
 	}
 	j.mu.Lock()

@@ -29,8 +29,11 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"os"
 	"path/filepath"
 	"strings"
+	"sync"
+	"syscall"
 
 	"repro/internal/faultfs"
 )
@@ -45,11 +48,25 @@ const (
 
 // Store is a content-addressed result store rooted at one directory. All
 // methods are safe for concurrent use (atomicity comes from rename, not
-// locking).
+// locking). The directory itself is exclusively owned: Open takes an
+// advisory flock that a second daemon's Open refuses, because two live
+// instances would race the orphan sweep against each other's in-flight
+// spills (one daemon's just-written, not-yet-referenced blobs look like
+// orphans to the other). Close releases the lock; reads keep working on a
+// closed store.
 type Store struct {
 	dir string
 	fs  faultfs.FS
+
+	lock      *os.File // flocked <dir>/LOCK; nil after Close
+	closeOnce sync.Once
 }
+
+// lockName is the advisory lock file guarding a store directory. The file
+// itself is empty and persists between runs — ownership is the flock, not
+// existence, so a crashed daemon's lock vanishes with its process and
+// never needs manual cleanup.
+const lockName = "LOCK"
 
 // Open prepares the store layout under dir on the real filesystem,
 // creating it if needed and sweeping temp files a crashed writer may have
@@ -71,13 +88,55 @@ func OpenFS(dir string, fsys faultfs.FS) (*Store, error) {
 			return nil, err
 		}
 	}
+	// The lock must be held before the sweeps run: they delete anything
+	// an unfinished writer hasn't published yet, which is only safe when
+	// no such writer can exist.
+	if err := s.acquireLock(); err != nil {
+		return nil, err
+	}
 	if err := s.sweepTemp(); err != nil {
+		_ = s.Close()
 		return nil, err
 	}
 	if err := s.sweepOrphans(); err != nil {
+		_ = s.Close()
 		return nil, err
 	}
 	return s, nil
+}
+
+// acquireLock takes the exclusive advisory lock on the store directory.
+// It goes through the real filesystem, not the injectable one — mutual
+// exclusion between daemons is an OS service, not part of the crash
+// discipline the fault harness exercises.
+func (s *Store) acquireLock() error {
+	f, err := os.OpenFile(filepath.Join(s.dir, lockName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return fmt.Errorf("store: %s is locked by another daemon instance: %w", s.dir, err)
+	}
+	s.lock = f
+	return nil
+}
+
+// Close releases the store directory's exclusive lock so another daemon
+// may open it. Idempotent; reads (Blob, Manifests) keep working — only
+// ownership is given up, so a drained daemon can still serve stored
+// results while its successor takes over writing.
+func (s *Store) Close() error {
+	var err error
+	s.closeOnce.Do(func() {
+		if s.lock == nil {
+			return
+		}
+		_ = syscall.Flock(int(s.lock.Fd()), syscall.LOCK_UN)
+		err = s.lock.Close()
+		s.lock = nil
+	})
+	return err
 }
 
 // Dir returns the store's root directory.

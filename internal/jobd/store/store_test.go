@@ -146,7 +146,11 @@ func TestCrashLeftoversSweptAndInvisible(t *testing.T) {
 		t.Fatalf("want only the real manifest visible to readers, got %d entries", n)
 	}
 
-	// A reopened store (the restarted daemon) sweeps the litter.
+	// A reopened store (the restarted daemon) sweeps the litter. Release
+	// the first instance's directory lock as a process exit would.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
 	if _, err := Open(dir); err != nil {
 		t.Fatal(err)
 	}
@@ -237,7 +241,11 @@ func TestOpenReclaimsOrphanedObjects(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	if _, err := Open(dir); err != nil {
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
 		t.Fatal(err)
 	}
 	for _, h := range []string{kept1, kept2} {
@@ -250,10 +258,56 @@ func TestOpenReclaimsOrphanedObjects(t *testing.T) {
 	}
 
 	// Reclamation is idempotent and the store stays writable.
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
 	if _, err := Open(dir); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := s.PutBlob([]byte("spill died before the manifest")); err != nil {
 		t.Fatalf("re-spilling reclaimed content: %v", err)
+	}
+}
+
+// The exclusive directory lock: a second daemon's Open must be refused
+// while the first holds the store — otherwise its orphan sweep would
+// reclaim blobs the live daemon has written but not yet referenced from a
+// manifest. Close hands the directory over and keeps reads working.
+func TestOpenRefusesLockedStore(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The racing scenario: s1 has spilled a blob but not yet its manifest.
+	hash, err := s1.PutBlob([]byte("in-flight spill"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Fatal("second Open on a live store succeeded; its sweep would reclaim in-flight blobs")
+	}
+	if _, err := s1.Blob(hash); err != nil {
+		t.Fatalf("in-flight blob lost: %v", err)
+	}
+
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Close(); err != nil {
+		t.Fatalf("Close is not idempotent: %v", err)
+	}
+	// Handover: the successor opens (and its sweep reclaims the orphan),
+	// while the closed predecessor can still serve reads.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open after Close: %v", err)
+	}
+	defer s2.Close()
+	if err := s2.PutManifest(JobsBucket, "job-x", map[string]string{"note": "successor"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Manifests(JobsBucket, func(id string, blob []byte) error { return nil }); err != nil {
+		t.Fatalf("closed store cannot read: %v", err)
 	}
 }

@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/comm"
@@ -56,7 +57,8 @@ func (s *Sim) RunMeasured(n int) Metrics {
 
 // Measure resets the metrics, runs fn (which should advance the simulation,
 // e.g. through Run or RunSchedule) and returns timing metrics for exactly
-// the steps fn took.
+// the steps fn took. In a distributed run the timings cover this process'
+// ranks only — each process measures its own share of the work.
 func (s *Sim) Measure(fn func()) Metrics {
 	s.ResetMetrics()
 	before := s.step
@@ -85,9 +87,13 @@ func (s *Sim) ResetMetrics() {
 	s.World.ResetStats()
 }
 
-// SolidFraction returns the global solid volume fraction.
+// SolidFraction returns the global solid volume fraction. The per-global-
+// rank partial sums are combined across processes slot by slot (each slot
+// has exactly one contributor) and totalled in rank order, so the result
+// is bit-identical for every decomposition of the same domain onto any
+// process count.
 func (s *Sim) SolidFraction() float64 {
-	sums := make([]float64, len(s.ranks))
+	sums := make([]float64, s.Cfg.BG.NumBlocks())
 	s.forAllRanks(func(r *rank) {
 		f := r.fields.PhiSrc
 		t := 0.0
@@ -98,6 +104,7 @@ func (s *Sim) SolidFraction() float64 {
 		})
 		sums[r.id] = t
 	})
+	s.World.GlobalSum(sums)
 	total := 0.0
 	for _, v := range sums {
 		total += v
@@ -105,9 +112,10 @@ func (s *Sim) SolidFraction() float64 {
 	return total / float64(s.GlobalCells())
 }
 
-// PhaseFractions returns the global volume fraction of every phase.
+// PhaseFractions returns the global volume fraction of every phase (same
+// bitwise-stable cross-process reduction as SolidFraction).
 func (s *Sim) PhaseFractions() [core.NPhases]float64 {
-	perRank := make([][core.NPhases]float64, len(s.ranks))
+	vec := make([]float64, s.Cfg.BG.NumBlocks()*core.NPhases)
 	s.forAllRanks(func(r *rank) {
 		f := r.fields.PhiSrc
 		var acc [core.NPhases]float64
@@ -116,69 +124,176 @@ func (s *Sim) PhaseFractions() [core.NPhases]float64 {
 				acc[a] += f.At(a, x, y, z)
 			}
 		})
-		perRank[r.id] = acc
+		copy(vec[r.id*core.NPhases:], acc[:])
 	})
+	s.World.GlobalSum(vec)
 	var out [core.NPhases]float64
 	inv := 1 / float64(s.GlobalCells())
-	for _, acc := range perRank {
+	for r := 0; r < s.Cfg.BG.NumBlocks(); r++ {
 		for a := 0; a < core.NPhases; a++ {
-			out[a] += acc[a] * inv
+			out[a] += vec[r*core.NPhases+a] * inv
 		}
 	}
 	return out
 }
 
-// HasNaN reports whether any rank's source fields contain NaN/Inf.
+// HasNaN reports whether any rank's source fields — on any process —
+// contain NaN/Inf.
 func (s *Sim) HasNaN() bool {
-	bad := make([]bool, len(s.ranks))
+	bad := make([]float64, s.Cfg.BG.NumBlocks())
 	s.forAllRanks(func(r *rank) {
-		bad[r.id] = r.fields.PhiSrc.HasNaN() || r.fields.MuSrc.HasNaN()
+		if r.fields.PhiSrc.HasNaN() || r.fields.MuSrc.HasNaN() {
+			bad[r.id] = 1
+		}
 	})
+	s.World.GlobalMax(bad)
 	for _, b := range bad {
-		if b {
+		if b > 0 {
 			return true
 		}
 	}
 	return false
 }
 
+// packFields flattens a block's source-field interiors (φ then µ,
+// component-major, z/y/x inner order) for the cross-process gather.
+func packFields(f *kernels.Fields) []float64 {
+	phi, mu := f.PhiSrc, f.MuSrc
+	out := make([]float64, 0, (phi.NComp+mu.NComp)*phi.NX*phi.NY*phi.NZ)
+	for _, fld := range []*grid.Field{phi, mu} {
+		for c := 0; c < fld.NComp; c++ {
+			for z := 0; z < fld.NZ; z++ {
+				for y := 0; y < fld.NY; y++ {
+					for x := 0; x < fld.NX; x++ {
+						out = append(out, fld.At(c, x, y, z))
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// unpackFields reverses packFields into a fresh bundle. Ghost layers stay
+// zero — consumers read interiors only (checkpoint writer, global
+// assembly).
+func unpackFields(f *kernels.Fields, data []float64) error {
+	i := 0
+	for _, fld := range []*grid.Field{f.PhiSrc, f.MuSrc} {
+		n := fld.NComp * fld.NX * fld.NY * fld.NZ
+		if i+n > len(data) {
+			return fmt.Errorf("solver: gathered block payload too short: %d floats", len(data))
+		}
+		for c := 0; c < fld.NComp; c++ {
+			for z := 0; z < fld.NZ; z++ {
+				for y := 0; y < fld.NY; y++ {
+					for x := 0; x < fld.NX; x++ {
+						fld.Set(c, x, y, z, data[i])
+						i++
+					}
+				}
+			}
+		}
+	}
+	if i != len(data) {
+		return fmt.Errorf("solver: gathered block payload has %d trailing floats", len(data)-i)
+	}
+	f.PhiDst.CopyFrom(f.PhiSrc)
+	f.MuDst.CopyFrom(f.MuSrc)
+	return nil
+}
+
+// GatherFields assembles every rank's field bundle, indexed by global
+// rank, on the root process — the data plane of checkpoint writing and
+// global field export. Single-process worlds return the live bundles
+// (zero copy); distributed worlds ship source-field interiors to the root
+// and return freshly allocated bundles there, nil on every other process.
+// It is a collective: every process must call it at the same point.
+func (s *Sim) GatherFields() ([]*kernels.Fields, error) {
+	n := s.Cfg.BG.NumBlocks()
+	out := make([]*kernels.Fields, n)
+	if s.World.NumProcs() == 1 {
+		for _, r := range s.ranks {
+			out[r.id] = r.fields
+		}
+		return out, nil
+	}
+	parts := make([][]float64, n)
+	for _, r := range s.ranks {
+		parts[r.id] = packFields(r.fields)
+	}
+	gathered := s.World.GatherBlocks(parts)
+	if gathered == nil {
+		return nil, nil // non-root
+	}
+	for r := 0; r < n; r++ {
+		f := kernels.NewFields(s.Cfg.BG.BX, s.Cfg.BG.BY, s.Cfg.BG.BZ)
+		if err := unpackFields(f, gathered[r]); err != nil {
+			return nil, fmt.Errorf("rank %d: %w", r, err)
+		}
+		out[r] = f
+	}
+	return out, nil
+}
+
 // GatherGlobalPhi assembles the global φ field on a single Field (for
 // output, analysis and mesh extraction). Intended for post-processing, not
-// the hot loop.
+// the hot loop. In a distributed run this is a collective that returns the
+// field on the root process and nil elsewhere.
 func (s *Sim) GatherGlobalPhi() *grid.Field {
+	f, _ := s.gatherGlobal(func(f *kernels.Fields) *grid.Field { return f.PhiSrc }, core.NPhases)
+	return f
+}
+
+// GatherGlobalMu assembles the global µ field (same collective semantics
+// as GatherGlobalPhi).
+func (s *Sim) GatherGlobalMu() *grid.Field {
+	f, _ := s.gatherGlobal(func(f *kernels.Fields) *grid.Field { return f.MuSrc }, core.NRed)
+	return f
+}
+
+func (s *Sim) gatherGlobal(pick func(*kernels.Fields) *grid.Field, ncomp int) (*grid.Field, error) {
+	fields, err := s.GatherFields()
+	if err != nil {
+		return nil, err
+	}
+	if fields == nil {
+		return nil, nil // non-root process
+	}
 	nx, ny, nz := s.Cfg.BG.GlobalCells()
-	out := grid.NewField(nx, ny, nz, core.NPhases, 1, grid.SoA)
-	for _, r := range s.ranks {
-		ox, oy, oz := s.Cfg.BG.Origin(r.id)
-		f := r.fields.PhiSrc
+	out := grid.NewField(nx, ny, nz, ncomp, 1, grid.SoA)
+	for r, bundle := range fields {
+		ox, oy, oz := s.Cfg.BG.Origin(r)
+		f := pick(bundle)
 		f.Interior(func(x, y, z int) {
-			for a := 0; a < core.NPhases; a++ {
+			for a := 0; a < ncomp; a++ {
 				out.Set(a, ox+x, oy+y, oz+z, f.At(a, x, y, z))
 			}
 		})
 	}
-	return out
+	return out, nil
 }
 
-// GatherGlobalMu assembles the global µ field.
-func (s *Sim) GatherGlobalMu() *grid.Field {
-	nx, ny, nz := s.Cfg.BG.GlobalCells()
-	out := grid.NewField(nx, ny, nz, core.NRed, 1, grid.SoA)
-	for _, r := range s.ranks {
-		ox, oy, oz := s.Cfg.BG.Origin(r.id)
-		f := r.fields.MuSrc
-		f.Interior(func(x, y, z int) {
-			for k := 0; k < core.NRed; k++ {
-				out.Set(k, ox+x, oy+y, oz+z, f.At(k, x, y, z))
-			}
-		})
+// RankFields exposes a global rank's field bundle (used by checkpointing
+// and the benchmark harness). Returns nil for ranks owned by another
+// process.
+func (s *Sim) RankFields(r int) *kernels.Fields {
+	for _, rk := range s.ranks {
+		if rk.id == r {
+			return rk.fields
+		}
 	}
-	return out
+	return nil
 }
 
-// RankFields exposes a rank's field bundle (used by checkpointing and the
-// benchmark harness).
-func (s *Sim) RankFields(r int) *kernels.Fields { return s.ranks[r].fields }
-
-// NumRanks returns the number of block owners.
+// NumRanks returns the number of block owners in this process (the global
+// block count on a single-process world).
 func (s *Sim) NumRanks() int { return len(s.ranks) }
+
+// NumProcs returns how many processes share the rank grid.
+func (s *Sim) NumProcs() int { return s.World.NumProcs() }
+
+// IsRoot reports whether this is process 0 — the process that owns
+// checkpoint files, gathered fields and console output in a distributed
+// run.
+func (s *Sim) IsRoot() bool { return s.World.IsRoot() }

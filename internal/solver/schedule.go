@@ -102,17 +102,12 @@ func (s *Sim) RunSchedule(n int, sched *schedule.Schedule, hooks ScheduleHooks) 
 	ramps := sched.Ramps()
 	ckpts := sched.Checkpoints()
 	setbcs := sched.SetBCs()
-	// Fail fast on events the decomposition cannot honor, before any step
-	// runs — the JSON front-end and Compose cannot know the topology, and
-	// aborting a production run at the event's fire step would lose
-	// everything since the last checkpoint.
-	for _, b := range setbcs {
-		if s.Cfg.BG.Periodic[b.Face.Axis()] {
-			return fmt.Errorf("solver: setbc on %v: periodicity of that axis is realized by the communication layer, not a face condition", b.Face)
-		}
-		if blocks := [3]int{s.Cfg.BG.PX, s.Cfg.BG.PY, s.Cfg.BG.PZ}[b.Face.Axis()]; b.Kind == grid.BCPeriodic && blocks > 1 {
-			return fmt.Errorf("solver: setbc %v to periodic: the face BC wraps within one block, but the axis is decomposed into %d", b.Face, blocks)
-		}
+	// Fail fast on prescriptions the topology cannot honor, before any step
+	// runs (see bctopology.go). Kind changes on decomposed or periodic
+	// faces are fine — the topology follows the prescription — but a
+	// decomposed axis must switch periodicity wholesale.
+	if err := s.validateSetBCs(setbcs); err != nil {
+		return err
 	}
 	// Per-call recording gates: an event enters the audit log on its first
 	// application in this call (the cross-call/cross-segment dedup happens
@@ -124,8 +119,12 @@ func (s *Sim) RunSchedule(n int, sched *schedule.Schedule, hooks ScheduleHooks) 
 	// Install the prescription already in force at entry (a restart from a
 	// checkpoint without BC state — V1/V2 — would otherwise run with the
 	// configured walls until the next event boundary).
-	if s.applyDueSetBCs(setbcs, false, bcRec) {
-		s.refillBoundaryGhosts()
+	if applied, topoChanged := s.applyDueSetBCs(setbcs, false, bcRec); applied {
+		if topoChanged {
+			s.refreshGhosts()
+		} else {
+			s.refillBoundaryGhosts()
+		}
 	}
 
 	for i := 0; i < n; i++ {
@@ -159,9 +158,15 @@ func (s *Sim) RunSchedule(n int, sched *schedule.Schedule, hooks ScheduleHooks) 
 		// state as a pure function of the step index. Only events still
 		// changing (within their ramp window) apply here; settled state
 		// persists in the domain sets and the regular exchange fills,
-		// costing nothing per step.
-		if s.applyDueSetBCs(setbcs, true, bcRec) {
-			s.refillBoundaryGhosts()
+		// costing nothing per step. A periodicity flip rewires neighbor
+		// relations, so it forces a full ghost exchange instead of the
+		// cheap wall refill.
+		if applied, topoChanged := s.applyDueSetBCs(setbcs, true, bcRec); applied {
+			if topoChanged {
+				s.refreshGhosts()
+			} else {
+				s.refillBoundaryGhosts()
+			}
 		}
 
 		if err := s.runStep(); err != nil {
@@ -246,13 +251,15 @@ func (s *Sim) applyRamp(r schedule.Ramp) error {
 }
 
 // applyDueSetBCs installs the wall state the schedule prescribes for the
-// current step and reports whether anything was applied. Only the latest
-// due event per (face, field) applies — an earlier overridden event must
-// not be re-applied, or a kind override would flip the face twice per step
-// and re-derive every rank's BCs forever (schedule.New rejects ambiguous
-// overlaps). With changingOnly, events whose prescription has settled are
-// skipped — their state already persists in the domain sets.
-func (s *Sim) applyDueSetBCs(setbcs []schedule.SetBC, changingOnly bool, rec []bool) bool {
+// current step and reports whether anything was applied and whether the
+// applied kinds flipped an axis' periodicity (rewiring the communication
+// topology). Only the latest due event per (face, field) applies — an
+// earlier overridden event must not be re-applied, or a kind override would
+// flip the face twice per step and re-derive every rank's BCs forever
+// (schedule.New rejects ambiguous overlaps). With changingOnly, events
+// whose prescription has settled are skipped — their state already
+// persists in the domain sets.
+func (s *Sim) applyDueSetBCs(setbcs []schedule.SetBC, changingOnly bool, rec []bool) (applied, topoChanged bool) {
 	var due [2 * int(grid.NumFaces)]int
 	for i := range due {
 		due[i] = -1
@@ -262,10 +269,11 @@ func (s *Sim) applyDueSetBCs(setbcs []schedule.SetBC, changingOnly bool, rec []b
 			due[2*int(b.Face)+int(b.Field)] = j
 		}
 	}
-	applied := false
+	var touched [3]bool
 	for _, j := range due {
 		if j >= 0 {
 			s.applySetBC(setbcs[j])
+			touched[setbcs[j].Face.Axis()] = true
 			if !rec[j] {
 				rec[j] = true
 				s.recordEvent(setbcs[j])
@@ -273,7 +281,10 @@ func (s *Sim) applyDueSetBCs(setbcs []schedule.SetBC, changingOnly bool, rec []b
 			applied = true
 		}
 	}
-	return applied
+	if applied {
+		topoChanged = s.syncTopology(touched)
+	}
+	return applied, topoChanged
 }
 
 // recordEvent appends a stateless event (ramp, setbc, checkpoint cadence)
@@ -384,7 +395,7 @@ func (s *Sim) ApplyBurst(e schedule.NucleationBurst) (int, error) {
 		return 0, err
 	}
 
-	painted := make([]int, len(s.ranks))
+	painted := make([]float64, s.Cfg.BG.NumBlocks())
 	s.forAllRanks(func(r *rank) {
 		phi := r.fields.PhiSrc
 		ox, oy, _ := s.Cfg.BG.Origin(r.id)
@@ -440,19 +451,21 @@ func (s *Sim) ApplyBurst(e schedule.NucleationBurst) (int, error) {
 		s.World.ExchangeGhosts(r.id, r.fields.PhiSrc, comm.TagPhi, r.phiBCs)
 	})
 
-	total := 0
+	s.World.GlobalSum(painted)
+	total := 0.0
 	for _, c := range painted {
 		total += c
 	}
-	return total, nil
+	return int(total), nil
 }
 
 // MuNorm returns the RMS of the chemical-potential field over the interior
 // (a cheap scalar sensitive to solute-transport regressions, used by the
-// golden-trajectory harness). Per-rank sums are combined in rank order, so
-// the value is deterministic for a fixed decomposition.
+// golden-trajectory harness). Per-global-rank partial sums are combined
+// across processes slot by slot and totalled in rank order, so the value is
+// deterministic for a fixed decomposition on any process count.
 func (s *Sim) MuNorm() float64 {
-	sums := make([]float64, len(s.ranks))
+	sums := make([]float64, s.Cfg.BG.NumBlocks())
 	s.forAllRanks(func(r *rank) {
 		f := r.fields.MuSrc
 		t := 0.0
@@ -464,6 +477,7 @@ func (s *Sim) MuNorm() float64 {
 		})
 		sums[r.id] = t
 	})
+	s.World.GlobalSum(sums)
 	total := 0.0
 	for _, v := range sums {
 		total += v

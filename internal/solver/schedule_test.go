@@ -405,8 +405,9 @@ func TestSetBCMidRampRestartBitwise(t *testing.T) {
 	}
 }
 
-// SetBC on a face whose axis periodicity is realized by the communication
-// layer cannot take effect and must be rejected, not silently ignored.
+// SetBC changing a single face of a comm-periodic decomposed axis leaves
+// the axis mixed-periodic (µ still wraps while φ wants a wall) — rejected,
+// not silently ignored. Complete flips are legal; see bctopology_test.go.
 func TestSetBCRejectsPeriodicAxisFace(t *testing.T) {
 	s := mkSim(t, 2, 1, 1, 6, 8, 10, kernels.VarShortcut, OverlapNone)
 	if err := s.InitScenario(ScenarioLiquid); err != nil {
@@ -504,9 +505,10 @@ func TestOverlapModesEquivalentUnderSetBC(t *testing.T) {
 	}
 }
 
-// A scheduled periodic wall wraps within one block, which is only valid
-// when the block spans the whole domain along that axis — reject it on a
-// decomposed axis instead of silently copying the midplane into the wall.
+// A scheduled periodic wall on one field of a decomposed axis leaves the
+// axis mixed-periodic (the comm-layer wrap is shared by both fields) —
+// reject it instead of silently copying the midplane into the wall. On an
+// undecomposed, non-periodic axis the per-field block-local wrap is valid.
 func TestSetBCRejectsPeriodicKindOnDecomposedAxis(t *testing.T) {
 	s := mkSim(t, 1, 1, 2, 8, 8, 6, kernels.VarShortcut, OverlapNone)
 	if err := s.InitScenario(ScenarioLiquid); err != nil {

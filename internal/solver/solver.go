@@ -92,6 +92,13 @@ type Config struct {
 	Variant kernels.Variant
 	Overlap OverlapMode
 
+	// Transport selects the communication fabric. Nil keeps every rank in
+	// this process (the in-process channel transport); a comm.TCPConfig
+	// transport makes this process drive only the ranks it owns, with halo
+	// frames and collectives crossing process boundaries. The Sim owns the
+	// transport and closes it with the World.
+	Transport comm.Transport
+
 	// DomainBCs are the physical boundary conditions; zero value selects
 	// the directional-solidification set (periodic laterally, Dirichlet
 	// bottom, Neumann top).
@@ -213,7 +220,7 @@ func New(cfg Config) (*Sim, error) {
 		return nil, fmt.Errorf("solver: parallelism %d invalid", cfg.Parallelism)
 	}
 
-	s := &Sim{Cfg: cfg, World: comm.NewWorld(cfg.BG),
+	s := &Sim{Cfg: cfg, World: comm.NewWorldTransport(cfg.BG, cfg.Transport),
 		phiVariant: cfg.Variant, muVariant: cfg.Variant,
 		faults: &faultSink{points: cfg.Faults}}
 	// The World's per-rank comm workers (overlapped exchanges) reference
@@ -224,13 +231,15 @@ func New(cfg Config) (*Sim, error) {
 	if s.gauge == nil {
 		s.gauge = &WorkerGauge{}
 	}
-	nBlocks := cfg.BG.NumBlocks()
-	s.workersPerRank = cfg.Parallelism / nBlocks
+	// The worker budget covers this process' blocks only: each process of
+	// a distributed grid brings its own budget.
+	nLocal := len(s.World.LocalRanks())
+	s.workersPerRank = cfg.Parallelism / nLocal
 	if s.workersPerRank < 1 {
 		s.workersPerRank = 1
 	}
 	if s.workersPerRank > 1 {
-		s.engine = newSweepEngine(s.workersPerRank*nBlocks, cfg.BG.BX, cfg.BG.BY, s.gauge)
+		s.engine = newSweepEngine(s.workersPerRank*nLocal, cfg.BG.BX, cfg.BG.BY, s.gauge)
 		// Release the workers when the Sim becomes unreachable without an
 		// explicit Close (benchmark harnesses build many simulations).
 		runtime.AddCleanup(s, func(e *sweepEngine) { e.close() }, s.engine)
@@ -251,14 +260,14 @@ func New(cfg Config) (*Sim, error) {
 		s.domainMuBCs = grid.DirectionalSolidification([]float64{0, 0})
 	}
 
-	for r := 0; r < cfg.BG.NumBlocks(); r++ {
+	for _, r := range s.World.LocalRanks() {
 		_, _, oz := cfg.BG.Origin(r)
 		rk := &rank{
 			id:     r,
 			fields: kernels.NewFields(cfg.BG.BX, cfg.BG.BY, cfg.BG.BZ),
 			sc:     kernels.NewScratch(cfg.BG.BX, cfg.BG.BY),
-			phiBCs: cfg.BG.BlockBCs(r, s.domainPhiBCs),
-			muBCs:  cfg.BG.BlockBCs(r, s.domainMuBCs),
+			phiBCs: s.World.BlockBCs(r, s.domainPhiBCs),
+			muBCs:  s.World.BlockBCs(r, s.domainMuBCs),
 			zOff:   oz,
 		}
 		rk.fields.PhiSrc.FillComp(core.Liquid, 1)
@@ -511,19 +520,24 @@ func (s *Sim) timestep(r *rank) {
 }
 
 // RestoreState installs checkpointed fields and time-stepping state. The
-// field bundle count must match the decomposition; ghost layers are
-// reconstructed by a full exchange.
+// field bundle slice is indexed by global rank (one entry per block of the
+// decomposition); in a distributed run only this process' local ranks are
+// consumed, so remote entries may be nil. Ghost layers are reconstructed
+// by a full exchange.
 func (s *Sim) RestoreState(step int, t float64, windowShift int, fields []*kernels.Fields) error {
-	if len(fields) != len(s.ranks) {
-		return fmt.Errorf("solver: restore with %d field bundles for %d ranks", len(fields), len(s.ranks))
+	if len(fields) != s.Cfg.BG.NumBlocks() {
+		return fmt.Errorf("solver: restore with %d field bundles for %d ranks", len(fields), s.Cfg.BG.NumBlocks())
 	}
-	for i, r := range s.ranks {
-		if fields[i].PhiSrc.NX != r.fields.PhiSrc.NX ||
-			fields[i].PhiSrc.NY != r.fields.PhiSrc.NY ||
-			fields[i].PhiSrc.NZ != r.fields.PhiSrc.NZ {
-			return fmt.Errorf("solver: restore block shape mismatch at rank %d", i)
+	for _, r := range s.ranks {
+		if fields[r.id] == nil {
+			return fmt.Errorf("solver: restore missing fields for local rank %d", r.id)
 		}
-		r.fields = fields[i]
+		if fields[r.id].PhiSrc.NX != r.fields.PhiSrc.NX ||
+			fields[r.id].PhiSrc.NY != r.fields.PhiSrc.NY ||
+			fields[r.id].PhiSrc.NZ != r.fields.PhiSrc.NZ {
+			return fmt.Errorf("solver: restore block shape mismatch at rank %d", r.id)
+		}
+		r.fields = fields[r.id]
 	}
 	s.step = step
 	s.time = t
@@ -553,7 +567,9 @@ func (s *Sim) DomainBCs() (phi, mu grid.BoundarySet) {
 
 // SetDomainBCs installs both boundary sets wholesale — the restore path for
 // checkpoints whose header carries active BC state — and re-derives every
-// rank's per-face conditions. Must be called at a step boundary.
+// rank's per-face conditions and the per-axis periodicity of the topology
+// (a schedule may have flipped an axis before the checkpoint was written;
+// the restored kinds carry that state). Must be called at a step boundary.
 func (s *Sim) SetDomainBCs(phi, mu grid.BoundarySet) error {
 	if err := phi.Validate(kernels.NP); err != nil {
 		return fmt.Errorf("solver: φ BCs: %w", err)
@@ -561,8 +577,24 @@ func (s *Sim) SetDomainBCs(phi, mu grid.BoundarySet) error {
 	if err := mu.Validate(kernels.NR); err != nil {
 		return fmt.Errorf("solver: µ BCs: %w", err)
 	}
+	blocks := [3]int{s.Cfg.BG.PX, s.Cfg.BG.PY, s.Cfg.BG.PZ}
+	for axis := 0; axis < 3; axis++ {
+		lo, hi := axisFaces(axis)
+		n := 0
+		for _, f := range [2]grid.Face{lo, hi} {
+			for _, set := range [2]*grid.BoundarySet{&phi, &mu} {
+				if set[f].Kind == grid.BCPeriodic {
+					n++
+				}
+			}
+		}
+		if n > 0 && n < 4 && blocks[axis] > 1 {
+			return fmt.Errorf("solver: restored BCs leave axis %d mixed-periodic (%d of 4 faces) on a %d-block decomposition", axis, n, blocks[axis])
+		}
+	}
 	s.domainPhiBCs = phi.Clone()
 	s.domainMuBCs = mu.Clone()
+	s.syncTopology([3]bool{true, true, true})
 	s.refreshRankBCs()
 	s.invalidateActivity()
 	return nil
@@ -573,7 +605,7 @@ func (s *Sim) SetDomainBCs(phi, mu grid.BoundarySet) error {
 // overlapped exchange is in flight.
 func (s *Sim) refreshRankBCs() {
 	for _, r := range s.ranks {
-		r.phiBCs = s.Cfg.BG.BlockBCs(r.id, s.domainPhiBCs)
-		r.muBCs = s.Cfg.BG.BlockBCs(r.id, s.domainMuBCs)
+		r.phiBCs = s.World.BlockBCs(r.id, s.domainPhiBCs)
+		r.muBCs = s.World.BlockBCs(r.id, s.domainMuBCs)
 	}
 }

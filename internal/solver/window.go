@@ -31,6 +31,13 @@ func (s *Sim) FrontHeight() int {
 			best = r.zOff + top
 		}
 	}
+	if s.World.NumProcs() > 1 {
+		// Collective: the window-shift decision must agree on every
+		// process (small integers, so the float max is exact).
+		v := []float64{float64(best)}
+		s.World.GlobalMax(v)
+		best = int(v[0])
+	}
 	return best
 }
 

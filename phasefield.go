@@ -4,11 +4,14 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"net"
 	"os"
 	"regexp"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/ckpt"
+	"repro/internal/comm"
 	"repro/internal/core"
 	"repro/internal/faultfs"
 	"repro/internal/grid"
@@ -82,6 +85,14 @@ type Config struct {
 	// Seed for the Voronoi nuclei.
 	Seed int64
 
+	// Distributed, when non-nil, spreads the block ranks over several OS
+	// processes connected by TCP instead of goroutines in one process.
+	// Every process runs the same Config (same domain, decomposition and
+	// schedule) with its own Proc index; the handshake verifies the grids
+	// match. Collective outputs (checkpoints, gathered fields, meshes) are
+	// produced on process 0 only.
+	Distributed *DistConfig
+
 	// IgnoreCheckpointKernels makes Restore keep this Config's kernel
 	// selection instead of the checkpoint's active one — the sanctioned
 	// way to switch variants at a restart boundary (§3.2 production
@@ -93,6 +104,27 @@ type Config struct {
 	TempGradient float64 // G, temperature per length
 	PullVelocity float64 // V, isotherm velocity
 	IsothermZ0   float64 // initial eutectic isotherm height (cells·dx)
+}
+
+// DistConfig describes this process' place in a network-distributed run.
+// The rank grid (Config.PX×PY×PZ blocks) is partitioned over len(Peers)
+// processes by the same contiguous split on every process; the per-process
+// worker budget (Config.Parallelism) then applies within each process.
+type DistConfig struct {
+	// Proc is this process' index in [0, len(Peers)).
+	Proc int
+	// Peers lists every process' listen address, indexed by process.
+	Peers []string
+	// Listener accepts inbound connections; required unless this is the
+	// highest-index non-root process (higher procs dial lower ones). When
+	// nil and required, New listens on Peers[Proc].
+	Listener net.Listener
+	// DialTimeout, IOTimeout and RetryWindow bound connection
+	// establishment, per-frame I/O and reconnect attempts; zero values
+	// select the transport's 30s defaults.
+	DialTimeout time.Duration
+	IOTimeout   time.Duration
+	RetryWindow time.Duration
 }
 
 // DefaultConfig returns a production configuration for an nx×ny×nz domain.
@@ -149,6 +181,32 @@ func New(cfg Config) (*Simulation, error) {
 	if err != nil {
 		return nil, err
 	}
+	var transport comm.Transport
+	if d := cfg.Distributed; d != nil {
+		if d.Proc < 0 || d.Proc >= len(d.Peers) {
+			return nil, fmt.Errorf("phasefield: proc %d outside peer list of %d", d.Proc, len(d.Peers))
+		}
+		ln := d.Listener
+		if ln == nil && d.Proc < len(d.Peers)-1 {
+			ln, err = net.Listen("tcp", d.Peers[d.Proc])
+			if err != nil {
+				return nil, fmt.Errorf("phasefield: listen as proc %d: %w", d.Proc, err)
+			}
+		}
+		transport, err = comm.NewTCPTransport(comm.TCPConfig{
+			BG:          bg,
+			Proc:        d.Proc,
+			Peers:       d.Peers,
+			Listener:    ln,
+			CkptVersion: uint8(ckpt.Version4),
+			DialTimeout: d.DialTimeout,
+			IOTimeout:   d.IOTimeout,
+			RetryWindow: d.RetryWindow,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
 	s, err := solver.New(solver.Config{
 		Params:              cfg.Params,
 		BG:                  bg,
@@ -162,8 +220,12 @@ func New(cfg Config) (*Simulation, error) {
 		DisableActiveSweep:  cfg.DisableActiveSweep,
 		WakeMargin:          cfg.WakeMargin,
 		Seed:                cfg.Seed,
+		Transport:           transport,
 	})
 	if err != nil {
+		if transport != nil {
+			transport.Close()
+		}
 		return nil, err
 	}
 	return &Simulation{sim: s, cfg: cfg}, nil
@@ -232,7 +294,17 @@ func (s *Simulation) FrontHeight() int { return s.sim.FrontHeight() }
 // WindowShift returns how many cells the moving window has scrolled.
 func (s *Simulation) WindowShift() int { return s.sim.WindowShift() }
 
-// GlobalPhi gathers the φ field into one grid (post-processing only).
+// IsRoot reports whether this process owns collective outputs (checkpoint
+// files, gathered fields, meshes). Always true in a single-process run.
+func (s *Simulation) IsRoot() bool { return s.sim.IsRoot() }
+
+// NumProcs returns how many OS processes share the rank grid (1 unless
+// Config.Distributed was set).
+func (s *Simulation) NumProcs() int { return s.sim.NumProcs() }
+
+// GlobalPhi gathers the φ field into one grid (post-processing only). In a
+// distributed run it is a collective returning the field on the root
+// process and nil elsewhere.
 func (s *Simulation) GlobalPhi() *grid.Field {
 	s.sim.Sync()
 	return s.sim.GatherGlobalPhi()
@@ -243,6 +315,9 @@ func (s *Simulation) GlobalPhi() *grid.Field {
 // marching pipeline of §3.2, already hierarchically reduced.
 func (s *Simulation) ExtractInterfaces() []*mesh.Mesh {
 	phi := s.GlobalPhi()
+	if phi == nil {
+		return nil // non-root process of a distributed run
+	}
 	bs := grid.AllNeumann()
 	bs.Apply(phi)
 	out := make([]*mesh.Mesh, core.NPhases-1)
@@ -258,7 +333,11 @@ func (s *Simulation) WriteInterfaceSTL(w io.Writer, phase, targetTris int) error
 	if phase < 0 || phase >= core.NPhases-1 {
 		return fmt.Errorf("phasefield: phase %d out of range", phase)
 	}
-	m := s.ExtractInterfaces()[phase]
+	meshes := s.ExtractInterfaces()
+	if meshes == nil {
+		return nil // non-root process of a distributed run
+	}
+	m := meshes[phase]
 	if targetTris > 0 && m.NumTris() > targetTris {
 		mesh.Simplify(m, mesh.SimplifyOptions{TargetTris: targetTris})
 	}
@@ -266,8 +345,13 @@ func (s *Simulation) WriteInterfaceSTL(w io.Writer, phase, targetTris int) error
 }
 
 // Checkpoint writes the full simulation state to path in single precision
-// (the paper's disk format).
+// (the paper's disk format). In a distributed run it is a collective:
+// every process must call it at the same step; the file is created on
+// process 0 only and other processes ignore path.
 func (s *Simulation) Checkpoint(path string) error {
+	if !s.sim.IsRoot() {
+		return s.WriteCheckpoint(nil, ckpt.Float32)
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -283,13 +367,17 @@ func (s *Simulation) Checkpoint(path string) error {
 // field precision. ckpt.Float32 is the paper's compact disk format;
 // ckpt.Float64 is the lossless snapshot the job daemon uses for
 // preemption, where the resumed trajectory must be bit-identical to an
-// uninterrupted run.
+// uninterrupted run. In a distributed run it is a collective that gathers
+// every rank's fields to process 0; non-root processes contribute their
+// ranks and return nil without writing (their w is ignored and may be nil).
 func (s *Simulation) WriteCheckpoint(w io.Writer, prec ckpt.Precision) error {
 	s.sim.Sync()
-	n := s.sim.NumRanks()
-	fields := make([]*kernels.Fields, n)
-	for r := 0; r < n; r++ {
-		fields[r] = s.sim.RankFields(r)
+	fields, err := s.sim.GatherFields()
+	if err != nil {
+		return err
+	}
+	if fields == nil {
+		return nil // non-root process; the gather was our contribution
 	}
 	phi, mu, strat, pinned := s.sim.Kernels()
 	stratField := int32(ckpt.VariantUnspecified)
@@ -342,6 +430,37 @@ func RestoreReader(r io.Reader, cfg Config) (*Simulation, error) {
 	if err != nil {
 		return nil, err
 	}
+	return restoreDecoded(h, fields, cfg)
+}
+
+// RestoreResharded loads a checkpoint and re-decomposes it onto a px×py×pz
+// rank grid in memory before resuming — the elastic-restart form of
+// Restore. Every process of a distributed run calls it independently with
+// the same arguments; nothing is written back to disk (use Reshard to
+// rewrite the file instead). The re-split is pure float64 data movement,
+// so a lossless (version-4) checkpoint resumes bit-identically on the new
+// grid.
+func RestoreResharded(path string, px, py, pz int, cfg Config) (*Simulation, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	h, fields, _, err := ckpt.ReadPrecision(f)
+	if err != nil {
+		return nil, err
+	}
+	h2, fields2, err := ckpt.Reshard(h, fields, px, py, pz)
+	if err != nil {
+		return nil, err
+	}
+	return restoreDecoded(h2, fields2, cfg)
+}
+
+// restoreDecoded builds a Simulation from a decoded checkpoint: the domain
+// and decomposition come from the header, runtime state (BCs, parameters,
+// schedule position, kernel selection) from its versioned fields.
+func restoreDecoded(h ckpt.Header, fields []*kernels.Fields, cfg Config) (*Simulation, error) {
 	cfg.PX, cfg.PY, cfg.PZ = int(h.PX), int(h.PY), int(h.PZ)
 	cfg.NX = int(h.PX) * int(h.BX)
 	cfg.NY = int(h.PY) * int(h.BY)
@@ -382,6 +501,38 @@ func RestoreReader(r io.Reader, cfg Config) (*Simulation, error) {
 		}
 	}
 	return sim, nil
+}
+
+// Reshard rewrites the checkpoint at inPath onto a px×py×pz rank grid at
+// outPath, preserving the stored field precision. This is the elastic
+// restart path: a run checkpointed on one rank grid resumes on a
+// different-sized cluster by resharding the file first, then Restoring it
+// on every process. The re-split is pure float64 data movement, so a
+// lossless (version-4) checkpoint resumes the trajectory bit-identically
+// on the new grid. The global domain must divide evenly by the target.
+func Reshard(inPath, outPath string, px, py, pz int) error {
+	in, err := os.Open(inPath)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	h, fields, prec, err := ckpt.ReadPrecision(in)
+	if err != nil {
+		return err
+	}
+	h2, fields2, err := ckpt.Reshard(h, fields, px, py, pz)
+	if err != nil {
+		return err
+	}
+	out, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+	if err := ckpt.WritePrecision(out, h2, fields2, prec); err != nil {
+		return err
+	}
+	return out.Close()
 }
 
 // LoadSchedule parses a production schedule from a JSON file (the format
@@ -504,6 +655,9 @@ func (s *Simulation) MuNorm() float64 { return s.sim.MuNorm() }
 // visualization.
 func (s *Simulation) WriteVTK(w io.Writer) error {
 	phi := s.GlobalPhi()
+	if phi == nil {
+		return nil // non-root process of a distributed run
+	}
 	names := PhaseNames()
 	return vtk.WriteField(w, phi, s.cfg.Params.Dx, names[:])
 }
@@ -511,11 +665,19 @@ func (s *Simulation) WriteVTK(w io.Writer) error {
 // LamellaEvents counts lamella splits and merges of one solid phase along
 // the growth direction (the 3D microstructure phenomena of Fig. 11).
 func (s *Simulation) LamellaEvents(phase int) analysis.Events {
-	return analysis.TotalEvents(s.GlobalPhi(), phase)
+	phi := s.GlobalPhi()
+	if phi == nil {
+		return analysis.Events{} // non-root process of a distributed run
+	}
+	return analysis.TotalEvents(phi, phase)
 }
 
 // TwoPointCorrelation returns S₂(r) of a phase in z-slice z (the basis of
 // the paper's planned quantitative comparison with tomography).
 func (s *Simulation) TwoPointCorrelation(phase, z, maxR int) []float64 {
-	return analysis.TwoPointCorrelation(s.GlobalPhi(), phase, z, maxR)
+	phi := s.GlobalPhi()
+	if phi == nil {
+		return nil // non-root process of a distributed run
+	}
+	return analysis.TwoPointCorrelation(phi, phase, z, maxR)
 }
