@@ -38,10 +38,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"path/filepath"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro"
 	"repro/internal/mesh"
@@ -70,7 +73,22 @@ func main() {
 	reshard := flag.String("reshard", "", "on -restore, re-decompose the checkpoint onto this rank grid (PXxPY or PXxPYxPZ) before resuming — elastic restart on a different-sized cluster")
 	peers := flag.String("peers", "", "comma-separated listen addresses of every process in a network-distributed run, indexed by -proc; empty runs all ranks in this process")
 	proc := flag.Int("proc", 0, "this process' index into -peers")
+	pprofAddr := flag.String("pprof", "", "listen address for net/http/pprof profiling endpoints during the run (empty = off; bind to localhost)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		dbg := http.NewServeMux()
+		dbg.HandleFunc("/debug/pprof/", pprof.Index)
+		dbg.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dbg.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dbg.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dbg.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, dbg); err != nil {
+				fmt.Fprintln(os.Stderr, "solidify: pprof listener:", err)
+			}
+		}()
+	}
 
 	var dist *phasefield.DistConfig
 	if *peers != "" {
@@ -195,6 +213,20 @@ func main() {
 
 	if *meshEvery > 0 {
 		writeMeshes(sim, *outDir, *meshTris, *steps, names)
+	}
+	if root {
+		if tot := sim.TelemetryTotals(); tot.Steps > 0 {
+			fmt.Printf("phase totals over %d steps: wall %v | phi %v  mu %v | halo pack %v transfer %v wait %v unpack %v | sched %v ckpt %v | %.2f MLUP/s, %d halo bytes, %d rounds skipped\n",
+				tot.Steps, tot.Wall.Round(time.Millisecond),
+				tot.PhiKernel.Round(time.Millisecond), tot.MuKernel.Round(time.Millisecond),
+				tot.HaloPack.Round(time.Millisecond), tot.HaloTransfer.Round(time.Millisecond),
+				tot.HaloWait.Round(time.Millisecond), tot.HaloUnpack.Round(time.Millisecond),
+				tot.Sched.Round(time.Millisecond), tot.Ckpt.Round(time.Millisecond),
+				tot.MLUPs(sim.GlobalCells()), tot.HaloBytes, tot.HaloSkipped)
+		}
+		if reconnects, replayed, ok := sim.NetStats(); ok {
+			fmt.Printf("transport: %d reconnect(s), %d frame(s) replayed\n", reconnects, replayed)
+		}
 	}
 	if *ckptPath != "" {
 		if err := sim.Checkpoint(*ckptPath); err != nil {

@@ -39,6 +39,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -86,6 +87,7 @@ func main() {
 	snapshotEvery := flag.Int("snapshot-every", 50, "safety-snapshot cadence in steps for automatic retries (0 = off)")
 	stallTimeout := flag.Duration("stall-timeout", 0, "watchdog: max wall-clock gap between timestep boundaries before a job is declared stalled (0 = watchdog off)")
 	chaos := flag.Bool("chaos", false, "accept fault-injection specs (deterministic failure drills; never in production)")
+	debugAddr := flag.String("debug-addr", "", "listen address for net/http/pprof profiling endpoints (empty = off; bind to localhost, the profiles are unauthenticated)")
 	flag.Parse()
 
 	srv := jobd.New(jobd.Config{
@@ -130,6 +132,26 @@ func main() {
 			*addr, *jobs, *budget, classes)
 		errCh <- httpSrv.ListenAndServe()
 	}()
+
+	// The profiling endpoints live on their own listener so they are never
+	// exposed on the API address by accident: kernel and halo hot spots are
+	// inspected with `go tool pprof http://<debug-addr>/debug/pprof/profile`
+	// while jobs run. An explicit mux, not DefaultServeMux — the API server
+	// must stay pprof-free.
+	if *debugAddr != "" {
+		dbg := http.NewServeMux()
+		dbg.HandleFunc("/debug/pprof/", pprof.Index)
+		dbg.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dbg.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dbg.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dbg.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			fmt.Printf("solidifyd: pprof on %s/debug/pprof/\n", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, dbg); err != nil {
+				fmt.Fprintln(os.Stderr, "solidifyd: pprof listener:", err)
+			}
+		}()
+	}
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)

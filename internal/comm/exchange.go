@@ -153,20 +153,23 @@ var sleepToken = make([]float64, 0)
 // same exchange unpacked real data, which may have refreshed the ghost
 // cells the later stages' pack regions include.
 func (w *World) ExchangeGhosts(rank int, f *grid.Field, tag Tag, bcs grid.BoundarySet) {
+	t0 := time.Now()
 	var st Stats
+	var fc [grid.NumFaces]FlowCounters
 	quiet := w.takeQuiet(rank, tag)
 	realRecv := false
 	for axis := 0; axis < 3; axis++ {
-		w.exchangeAxis(rank, f, tag, bcs, axis, &st, &quiet, &realRecv)
+		w.exchangeAxis(rank, f, tag, bcs, axis, &st, &fc, &quiet, &realRecv)
 	}
-	w.addStats(rank, tag, st)
+	w.addStatsFlows(rank, tag, st, &fc)
+	w.latency[rank][tag].Observe(time.Since(t0))
 }
 
 // exchangeAxis handles one stage: sends both faces of the axis, applies the
 // axis' physical BCs, then receives and unpacks. realRecv records whether
 // any stage of the enclosing exchange has unpacked real (non-token) data
 // yet; once it has, later quiet faces are sent for real.
-func (w *World) exchangeAxis(rank int, f *grid.Field, tag Tag, bcs grid.BoundarySet, axis int, st *Stats, quiet *[grid.NumFaces]bool, realRecv *bool) {
+func (w *World) exchangeAxis(rank int, f *grid.Field, tag Tag, bcs grid.BoundarySet, axis int, st *Stats, fc *[grid.NumFaces]FlowCounters, quiet *[grid.NumFaces]bool, realRecv *bool) {
 	faces := [2]grid.Face{grid.Face(2 * axis), grid.Face(2*axis + 1)}
 
 	var recvs [2]grid.Face
@@ -196,6 +199,11 @@ func (w *World) exchangeAxis(rank int, f *grid.Field, tag Tag, bcs grid.Boundary
 		st.Transfer += time.Since(t0)
 		st.Messages++
 		st.Bytes += len(buf) * 8
+		fc[face].Frames++
+		fc[face].Bytes += int64(len(buf) * 8)
+		if len(buf) == 0 {
+			fc[face].Sleeps++
+		}
 
 		recvs[nrecv] = face
 		nrecv++

@@ -132,7 +132,22 @@ type tcpTransport struct {
 	closed    atomic.Bool
 	acceptWG  sync.WaitGroup
 	readersWG sync.WaitGroup
+
+	// reconnects counts re-established data streams (a stream whose
+	// downSince was set and later cleared); replayed counts frames resent
+	// from the replay ring during those handshakes. Exposed through the
+	// NetCounters interface.
+	reconnects atomic.Int64
+	replayed   atomic.Int64
 }
+
+// Reconnects returns how many broken per-(peer, tag) streams have been
+// re-established since the transport came up.
+func (t *tcpTransport) Reconnects() int64 { return t.reconnects.Load() }
+
+// ReplayedFrames returns how many frames were retransmitted from replay
+// rings during reconnect handshakes.
+func (t *tcpTransport) ReplayedFrames() int64 { return t.replayed.Load() }
 
 // NewTCPTransport connects this process into the rank grid: it dials every
 // lower-index peer (per tag, plus the root control stream), accepts
@@ -537,6 +552,9 @@ func (t *tcpTransport) dialStream(s *tcpStream) error {
 		_ = s.conn.Close()
 	}
 	s.conn, s.br = c, br
+	if !s.downSince.IsZero() {
+		s.t.reconnects.Add(1)
+	}
 	s.downSince = time.Time{}
 	s.cond.Broadcast()
 	return nil
@@ -558,6 +576,7 @@ func (s *tcpStream) replayLocked(c net.Conn, peerNext uint64) error {
 		if _, err := c.Write(s.ring[q%ringSize]); err != nil {
 			return err
 		}
+		s.t.replayed.Add(1)
 	}
 	return nil
 }
@@ -656,6 +675,9 @@ func (s *tcpStream) acceptConn(c net.Conn, br *bufio.Reader, peerNext uint64) {
 		_ = s.conn.Close() // wakes the reader off the stale conn
 	}
 	s.conn, s.br = c, br
+	if !s.downSince.IsZero() {
+		s.t.reconnects.Add(1)
+	}
 	s.downSince = time.Time{}
 	s.cond.Broadcast()
 }

@@ -274,6 +274,21 @@ func TestTCPReconnectReplay(t *testing.T) {
 			}
 		}
 	}
+
+	// Both faults force the dialer (proc 1) to redial, so its transport
+	// must have counted at least two reconnects; the acceptor side counts
+	// its own, timing-dependent. Replay counts depend on how many frames
+	// were in flight at the kill, so only non-negativity is guaranteed.
+	rec1, rep1, ok := worlds[1].NetStats()
+	if !ok {
+		t.Fatal("tcp transport does not expose NetCounters")
+	}
+	if rec1 < 2 {
+		t.Errorf("dialer reconnects = %d, want >= 2", rec1)
+	}
+	if rep1 < 0 {
+		t.Errorf("negative replay count %d", rep1)
+	}
 	closeAll(worlds)
 }
 

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"repro/internal/grid"
+	"repro/internal/obs"
 )
 
 // Tag distinguishes concurrently flowing message streams.
@@ -124,7 +125,13 @@ type World struct {
 	quiet [][][grid.NumFaces]bool
 
 	stats [][]Stats // per-rank, per-tag accumulated stats
-	mu    []sync.Mutex
+	// flows holds per-(rank, tag, face) frame/byte/sleep counters,
+	// guarded by the same per-rank mutex as stats; latency holds the
+	// per-(rank, tag) whole-exchange wall-time histograms (atomic, no
+	// lock needed).
+	flows   [][][grid.NumFaces]FlowCounters
+	latency [][]obs.Histogram
+	mu      []sync.Mutex
 
 	barrier *barrier // counts local ranks; Barrier bridges processes
 
@@ -148,11 +155,13 @@ func NewWorldTransport(bg *grid.BlockGrid, tr Transport) *World {
 		tr = newLocalTransport(n)
 	}
 	w := &World{
-		BG:    bg,
-		topo:  grid.NewTopology(bg),
-		tr:    tr,
-		stats: make([][]Stats, n),
-		mu:    make([]sync.Mutex, n),
+		BG:      bg,
+		topo:    grid.NewTopology(bg),
+		tr:      tr,
+		stats:   make([][]Stats, n),
+		flows:   make([][][grid.NumFaces]FlowCounters, n),
+		latency: make([][]obs.Histogram, n),
+		mu:      make([]sync.Mutex, n),
 	}
 	for r := 0; r < n; r++ {
 		if tr.Owner(r) == tr.Proc() {
@@ -166,6 +175,8 @@ func NewWorldTransport(bg *grid.BlockGrid, tr Transport) *World {
 	for r := 0; r < n; r++ {
 		w.quiet[r] = make([][grid.NumFaces]bool, numTags)
 		w.stats[r] = make([]Stats, numTags)
+		w.flows[r] = make([][grid.NumFaces]FlowCounters, numTags)
+		w.latency[r] = make([]obs.Histogram, numTags)
 		// Request capacity covers one outstanding exchange per tag, so
 		// StartExchange never blocks under the one-per-(rank,tag)
 		// discipline.
@@ -336,20 +347,36 @@ func (w *World) RankTagStats(r int, tag Tag) Stats {
 	return w.stats[r][tag]
 }
 
-// ResetStats zeroes all per-rank statistics.
+// ResetStats zeroes all per-rank statistics, including the flow counters
+// and exchange-latency histograms.
 func (w *World) ResetStats() {
 	for r := range w.stats {
 		w.mu[r].Lock()
 		for t := range w.stats[r] {
 			w.stats[r][t] = Stats{}
+			w.flows[r][t] = [grid.NumFaces]FlowCounters{}
 		}
 		w.mu[r].Unlock()
+		for t := range w.latency[r] {
+			w.latency[r][t].Reset()
+		}
 	}
 }
 
 func (w *World) addStats(r int, tag Tag, s Stats) {
 	w.mu[r].Lock()
 	w.stats[r][tag].Add(s)
+	w.mu[r].Unlock()
+}
+
+// addStatsFlows folds one exchange's stats and per-face flow counters in
+// under a single lock acquisition.
+func (w *World) addStatsFlows(r int, tag Tag, s Stats, fc *[grid.NumFaces]FlowCounters) {
+	w.mu[r].Lock()
+	w.stats[r][tag].Add(s)
+	for f := range fc {
+		w.flows[r][tag][f].add(fc[f])
+	}
 	w.mu[r].Unlock()
 }
 

@@ -7,6 +7,10 @@ import (
 	"net/http"
 	"sort"
 	"time"
+
+	"repro"
+	"repro/internal/obs"
+	"repro/internal/solver"
 )
 
 // api.go is the HTTP/JSON surface of the daemon:
@@ -15,6 +19,7 @@ import (
 //	GET    /jobs                 list job statuses
 //	GET    /jobs/{id}            one job's status
 //	GET    /jobs/{id}/metrics    NDJSON stream of Samples until terminal
+//	GET    /jobs/{id}/trace      Chrome trace_event JSON performance timeline
 //	GET    /jobs/{id}/schedule   replayable audit log of applied events
 //	GET    /jobs/{id}/result     final lossless checkpoint (done jobs)
 //	DELETE /jobs/{id}            cancel (running jobs stop at the next step)
@@ -38,6 +43,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs", s.handleList)
 	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /jobs/{id}/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /jobs/{id}/trace", s.handleJobTrace)
 	mux.HandleFunc("GET /jobs/{id}/schedule", s.handleSchedule)
 	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
@@ -171,11 +177,54 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, code, h)
 }
 
+// flowRow is one (peer, tag) halo-traffic aggregate of a running job,
+// summed over the job's local block ranks for export.
+type flowRow struct {
+	peer                  int
+	tag                   string
+	frames, bytes, sleeps int64
+}
+
+// flowRows aggregates a job's per-(rank,peer,tag) halo flows by (peer,tag)
+// in deterministic order.
+func flowRows(flows []phasefield.HaloFlow) []flowRow {
+	type key struct {
+		peer int
+		tag  string
+	}
+	agg := map[key]*flowRow{}
+	for _, f := range flows {
+		k := key{f.Peer, f.Tag}
+		row, ok := agg[k]
+		if !ok {
+			row = &flowRow{peer: f.Peer, tag: f.Tag}
+			agg[k] = row
+		}
+		row.frames += f.Frames
+		row.bytes += f.Bytes
+		row.sleeps += f.Sleeps
+	}
+	out := make([]flowRow, 0, len(agg))
+	for _, row := range agg {
+		out = append(out, *row)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].peer != out[b].peer {
+			return out[a].peer < out[b].peer
+		}
+		return out[a].tag < out[b].tag
+	})
+	return out
+}
+
 func (s *Server) handleDaemonMetrics(w http.ResponseWriter, r *http.Request) {
 	byState := map[State]int{}
 	type jobGauge struct {
-		id string
-		af float64
+		id    string
+		af    float64
+		tot   obs.StepTotals
+		flows []flowRow
+		lat   map[string]obs.HistogramSnapshot
 	}
 	var active []jobGauge
 	s.mu.Lock()
@@ -187,7 +236,9 @@ func (s *Server) handleDaemonMetrics(w http.ResponseWriter, r *http.Request) {
 			if af == 0 {
 				af = 1 // no sample yet: the solver sweeps everything
 			}
-			active = append(active, jobGauge{j.ID, af})
+			// The latency map is replaced wholesale by the runner, never
+			// mutated in place, so holding a reference is safe.
+			active = append(active, jobGauge{j.ID, af, j.telemTot, flowRows(j.flows), j.latency})
 		}
 		j.mu.Unlock()
 	}
@@ -196,6 +247,19 @@ func (s *Server) handleDaemonMetrics(w http.ResponseWriter, r *http.Request) {
 	pending := len(s.pendingSpills)
 	s.mu.Unlock()
 
+	// Resource classes: the configured table plus any class the gauge has
+	// seen (a spooled job may name one the current flags don't).
+	classSet := map[string]bool{}
+	for name := range s.classes {
+		classSet[name] = true
+	}
+	s.gauge.EachClass(func(name string, _ *solver.WorkerGauge) { classSet[name] = true })
+	classes := make([]string, 0, len(classSet))
+	for name := range classSet {
+		classes = append(classes, name)
+	}
+	sort.Strings(classes)
+
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	fmt.Fprintf(w, "# HELP jobd_jobs Jobs known to the daemon, by lifecycle state.\n# TYPE jobd_jobs gauge\n")
 	for _, st := range []State{StateQueued, StateRunning, StateDone, StateFailed, StateCanceled} {
@@ -203,8 +267,14 @@ func (s *Server) handleDaemonMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	fmt.Fprintf(w, "# HELP jobd_queue_depth Jobs waiting for a slot.\n# TYPE jobd_queue_depth gauge\njobd_queue_depth %d\n", queued)
 	fmt.Fprintf(w, "# HELP jobd_running Jobs currently stepping.\n# TYPE jobd_running gauge\njobd_running %d\n", running)
-	fmt.Fprintf(w, "# HELP jobd_workers_active Sweep workers currently busy across all jobs.\n# TYPE jobd_workers_active gauge\njobd_workers_active %d\n", s.gauge.Active())
-	fmt.Fprintf(w, "# HELP jobd_workers_budget Global sweep-worker budget.\n# TYPE jobd_workers_budget gauge\njobd_workers_budget %d\n", s.cfg.Budget)
+	fmt.Fprintf(w, "# HELP jobd_workers_active Sweep workers currently busy (unlabeled: all jobs; class label: that resource class only).\n# TYPE jobd_workers_active gauge\njobd_workers_active %d\n", s.gauge.Active())
+	for _, name := range classes {
+		fmt.Fprintf(w, "jobd_workers_active{class=%q} %d\n", name, s.gauge.Class(name).Active())
+	}
+	fmt.Fprintf(w, "# HELP jobd_workers_budget Sweep-worker budget (unlabeled: global; class label: that class's cap).\n# TYPE jobd_workers_budget gauge\njobd_workers_budget %d\n", s.cfg.Budget)
+	for _, name := range classes {
+		fmt.Fprintf(w, "jobd_workers_budget{class=%q} %d\n", name, s.classBudget(name))
+	}
 	fmt.Fprintf(w, "# HELP jobd_retries_total Automatic job retries since daemon start.\n# TYPE jobd_retries_total counter\njobd_retries_total %d\n", s.retriesTotal.Load())
 	fmt.Fprintf(w, "# HELP jobd_stalls_total Watchdog stall detections since daemon start.\n# TYPE jobd_stalls_total counter\njobd_stalls_total %d\n", s.stallsTotal.Load())
 	fmt.Fprintf(w, "# HELP jobd_spill_failures_total Failed result-store spills since daemon start.\n# TYPE jobd_spill_failures_total counter\njobd_spill_failures_total %d\n", s.spillFailsTotal.Load())
@@ -218,6 +288,67 @@ func (s *Server) handleDaemonMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# HELP jobd_active_fraction Fraction of z-slices the solver swept last step, per running job.\n# TYPE jobd_active_fraction gauge\n")
 	for _, g := range active {
 		fmt.Fprintf(w, "jobd_active_fraction{job=%q} %g\n", g.id, g.af)
+	}
+
+	// Step-phase seconds of the current attempt, per running job. Counter
+	// semantics hold within an attempt; a retry or preemption resume starts
+	// a fresh simulation and resets the series (rate() over a scrape
+	// straddling the restart sees one negative delta, as with any process
+	// restart).
+	fmt.Fprintf(w, "# HELP jobd_job_phase_seconds_total Step-phase time of the running attempt, per job and phase.\n# TYPE jobd_job_phase_seconds_total counter\n")
+	for _, g := range active {
+		for _, p := range []struct {
+			name string
+			d    time.Duration
+		}{
+			{"wall", g.tot.Wall}, {"phi_kernel", g.tot.PhiKernel}, {"mu_kernel", g.tot.MuKernel},
+			{"halo_pack", g.tot.HaloPack}, {"halo_transfer", g.tot.HaloTransfer},
+			{"halo_wait", g.tot.HaloWait}, {"halo_unpack", g.tot.HaloUnpack},
+			{"sched", g.tot.Sched}, {"ckpt", g.tot.Ckpt},
+		} {
+			fmt.Fprintf(w, "jobd_job_phase_seconds_total{job=%q,phase=%q} %g\n", g.id, p.name, p.d.Seconds())
+		}
+	}
+	fmt.Fprintf(w, "# HELP jobd_halo_bytes_total Halo payload bytes exchanged by the running attempt, per job, neighbor rank and tag.\n# TYPE jobd_halo_bytes_total counter\n")
+	for _, g := range active {
+		for _, f := range g.flows {
+			fmt.Fprintf(w, "jobd_halo_bytes_total{job=%q,peer=\"%d\",tag=%q} %d\n", g.id, f.peer, f.tag, f.bytes)
+		}
+	}
+	fmt.Fprintf(w, "# HELP jobd_halo_frames_total Halo frames sent by the running attempt, per job, neighbor rank and tag.\n# TYPE jobd_halo_frames_total counter\n")
+	for _, g := range active {
+		for _, f := range g.flows {
+			fmt.Fprintf(w, "jobd_halo_frames_total{job=%q,peer=\"%d\",tag=%q} %d\n", g.id, f.peer, f.tag, f.frames)
+		}
+	}
+	fmt.Fprintf(w, "# HELP jobd_halo_sleeps_total Zero-length sleep frames sent in place of halo payloads, per job, neighbor rank and tag.\n# TYPE jobd_halo_sleeps_total counter\n")
+	for _, g := range active {
+		for _, f := range g.flows {
+			fmt.Fprintf(w, "jobd_halo_sleeps_total{job=%q,peer=\"%d\",tag=%q} %d\n", g.id, f.peer, f.tag, f.sleeps)
+		}
+	}
+	bounds := obs.BucketBounds()
+	fmt.Fprintf(w, "# HELP jobd_exchange_latency_seconds Whole halo-exchange latency of the running attempt, per job and tag.\n# TYPE jobd_exchange_latency_seconds histogram\n")
+	for _, g := range active {
+		tags := make([]string, 0, len(g.lat))
+		for tag := range g.lat {
+			tags = append(tags, tag)
+		}
+		sort.Strings(tags)
+		for _, tag := range tags {
+			h := g.lat[tag]
+			cum := int64(0)
+			for i, c := range h.Buckets {
+				cum += c
+				le := "+Inf"
+				if i < obs.NumBuckets-1 {
+					le = fmt.Sprintf("%g", bounds[i].Seconds())
+				}
+				fmt.Fprintf(w, "jobd_exchange_latency_seconds_bucket{job=%q,tag=%q,le=%q} %d\n", g.id, tag, le, cum)
+			}
+			fmt.Fprintf(w, "jobd_exchange_latency_seconds_sum{job=%q,tag=%q} %g\n", g.id, tag, h.Sum.Seconds())
+			fmt.Fprintf(w, "jobd_exchange_latency_seconds_count{job=%q,tag=%q} %d\n", g.id, tag, h.Count)
+		}
 	}
 }
 

@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro"
+	"repro/internal/obs"
 	"repro/internal/schedule"
 	"repro/internal/solver"
 )
@@ -245,6 +247,10 @@ type Sample struct {
 	ActiveFraction float64 `json:"active_fraction"`
 	MLUPs          float64 `json:"mlups"`
 	State          State   `json:"state"`
+	// Phases carries the step-phase timing of the reporting window
+	// (between this sample and the previous one) when the solver's step
+	// telemetry is on; absent on samples that cover no completed steps.
+	Phases *PhaseBreakdown `json:"phases,omitempty"`
 }
 
 // Status is the API view of a job (GET /jobs/{id}).
@@ -331,6 +337,16 @@ type Job struct {
 	applied     []schedule.Event
 	appliedSeen map[string]bool
 	subs        map[chan Sample]struct{}
+
+	// Telemetry snapshots for the trace and metrics endpoints, refreshed
+	// by the runner at report boundaries and at attempt end. telemTot and
+	// stepRecs cover the current attempt only (a fresh Sim restarts them);
+	// marks is the job's whole lifecycle timeline.
+	telemTot obs.StepTotals
+	stepRecs []obs.StepRecord
+	flows    []phasefield.HaloFlow
+	latency  map[string]obs.HistogramSnapshot
+	marks    []traceMark
 }
 
 func newJob(id string, seq int64, spec Spec, sched *schedule.Schedule) *Job {

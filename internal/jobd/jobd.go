@@ -280,6 +280,7 @@ func (s *Server) checkStalls() {
 			j.mu.Lock()
 			j.stalls++
 			j.mu.Unlock()
+			j.mark("stall", fmt.Sprintf("no progress within %v", deadline))
 			s.logf("jobd: watchdog: %s made no progress within %v", j.ID, deadline)
 		}
 	}
@@ -320,6 +321,7 @@ func (s *Server) Submit(spec Spec) (*Job, error) {
 	s.jobs[j.ID] = j
 	s.enqueueLocked(j)
 	s.mu.Unlock()
+	j.mark("submit", "class "+spec.Class)
 	s.wakeup()
 	return j, nil
 }
@@ -371,6 +373,7 @@ func (s *Server) Cancel(id string) (State, bool) {
 		j.state = StateCanceled
 		j.snapshot = nil
 		j.mu.Unlock()
+		j.mark("canceled", "canceled while queued")
 		s.dropFromQueueLocked(j)
 		s.pruneGroupLocked(j.group)
 		// Terminal states reached off the runner path must spill too, or a
@@ -404,6 +407,7 @@ func (s *Server) Cancel(id string) (State, bool) {
 		j.mu.Unlock()
 		j.ctrl.Store(ctrlCancel)
 		s.mu.Unlock()
+		j.mark("cancel", "cancel requested while running")
 		return StateRunning, true
 	}
 }
@@ -592,6 +596,7 @@ func (s *Server) admitOne() bool {
 	j.ctrl.Store(ctrlNone)
 	j.desiredShare.Store(int32(newShare))
 	j.appliedShare.Store(int32(newShare))
+	j.mark("start", fmt.Sprintf("%d workers", newShare))
 	s.running[j.ID] = j
 	s.runnersWG.Add(1)
 	go s.runJob(j)
@@ -825,6 +830,7 @@ func (s *Server) LoadSpool() (int, error) {
 		s.jobs[j.ID] = j
 		s.enqueueLocked(j)
 		s.mu.Unlock()
+		j.mark("restore", "restored from spool")
 		s.warnUnknownClass(j.ID, j.Spec.Class)
 		_ = os.Remove(path)
 		n++

@@ -1,0 +1,352 @@
+package jobd
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// metrics_test.go — the daemon observability surface: GET /metrics must be
+// strictly valid Prometheus text exposition (format 0.0.4) including the
+// telemetry series, survive concurrent scrapes under -race, and
+// GET /jobs/{id}/trace must serve loadable Chrome trace_event JSON.
+
+// scrape fetches GET /metrics and returns the body.
+func scrape(t *testing.T, base string) string {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("content type %q, want text/plain", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+var (
+	seriesRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{([^}]*)\})? (.+)$`)
+	labelRe  = regexp.MustCompile(`^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$`)
+)
+
+// parseExposition strictly validates Prometheus text format: every series
+// line must parse, every family must have exactly one HELP and one TYPE
+// line (in that order, before any of its series), label pairs must be
+// well-formed, values must be floats, and no series may repeat. Returns
+// series → value.
+func parseExposition(t *testing.T, body string) map[string]float64 {
+	t.Helper()
+	series := map[string]float64{}
+	help := map[string]bool{}
+	typ := map[string]string{}
+	for ln, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, _, ok := strings.Cut(rest, " ")
+			if !ok {
+				t.Fatalf("line %d: HELP without text: %q", ln+1, line)
+			}
+			if help[name] {
+				t.Fatalf("line %d: duplicate HELP for %s", ln+1, name)
+			}
+			help[name] = true
+		case strings.HasPrefix(line, "# TYPE "):
+			parts := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(parts) != 2 {
+				t.Fatalf("line %d: malformed TYPE: %q", ln+1, line)
+			}
+			name, kind := parts[0], parts[1]
+			switch kind {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				t.Fatalf("line %d: unknown metric type %q", ln+1, kind)
+			}
+			if _, dup := typ[name]; dup {
+				t.Fatalf("line %d: duplicate TYPE for %s", ln+1, name)
+			}
+			if !help[name] {
+				t.Fatalf("line %d: TYPE for %s precedes its HELP", ln+1, name)
+			}
+			typ[name] = kind
+		case strings.HasPrefix(line, "#"):
+			t.Fatalf("line %d: unknown comment form: %q", ln+1, line)
+		case line == "":
+			t.Fatalf("line %d: blank line in exposition", ln+1)
+		default:
+			m := seriesRe.FindStringSubmatch(line)
+			if m == nil {
+				t.Fatalf("line %d: unparsable series line: %q", ln+1, line)
+			}
+			name, labels, value := m[1], m[3], m[4]
+			v, err := strconv.ParseFloat(value, 64)
+			if err != nil {
+				t.Fatalf("line %d: bad value %q: %v", ln+1, value, err)
+			}
+			if labels != "" {
+				for _, pair := range strings.Split(labels, ",") {
+					if !labelRe.MatchString(pair) {
+						t.Fatalf("line %d: malformed label pair %q", ln+1, pair)
+					}
+				}
+			}
+			// A histogram family's series carry the _bucket/_sum/_count
+			// suffixes; HELP/TYPE are registered under the base name.
+			family := name
+			for _, suf := range []string{"_bucket", "_sum", "_count"} {
+				base := strings.TrimSuffix(name, suf)
+				if base != name && typ[base] == "histogram" {
+					family = base
+					break
+				}
+			}
+			if !help[family] || typ[family] == "" {
+				t.Fatalf("line %d: series %s has no HELP/TYPE for family %s", ln+1, name, family)
+			}
+			key := name + "{" + labels + "}"
+			if _, dup := series[key]; dup {
+				t.Fatalf("line %d: duplicate series %s", ln+1, key)
+			}
+			series[key] = v
+		}
+	}
+	return series
+}
+
+// findSeries returns the value of the series whose name matches and whose
+// label block contains all wanted substrings.
+func findSeries(t *testing.T, series map[string]float64, name string, wantLabels ...string) (float64, bool) {
+	t.Helper()
+	for key, v := range series {
+		sname, labels, _ := strings.Cut(key, "{")
+		if sname != name {
+			continue
+		}
+		ok := true
+		for _, w := range wantLabels {
+			if !strings.Contains(labels, w) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// TestDaemonMetricsFormat: the full /metrics payload — with a multi-block
+// job running so every telemetry family has series — must pass the strict
+// exposition parser, and the new families must carry sane values.
+func TestDaemonMetricsFormat(t *testing.T) {
+	srv, ts := apiServer(t, Config{MaxConcurrent: 2, Budget: 2, ReportEvery: 1,
+		Classes: map[string]int{"small": 1}})
+
+	// Two x-blocks so halo flows and exchange latencies exist.
+	st := submit(t, ts.URL, Spec{NX: 8, NY: 8, NZ: 10, PX: 2, Steps: 100000, Scenario: "interface"})
+	j, _ := srv.Get(st.ID)
+	waitFor(t, "job to report telemetry", 60*time.Second, func() bool {
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		return j.telemTot.Steps > 0 && len(j.flows) > 0
+	})
+
+	series := parseExposition(t, scrape(t, ts.URL))
+
+	for _, want := range []struct {
+		name   string
+		labels []string
+	}{
+		{"jobd_jobs", []string{`state="running"`}},
+		{"jobd_workers_active", nil},
+		{"jobd_workers_active", []string{`class="default"`}},
+		{"jobd_workers_active", []string{`class="small"`}},
+		{"jobd_workers_budget", []string{`class="small"`}},
+		{"jobd_active_fraction", []string{`job="` + st.ID + `"`}},
+		{"jobd_job_phase_seconds_total", []string{`job="` + st.ID + `"`, `phase="phi_kernel"`}},
+		{"jobd_halo_bytes_total", []string{`job="` + st.ID + `"`, `tag="phi"`}},
+		{"jobd_halo_frames_total", []string{`job="` + st.ID + `"`}},
+		{"jobd_halo_sleeps_total", []string{`job="` + st.ID + `"`}},
+		{"jobd_exchange_latency_seconds_bucket", []string{`le="+Inf"`, `tag="phi"`}},
+		{"jobd_exchange_latency_seconds_sum", []string{`tag="phi"`}},
+		{"jobd_exchange_latency_seconds_count", []string{`tag="phi"`}},
+	} {
+		if _, ok := findSeries(t, series, want.name, want.labels...); !ok {
+			t.Errorf("missing series %s with labels %v", want.name, want.labels)
+		}
+	}
+
+	if v, _ := findSeries(t, series, "jobd_workers_budget", `class="small"`); v != 1 {
+		t.Errorf("small class budget %g, want 1", v)
+	}
+	if v, _ := findSeries(t, series, "jobd_job_phase_seconds_total", `phase="phi_kernel"`); v <= 0 {
+		t.Errorf("phi kernel seconds %g, want > 0", v)
+	}
+	if v, _ := findSeries(t, series, "jobd_halo_bytes_total", `tag="phi"`); v <= 0 {
+		t.Errorf("halo bytes %g, want > 0", v)
+	}
+	// The +Inf bucket of a histogram must equal its _count.
+	inf, _ := findSeries(t, series, "jobd_exchange_latency_seconds_bucket", `le="+Inf"`, `tag="phi"`)
+	count, _ := findSeries(t, series, "jobd_exchange_latency_seconds_count", `tag="phi"`)
+	if inf != count || count <= 0 {
+		t.Errorf("+Inf bucket %g != count %g (or empty)", inf, count)
+	}
+}
+
+// TestDaemonMetricsScrapeConcurrent hammers /metrics from several
+// goroutines while a job steps and finishes — the handler must stay
+// race-free against the runner's telemetry updates (CI runs this under
+// -race).
+func TestDaemonMetricsScrapeConcurrent(t *testing.T) {
+	srv, ts := apiServer(t, Config{MaxConcurrent: 1, Budget: 2, ReportEvery: 1})
+	st := submit(t, ts.URL, Spec{NX: 8, NY: 8, NZ: 10, PX: 2, Steps: 40, Scenario: "interface"})
+	j, _ := srv.Get(st.ID)
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				resp, err := http.Get(ts.URL + "/metrics")
+				if err != nil {
+					return
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}()
+	}
+	waitFor(t, "job to finish under scrape load", 120*time.Second, func() bool {
+		return j.State() == StateDone
+	})
+	close(done)
+	wg.Wait()
+
+	// One last full strict parse after the job went terminal.
+	parseExposition(t, scrape(t, ts.URL))
+}
+
+// traceDoc mirrors the Chrome trace_event envelope for decoding.
+type traceDoc struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		Ts   int64          `json:"ts"`
+		Dur  int64          `json:"dur"`
+		Pid  int64          `json:"pid"`
+		Tid  int64          `json:"tid"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+}
+
+// TestJobTraceAndSamplePhases runs a small job to completion while
+// following its metrics stream, then checks that (a) samples carried phase
+// breakdowns, and (b) the trace endpoint serves valid trace_event JSON
+// with lifecycle marks and per-step spans.
+func TestJobTraceAndSamplePhases(t *testing.T) {
+	srv, ts := apiServer(t, Config{MaxConcurrent: 1, Budget: 2, ReportEvery: 2})
+
+	// Phases ride the metrics stream: subscribe to a long-running job,
+	// wait for a breakdown-bearing sample, then cancel it.
+	long := submit(t, ts.URL, Spec{NX: 8, NY: 8, NZ: 10, Steps: 100000, Scenario: "interface"})
+	lj, _ := srv.Get(long.ID)
+	ch, cancel := lj.subscribe()
+	gotPhases := false
+	deadline := time.After(60 * time.Second)
+	for !gotPhases {
+		select {
+		case s, open := <-ch:
+			if !open {
+				t.Fatalf("stream closed before any phase breakdown (job %s)", lj.State())
+			}
+			if s.Phases != nil {
+				gotPhases = true
+				if s.Phases.Steps <= 0 || s.Phases.PhiKernelMs <= 0 {
+					t.Errorf("degenerate phase breakdown: %+v", s.Phases)
+				}
+			}
+		case <-deadline:
+			t.Fatal("no sample carried a phase breakdown")
+		}
+	}
+	cancel()
+	req, _ := http.NewRequest("DELETE", ts.URL+"/jobs/"+long.ID, nil)
+	if resp, err := http.DefaultClient.Do(req); err == nil {
+		resp.Body.Close()
+	}
+
+	// The trace endpoint serves the whole lifecycle of a completed job.
+	st := submit(t, ts.URL, Spec{NX: 8, NY: 8, NZ: 10, Steps: 10, Scenario: "interface"})
+	j, _ := srv.Get(st.ID)
+	waitFor(t, "job to finish", 120*time.Second, func() bool {
+		return j.State() == StateDone
+	})
+
+	resp, err := http.Get(ts.URL + "/jobs/" + st.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET trace: %d %s", resp.StatusCode, body)
+	}
+	var doc traceDoc
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, body)
+	}
+	kinds := map[string]int{}
+	names := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		kinds[ev.Ph]++
+		names[ev.Name] = true
+		if ev.Ph == "X" && ev.Dur < 1 {
+			t.Errorf("complete event %q has dur %d", ev.Name, ev.Dur)
+		}
+	}
+	if kinds["M"] == 0 || kinds["i"] == 0 || kinds["X"] == 0 {
+		t.Fatalf("trace lacks metadata/instant/span events: %v", kinds)
+	}
+	for _, want := range []string{"submit", "start", "done", "phi", "mu"} {
+		if !names[want] {
+			t.Errorf("trace has no %q event; names: %v", want, names)
+		}
+	}
+	// Step spans cover the recorded tail of the run.
+	if !names[fmt.Sprintf("step %d", st.Steps)] {
+		t.Errorf("trace lacks the final step span; names: %v", names)
+	}
+
+	// Unknown job → 404.
+	resp, err = http.Get(ts.URL + "/jobs/job-9999/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("trace of unknown job: %d, want 404", resp.StatusCode)
+	}
+}

@@ -113,6 +113,7 @@ func (s *Server) runAttempt(j *Job) {
 	lastWall := time.Now()
 	lastStep := sim.Step()
 	snapStep := sim.Step() // last safety-snapshot boundary
+	prevTot := sim.TelemetryTotals()
 
 	opt := phasefield.ScheduleOptions{
 		OnStep: func(step int) bool {
@@ -179,14 +180,30 @@ func (s *Server) runAttempt(j *Job) {
 				lastWall, lastStep = now, step
 				solid := sim.SolidFraction()
 				active := sim.ActiveFraction()
+				// Telemetry snapshots are gathered outside j.mu (they walk
+				// solver and comm state under their own locks) and swapped in
+				// under it, like the progress numbers above.
+				tot := sim.TelemetryTotals()
+				window := tot.Sub(prevTot)
+				prevTot = tot
+				recs := sim.StepRecords(nil)
+				flows := sim.HaloFlows()
+				lat := sim.ExchangeLatencies()
 				j.mu.Lock()
 				j.step = step
 				j.simTime = sim.Time()
 				j.solid = solid
 				j.activeFrac = active
+				j.telemTot = tot
+				j.stepRecs = recs
+				j.flows = flows
+				j.latency = lat
 				j.mergeApplied(sim.AppliedEvents())
 				sample := j.sampleLocked()
 				sample.MLUPs = mlups
+				if window.Steps > 0 {
+					sample.Phases = breakdown(window)
+				}
 				j.mu.Unlock()
 				j.publish(sample)
 			}
@@ -255,10 +272,12 @@ func (s *Server) retryOrFail(j *Job, sim *phasefield.Simulation, err error) {
 		j.solid = sim.SolidFraction()
 		j.activeFrac = sim.ActiveFraction()
 		j.mergeApplied(sim.AppliedEvents())
+		j.captureTelemetryLocked(sim)
 	}
 	sample := j.sampleLocked()
 	j.mu.Unlock()
 	j.notBefore.Store(time.Now().Add(backoff).UnixNano())
+	j.mark("retry", err.Error())
 	// onRunnerExit requeues StateQueued jobs; this wakeup fires when the
 	// backoff expires so the scheduler re-examines the queue then.
 	time.AfterFunc(backoff, s.wakeup)
@@ -293,8 +312,10 @@ func (s *Server) preemptRunner(j *Job, sim *phasefield.Simulation) {
 	j.solid = sim.SolidFraction()
 	j.activeFrac = sim.ActiveFraction()
 	j.mergeApplied(sim.AppliedEvents())
+	j.captureTelemetryLocked(sim)
 	sample := j.sampleLocked()
 	j.mu.Unlock()
+	j.mark("preempt", "")
 	j.publish(sample)
 }
 
@@ -323,12 +344,29 @@ func (s *Server) finishRunner(j *Job, sim *phasefield.Simulation, st State, err 
 		j.solid = sim.SolidFraction()
 		j.activeFrac = sim.ActiveFraction()
 		j.mergeApplied(sim.AppliedEvents())
+		j.captureTelemetryLocked(sim)
 	}
 	j.snapshot = nil
 	j.final = final
 	j.mu.Unlock()
+	note := ""
+	if err != nil {
+		note = err.Error()
+	}
+	j.mark(string(st), note)
 	// Spill before subscribers see the terminal sample, so a client that
 	// reacts to stream close by fetching /result finds the stored copy too.
 	s.spillDone(j)
 	j.closeSubs()
+}
+
+// captureTelemetryLocked refreshes the job's telemetry snapshots from a
+// finished attempt's simulation, so the trace and metrics endpoints keep
+// serving the attempt's tail after the runner exits. j.mu must be held;
+// the sim is no longer stepping, so its accessors are safe to call.
+func (j *Job) captureTelemetryLocked(sim *phasefield.Simulation) {
+	j.telemTot = sim.TelemetryTotals()
+	j.stepRecs = sim.StepRecords(nil)
+	j.flows = sim.HaloFlows()
+	j.latency = sim.ExchangeLatencies()
 }

@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// NumBuckets is the fixed bucket count of a Histogram: exponential
+// buckets doubling from 1µs, the last one open-ended. The range
+// (1µs … ~0.26s, +Inf) brackets every realistic halo-exchange latency
+// from in-process channel handoff to a retried TCP round trip.
+const NumBuckets = 20
+
+// Histogram is a fixed-bucket latency histogram safe for concurrent
+// Observe from many goroutines: each bucket is an atomic counter, so the
+// hot path is one bit-scan and three atomic adds — no locks, no
+// allocation. Must not be copied after first use.
+type Histogram struct {
+	buckets [NumBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+}
+
+// bucketIndex maps a duration to its bucket: bucket i covers
+// (2^(i-1), 2^i] microseconds, bucket 0 is ≤1µs, the last bucket is
+// open-ended.
+func bucketIndex(d time.Duration) int {
+	us := d.Microseconds()
+	if us <= 1 {
+		return 0
+	}
+	i := bits.Len64(uint64(us - 1)) // ceil(log2(us))
+	if i >= NumBuckets {
+		return NumBuckets - 1
+	}
+	return i
+}
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.buckets[bucketIndex(d)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+}
+
+// Reset zeroes the histogram. Not atomic as a whole — call it only at
+// measurement boundaries when no Observe is in flight (the solver resets
+// between benchmark windows, never mid-step).
+func (h *Histogram) Reset() {
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
+}
+
+// Snapshot copies the current counters into a value type for aggregation
+// and export.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	s.Count = h.count.Load()
+	s.Sum = time.Duration(h.sum.Load())
+	return s
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram, mergeable
+// across ranks and serializable by cold-path exporters (the Prometheus
+// endpoint renders it as a cumulative _bucket series).
+type HistogramSnapshot struct {
+	// Buckets holds per-bucket counts (not cumulative); bucket i covers
+	// (BucketBounds()[i-1], BucketBounds()[i]].
+	Buckets [NumBuckets]int64
+	// Count and Sum are the total sample count and summed latency.
+	Count int64
+	Sum   time.Duration
+}
+
+// Merge adds other's counts into s.
+func (s *HistogramSnapshot) Merge(other HistogramSnapshot) {
+	for i := range s.Buckets {
+		s.Buckets[i] += other.Buckets[i]
+	}
+	s.Count += other.Count
+	s.Sum += other.Sum
+}
+
+// BucketBounds returns the inclusive upper bound of every bucket; the
+// last entry is the largest representable duration, standing in for +Inf.
+func BucketBounds() [NumBuckets]time.Duration {
+	var out [NumBuckets]time.Duration
+	for i := 0; i < NumBuckets-1; i++ {
+		out[i] = time.Duration(1<<i) * time.Microsecond
+	}
+	out[NumBuckets-1] = time.Duration(1<<63 - 1)
+	return out
+}

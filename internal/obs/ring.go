@@ -1,0 +1,74 @@
+package obs
+
+// Ring is a fixed-capacity ring of StepRecords with single-writer
+// discipline: exactly one goroutine (the stepping goroutine) calls Push
+// and Last, and readers call Snapshot only at step boundaries on that
+// same goroutine (the solver's StepDone hook runs there). This is what
+// makes the ring completely lock- and allocation-free in steady state —
+// cross-goroutine consumers must read a copy taken at a boundary, never
+// the ring itself.
+type Ring struct {
+	recs []StepRecord
+	n    int64 // total records ever pushed
+}
+
+// DefaultRingCap is the record capacity a zero-configured solver ring
+// gets: enough history for a trace window of a few hundred steps without
+// measurable memory cost (~100 B per record).
+const DefaultRingCap = 512
+
+// NewRing allocates a ring holding the last capacity records (minimum 1).
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{recs: make([]StepRecord, 0, capacity)}
+}
+
+// Push appends one record, evicting the oldest once full. Allocation-free
+// after the ring has filled once (and before that it only appends into
+// preallocated capacity).
+func (r *Ring) Push(rec StepRecord) {
+	if len(r.recs) < cap(r.recs) {
+		r.recs = append(r.recs, rec)
+	} else {
+		r.recs[r.n%int64(cap(r.recs))] = rec
+	}
+	r.n++
+}
+
+// Len returns how many records the ring currently holds.
+func (r *Ring) Len() int { return len(r.recs) }
+
+// Total returns how many records have ever been pushed.
+func (r *Ring) Total() int64 { return r.n }
+
+// Last returns a pointer to the most recently pushed record, or nil on an
+// empty ring. The pointer aliases ring storage and is valid only until
+// the next Push — it exists so the writer can fold post-step costs
+// (checkpoint writes) into the record it just pushed.
+func (r *Ring) Last() *StepRecord {
+	if r.n == 0 {
+		return nil
+	}
+	return &r.recs[(r.n-1)%int64(cap(r.recs))]
+}
+
+// Snapshot copies the held records, oldest first, into dst (grown as
+// needed) and returns it. Cold path: the one place ring contents cross a
+// goroutine boundary, called at a step boundary by the writer.
+func (r *Ring) Snapshot(dst []StepRecord) []StepRecord {
+	dst = dst[:0]
+	if r.n == 0 {
+		return dst
+	}
+	c := int64(cap(r.recs))
+	start := int64(0)
+	if r.n > c {
+		start = r.n % c
+	}
+	for i := int64(0); i < int64(len(r.recs)); i++ {
+		dst = append(dst, r.recs[(start+i)%c])
+	}
+	return dst
+}

@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// TraceWriter streams Chrome trace_event JSON ({"traceEvents": [...]}),
+// the format Perfetto and chrome://tracing load directly. Cold path only:
+// every event goes through encoding/json for correct string escaping.
+// Events must be written from one goroutine; call Close to terminate the
+// JSON document.
+type TraceWriter struct {
+	w   io.Writer
+	n   int
+	err error
+}
+
+// traceEvent is the wire form of one trace_event entry. Ts and Dur are in
+// microseconds per the format; Ph is the event phase ("X" complete,
+// "i" instant, "M" metadata).
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
+	Pid  int64          `json:"pid"`
+	Tid  int64          `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// NewTraceWriter starts a trace document on w.
+func NewTraceWriter(w io.Writer) *TraceWriter {
+	t := &TraceWriter{w: w}
+	_, t.err = io.WriteString(w, `{"traceEvents":[`)
+	return t
+}
+
+// emit writes one event, comma-separated from its predecessor.
+func (t *TraceWriter) emit(ev *traceEvent) {
+	if t.err != nil {
+		return
+	}
+	if t.n > 0 {
+		if _, t.err = io.WriteString(t.w, ","); t.err != nil {
+			return
+		}
+	}
+	blob, err := json.Marshal(ev)
+	if err != nil {
+		t.err = err
+		return
+	}
+	_, t.err = t.w.Write(blob)
+	t.n++
+}
+
+// Complete writes an "X" (complete) event: a span of dur microseconds
+// starting at ts microseconds on (pid, tid). args may be nil.
+func (t *TraceWriter) Complete(pid, tid int64, name string, ts, dur int64, args map[string]any) {
+	if dur < 1 {
+		dur = 1 // zero-length spans are invisible in Perfetto
+	}
+	t.emit(&traceEvent{Name: name, Ph: "X", Ts: ts, Dur: dur, Pid: pid, Tid: tid, Args: args})
+}
+
+// Instant writes an "i" (instant) event with thread scope at ts
+// microseconds. args may be nil.
+func (t *TraceWriter) Instant(pid, tid int64, name string, ts int64, args map[string]any) {
+	t.emit(&traceEvent{Name: name, Ph: "i", Ts: ts, Pid: pid, Tid: tid, S: "t", Args: args})
+}
+
+// ProcessName writes the metadata event naming a pid in the trace UI.
+func (t *TraceWriter) ProcessName(pid int64, name string) {
+	t.emit(&traceEvent{Name: "process_name", Ph: "M", Pid: pid,
+		Args: map[string]any{"name": name}})
+}
+
+// ThreadName writes the metadata event naming a (pid, tid) track.
+func (t *TraceWriter) ThreadName(pid, tid int64, name string) {
+	t.emit(&traceEvent{Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+		Args: map[string]any{"name": name}})
+}
+
+// Close terminates the JSON document and returns the first error
+// encountered while writing.
+func (t *TraceWriter) Close() error {
+	if t.err == nil {
+		_, t.err = io.WriteString(t.w, "]}")
+	}
+	return t.err
+}

@@ -78,13 +78,17 @@ func (s *Sim) Measure(fn func()) Metrics {
 	return m
 }
 
-// ResetMetrics clears all accumulated timing state.
+// ResetMetrics clears all accumulated timing state. The telemetry ring
+// and its totals keep accumulating across resets — only the snapshots the
+// per-step capture differences against are re-anchored to the zeroed
+// counters.
 func (s *Sim) ResetMetrics() {
 	for _, r := range s.ranks {
 		r.phiKernelTime = 0
 		r.muKernelTime = 0
 	}
 	s.World.ResetStats()
+	s.prevPhi, s.prevMu, s.prevComm = 0, 0, comm.Stats{}
 }
 
 // SolidFraction returns the global solid volume fraction. The per-global-

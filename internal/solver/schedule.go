@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 
 	"repro/internal/comm"
 	"repro/internal/core"
@@ -128,6 +129,10 @@ func (s *Sim) RunSchedule(n int, sched *schedule.Schedule, hooks ScheduleHooks) 
 	}
 
 	for i := 0; i < n; i++ {
+		var tEv time.Time
+		if s.telem != nil {
+			tEv = time.Now()
+		}
 		// Fire due one-shot events in order, resuming at the
 		// checkpointed schedule position.
 		for s.schedPos < len(oneShots) && oneShots[s.schedPos].StartStep() <= s.step {
@@ -168,6 +173,10 @@ func (s *Sim) RunSchedule(n int, sched *schedule.Schedule, hooks ScheduleHooks) 
 				s.refillBoundaryGhosts()
 			}
 		}
+		if s.telem != nil {
+			// Charged to the step the events precede (see telemetry.go).
+			s.pendSched += time.Since(tEv)
+		}
 
 		if err := s.runStep(); err != nil {
 			return err
@@ -179,9 +188,11 @@ func (s *Sim) RunSchedule(n int, sched *schedule.Schedule, hooks ScheduleHooks) 
 					ckptRec[ci] = true
 					s.recordEvent(c)
 				}
+				tCk := time.Now()
 				if err := hooks.WriteCheckpoint(c.Path, s.step); err != nil {
 					return err
 				}
+				s.addCkptTime(time.Since(tCk))
 			}
 		}
 

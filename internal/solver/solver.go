@@ -19,6 +19,7 @@ import (
 	"repro/internal/faultfs"
 	"repro/internal/grid"
 	"repro/internal/kernels"
+	"repro/internal/obs"
 	"repro/internal/schedule"
 	"repro/internal/voronoi"
 )
@@ -144,6 +145,13 @@ type Config struct {
 	// stencil radius of 1. Larger margins only reduce skipping.
 	WakeMargin int
 
+	// DisableStepTelemetry turns off per-step phase-record capture (see
+	// telemetry.go). The zero value keeps capture ON: it samples existing
+	// counters at step boundaries only, allocates nothing in steady state
+	// and never feeds back into the numerics, so the only reason to
+	// disable it is to measure its (sub-percent) overhead.
+	DisableStepTelemetry bool
+
 	Seed int64 // RNG seed for the Voronoi setup
 }
 
@@ -197,6 +205,17 @@ type Sim struct {
 	domainPhiBCs grid.BoundarySet
 	domainMuBCs  grid.BoundarySet
 	bcScratch    [kernels.NP]float64 // per-step SetBC wall values, reused
+
+	// Step-phase telemetry (telemetry.go). telem is nil when disabled;
+	// the prev* fields hold the cumulative-counter snapshots captureStep
+	// differences against, and pendSched accumulates schedule/BC event
+	// time to charge to the next step's record.
+	telem     *obs.Ring
+	telemTot  obs.StepTotals
+	prevPhi   time.Duration
+	prevMu    time.Duration
+	prevComm  comm.Stats
+	pendSched time.Duration
 }
 
 // New builds a simulation; fields are liquid-initialized (use InitScenario).
@@ -223,6 +242,9 @@ func New(cfg Config) (*Sim, error) {
 	s := &Sim{Cfg: cfg, World: comm.NewWorldTransport(cfg.BG, cfg.Transport),
 		phiVariant: cfg.Variant, muVariant: cfg.Variant,
 		faults: &faultSink{points: cfg.Faults}}
+	if !cfg.DisableStepTelemetry {
+		s.telem = obs.NewRing(obs.DefaultRingCap)
+	}
 	// The World's per-rank comm workers (overlapped exchanges) reference
 	// the World, so they keep it alive; release them when the Sim goes
 	// unreachable without an explicit Close.
@@ -417,6 +439,10 @@ func (s *Sim) runStep() error {
 	if f := s.faults.first.Load(); f != nil {
 		return f
 	}
+	var t0 time.Time
+	if s.telem != nil {
+		t0 = time.Now()
+	}
 	s.forAllRanks(func(r *rank) { s.timestep(r) })
 	if f := s.faults.first.Load(); f != nil {
 		// The step protocol completed mechanically (exchanges, swap), but
@@ -428,6 +454,7 @@ func (s *Sim) runStep() error {
 	if s.Cfg.MovingWindow {
 		s.maybeShiftWindow()
 	}
+	s.captureStep(t0)
 	return nil
 }
 

@@ -17,6 +17,7 @@ import (
 	"repro/internal/grid"
 	"repro/internal/kernels"
 	"repro/internal/mesh"
+	"repro/internal/obs"
 	"repro/internal/schedule"
 	"repro/internal/solver"
 	"repro/internal/thermo"
@@ -82,6 +83,11 @@ type Config struct {
 	// WakeMargin widens the activation margin (in slices) around awake
 	// slices; 0 selects the conservative default. See solver.Config.
 	WakeMargin int
+	// DisableStepTelemetry turns off per-step phase-record capture. The
+	// zero value keeps it on: the capture samples existing counters at
+	// step boundaries only, allocates nothing in steady state and never
+	// changes the numerics, so the knob exists to measure its overhead.
+	DisableStepTelemetry bool
 	// Seed for the Voronoi nuclei.
 	Seed int64
 
@@ -208,19 +214,20 @@ func New(cfg Config) (*Simulation, error) {
 		}
 	}
 	s, err := solver.New(solver.Config{
-		Params:              cfg.Params,
-		BG:                  bg,
-		Variant:             cfg.Variant,
-		Overlap:             cfg.Overlap,
-		MovingWindow:        cfg.MovingWindow,
-		WindowFrontFraction: cfg.WindowFraction,
-		Parallelism:         cfg.Parallelism,
-		Gauge:               cfg.WorkerGauge,
-		Faults:              cfg.Faults,
-		DisableActiveSweep:  cfg.DisableActiveSweep,
-		WakeMargin:          cfg.WakeMargin,
-		Seed:                cfg.Seed,
-		Transport:           transport,
+		Params:               cfg.Params,
+		BG:                   bg,
+		Variant:              cfg.Variant,
+		Overlap:              cfg.Overlap,
+		MovingWindow:         cfg.MovingWindow,
+		WindowFrontFraction:  cfg.WindowFraction,
+		Parallelism:          cfg.Parallelism,
+		Gauge:                cfg.WorkerGauge,
+		Faults:               cfg.Faults,
+		DisableActiveSweep:   cfg.DisableActiveSweep,
+		WakeMargin:           cfg.WakeMargin,
+		DisableStepTelemetry: cfg.DisableStepTelemetry,
+		Seed:                 cfg.Seed,
+		Transport:            transport,
 	})
 	if err != nil {
 		if transport != nil {
@@ -287,6 +294,72 @@ func (s *Simulation) ActiveFraction() float64 { return s.sim.ActiveFraction() }
 
 // PhaseFractions returns the volume fraction of every phase.
 func (s *Simulation) PhaseFractions() [NumPhases]float64 { return s.sim.PhaseFractions() }
+
+// StepRecords copies the retained per-step phase records (kernel, halo,
+// schedule and checkpoint timings; active fraction; halo bytes), oldest
+// first, into dst and returns it. The solver keeps the last
+// obs.DefaultRingCap steps. Must be called at a step boundary from the
+// stepping goroutine (RunSchedule's OnStep hook satisfies both); empty
+// when Config.DisableStepTelemetry was set.
+func (s *Simulation) StepRecords(dst []obs.StepRecord) []obs.StepRecord {
+	return s.sim.StepRecords(dst)
+}
+
+// TelemetryTotals returns the cumulative step-phase totals since the
+// simulation started (same calling discipline as StepRecords; zero when
+// telemetry is disabled).
+func (s *Simulation) TelemetryTotals() obs.StepTotals { return s.sim.TelemetryTotals() }
+
+// GlobalCells returns the total interior cell count — the numerator of
+// MLUP/s throughput computations over telemetry windows.
+func (s *Simulation) GlobalCells() int { return s.sim.GlobalCells() }
+
+// HaloFlow is one directed halo stream in a Simulation's transport-metric
+// export: rank → peer traffic on one message tag.
+type HaloFlow struct {
+	// Rank is the sending rank (owned by this process); Peer the
+	// receiving rank, possibly on another process.
+	Rank int
+	Peer int
+	// Tag names the stream ("phi", "mu" or "aux").
+	Tag string
+	// Frames, Bytes and Sleeps count messages sent, payload bytes moved
+	// and zero-length sleep tokens among the frames.
+	Frames int64
+	Bytes  int64
+	Sleeps int64
+}
+
+// HaloFlows returns the per-(peer, tag) traffic counters of this process'
+// ranks, sorted by rank, peer, tag. Safe to call from any goroutine (the
+// counters live under the communication layer's own locks). Cold path:
+// the job daemon calls it per metrics scrape.
+func (s *Simulation) HaloFlows() []HaloFlow {
+	flows := s.sim.World.PeerFlows()
+	out := make([]HaloFlow, len(flows))
+	for i, f := range flows {
+		out[i] = HaloFlow{Rank: f.Rank, Peer: f.Peer, Tag: f.Tag.String(),
+			Frames: f.Frames, Bytes: f.Bytes, Sleeps: f.Sleeps}
+	}
+	return out
+}
+
+// ExchangeLatencies returns the whole-exchange wall-time histograms of
+// this process' ranks, keyed by tag name ("phi", "mu"). Each sample is
+// one staged six-face halo exchange. Safe from any goroutine; cold path.
+func (s *Simulation) ExchangeLatencies() map[string]obs.HistogramSnapshot {
+	return map[string]obs.HistogramSnapshot{
+		comm.TagPhi.String(): s.sim.World.ExchangeLatency(comm.TagPhi),
+		comm.TagMu.String():  s.sim.World.ExchangeLatency(comm.TagMu),
+	}
+}
+
+// NetStats reports the TCP transport's reconnect and frame-replay
+// counters; ok is false on the in-process transport (single-process
+// runs), which keeps no such accounting.
+func (s *Simulation) NetStats() (reconnects, replayed int64, ok bool) {
+	return s.sim.World.NetStats()
+}
 
 // FrontHeight returns the global z index of the solidification front.
 func (s *Simulation) FrontHeight() int { return s.sim.FrontHeight() }
