@@ -15,7 +15,14 @@
 // never starves a production run. With -store-dir, terminal jobs spill
 // their final checkpoint, replayable schedule and metrics summary to a
 // content-addressed on-disk store, and a restarted daemon keeps serving
-// /result and /schedule byte-identically.
+// /result and /schedule byte-identically. The store's growth is bounded
+// by -store-max-bytes / -store-max-age, enforced at startup and on the
+// -store-gc-every cadence.
+//
+// A daemon joins a federation by announcing itself to a solidifygw
+// gateway: -gateway names the gateway, -advertise the URL the gateway
+// reaches this daemon at, and -fleet-token authenticates registration.
+// The periodic announcement doubles as a heartbeat.
 //
 // Usage:
 //
@@ -48,6 +55,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/fleet"
 	"repro/internal/jobd"
 )
 
@@ -88,19 +96,33 @@ func main() {
 	stallTimeout := flag.Duration("stall-timeout", 0, "watchdog: max wall-clock gap between timestep boundaries before a job is declared stalled (0 = watchdog off)")
 	chaos := flag.Bool("chaos", false, "accept fault-injection specs (deterministic failure drills; never in production)")
 	debugAddr := flag.String("debug-addr", "", "listen address for net/http/pprof profiling endpoints (empty = off; bind to localhost, the profiles are unauthenticated)")
+	storeMaxBytes := flag.Int64("store-max-bytes", 0, "result-store byte quota: oldest terminal results are evicted to fit (0 = unbounded)")
+	storeMaxAge := flag.Duration("store-max-age", 0, "result-store age bound: stored results older than this are dropped (0 = keep forever)")
+	storeGCEvery := flag.Duration("store-gc-every", 0, "periodic result-store retention GC cadence (0 = GC once at startup only)")
+	gateway := flag.String("gateway", "", "federation gateway base URL to announce this daemon to (empty = standalone)")
+	fleetToken := flag.String("fleet-token", "", "bearer token authenticating registration with -gateway")
+	advertise := flag.String("advertise", "", "base URL the gateway should reach this daemon at (required with -gateway, e.g. http://10.0.0.5:8080)")
+	announceEvery := flag.Duration("announce-every", 5*time.Second, "registration heartbeat interval to -gateway")
 	flag.Parse()
 
+	if *gateway != "" && *advertise == "" {
+		fatal(errors.New("-gateway requires -advertise (the URL the gateway reaches this daemon at)"))
+	}
+
 	srv := jobd.New(jobd.Config{
-		MaxConcurrent: *jobs,
-		Budget:        *budget,
-		SpoolDir:      *spool,
-		StoreDir:      *storeDir,
-		Classes:       classes,
-		ReportEvery:   *report,
-		SnapshotEvery: *snapshotEvery,
-		StallTimeout:  *stallTimeout,
-		AllowFaults:   *chaos,
-		Log:           func(msg string) { fmt.Fprintln(os.Stderr, msg) },
+		MaxConcurrent:   *jobs,
+		Budget:          *budget,
+		SpoolDir:        *spool,
+		StoreDir:        *storeDir,
+		Classes:         classes,
+		ReportEvery:     *report,
+		SnapshotEvery:   *snapshotEvery,
+		StallTimeout:    *stallTimeout,
+		AllowFaults:     *chaos,
+		StoreGCMaxBytes: *storeMaxBytes,
+		StoreGCMaxAge:   *storeMaxAge,
+		StoreGCEvery:    *storeGCEvery,
+		Log:             func(msg string) { fmt.Fprintln(os.Stderr, msg) },
 	})
 	if n, err := srv.LoadStore(); err != nil {
 		fatal(err)
@@ -153,11 +175,22 @@ func main() {
 		}()
 	}
 
+	// Fleet membership: heartbeat our advertised URL to the gateway so it
+	// probes us and fans array children our way. The heartbeat doubles as
+	// re-registration after a gateway restart.
+	announceStop := make(chan struct{})
+	if *gateway != "" {
+		go fleet.Announce(*gateway, *fleetToken, *advertise, *announceEvery, announceStop,
+			func(format string, args ...any) { fmt.Fprintf(os.Stderr, "solidifyd: "+format+"\n", args...) })
+		fmt.Printf("solidifyd: announcing %s to gateway %s\n", *advertise, *gateway)
+	}
+
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
 
 	select {
 	case sig := <-sigCh:
+		close(announceStop)
 		fmt.Printf("solidifyd: %v — draining (checkpointing in-flight jobs)\n", sig)
 		if err := srv.Drain(); err != nil {
 			fmt.Fprintln(os.Stderr, "solidifyd: drain:", err)

@@ -1,0 +1,142 @@
+// Command solidifygw is the federation gateway: a multi-tenant control
+// plane over many solidifyd daemons. Tenants authenticate with bearer
+// tokens and submit job arrays to the gateway exactly as they would to a
+// single daemon; the gateway expands each array centrally, stamps the
+// tenant's resource class onto every child, fans the children out to the
+// least-loaded daemons, and merges per-child results back into one
+// array-results view. Because jobs are pure functions of their specs,
+// children lost to a daemon crash are simply requeued onto survivors and
+// rerun bit-identically.
+//
+// Daemons are listed statically in the config file or join at runtime by
+// announcing themselves (solidifyd -gateway ... -advertise ...); either
+// way the gateway probes /healthz continuously and declares a daemon
+// dead after -dead-after consecutive failures. With -store-dir, finished
+// children's results are replicated into the gateway's own
+// content-addressed store, so merged results survive both daemon loss
+// and gateway restarts.
+//
+// The config file is JSON:
+//
+//	{
+//	  "fleet_token": "op-secret",
+//	  "daemons": ["http://10.0.0.1:8080", "http://10.0.0.2:8080"],
+//	  "tenants": [
+//	    {"name": "acme", "token": "acme-secret", "class": "small",
+//	     "max_active": 64, "rate_per_sec": 10, "burst": 20}
+//	  ]
+//	}
+//
+// Usage:
+//
+//	solidifygw -addr :9090 -config fleet.json -store-dir /var/lib/solidifygw/store
+//
+//	curl -H 'Authorization: Bearer acme-secret' \
+//	  -X POST -d @array.json localhost:9090/arrays
+//	curl -H 'Authorization: Bearer acme-secret' localhost:9090/arrays/fleet-0001/results
+//	curl -H 'Authorization: Bearer op-secret' localhost:9090/fleet
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/fleet"
+)
+
+// fileConfig is the JSON shape of the -config file.
+type fileConfig struct {
+	FleetToken string         `json:"fleet_token"`
+	Daemons    []string       `json:"daemons"`
+	Tenants    []fleet.Tenant `json:"tenants"`
+}
+
+func main() {
+	addr := flag.String("addr", ":9090", "HTTP listen address")
+	configPath := flag.String("config", "", "JSON config file with tenants, daemons and the fleet token (required)")
+	storeDir := flag.String("store-dir", "", "replication store directory: finished children's results are copied here so merged array results survive daemon loss and gateway restarts (empty = proxy-only)")
+	probeEvery := flag.Duration("probe-every", time.Second, "monitor cadence: health probes, placement, status polling and replication all run on this tick")
+	deadAfter := flag.Int("dead-after", 3, "consecutive failed probes before a daemon is declared dead and its children requeued")
+	maxBody := flag.Int64("max-body", 1<<20, "request body size cap in bytes (oversized submissions get 413 too_large)")
+	flag.Parse()
+
+	if *configPath == "" {
+		fatal(errors.New("-config is required (tenant tokens must come from a file, not argv)"))
+	}
+	raw, err := os.ReadFile(*configPath)
+	if err != nil {
+		fatal(err)
+	}
+	var fc fileConfig
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&fc); err != nil {
+		fatal(fmt.Errorf("parse %s: %w", *configPath, err))
+	}
+	if len(fc.Tenants) == 0 {
+		fatal(fmt.Errorf("%s defines no tenants; the gateway would reject every request", *configPath))
+	}
+
+	g, err := fleet.New(fleet.Config{
+		Daemons:        fc.Daemons,
+		Tenants:        fc.Tenants,
+		FleetToken:     fc.FleetToken,
+		ProbeEvery:     *probeEvery,
+		DeadAfter:      *deadAfter,
+		MaxRequestBody: *maxBody,
+		StoreDir:       *storeDir,
+		Log:            func(msg string) { fmt.Fprintln(os.Stderr, msg) },
+	})
+	if err != nil {
+		fatal(err)
+	}
+	g.Start()
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           g.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		// Generous write timeout: /jobs/{id}/result proxies or serves
+		// multi-MB checkpoints.
+		WriteTimeout: 2 * time.Minute,
+		IdleTimeout:  2 * time.Minute,
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Printf("solidifygw: listening on %s (daemons=%d tenants=%d store=%q)\n",
+			*addr, len(fc.Daemons), len(fc.Tenants), *storeDir)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+
+	select {
+	case sig := <-sigCh:
+		fmt.Printf("solidifygw: %v — shutting down\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(ctx)
+		g.Close()
+		fmt.Println("solidifygw: stopped")
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "solidifygw:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,54 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"time"
+)
+
+// announce.go — the daemon side of fleet membership. A solidifyd started
+// with -gateway runs Announce in a goroutine; the periodic registration
+// doubles as a heartbeat (the gateway treats it like a successful
+// probe), so a daemon behind a NAT or started after the gateway still
+// joins the fleet without static configuration.
+
+// Announce heartbeats selfURL to the gateway's /fleet/register endpoint
+// every interval until stop is closed. fleetToken authenticates the
+// registration; logf (optional) receives transport errors.
+func Announce(gatewayURL, fleetToken, selfURL string, every time.Duration, stop <-chan struct{}, logf func(string, ...any)) {
+	if every <= 0 {
+		every = 5 * time.Second
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+	body, _ := json.Marshal(registerRequest{URL: selfURL})
+	register := func() {
+		req, err := http.NewRequest(http.MethodPost, gatewayURL+"/fleet/register", bytes.NewReader(body))
+		if err != nil {
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if fleetToken != "" {
+			req.Header.Set("Authorization", "Bearer "+fleetToken)
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			if logf != nil {
+				logf("fleet: announce to %s: %v", gatewayURL, err)
+			}
+			return
+		}
+		resp.Body.Close()
+	}
+	register()
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+			register()
+		}
+	}
+}

@@ -1,0 +1,285 @@
+// Package fleet is the federation control plane over many solidifyd
+// daemons: one gateway process (cmd/solidifygw) that fronts a fleet for
+// multiple tenants.
+//
+// The gateway's job is narrow and leans on invariants the daemons
+// already guarantee:
+//
+//   - Tenancy is the resource-class mapping: every tenant is bound to a
+//     jobd resource class, and the gateway stamps that class onto every
+//     spec it forwards. A daemon's per-class worker caps therefore *are*
+//     the per-tenant compute caps — the gateway adds only fleet-wide
+//     admission (max active children, request rate, body size).
+//   - Arrays are expanded centrally (jobd.ArraySpec.Expand) and the
+//     children fanned out as plain jobs to the least-loaded daemons.
+//     Because jobs are pure functions of their specs — bit-identical
+//     across daemons, restarts and reruns — placement is pure load
+//     balancing, with no correctness weight.
+//   - Daemon loss is detected by /healthz probing; children on a dead
+//     daemon are requeued and placed elsewhere. Determinism again makes
+//     this sound: a rerun yields the same bytes the lost run would have.
+//   - Results are replicated into the gateway's own content-addressed
+//     store as children finish (blobs dedupe by hash), so merged array
+//     results survive both daemon loss and gateway restarts.
+//
+// The package is exercised hermetically by fleettest: N real daemons on
+// loopback listeners with fault-injectable stores, no subprocesses.
+package fleet
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/faultfs"
+	"repro/internal/jobd"
+	"repro/internal/jobd/store"
+)
+
+// Tenant is one paying user of the fleet: an auth token, the jobd
+// resource class its work runs under, and its admission limits.
+type Tenant struct {
+	// Name labels the tenant in metrics and fleet status.
+	Name string `json:"name"`
+	// Token is the bearer token authenticating the tenant's requests.
+	Token string `json:"token"`
+	// Class is the jobd resource class stamped onto every spec the tenant
+	// submits; the daemons' per-class worker caps enforce the tenant's
+	// compute share. Empty means jobd's default class.
+	Class string `json:"class,omitempty"`
+	// MaxActive caps the tenant's non-terminal children across the whole
+	// fleet; submissions that would exceed it are rejected over_quota.
+	// 0 means unlimited.
+	MaxActive int `json:"max_active,omitempty"`
+	// RatePerSec and Burst form the tenant's request token bucket.
+	// RatePerSec 0 disables rate limiting for the tenant.
+	RatePerSec float64 `json:"rate_per_sec,omitempty"`
+	Burst      int     `json:"burst,omitempty"`
+}
+
+// Config assembles a Gateway.
+type Config struct {
+	// Daemons are the static daemon base URLs known at startup; more can
+	// join at runtime via POST /fleet/register.
+	Daemons []string
+	// Tenants is the tenant table. Requests bearing no known tenant token
+	// are rejected unauthorized.
+	Tenants []Tenant
+	// FleetToken authorizes daemon registration and the fleet-status
+	// endpoint (operator surface, distinct from tenant tokens).
+	FleetToken string
+	// ProbeEvery is the monitor cadence: health probes, placement, status
+	// polling and result replication all run on this tick (default 1s).
+	ProbeEvery time.Duration
+	// DeadAfter is how many consecutive failed probes declare a daemon
+	// dead and trigger requeue of its children (default 3).
+	DeadAfter int
+	// MaxRequestBody caps request bodies (default 1 MiB; oversized
+	// submissions get 413 too_large).
+	MaxRequestBody int64
+	// StoreDir, when non-empty, is the gateway's content-addressed store:
+	// finished children's results are replicated there, so merged array
+	// results survive daemon loss and gateway restarts.
+	StoreDir string
+	// StoreFS optionally routes the store through an injectable
+	// filesystem (tests); nil selects the real one.
+	StoreFS faultfs.FS
+	// Client is the HTTP client used for all daemon traffic (default: a
+	// client with a 10s timeout).
+	Client *http.Client
+	// Log, when non-nil, receives gateway progress lines.
+	Log func(string)
+}
+
+// daemon is the gateway-side record of one solidifyd instance.
+type daemon struct {
+	url      string
+	alive    bool
+	fails    int       // consecutive probe failures
+	lastSeen time.Time // last successful probe or heartbeat
+	// registered marks daemons that joined via POST /fleet/register (as
+	// opposed to the static Config.Daemons list); reported in /fleet.
+	registered bool
+}
+
+// child is one fanned-out array child as the gateway tracks it.
+type child struct {
+	id      string // gateway child id, "fleet-0001.003"
+	arrayID string
+	tenant  string
+	spec    jobd.Spec
+
+	daemonURL string // hosting daemon, "" while unplaced
+	remoteID  string // job id on that daemon
+
+	state  jobd.State  // gateway view (StateQueued while unplaced)
+	status jobd.Status // last polled daemon-side status
+
+	// resultHash/schedHash address the replicated blobs in the gateway
+	// store once the child finished and replication landed.
+	resultHash string
+	schedHash  string
+	requeues   int
+	// persisted marks the child's manifest as spilled to the gateway
+	// store (settled children only).
+	persisted bool
+}
+
+// gwArray is one tenant array fanned across the fleet.
+type gwArray struct {
+	id        string
+	tenant    string
+	name      string
+	spec      jobd.ArraySpec
+	children  []*child
+	seq       int64
+	persisted bool
+}
+
+// Gateway is the federation control plane. Create with New, start the
+// monitor with Start, serve Handler over HTTP, stop with Close.
+type Gateway struct {
+	cfg     Config
+	client  *http.Client
+	tenants map[string]*Tenant // by token
+	byName  map[string]*Tenant // by name
+	metrics *gwMetrics
+
+	mu          sync.Mutex
+	daemons     map[string]*daemon // by url
+	arrays      map[string]*gwArray
+	children    map[string]*child // by gateway child id
+	buckets     map[string]*bucket
+	store       *store.Store // nil without StoreDir
+	nextArrayID int
+
+	quit      chan struct{}
+	kick      chan struct{} // merged nudges for an immediate monitor pass
+	monitorWG sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// New builds a Gateway from the config.
+func New(cfg Config) (*Gateway, error) {
+	if cfg.ProbeEvery <= 0 {
+		cfg.ProbeEvery = time.Second
+	}
+	if cfg.DeadAfter <= 0 {
+		cfg.DeadAfter = 3
+	}
+	if cfg.MaxRequestBody <= 0 {
+		cfg.MaxRequestBody = 1 << 20
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: 10 * time.Second}
+	}
+	g := &Gateway{
+		cfg:      cfg,
+		client:   client,
+		tenants:  map[string]*Tenant{},
+		byName:   map[string]*Tenant{},
+		metrics:  newGWMetrics(),
+		daemons:  map[string]*daemon{},
+		arrays:   map[string]*gwArray{},
+		children: map[string]*child{},
+		buckets:  map[string]*bucket{},
+		quit:     make(chan struct{}),
+		kick:     make(chan struct{}, 1),
+	}
+	for i := range cfg.Tenants {
+		t := &cfg.Tenants[i]
+		if t.Name == "" || t.Token == "" {
+			return nil, fmt.Errorf("fleet: tenant %d needs a name and a token", i)
+		}
+		if _, dup := g.tenants[t.Token]; dup {
+			return nil, fmt.Errorf("fleet: tenant %q reuses another tenant's token", t.Name)
+		}
+		if _, dup := g.byName[t.Name]; dup {
+			return nil, fmt.Errorf("fleet: duplicate tenant name %q", t.Name)
+		}
+		g.tenants[t.Token] = t
+		g.byName[t.Name] = t
+	}
+	for _, url := range cfg.Daemons {
+		g.daemons[url] = &daemon{url: url}
+	}
+	if cfg.StoreDir != "" {
+		st, err := store.OpenFS(cfg.StoreDir, cfg.StoreFS)
+		if err != nil {
+			return nil, err
+		}
+		g.store = st
+		if err := g.loadStore(); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// Start launches the monitor loop (probe → requeue → place → poll →
+// replicate). One immediate pass runs before the ticker so a gateway is
+// useful right after Start.
+func (g *Gateway) Start() {
+	g.monitorWG.Add(1)
+	go func() {
+		defer g.monitorWG.Done()
+		g.monitorPass()
+		tick := time.NewTicker(g.cfg.ProbeEvery)
+		defer tick.Stop()
+		for {
+			select {
+			case <-g.quit:
+				return
+			case <-tick.C:
+				g.monitorPass()
+			case <-g.kick:
+				g.monitorPass()
+			}
+		}
+	}()
+}
+
+// Close stops the monitor and releases the gateway store.
+func (g *Gateway) Close() {
+	g.closeOnce.Do(func() {
+		close(g.quit)
+	})
+	g.monitorWG.Wait()
+	g.mu.Lock()
+	st := g.store
+	g.mu.Unlock()
+	if st != nil {
+		_ = st.Close()
+	}
+}
+
+// logf reports a gateway-side event through the configured logger.
+func (g *Gateway) logf(format string, args ...any) {
+	if g.cfg.Log != nil {
+		g.cfg.Log(fmt.Sprintf(format, args...))
+	}
+}
+
+// tenantActive counts a tenant's unsettled children; g.mu must be held.
+func (g *Gateway) tenantActive(name string) int {
+	n := 0
+	for _, c := range g.children {
+		if c.tenant == name && !g.settledLocked(c) {
+			n++
+		}
+	}
+	return n
+}
+
+// sortedArrays returns the arrays in submission order; g.mu must be held.
+func (g *Gateway) sortedArrays() []*gwArray {
+	out := make([]*gwArray, 0, len(g.arrays))
+	for _, a := range g.arrays {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
+	return out
+}

@@ -1,0 +1,293 @@
+// Package fleettest is the deterministic in-process harness behind the
+// federation tests: N real solidifyd daemons (full jobd.Server stacks
+// with faultfs-injectable stores) on loopback httptest listeners, fronted
+// by one real gateway — no subprocesses, no ports to leak, every daemon
+// killable mid-run.
+//
+// Kill models a SIGKILL faithfully on both axes a daemon touches the
+// world through: the store freezes via a faultfs crash rule (all writes
+// after the kill instant fail, exactly what an abrupt death leaves on
+// disk), and the HTTP listener severs with in-flight connections torn
+// down — so the gateway sees the same symptoms a production daemon
+// crash produces: transport errors and an on-disk state frozen at the
+// kill point.
+package fleettest
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/faultfs"
+	"repro/internal/fleet"
+	"repro/internal/jobd"
+)
+
+// Options sizes a test fleet.
+type Options struct {
+	// Daemons is how many solidifyd instances to start (default 1; any
+	// negative value starts none — registration tests add daemons at
+	// runtime via StartDaemon + fleet.Announce).
+	Daemons int
+	// Tenants is the gateway tenant table (default: one "acme" tenant,
+	// token "acme-token", no limits).
+	Tenants []fleet.Tenant
+	// FleetToken guards the operator surface (default "fleet-token").
+	FleetToken string
+	// ProbeEvery and DeadAfter tune death detection (defaults 25ms / 3 —
+	// a killed daemon is declared dead within ~100ms).
+	ProbeEvery time.Duration
+	// DeadAfter is the consecutive-failure death threshold.
+	DeadAfter int
+	// MaxRequestBody caps gateway request bodies (default: fleet's 1 MiB).
+	MaxRequestBody int64
+	// GatewayStore disables the gateway's replication store when false...
+	// it defaults to enabled; set NoGatewayStore to turn it off.
+	NoGatewayStore bool
+	// Daemon is the per-daemon jobd config template; StoreDir and StoreFS
+	// are filled in per daemon. Zero value gets MaxConcurrent 2, Budget 4,
+	// ReportEvery 2.
+	Daemon jobd.Config
+}
+
+// Daemon is one live solidifyd instance under harness control.
+type Daemon struct {
+	// Server is the daemon itself; TS its loopback HTTP listener.
+	Server *jobd.Server
+	TS     *httptest.Server
+	// Inject wraps the daemon's store filesystem; Kill arms its crash
+	// rule.
+	Inject *faultfs.Inject
+	// URL is the daemon's base URL as the gateway knows it.
+	URL string
+	// StoreDir is the daemon's result-store directory.
+	StoreDir string
+
+	killed bool
+}
+
+// Fleet is a gateway plus its daemons, ready for requests.
+type Fleet struct {
+	// Gateway is the control plane; TS its loopback listener.
+	Gateway *fleet.Gateway
+	TS      *httptest.Server
+	// URL is the gateway's base URL.
+	URL string
+	// StoreDir is the gateway's replication store directory ("" when
+	// disabled).
+	StoreDir string
+	// Daemons are the fleet members, harness index order.
+	Daemons []*Daemon
+	// Options echoes the resolved options the fleet was built with.
+	Options Options
+
+	t      testing.TB
+	closed bool
+}
+
+// New starts a fleet and registers cleanup on t. It returns once the
+// gateway has probed every daemon alive.
+func New(t testing.TB, opts Options) *Fleet {
+	t.Helper()
+	if opts.Daemons == 0 {
+		opts.Daemons = 1
+	}
+	if opts.Daemons < 0 {
+		opts.Daemons = 0
+	}
+	if opts.Tenants == nil {
+		opts.Tenants = []fleet.Tenant{{Name: "acme", Token: "acme-token"}}
+	}
+	if opts.FleetToken == "" {
+		opts.FleetToken = "fleet-token"
+	}
+	if opts.ProbeEvery <= 0 {
+		opts.ProbeEvery = 25 * time.Millisecond
+	}
+	if opts.DeadAfter <= 0 {
+		opts.DeadAfter = 3
+	}
+	if opts.Daemon.MaxConcurrent == 0 {
+		opts.Daemon.MaxConcurrent = 2
+	}
+	if opts.Daemon.Budget == 0 {
+		opts.Daemon.Budget = 4
+	}
+	if opts.Daemon.ReportEvery == 0 {
+		opts.Daemon.ReportEvery = 2
+	}
+
+	f := &Fleet{t: t, Options: opts}
+	urls := make([]string, 0, opts.Daemons)
+	for i := 0; i < opts.Daemons; i++ {
+		d := StartDaemon(t, opts.Daemon)
+		f.Daemons = append(f.Daemons, d)
+		urls = append(urls, d.URL)
+	}
+
+	cfg := fleet.Config{
+		Daemons:        urls,
+		Tenants:        opts.Tenants,
+		FleetToken:     opts.FleetToken,
+		ProbeEvery:     opts.ProbeEvery,
+		DeadAfter:      opts.DeadAfter,
+		MaxRequestBody: opts.MaxRequestBody,
+		Client:         &http.Client{Timeout: 5 * time.Second},
+		Log:            func(line string) { t.Log(line) },
+	}
+	if !opts.NoGatewayStore {
+		f.StoreDir = t.TempDir()
+		cfg.StoreDir = f.StoreDir
+	}
+	g, err := fleet.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Gateway = g
+	g.Start()
+	f.TS = httptest.NewServer(g.Handler())
+	f.URL = f.TS.URL
+	t.Cleanup(f.Close)
+
+	if opts.Daemons > 0 {
+		WaitFor(t, "gateway to see all daemons alive", 10*time.Second, func() bool {
+			resp, err := http.Get(f.URL + "/healthz")
+			if err != nil {
+				return false
+			}
+			resp.Body.Close()
+			return resp.StatusCode == http.StatusOK
+		})
+	}
+	return f
+}
+
+// StartDaemon boots one jobd server over a fault-injectable store and
+// registers its cleanup on t. Zero config fields get the same defaults
+// New applies to Options.Daemon. Usable standalone for daemons that join
+// a running fleet via fleet.Announce.
+func StartDaemon(t testing.TB, tmpl jobd.Config) *Daemon {
+	t.Helper()
+	cfg := tmpl
+	if cfg.MaxConcurrent == 0 {
+		cfg.MaxConcurrent = 2
+	}
+	if cfg.Budget == 0 {
+		cfg.Budget = 4
+	}
+	if cfg.ReportEvery == 0 {
+		cfg.ReportEvery = 2
+	}
+	cfg.StoreDir = t.TempDir()
+	inj := faultfs.NewInject(nil)
+	cfg.StoreFS = inj
+	s := jobd.New(cfg)
+	if _, err := s.LoadStore(); err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	d := &Daemon{Server: s, TS: ts, Inject: inj, URL: ts.URL, StoreDir: cfg.StoreDir}
+	t.Cleanup(d.Close)
+	return d
+}
+
+// Close shuts the daemon down cleanly (listener, then drain). Idempotent
+// and a no-op after Kill.
+func (d *Daemon) Close() {
+	if d.killed {
+		return
+	}
+	d.killed = true
+	d.TS.Close()
+	d.Server.Close()
+}
+
+// Kill SIGKILLs daemon i: its store dies mid-operation (faultfs crash
+// rule — nothing written after this instant reaches disk), its listener
+// closes with every in-flight connection severed, and its goroutines are
+// reaped. Idempotent.
+func (f *Fleet) Kill(i int) {
+	f.t.Helper()
+	d := f.Daemons[i]
+	d.Kill()
+}
+
+// Kill SIGKILLs the daemon (see Fleet.Kill). Idempotent.
+func (d *Daemon) Kill() {
+	if d.killed {
+		return
+	}
+	d.killed = true
+	// Store first: writes racing the kill fail exactly as on real death.
+	d.Inject.AddRule(&faultfs.Rule{Op: "*", Crash: true})
+	d.TS.CloseClientConnections()
+	d.TS.Close()
+	// Reap the dead daemon's goroutines so -race and goroutine hygiene
+	// hold; its jobs' work is discarded, like a killed process's.
+	d.Server.Close()
+}
+
+// RestartGateway closes the gateway (daemons keep running) and opens a
+// fresh one over the same replication store — the restart path a real
+// deployment takes.
+func (f *Fleet) RestartGateway() {
+	f.t.Helper()
+	f.TS.CloseClientConnections()
+	f.TS.Close()
+	f.Gateway.Close()
+	var urls []string
+	for _, d := range f.Daemons {
+		if !d.killed {
+			urls = append(urls, d.URL)
+		}
+	}
+	g, err := fleet.New(fleet.Config{
+		Daemons:        urls,
+		Tenants:        f.Options.Tenants,
+		FleetToken:     f.Options.FleetToken,
+		ProbeEvery:     f.Options.ProbeEvery,
+		DeadAfter:      f.Options.DeadAfter,
+		MaxRequestBody: f.Options.MaxRequestBody,
+		StoreDir:       f.StoreDir,
+		Client:         &http.Client{Timeout: 5 * time.Second},
+		Log:            func(line string) { f.t.Log(line) },
+	})
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	f.Gateway = g
+	g.Start()
+	f.TS = httptest.NewServer(g.Handler())
+	f.URL = f.TS.URL
+}
+
+// Close tears the whole fleet down: gateway first (so the monitor stops
+// talking to daemons), then every surviving daemon. Safe to call twice;
+// New registers it as a t.Cleanup.
+func (f *Fleet) Close() {
+	if f.closed {
+		return
+	}
+	f.closed = true
+	f.TS.CloseClientConnections()
+	f.TS.Close()
+	f.Gateway.Close()
+	for _, d := range f.Daemons {
+		d.Close()
+	}
+}
+
+// WaitFor polls cond until it holds or the timeout kills the test.
+func WaitFor(t testing.TB, what string, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", what)
+}

@@ -28,6 +28,7 @@ import (
 //	GET    /arrays/{id}          one array's aggregated status
 //	GET    /arrays/{id}/results  per-child params + metrics + result paths
 //	DELETE /arrays/{id}          cancel every non-terminal child
+//	GET    /classes              per-class worker caps and live load
 //	GET    /healthz              liveness + degraded-store state (503 when degraded)
 //	GET    /metrics              daemon-wide counters, Prometheus text format
 
@@ -52,6 +53,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /arrays/{id}", s.handleArrayStatus)
 	mux.HandleFunc("GET /arrays/{id}/results", s.handleArrayResults)
 	mux.HandleFunc("DELETE /arrays/{id}", s.handleCancelArray)
+	mux.HandleFunc("GET /classes", s.handleClasses)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleDaemonMetrics)
 	return http.MaxBytesHandler(mux, MaxRequestBody)
@@ -164,6 +166,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
+}
+
+func (s *Server) handleClasses(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.ClassUsage())
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -214,6 +214,25 @@ func (as *ArraySpec) expand() ([]childSpec, error) {
 	return children, nil
 }
 
+// Expand materializes the array's parameter grid into child specs in grid
+// order, without submitting anything: each spec carries its instantiated
+// schedule blob, parameter assignment and "name[i]" naming, exactly as
+// SubmitArray would enqueue it. The federation gateway expands arrays
+// centrally and submits the children to different daemons as plain jobs —
+// resubmitting an identical spec elsewhere yields bit-identical results,
+// which is what makes gateway-side requeue after a daemon loss sound.
+func (as *ArraySpec) Expand() ([]Spec, error) {
+	children, err := as.expand()
+	if err != nil {
+		return nil, err
+	}
+	specs := make([]Spec, len(children))
+	for i, c := range children {
+		specs[i] = c.spec
+	}
+	return specs, nil
+}
+
 // SubmitArray expands an array spec and enqueues every child. The
 // expansion is all-or-nothing: an invalid grid point rejects the whole
 // submission.

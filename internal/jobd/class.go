@@ -17,10 +17,66 @@ import (
 // flowing to the others; within a class, jobs split the class total
 // evenly. With a single class (the default), this reduces exactly to the
 // original ⌊W/n⌋ policy.
+//
+// Classes double as the federation's tenant boundary: the gateway
+// (internal/fleet) maps each tenant to one class and stamps every spec it
+// forwards, so a daemon's class caps *are* its per-tenant compute caps —
+// no second quota mechanism. ClassUsage / GET /classes exposes the live
+// per-class load the gateway's placement reads.
 
 // DefaultClass is the resource class of jobs that name none. Its budget is
 // the full global budget unless Config.Classes overrides it.
 const DefaultClass = "default"
+
+// ClassUsage is the live view of one resource class (GET /classes): its
+// configured worker cap and current load. The federation gateway places
+// tenant work on the daemon whose tenant class has the most headroom.
+type ClassUsage struct {
+	Class string `json:"class"`
+	// Budget is the class's worker cap W_c (1 for a class the daemon does
+	// not configure but a restored job names).
+	Budget int `json:"budget"`
+	// Active is the number of sweep workers the class's jobs hold right now.
+	Active int `json:"active"`
+	// Running and Queued count the class's jobs in those states.
+	Running int `json:"running"`
+	Queued  int `json:"queued"`
+}
+
+// ClassUsage reports every class the daemon knows — configured ones plus
+// any a live job names — sorted by class name.
+func (s *Server) ClassUsage() []ClassUsage {
+	s.mu.Lock()
+	rows := map[string]*ClassUsage{}
+	row := func(name string) *ClassUsage {
+		r, ok := rows[name]
+		if !ok {
+			r = &ClassUsage{Class: name, Budget: s.classBudget(name)}
+			rows[name] = r
+		}
+		return r
+	}
+	for name := range s.classes {
+		row(name)
+	}
+	for _, j := range s.running {
+		row(j.Spec.Class).Running++
+	}
+	for _, j := range s.queue {
+		row(j.Spec.Class).Queued++
+	}
+	s.mu.Unlock()
+
+	out := make([]ClassUsage, 0, len(rows))
+	for _, r := range rows {
+		// The gauge is read outside s.mu: worker counts move while jobs
+		// step, so this is a snapshot either way.
+		r.Active = s.gauge.Class(r.Class).Active()
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Class < out[j].Class })
+	return out
+}
 
 // resolveClasses normalizes the configured class table: budgets are
 // clamped to [1, budget] and the default class always exists.

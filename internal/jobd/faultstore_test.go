@@ -141,6 +141,12 @@ func TestTornSpillNeverVisible(t *testing.T) {
 // pre-crash in-memory result, or the job is cleanly absent (resubmittable).
 // Torn or half-visible state fails the walk (the store's content
 // verification turns it into an error, which the test treats as fatal).
+//
+// The restarted daemon additionally runs retention GC — once at
+// LoadStore (its policy is configured) and once explicitly after the
+// check — regression for GC racing a crashed spill's leftovers: a GC
+// pass over any frozen crash state must reclaim only unreferenced
+// garbage, never flip a servable result to absent or corrupt.
 func TestSpillCrashPointTable(t *testing.T) {
 	ops := []string{
 		faultfs.OpCreateTemp, faultfs.OpWrite, faultfs.OpSync,
@@ -175,7 +181,10 @@ func TestSpillCrashPointTable(t *testing.T) {
 				// on the real filesystem. The crashed process' directory
 				// flock dies with it; in-process, release it by hand.
 				_ = s.store.Close()
-				s2 := New(Config{StoreDir: dir})
+				// The roomy byte quota arms retention GC without eviction
+				// pressure: LoadStore runs a pass over the frozen crash
+				// state before restoring anything.
+				s2 := New(Config{StoreDir: dir, StoreGCMaxBytes: 1 << 30})
 				n, err := s2.LoadStore()
 				if err != nil {
 					t.Fatalf("restart over crashed store: %v", err)
@@ -196,6 +205,17 @@ func TestSpillCrashPointTable(t *testing.T) {
 					disk, err := s2.resultBytes(j2)
 					if err != nil {
 						t.Fatalf("restarted daemon serves a corrupt result: %v", err)
+					}
+					diffCheckpoints(t, disk, mem)
+					// A further explicit GC pass must not evict anything the
+					// manifest references: the result still serves, still
+					// byte-identical.
+					if _, err := s2.RunStoreGC(); err != nil {
+						t.Fatalf("GC over restarted store: %v", err)
+					}
+					disk, err = s2.resultBytes(j2)
+					if err != nil {
+						t.Fatalf("result lost after GC pass: %v", err)
 					}
 					diffCheckpoints(t, disk, mem)
 				}

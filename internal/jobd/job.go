@@ -216,10 +216,14 @@ const (
 	StateCanceled State = "canceled"
 )
 
-// terminal reports whether no further transitions can happen.
-func (s State) terminal() bool {
+// Terminal reports whether no further transitions can happen (done,
+// failed or canceled).
+func (s State) Terminal() bool {
 	return s == StateDone || s == StateFailed || s == StateCanceled
 }
+
+// terminal is the package-internal spelling of Terminal.
+func (s State) terminal() bool { return s.Terminal() }
 
 // control verbs the scheduler posts to a runner; checked at every timestep
 // boundary (the cooperative yield point).

@@ -112,6 +112,17 @@ type Config struct {
 	// (deterministic fault injection for tests and recovery drills;
 	// solidifyd -chaos). Off, a fault-bearing spec is rejected.
 	AllowFaults bool
+	// StoreGCMaxBytes and StoreGCMaxAge form the result store's retention
+	// policy (store.RetentionPolicy): when set, stored results of the
+	// oldest terminal jobs are evicted to fit the byte quota, and results
+	// older than the age bound are dropped regardless of size. Zero values
+	// disable the respective bound; with both zero the store grows
+	// unboundedly (the pre-retention behavior).
+	StoreGCMaxBytes int64
+	StoreGCMaxAge   time.Duration
+	// StoreGCEvery is the periodic retention-GC cadence. 0 runs GC only
+	// once, at LoadStore.
+	StoreGCEvery time.Duration
 	// StoreFS, when non-nil, routes the result store's filesystem
 	// operations through an injectable implementation (the fault-injection
 	// suite passes a faultfs.Inject). Nil selects the real filesystem.
@@ -253,6 +264,22 @@ func (s *Server) Start() {
 					return
 				case <-tick.C:
 					s.checkStalls()
+				}
+			}
+		}()
+	}
+	if s.cfg.StoreGCEvery > 0 && s.retention().Enabled() {
+		s.schedulerWG.Add(1)
+		go func() {
+			defer s.schedulerWG.Done()
+			tick := time.NewTicker(s.cfg.StoreGCEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-s.quit:
+					return
+				case <-tick.C:
+					_, _ = s.RunStoreGC()
 				}
 			}
 		}()

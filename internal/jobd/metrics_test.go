@@ -5,18 +5,20 @@ import (
 	"fmt"
 	"io"
 	"net/http"
-	"regexp"
-	"strconv"
 	"strings"
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/promtest"
 )
 
 // metrics_test.go — the daemon observability surface: GET /metrics must be
 // strictly valid Prometheus text exposition (format 0.0.4) including the
 // telemetry series, survive concurrent scrapes under -race, and
 // GET /jobs/{id}/trace must serve loadable Chrome trace_event JSON.
+// Strict format validation lives in internal/promtest, shared with the
+// federation gateway's scrape tests.
 
 // scrape fetches GET /metrics and returns the body.
 func scrape(t *testing.T, base string) string {
@@ -39,118 +41,6 @@ func scrape(t *testing.T, base string) string {
 	return string(body)
 }
 
-var (
-	seriesRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{([^}]*)\})? (.+)$`)
-	labelRe  = regexp.MustCompile(`^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$`)
-)
-
-// parseExposition strictly validates Prometheus text format: every series
-// line must parse, every family must have exactly one HELP and one TYPE
-// line (in that order, before any of its series), label pairs must be
-// well-formed, values must be floats, and no series may repeat. Returns
-// series → value.
-func parseExposition(t *testing.T, body string) map[string]float64 {
-	t.Helper()
-	series := map[string]float64{}
-	help := map[string]bool{}
-	typ := map[string]string{}
-	for ln, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
-		switch {
-		case strings.HasPrefix(line, "# HELP "):
-			rest := strings.TrimPrefix(line, "# HELP ")
-			name, _, ok := strings.Cut(rest, " ")
-			if !ok {
-				t.Fatalf("line %d: HELP without text: %q", ln+1, line)
-			}
-			if help[name] {
-				t.Fatalf("line %d: duplicate HELP for %s", ln+1, name)
-			}
-			help[name] = true
-		case strings.HasPrefix(line, "# TYPE "):
-			parts := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
-			if len(parts) != 2 {
-				t.Fatalf("line %d: malformed TYPE: %q", ln+1, line)
-			}
-			name, kind := parts[0], parts[1]
-			switch kind {
-			case "counter", "gauge", "histogram", "summary", "untyped":
-			default:
-				t.Fatalf("line %d: unknown metric type %q", ln+1, kind)
-			}
-			if _, dup := typ[name]; dup {
-				t.Fatalf("line %d: duplicate TYPE for %s", ln+1, name)
-			}
-			if !help[name] {
-				t.Fatalf("line %d: TYPE for %s precedes its HELP", ln+1, name)
-			}
-			typ[name] = kind
-		case strings.HasPrefix(line, "#"):
-			t.Fatalf("line %d: unknown comment form: %q", ln+1, line)
-		case line == "":
-			t.Fatalf("line %d: blank line in exposition", ln+1)
-		default:
-			m := seriesRe.FindStringSubmatch(line)
-			if m == nil {
-				t.Fatalf("line %d: unparsable series line: %q", ln+1, line)
-			}
-			name, labels, value := m[1], m[3], m[4]
-			v, err := strconv.ParseFloat(value, 64)
-			if err != nil {
-				t.Fatalf("line %d: bad value %q: %v", ln+1, value, err)
-			}
-			if labels != "" {
-				for _, pair := range strings.Split(labels, ",") {
-					if !labelRe.MatchString(pair) {
-						t.Fatalf("line %d: malformed label pair %q", ln+1, pair)
-					}
-				}
-			}
-			// A histogram family's series carry the _bucket/_sum/_count
-			// suffixes; HELP/TYPE are registered under the base name.
-			family := name
-			for _, suf := range []string{"_bucket", "_sum", "_count"} {
-				base := strings.TrimSuffix(name, suf)
-				if base != name && typ[base] == "histogram" {
-					family = base
-					break
-				}
-			}
-			if !help[family] || typ[family] == "" {
-				t.Fatalf("line %d: series %s has no HELP/TYPE for family %s", ln+1, name, family)
-			}
-			key := name + "{" + labels + "}"
-			if _, dup := series[key]; dup {
-				t.Fatalf("line %d: duplicate series %s", ln+1, key)
-			}
-			series[key] = v
-		}
-	}
-	return series
-}
-
-// findSeries returns the value of the series whose name matches and whose
-// label block contains all wanted substrings.
-func findSeries(t *testing.T, series map[string]float64, name string, wantLabels ...string) (float64, bool) {
-	t.Helper()
-	for key, v := range series {
-		sname, labels, _ := strings.Cut(key, "{")
-		if sname != name {
-			continue
-		}
-		ok := true
-		for _, w := range wantLabels {
-			if !strings.Contains(labels, w) {
-				ok = false
-				break
-			}
-		}
-		if ok {
-			return v, true
-		}
-	}
-	return 0, false
-}
-
 // TestDaemonMetricsFormat: the full /metrics payload — with a multi-block
 // job running so every telemetry family has series — must pass the strict
 // exposition parser, and the new families must carry sane values.
@@ -167,7 +57,7 @@ func TestDaemonMetricsFormat(t *testing.T) {
 		return j.telemTot.Steps > 0 && len(j.flows) > 0
 	})
 
-	series := parseExposition(t, scrape(t, ts.URL))
+	series := promtest.Parse(t, scrape(t, ts.URL))
 
 	for _, want := range []struct {
 		name   string
@@ -187,23 +77,23 @@ func TestDaemonMetricsFormat(t *testing.T) {
 		{"jobd_exchange_latency_seconds_sum", []string{`tag="phi"`}},
 		{"jobd_exchange_latency_seconds_count", []string{`tag="phi"`}},
 	} {
-		if _, ok := findSeries(t, series, want.name, want.labels...); !ok {
+		if _, ok := promtest.FindSeries(t, series, want.name, want.labels...); !ok {
 			t.Errorf("missing series %s with labels %v", want.name, want.labels)
 		}
 	}
 
-	if v, _ := findSeries(t, series, "jobd_workers_budget", `class="small"`); v != 1 {
+	if v, _ := promtest.FindSeries(t, series, "jobd_workers_budget", `class="small"`); v != 1 {
 		t.Errorf("small class budget %g, want 1", v)
 	}
-	if v, _ := findSeries(t, series, "jobd_job_phase_seconds_total", `phase="phi_kernel"`); v <= 0 {
+	if v, _ := promtest.FindSeries(t, series, "jobd_job_phase_seconds_total", `phase="phi_kernel"`); v <= 0 {
 		t.Errorf("phi kernel seconds %g, want > 0", v)
 	}
-	if v, _ := findSeries(t, series, "jobd_halo_bytes_total", `tag="phi"`); v <= 0 {
+	if v, _ := promtest.FindSeries(t, series, "jobd_halo_bytes_total", `tag="phi"`); v <= 0 {
 		t.Errorf("halo bytes %g, want > 0", v)
 	}
 	// The +Inf bucket of a histogram must equal its _count.
-	inf, _ := findSeries(t, series, "jobd_exchange_latency_seconds_bucket", `le="+Inf"`, `tag="phi"`)
-	count, _ := findSeries(t, series, "jobd_exchange_latency_seconds_count", `tag="phi"`)
+	inf, _ := promtest.FindSeries(t, series, "jobd_exchange_latency_seconds_bucket", `le="+Inf"`, `tag="phi"`)
+	count, _ := promtest.FindSeries(t, series, "jobd_exchange_latency_seconds_count", `tag="phi"`)
 	if inf != count || count <= 0 {
 		t.Errorf("+Inf bucket %g != count %g (or empty)", inf, count)
 	}
@@ -246,7 +136,7 @@ func TestDaemonMetricsScrapeConcurrent(t *testing.T) {
 	wg.Wait()
 
 	// One last full strict parse after the job went terminal.
-	parseExposition(t, scrape(t, ts.URL))
+	promtest.Parse(t, scrape(t, ts.URL))
 }
 
 // traceDoc mirrors the Chrome trace_event envelope for decoding.

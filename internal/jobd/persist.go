@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/jobd/store"
 )
@@ -63,6 +64,16 @@ func (s *Server) LoadStore() (int, error) {
 	st, err := store.OpenFS(s.cfg.StoreDir, s.cfg.StoreFS)
 	if err != nil {
 		return 0, err
+	}
+	// Retention runs before the restore walk so the daemon only learns
+	// about jobs whose results actually survived the policy.
+	if pol := s.retention(); pol.Enabled() {
+		if rep, err := st.GC(pol, time.Now()); err != nil {
+			s.logf("jobd: store gc at load: %v", err)
+		} else if rep.EvictedManifests > 0 || rep.EvictedBlobs > 0 {
+			s.logf("jobd: store gc at load evicted %d manifests, %d blobs (%d bytes)",
+				rep.EvictedManifests, rep.EvictedBlobs, rep.EvictedBytes)
+		}
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -173,6 +184,8 @@ func (s *Server) persistArray(arr *Array) {
 	if st == nil {
 		return
 	}
+	release := st.Reserve()
+	defer release()
 	m := arrayManifest{ID: arr.ID, Spec: arr.Spec, Children: arr.Children}
 	if err := st.PutManifest(store.ArraysBucket, arr.ID, &m); err != nil {
 		s.logf("jobd: store array %s: %v", arr.ID, err)
@@ -209,6 +222,12 @@ func (s *Server) spillJob(j *Job) error {
 		return nil
 	}
 
+	// The whole blob+manifest sequence runs under one GC reservation, so
+	// retention GC never observes the gap between a written blob and the
+	// manifest that will reference it (store.Reserve).
+	release := st.Reserve()
+	defer release()
+
 	if final != nil {
 		hash, err := st.PutBlob(final)
 		if err != nil {
@@ -231,6 +250,56 @@ func (s *Server) spillJob(j *Job) error {
 	j.storedSchedule = m.Schedule
 	j.mu.Unlock()
 	return nil
+}
+
+// retention is the store policy assembled from the config knobs.
+func (s *Server) retention() store.RetentionPolicy {
+	return store.RetentionPolicy{MaxBytes: s.cfg.StoreGCMaxBytes, MaxAge: s.cfg.StoreGCMaxAge}
+}
+
+// RunStoreGC applies the retention policy to the result store now and
+// reconciles the in-memory registry with what was evicted: a restored
+// terminal job whose manifest is gone is forgotten (its children show as
+// missing in array aggregations, as after any restart without its
+// record), while a job this daemon ran keeps serving from memory with
+// its stale store references cleared. No-op without a store or policy.
+func (s *Server) RunStoreGC() (store.GCReport, error) {
+	s.mu.Lock()
+	st := s.store
+	s.mu.Unlock()
+	pol := s.retention()
+	if st == nil || !pol.Enabled() {
+		return store.GCReport{}, nil
+	}
+	rep, err := st.GC(pol, time.Now())
+	if err != nil {
+		s.logf("jobd: store gc: %v", err)
+		return rep, err
+	}
+	s.mu.Lock()
+	for _, id := range rep.Evicted {
+		j, ok := s.jobs[id]
+		if !ok {
+			continue
+		}
+		j.mu.Lock()
+		terminal := j.state.terminal()
+		inMemory := j.final != nil
+		if terminal {
+			j.storedResult = ""
+			j.storedSchedule = ""
+		}
+		j.mu.Unlock()
+		if terminal && !inMemory {
+			delete(s.jobs, id)
+		}
+	}
+	s.mu.Unlock()
+	if rep.EvictedManifests > 0 || rep.EvictedBlobs > 0 {
+		s.logf("jobd: store gc evicted %d manifests, %d blobs (%d bytes); %d manifests, %d bytes live",
+			rep.EvictedManifests, rep.EvictedBlobs, rep.EvictedBytes, rep.LiveManifests, rep.LiveBytes)
+	}
+	return rep, nil
 }
 
 // hasResult reports whether a final checkpoint can be served for j, from

@@ -60,6 +60,12 @@ type Store struct {
 
 	lock      *os.File // flocked <dir>/LOCK; nil after Close
 	closeOnce sync.Once
+
+	// gcMu arbitrates retention GC against multi-step writers: spillers
+	// hold the read side across their whole blob+manifest sequence
+	// (Reserve), GC the write side, so GC never observes a spill between
+	// its first blob and its manifest (see gc.go).
+	gcMu sync.RWMutex
 }
 
 // lockName is the advisory lock file guarding a store directory. The file
